@@ -1,0 +1,123 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+   Default mode runs each experiment at the configured scale and prints the
+   same rows/series the paper reports, followed by a headline summary of
+   paper-claim vs measured. `--bechamel` instead times the computational
+   kernels behind each experiment (one Bechamel test per table/figure). *)
+
+module E = Braid_sim.Experiments
+module S = Braid_sim.Suite
+
+let usage () =
+  print_endline
+    "usage: main.exe [--scale N] [--only id[,id...]] [--list] [--bechamel]\n\
+     Experiments (paper tables and figures):";
+  List.iter (fun (id, _) -> Printf.printf "  %s\n" id) E.all
+
+let parse_args () =
+  let scale = ref S.default_scale in
+  let only = ref [] in
+  let bechamel = ref false in
+  let list = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: n :: rest ->
+        scale := int_of_string n;
+        go rest
+    | "--only" :: ids :: rest ->
+        only := String.split_on_char ',' ids;
+        go rest
+    | "--quick" :: rest ->
+        scale := 4000;
+        go rest
+    | "--bechamel" :: rest ->
+        bechamel := true;
+        go rest
+    | "--list" :: rest ->
+        list := true;
+        go rest
+    | ("--help" | "-h") :: _ ->
+        usage ();
+        exit 0
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        usage ();
+        exit 1
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!scale, !only, !bechamel, !list)
+
+let selected only =
+  match only with
+  | [] -> E.all
+  | ids ->
+      List.map
+        (fun id ->
+          match List.assoc_opt id E.all with
+          | Some f -> (id, f)
+          | None ->
+              Printf.eprintf "unknown experiment id %s\n" id;
+              exit 1)
+        ids
+
+let run_experiments ~scale only =
+  let outcomes =
+    List.map
+      (fun (id, f) ->
+        let t0 = Sys.time () in
+        let o = f ~scale in
+        Printf.printf "==================================================================\n";
+        Printf.printf "%s — %s\n" o.E.id o.E.title;
+        Printf.printf "paper: %s\n" o.E.paper_expectation;
+        Printf.printf "------------------------------------------------------------------\n";
+        print_string o.E.rendered;
+        Printf.printf "(%s took %.1fs)\n\n%!" id (Sys.time () -. t0);
+        o)
+      (selected only)
+  in
+  Printf.printf "==================================================================\n";
+  Printf.printf "Headline summary (measured)\n";
+  Printf.printf "------------------------------------------------------------------\n";
+  List.iter
+    (fun o ->
+      let cells =
+        String.concat "  "
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%.3f" k v) o.E.headline)
+      in
+      Printf.printf "%-18s %s\n" o.E.id cells)
+    outcomes
+
+(* Bechamel timing of each experiment's computational kernel at a small,
+   fixed scale: how long regenerating that table/figure costs. *)
+let run_bechamel () =
+  let open Bechamel in
+  let scale = 2000 in
+  let tests =
+    List.map
+      (fun (id, f) ->
+        Test.make ~name:id (Staged.stage (fun () -> ignore (f ~scale))))
+      E.all
+  in
+  let test = Test.make_grouped ~name:"experiments" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances test in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  List.iter
+    (fun tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-40s %14.0f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-40s (no estimate)\n" name)
+        tbl)
+    results
+
+let () =
+  let scale, only, bechamel, list = parse_args () in
+  if list then usage ()
+  else if bechamel then run_bechamel ()
+  else run_experiments ~scale only

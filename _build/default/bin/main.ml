@@ -1,0 +1,237 @@
+(* braidsim: command-line front end for the braid reproduction.
+
+   Subcommands: list, stats, inspect, run, experiment. *)
+
+open Braid_isa
+module C = Braid_core
+module U = Braid_uarch
+module W = Braid_workload
+
+let scale_arg =
+  let doc = "Target dynamic instruction count of the run." in
+  Cmdliner.Arg.(value & opt int 12_000 & info [ "scale" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Workload generation seed." in
+  Cmdliner.Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let bench_arg =
+  let doc = "Benchmark name (one of the 26 SPEC CPU2000 stand-ins)." in
+  Cmdliner.Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let find_bench name =
+  try W.Spec.find name
+  with Not_found ->
+    Printf.eprintf "unknown benchmark %s; try `braidsim list`\n" name;
+    exit 1
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-10s %-5s %s\n" "name" "class" "description";
+    List.iter
+      (fun (p : W.Spec.profile) ->
+        Printf.printf "%-10s %-5s %s\n" p.W.Spec.name
+          (match p.W.Spec.cls with W.Spec.Int_bench -> "int" | W.Spec.Fp_bench -> "fp")
+          p.W.Spec.description)
+      W.Spec.all
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "list" ~doc:"List the 26 benchmark programs.")
+    Cmdliner.Term.(const run $ const ())
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let run name seed scale =
+    let profile = find_bench name in
+    let program, init_mem = W.Spec.generate profile ~seed ~scale in
+    let rep = C.Transform.run program in
+    let stats = C.Braid_stats.summarize (C.Braid_stats.of_program rep.C.Transform.program) in
+    Printf.printf "%s (%s)\n\n" profile.W.Spec.name profile.W.Spec.description;
+    Printf.printf "static: %d blocks, %d instructions, %d braids\n"
+      (Program.num_blocks program)
+      (Program.num_static_instrs rep.C.Transform.program)
+      rep.C.Transform.braids;
+    Printf.printf "splits: %d working-set, %d ordering; spills: %d values\n\n"
+      rep.C.Transform.splits_working_set rep.C.Transform.splits_ordering
+      rep.C.Transform.alloc.C.Extalloc.spilled;
+    Printf.printf "Table 1  braids/block          %.2f (%.2f excl. singles)\n"
+      stats.C.Braid_stats.braids_per_block stats.C.Braid_stats.braids_per_block_multi;
+    Printf.printf "Table 2  size / width          %.2f / %.2f (excl. singles)\n"
+      stats.C.Braid_stats.avg_size_multi stats.C.Braid_stats.avg_width_multi;
+    Printf.printf "Table 3  internals / in / out  %.2f / %.2f / %.2f (excl. singles)\n\n"
+      stats.C.Braid_stats.avg_internals_multi stats.C.Braid_stats.avg_ext_inputs_multi
+      stats.C.Braid_stats.avg_ext_outputs_multi;
+    let out = Emulator.run ~max_steps:(50 * scale) ~init_mem rep.C.Transform.program in
+    let vs = C.Value_stats.of_trace (Option.get out.Emulator.trace) in
+    Printf.printf "§1.1     values used once      %s\n"
+      (Render.pct (C.Value_stats.fanout_exactly vs 1));
+    Printf.printf "         used at most twice    %s\n"
+      (Render.pct (C.Value_stats.fanout_at_most vs 2));
+    Printf.printf "         produced unused       %s\n"
+      (Render.pct (C.Value_stats.unused_fraction vs));
+    Printf.printf "         lifetime <= 32        %s\n"
+      (Render.pct (C.Value_stats.lifetime_at_most vs 32))
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "stats"
+       ~doc:"Braid and value statistics for one benchmark (Tables 1-3, §1.1).")
+    Cmdliner.Term.(const run $ bench_arg $ seed_arg $ scale_arg)
+
+(* --- inspect --- *)
+
+let inspect_cmd =
+  let block_arg =
+    Cmdliner.Arg.(value & opt int 1 & info [ "block" ] ~docv:"ID" ~doc:"Block to print.")
+  in
+  let run name seed scale block =
+    let profile = find_bench name in
+    let program, _ = W.Spec.generate profile ~seed ~scale in
+    let rep = C.Transform.run program in
+    print_string (Disasm.block_with_braids rep.C.Transform.program block)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "inspect" ~doc:"Disassemble one block braid by braid (Fig 2 view).")
+    Cmdliner.Term.(const run $ bench_arg $ seed_arg $ scale_arg $ block_arg)
+
+(* --- run --- *)
+
+let run_cmd =
+  let core_arg =
+    let cores =
+      [ ("in-order", `Io); ("dep-steer", `Dep); ("ooo", `Ooo); ("braid", `Braid) ]
+    in
+    Cmdliner.Arg.(
+      value
+      & opt (enum cores) `Braid
+      & info [ "core" ] ~docv:"CORE"
+          ~doc:"Execution core: in-order, dep-steer, ooo or braid.")
+  in
+  let width_arg =
+    Cmdliner.Arg.(value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Issue width (4, 8 or 16).")
+  in
+  let run name seed scale core width =
+    let profile = find_bench name in
+    let program, init_mem = W.Spec.generate profile ~seed ~scale in
+    let cfg, binary =
+      match core with
+      | `Io -> (U.Config.in_order_8wide, (C.Transform.conventional program).C.Extalloc.program)
+      | `Dep -> (U.Config.dep_steer_8wide, (C.Transform.conventional program).C.Extalloc.program)
+      | `Ooo -> (U.Config.ooo_8wide, (C.Transform.conventional program).C.Extalloc.program)
+      | `Braid -> (U.Config.braid_8wide, (C.Transform.run program).C.Transform.program)
+    in
+    let cfg = if width = 8 then cfg else U.Config.scale_width cfg width in
+    let out = Emulator.run ~max_steps:(50 * scale) ~init_mem binary in
+    let trace = Option.get out.Emulator.trace in
+    let r = U.Pipeline.run ~warm_data:(List.map fst init_mem) cfg trace in
+    Printf.printf "%s on %s\n" profile.W.Spec.name r.U.Pipeline.config_name;
+    Printf.printf "  instructions        %d\n" r.U.Pipeline.instructions;
+    Printf.printf "  cycles              %d\n" r.U.Pipeline.cycles;
+    Printf.printf "  IPC                 %.3f\n" r.U.Pipeline.ipc;
+    Printf.printf "  branch mispredicts  %d / %d lookups\n" r.U.Pipeline.branch_mispredicts
+      r.U.Pipeline.branch_lookups;
+    Printf.printf "  L1I/L1D/L2 misses   %d / %d / %d\n" r.U.Pipeline.l1i_misses
+      r.U.Pipeline.l1d_misses r.U.Pipeline.l2_misses;
+    Printf.printf "  reg dispatch stalls %d\n" r.U.Pipeline.dispatch_stall_regs;
+    Printf.printf "  stalls (cycles)     redirect %d, icache %d, core %d, front-end %d\n"
+      r.U.Pipeline.stalls.U.Pipeline.fetch_redirect
+      r.U.Pipeline.stalls.U.Pipeline.fetch_icache
+      r.U.Pipeline.stalls.U.Pipeline.dispatch_core
+      r.U.Pipeline.stalls.U.Pipeline.dispatch_frontend;
+    Printf.printf "  avg core occupancy  %.1f instructions\n" r.U.Pipeline.avg_occupancy;
+    let a = r.U.Pipeline.activity in
+    Printf.printf "  RF accesses         %d external, %d internal; %d bypassed values\n"
+      (a.U.Machine.ext_rf_reads + a.U.Machine.ext_rf_writes)
+      (a.U.Machine.int_rf_reads + a.U.Machine.int_rf_writes)
+      a.U.Machine.bypass_values
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "run" ~doc:"Simulate one benchmark on one machine configuration.")
+    Cmdliner.Term.(const run $ bench_arg $ seed_arg $ scale_arg $ core_arg $ width_arg)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let id_arg =
+    Cmdliner.Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID"
+          ~doc:"Experiment id (e.g. fig13); `braidsim experiment list` to enumerate.")
+  in
+  let run id scale =
+    if id = "list" then
+      List.iter (fun (i, _) -> print_endline i) Braid_sim.Experiments.all
+    else
+      match List.assoc_opt id Braid_sim.Experiments.all with
+      | None ->
+          Printf.eprintf "unknown experiment %s\n" id;
+          exit 1
+      | Some f ->
+          let o = f ~scale in
+          Printf.printf "%s\npaper: %s\n\n%s"
+            o.Braid_sim.Experiments.title o.Braid_sim.Experiments.paper_expectation
+            o.Braid_sim.Experiments.rendered
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "experiment" ~doc:"Run one of the paper's tables/figures.")
+    Cmdliner.Term.(const run $ id_arg $ scale_arg)
+
+(* --- disasm --- *)
+
+let disasm_cmd =
+  let braided_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "braided" ] ~doc:"Disassemble the braid binary instead of the conventional one.")
+  in
+  let run name seed scale braided =
+    let profile = find_bench name in
+    let program, _ = W.Spec.generate profile ~seed ~scale in
+    let binary =
+      if braided then (C.Transform.run program).C.Transform.program
+      else (C.Transform.conventional program).C.Extalloc.program
+    in
+    print_string (Disasm.program_asm binary)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "disasm"
+       ~doc:
+         "Emit a benchmark's binary as parseable assembly (re-assemble it \
+          with the Asm module).")
+    Cmdliner.Term.(const run $ bench_arg $ seed_arg $ scale_arg $ braided_arg)
+
+(* --- complexity --- *)
+
+let complexity_cmd =
+  let run () =
+    List.iter
+      (fun cfg -> print_endline (U.Complexity.describe cfg))
+      [ U.Config.in_order_8wide; U.Config.dep_steer_8wide; U.Config.braid_8wide;
+        U.Config.ooo_8wide ];
+    let ooo = U.Complexity.of_config U.Config.ooo_8wide in
+    let braid = U.Complexity.of_config U.Config.braid_8wide in
+    let io = U.Complexity.of_config U.Config.in_order_8wide in
+    Printf.printf
+      "\nbraid total complexity is %.1fx the in-order design and 1/%.0f of the \
+       out-of-order design\n"
+      (U.Complexity.relative braid io)
+      (U.Complexity.relative ooo braid)
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "complexity"
+       ~doc:"Static complexity indices of the four machines (§5.1).")
+    Cmdliner.Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmdliner.Cmd.info "braidsim" ~version:"1.0.0"
+      ~doc:
+        "Braid microarchitecture reproduction (Tseng & Patt, ISCA 2008): \
+         compiler pass, cycle-level simulator, and the paper's experiments."
+  in
+  exit
+    (Cmdliner.Cmd.eval
+       (Cmdliner.Cmd.group info [ list_cmd; stats_cmd; inspect_cmd; run_cmd; experiment_cmd; disasm_cmd; complexity_cmd ]))

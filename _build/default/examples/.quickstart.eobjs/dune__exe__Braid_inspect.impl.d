@@ -1,0 +1,1 @@
+examples/braid_inspect.ml: Array Braid_core Braid_isa Braid_workload Disasm Encode List Printf Program Render Sys

@@ -1,0 +1,1 @@
+examples/braid_inspect.mli:

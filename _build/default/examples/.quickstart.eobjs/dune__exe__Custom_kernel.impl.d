@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Asm Braid_core Braid_isa Braid_uarch Braid_workload Disasm Emulator Int64 List Op Option Printf Program Reg String

@@ -1,0 +1,1 @@
+examples/exception_demo.ml: Array Braid_core Braid_isa Braid_uarch Braid_workload Disasm Emulator Int64 List Op Option Printf Reg Trace

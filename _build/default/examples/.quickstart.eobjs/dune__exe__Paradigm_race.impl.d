@@ -1,0 +1,1 @@
+examples/paradigm_race.ml: Array Braid_core Braid_isa Braid_uarch Braid_workload Emulator List Option Printf Render Sys

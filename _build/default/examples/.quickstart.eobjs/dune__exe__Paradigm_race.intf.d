@@ -1,0 +1,1 @@
+examples/paradigm_race.mli:

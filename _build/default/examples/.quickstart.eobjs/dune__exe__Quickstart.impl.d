@@ -1,0 +1,1 @@
+examples/quickstart.ml: Braid_core Braid_isa Braid_uarch Braid_workload Emulator Int64 List Option Printf Program

@@ -1,0 +1,75 @@
+(* Braid inspection: the Fig 2 view. Compile a workload with the braid pass
+   and print a basic block braid by braid, with internal/external operands
+   and the braid statistics tables.
+
+     dune exec examples/braid_inspect.exe [benchmark] [block]
+*)
+
+open Braid_isa
+module C = Braid_core
+module W = Braid_workload
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "gcc" in
+  let block_id = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else -1 in
+  let profile = W.Spec.find name in
+  let program, _ = W.Spec.generate profile ~seed:1 ~scale:8_000 in
+  let rep = C.Transform.run program in
+  let braided = rep.C.Transform.program in
+
+  (* Pick the most interesting block by default: the one with the most
+     multi-instruction braids. *)
+  let stats = C.Braid_stats.of_program braided in
+  let score bid =
+    List.length
+      (List.filter
+         (fun (b : C.Braid_stats.braid_info) ->
+           b.C.Braid_stats.block_id = bid && not b.C.Braid_stats.is_single)
+         stats.C.Braid_stats.braids)
+  in
+  let chosen =
+    if block_id >= 0 then block_id
+    else
+      let best = ref 0 in
+      for bid = 0 to Program.num_blocks braided - 1 do
+        if score bid > score !best then best := bid
+      done;
+      !best
+  in
+
+  Printf.printf "%s, block %d, braid by braid (S-bit boundaries):\n\n" name chosen;
+  print_string (Disasm.block_with_braids braided chosen);
+
+  Printf.printf "\nper-braid detail for block %d:\n" chosen;
+  List.iter
+    (fun (b : C.Braid_stats.braid_info) ->
+      if b.C.Braid_stats.block_id = chosen then
+        Printf.printf
+          "  braid %3d: size %2d, depth %2d, width %.2f, %d internal values, \
+           %d external inputs, %d external outputs%s\n"
+          b.C.Braid_stats.braid_id b.C.Braid_stats.size b.C.Braid_stats.depth
+          b.C.Braid_stats.width b.C.Braid_stats.internals b.C.Braid_stats.ext_inputs
+          b.C.Braid_stats.ext_outputs
+          (if b.C.Braid_stats.is_single then "  (single-instruction)" else ""))
+    stats.C.Braid_stats.braids;
+
+  let s = C.Braid_stats.summarize stats in
+  Printf.printf "\nwhole program (Tables 1-3 view):\n";
+  Printf.printf "  braids per block:        %.2f (%.2f excluding singles)\n"
+    s.C.Braid_stats.braids_per_block s.C.Braid_stats.braids_per_block_multi;
+  Printf.printf "  braid size / width:      %.2f / %.2f (excl. singles)\n"
+    s.C.Braid_stats.avg_size_multi s.C.Braid_stats.avg_width_multi;
+  Printf.printf "  internals / in / out:    %.2f / %.2f / %.2f (excl. singles)\n"
+    s.C.Braid_stats.avg_internals_multi s.C.Braid_stats.avg_ext_inputs_multi
+    s.C.Braid_stats.avg_ext_outputs_multi;
+  Printf.printf "  single-instruction:      %s of instructions\n"
+    (Render.pct s.C.Braid_stats.single_instr_fraction);
+
+  (* Show the braid ISA encoding of the first few instructions (Fig 3). *)
+  Printf.printf "\nbraid ISA encoding of block %d (S/T/I/E bits, Fig 3):\n" chosen;
+  let b = braided.Program.blocks.(chosen) in
+  Array.iteri
+    (fun k ins ->
+      if k < 8 then
+        Printf.printf "  %016Lx  %s\n" (Encode.encode ins) (Disasm.instr ins))
+    b.Program.instrs

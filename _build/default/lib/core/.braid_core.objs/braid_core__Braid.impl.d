@@ -1,0 +1,1 @@
+lib/core/braid.ml: Array Hashtbl Instr List Op Program Reg Regset Union_find

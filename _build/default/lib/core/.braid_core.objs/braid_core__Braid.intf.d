@@ -1,0 +1,1 @@
+lib/core/braid.mli: Program Regset

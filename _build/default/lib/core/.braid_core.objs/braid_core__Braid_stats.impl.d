@@ -1,0 +1,1 @@
+lib/core/braid_stats.ml: Array Hashtbl Instr List Op Option Program Reg Regset Trace

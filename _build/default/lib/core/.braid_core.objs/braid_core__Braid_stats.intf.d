@@ -1,0 +1,1 @@
+lib/core/braid_stats.mli: Program Trace

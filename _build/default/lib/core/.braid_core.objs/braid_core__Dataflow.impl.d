@@ -1,0 +1,1 @@
+lib/core/dataflow.ml: Array Instr List Op Option Program Regset

@@ -1,0 +1,1 @@
+lib/core/extalloc.ml: Array Dataflow Emulator Hashtbl Instr List Op Option Program Reg Regset

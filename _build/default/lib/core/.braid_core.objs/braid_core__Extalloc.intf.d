@@ -1,0 +1,1 @@
+lib/core/extalloc.mli: Program

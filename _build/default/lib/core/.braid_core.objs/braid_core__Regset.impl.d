@@ -1,0 +1,1 @@
+lib/core/regset.ml: List Reg Stdlib

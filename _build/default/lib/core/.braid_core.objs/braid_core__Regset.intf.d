@@ -1,0 +1,1 @@
+lib/core/regset.mli: Reg Stdlib

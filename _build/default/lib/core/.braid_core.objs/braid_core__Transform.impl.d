@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Braid Dataflow Extalloc Hashtbl Instr List Op Program Reg Regset

@@ -1,0 +1,1 @@
+lib/core/value_stats.ml: Array Hashtbl Histogram Instr List Reg Regset Trace

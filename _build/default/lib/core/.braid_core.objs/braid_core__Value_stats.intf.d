@@ -1,0 +1,1 @@
+lib/core/value_stats.mli: Histogram Trace

@@ -1,0 +1,307 @@
+type analysis = {
+  ids : int array;
+  count : int;
+  order : int array;
+  internal : bool array;
+  internal_and_external : bool array;
+  splits_working_set : int;
+  splits_ordering : int;
+}
+
+let tracked_defs ins = List.filter Regset.tracked (Instr.defs ins)
+let tracked_uses ins = List.filter Regset.tracked (Instr.uses ins)
+
+(* For each instruction, the reaching in-block definition of each use. *)
+let reaching_defs (b : Program.block) =
+  let last_def : (Reg.t, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.mapi
+    (fun i ins ->
+      let rs =
+        List.filter_map (fun r -> Hashtbl.find_opt last_def r) (tracked_uses ins)
+      in
+      List.iter (fun r -> Hashtbl.replace last_def r i) (tracked_defs ins);
+      rs)
+    b.Program.instrs
+
+let consumers (b : Program.block) =
+  let n = Array.length b.Program.instrs in
+  let cons = Array.make n [] in
+  let reach = reaching_defs b in
+  Array.iteri
+    (fun i defs -> List.iter (fun d -> cons.(d) <- i :: cons.(d)) defs)
+    reach;
+  ignore n;
+  Array.map List.rev cons
+
+let renumber_by_first_appearance ids =
+  let mapping = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.map
+    (fun id ->
+      match Hashtbl.find_opt mapping id with
+      | Some d -> d
+      | None ->
+          let d = !next in
+          incr next;
+          Hashtbl.add mapping id d;
+          d)
+    ids
+
+let identify (b : Program.block) =
+  let n = Array.length b.Program.instrs in
+  let uf = Union_find.create (max n 1) in
+  let reach = reaching_defs b in
+  Array.iteri (fun i defs -> List.iter (fun d -> Union_find.union uf i d) defs) reach;
+  let roots = Array.init n (fun i -> Union_find.find uf i) in
+  let ids = renumber_by_first_appearance roots in
+  let count = Array.fold_left (fun acc id -> max acc (id + 1)) 0 ids in
+  (ids, count)
+
+(* --- splitting machinery ------------------------------------------------ *)
+
+(* Members of braid [bid] at original index >= [j] move to a fresh id. *)
+let split_at ids j =
+  let bid = ids.(j) in
+  let fresh = Array.fold_left max 0 ids + 1 in
+  for k = j to Array.length ids - 1 do
+    if ids.(k) = bid then ids.(k) <- fresh
+  done
+
+let members ids bid =
+  let out = ref [] in
+  Array.iteri (fun i id -> if id = bid then out := i :: !out) ids;
+  List.rev !out
+
+(* Last definitions per register in the block: the defs whose values can be
+   live out. *)
+let last_defs (b : Program.block) =
+  let tbl : (Reg.t, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ins -> List.iter (fun r -> Hashtbl.replace tbl r i) (tracked_defs ins))
+    b.Program.instrs;
+  tbl
+
+(* Classification of each instruction's defined value given the current
+   braid partition: (internal, internal_and_external). An instruction with
+   no tracked defs is (false, false). *)
+let classify (b : Program.block) ids cons live_out =
+  let n = Array.length b.Program.instrs in
+  let lasts = last_defs b in
+  let internal = Array.make n false in
+  let both = Array.make n false in
+  (* A conditional move reads its own destination: its value, and the value
+     it conditionally overwrites, must share one register. The single
+     destination field cannot name an internal and an external home at
+     once, so both stay external. *)
+  let is_cmov i =
+    match b.Program.instrs.(i).Instr.op with Op.Cmov _ -> true | _ -> false
+  in
+  let pinned_by_cmov i d =
+    List.exists
+      (fun c ->
+        match b.Program.instrs.(c).Instr.op with
+        | Op.Cmov (_, dst, _, _) -> Reg.equal dst d
+        | _ -> false)
+      cons.(i)
+  in
+  for i = 0 to n - 1 do
+    match tracked_defs b.Program.instrs.(i) with
+    | [] -> ()
+    | _ :: _ when is_cmov i -> ()
+    | d :: _ when pinned_by_cmov i d -> ()
+    | d :: _ ->
+        let in_braid, elsewhere =
+          List.partition (fun c -> ids.(c) = ids.(i)) cons.(i)
+        in
+        let live_out_def =
+          Regset.Set.mem d live_out && Hashtbl.find_opt lasts d = Some i
+        in
+        let external_need = elsewhere <> [] || live_out_def in
+        if not external_need then internal.(i) <- true
+        else if in_braid <> [] then begin
+          internal.(i) <- true;
+          both.(i) <- true
+        end
+  done;
+  (internal, both)
+
+(* Working-set check for one braid: first member index at which the count
+   of live internal values would exceed [max_internal], if any. The value
+   defined at a member is live from that member to its last in-braid
+   consumer. *)
+let working_set_overflow (b : Program.block) ids cons internal ~max_internal bid =
+  let mem = members ids bid in
+  match mem with
+  | [] | [ _ ] -> None
+  | _ ->
+      (* last in-braid consumer per defining member *)
+      let last_use = Hashtbl.create 8 in
+      List.iter
+        (fun i ->
+          if internal.(i) then begin
+            let in_braid = List.filter (fun c -> ids.(c) = bid) cons.(i) in
+            let last = List.fold_left max i in_braid in
+            Hashtbl.replace last_use i last
+          end)
+        mem;
+      let live = ref [] in
+      let overflow = ref None in
+      List.iter
+        (fun t ->
+          if !overflow = None then begin
+            live := List.filter (fun (_, lu) -> lu >= t) !live;
+            if internal.(t) && tracked_defs b.Program.instrs.(t) <> [] then begin
+              let lu = try Hashtbl.find last_use t with Not_found -> t in
+              live := (t, lu) :: !live;
+              if List.length !live > max_internal then overflow := Some t
+            end
+          end)
+        mem;
+      !overflow
+
+(* --- ordering hazards --------------------------------------------------- *)
+
+let mem_region op =
+  match op with
+  | Op.Load (_, _, _, rg) | Op.Store (_, _, _, rg) -> Some rg
+  | _ -> None
+
+let may_alias op1 op2 =
+  match (mem_region op1, mem_region op2) with
+  | Some r1, Some r2 ->
+      r1 = Op.region_unknown || r2 = Op.region_unknown || r1 = r2
+  | _ -> false
+
+(* Pairs (i, j), i < j, whose original order must survive reordering. *)
+let hazard_pairs (b : Program.block) =
+  let n = Array.length b.Program.instrs in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    let oi = b.Program.instrs.(i).Instr.op in
+    let di = Regset.of_list (tracked_defs b.Program.instrs.(i)) in
+    let ui = Regset.of_list (tracked_uses b.Program.instrs.(i)) in
+    for j = i + 1 to n - 1 do
+      let oj = b.Program.instrs.(j).Instr.op in
+      let dj = Regset.of_list (tracked_defs b.Program.instrs.(j)) in
+      let mem_hazard =
+        (Op.is_store oi || Op.is_store oj) && may_alias oi oj
+      in
+      let war = not (Regset.Set.is_empty (Regset.Set.inter ui dj)) in
+      let waw = not (Regset.Set.is_empty (Regset.Set.inter di dj)) in
+      if mem_hazard || war || waw then pairs := (i, j) :: !pairs
+    done
+  done;
+  !pairs
+
+(* Terminator braid: the braid of the final control-transfer instruction. *)
+let terminator_braid (b : Program.block) ids =
+  let n = Array.length b.Program.instrs in
+  if n = 0 then None
+  else
+    match b.Program.instrs.(n - 1).Instr.op with
+    | Op.Branch _ | Op.Jump _ | Op.Halt -> Some ids.(n - 1)
+    | _ -> None
+
+(* Emission order: braids by (terminator-last, first-member), members in
+   original order within each braid. *)
+let emission_order (b : Program.block) ids =
+  let n = Array.length ids in
+  let term = terminator_braid b ids in
+  let first = Hashtbl.create 16 in
+  Array.iteri
+    (fun i id -> if not (Hashtbl.mem first id) then Hashtbl.add first id i)
+    ids;
+  let bids = Hashtbl.fold (fun id _ acc -> id :: acc) first [] in
+  let key id =
+    let is_term = if Some id = term then 1 else 0 in
+    (is_term, Hashtbl.find first id)
+  in
+  let sorted = List.sort (fun a bq -> compare (key a) (key bq)) bids in
+  let order = Array.make n 0 in
+  let k = ref 0 in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun i ->
+          order.(!k) <- i;
+          incr k)
+        (members ids id))
+    sorted;
+  order
+
+let analyze ?(max_internal = Reg.num_internal) ~live_out (b : Program.block) =
+  let n = Array.length b.Program.instrs in
+  let cons = consumers b in
+  let ids, _ = identify b in
+  let ids = Array.copy ids in
+  let splits_ws = ref 0 and splits_ord = ref 0 in
+  (* Phase 1: working-set splits. *)
+  let rec ws_fix () =
+    let internal, _ = classify b ids cons live_out in
+    let bids = List.sort_uniq compare (Array.to_list ids) in
+    let overflow =
+      List.find_map
+        (fun bid ->
+          working_set_overflow b ids cons internal ~max_internal bid)
+        bids
+    in
+    match overflow with
+    | Some t ->
+        split_at ids t;
+        incr splits_ws;
+        ws_fix ()
+    | None -> ()
+  in
+  if n > 0 then ws_fix ();
+  (* Phase 2: ordering-hazard splits. *)
+  let hazards = if n > 0 then hazard_pairs b else [] in
+  let rec ord_fix budget =
+    if budget = 0 then failwith "Braid.analyze: ordering fixpoint diverged";
+    let order = emission_order b ids in
+    let pos = Array.make n 0 in
+    Array.iteri (fun p i -> pos.(i) <- p) order;
+    let violation =
+      List.find_opt (fun (i, j) -> ids.(i) <> ids.(j) && pos.(i) > pos.(j)) hazards
+    in
+    match violation with
+    | None -> order
+    | Some (i, j) ->
+        let term = terminator_braid b ids in
+        (* If the earlier instruction sits in the forced-last terminator
+           braid, splitting the later braid can never help: peel the
+           earlier instruction's prefix out of the terminator braid
+           instead. Otherwise split the later braid at the violation,
+           which guarantees its sub-braid starts after [i]. *)
+        (if Some ids.(i) = term then
+           match List.find_opt (fun m -> m > i) (members ids ids.(i)) with
+           | Some k -> split_at ids k
+           | None -> assert false (* the terminator itself is a later member *)
+         else split_at ids j);
+        incr splits_ord;
+        ord_fix (budget - 1)
+  in
+  let order = if n > 0 then ord_fix (4 * n * n + 16) else [||] in
+  (* Renumber ids densely in emission order. *)
+  let ids =
+    let mapping = Hashtbl.create 16 in
+    let next = ref 0 in
+    Array.iter
+      (fun i ->
+        if not (Hashtbl.mem mapping ids.(i)) then begin
+          Hashtbl.add mapping ids.(i) !next;
+          incr next
+        end)
+      order;
+    Array.map (fun id -> Hashtbl.find mapping id) ids
+  in
+  let count = Array.fold_left (fun acc id -> max acc (id + 1)) 0 ids in
+  let internal, both = classify b ids cons live_out in
+  {
+    ids;
+    count = (if n = 0 then 0 else count);
+    order;
+    internal;
+    internal_and_external = both;
+    splits_working_set = !splits_ws;
+    splits_ordering = !splits_ord;
+  }

@@ -1,0 +1,49 @@
+(** Braid identification and block-level braid scheduling.
+
+    A braid is a connected component of the basic block's def-use graph at
+    value granularity (each use links to its reaching in-block definition).
+    This module identifies braids, splits them to respect the internal
+    register working-set bound (8, per the paper) and ordering hazards
+    introduced by rearrangement, and decides the emission order in which
+    the instructions of each braid are consecutive, with the braid holding
+    the block terminator last (so branch offsets are unchanged, §3.1).
+
+    Rearranging braids may reorder memory operations and architectural
+    register redefinitions across braids; any pair whose original order
+    must be preserved (may-alias store/load pairs, WAR, WAW) and is
+    violated by the braid order causes the offending braid to be split at
+    the violation, exactly the paper's "broken into two braids at the
+    location of the memory ordering violation". *)
+
+type analysis = {
+  ids : int array;
+      (** braid id per instruction (original index), dense, numbered in
+          emission order *)
+  count : int;
+  order : int array;
+      (** emission order: original instruction indices, braid by braid *)
+  internal : bool array;
+      (** per original instruction: its defined value is braid-internal
+          (all consumers inside the braid and not live past the block) *)
+  internal_and_external : bool array;
+      (** per original instruction: value consumed inside the braid but
+          also needed externally (the I+E destination case) *)
+  splits_working_set : int;  (** braids split by the working-set bound *)
+  splits_ordering : int;  (** braids split to preserve ordering hazards *)
+}
+
+val consumers : Program.block -> int list array
+(** [consumers b] maps each instruction index to the indices of in-block
+    instructions consuming a value it defines (reaching-definition based,
+    original order). *)
+
+val identify : Program.block -> int array * int
+(** Raw connected components, before any splitting: braid id per
+    instruction (dense, in order of first appearance) and the count. *)
+
+val analyze :
+  ?max_internal:int -> live_out:Regset.Set.t -> Program.block -> analysis
+(** Full block analysis: identify, split for the internal working-set
+    bound ([max_internal], default {!Reg.num_internal}), order with the
+    terminator braid last, and split until all ordering hazards are
+    preserved. [live_out] is the block's liveness exit set. *)

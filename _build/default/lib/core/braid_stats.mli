@@ -1,0 +1,69 @@
+(** Static braid statistics over a braid-annotated program: the data behind
+    Tables 1, 2 and 3 of the paper.
+
+    Size is the instruction count of a braid; width is size divided by the
+    length of the braid's longest internal dataflow path; internals count
+    values written to the internal register file; external inputs are
+    distinct values read from outside the braid; external outputs are
+    values published to the external register file. *)
+
+type braid_info = {
+  block_id : int;
+  braid_id : int;
+  size : int;
+  depth : int;  (** longest dataflow path, in instructions *)
+  width : float;  (** size / depth *)
+  internals : int;
+  ext_inputs : int;
+  ext_outputs : int;
+  is_single : bool;
+  is_branch_or_nop_single : bool;
+      (** single-instruction braid that is a branch, jump or nop *)
+}
+
+type t = {
+  braids : braid_info list;
+  blocks : int;  (** non-empty blocks *)
+}
+
+val of_program : Program.t -> t
+
+type summary = {
+  braids_per_block : float;  (** including single-instruction braids *)
+  braids_per_block_multi : float;  (** excluding them *)
+  avg_size : float;
+  avg_size_multi : float;
+  avg_width : float;
+  avg_width_multi : float;
+  avg_internals : float;
+  avg_internals_multi : float;
+  avg_ext_inputs : float;
+  avg_ext_inputs_multi : float;
+  avg_ext_outputs : float;
+  avg_ext_outputs_multi : float;
+  single_instr_fraction : float;
+      (** fraction of all static instructions that are single-instruction
+          braids (the paper reports ~20%) *)
+  single_branch_nop_fraction : float;
+      (** fraction of single-instruction braids that are branches or nops
+          (the paper reports ~56%) *)
+}
+
+val summarize : t -> summary
+(** The [_multi] aggregates exclude single-instruction braids, matching the
+    starred numbers of Tables 1–3. Averages over an empty selection are
+    0. *)
+
+type dynamic = {
+  instances : int;  (** dynamic braid instances executed *)
+  dyn_braids_per_block : float;  (** instances per dynamic block visit *)
+  dyn_avg_size : float;  (** instructions per instance *)
+  dyn_avg_size_multi : float;  (** excluding single-instruction instances *)
+  dyn_single_fraction : float;
+      (** fraction of dynamic instructions that are single-instruction
+          braids *)
+}
+
+val dynamic_of_trace : Trace.t -> dynamic
+(** Execution-weighted braid statistics: hot braids count as often as they
+    run. Instance boundaries are the S bits of the executed stream. *)

@@ -1,0 +1,193 @@
+type result = {
+  program : Program.t;
+  spilled : int;
+  spill_loads : int;
+  spill_stores : int;
+}
+
+let usable_per_class = 28
+let scratch_indices = [| 28; 29; 30 |]
+
+type location = Assigned of Reg.t | Spilled of int (* slot index *)
+
+type interval = { v : Reg.t; start : int; finish : int }
+
+let intervals p (live : Dataflow.t) =
+  let tbl : (Reg.t, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let touch v pos =
+    match Hashtbl.find_opt tbl v with
+    | None -> Hashtbl.replace tbl v (pos, pos)
+    | Some (lo, hi) -> Hashtbl.replace tbl v (min lo pos, max hi pos)
+  in
+  let base = ref 0 in
+  Array.iteri
+    (fun bid (b : Program.block) ->
+      let len = Array.length b.Program.instrs in
+      let bstart = !base and bend = !base + max 0 (len - 1) in
+      Regset.Set.iter
+        (fun r -> if r.Reg.space = Reg.Virt then touch r bstart)
+        live.Dataflow.live_in.(bid);
+      Regset.Set.iter
+        (fun r -> if r.Reg.space = Reg.Virt then touch r bend)
+        live.Dataflow.live_out.(bid);
+      Array.iteri
+        (fun i ins ->
+          let pos = !base + i in
+          List.iter
+            (fun (r : Reg.t) -> if r.Reg.space = Reg.Virt then touch r pos)
+            (Instr.uses ins @ Instr.defs ins))
+        b.Program.instrs;
+      base := !base + len)
+    p.Program.blocks;
+  Hashtbl.fold (fun v (start, finish) acc -> { v; start; finish } :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare a.start b.start with 0 -> compare a.finish b.finish | c -> c)
+
+let linear_scan ~usable ivs =
+  let assignment : (Reg.t, location) Hashtbl.t = Hashtbl.create 64 in
+  let free_int = ref (List.init usable (fun i -> i)) in
+  let free_fp = ref (List.init usable (fun i -> i)) in
+  let active = ref [] in
+  (* (interval, reg index) sorted by finish *)
+  let slots = ref 0 in
+  let free_of cls = match cls with Reg.Cint -> free_int | Reg.Cfp -> free_fp in
+  let expire start =
+    let expired, alive =
+      List.partition (fun (iv, _) -> iv.finish < start) !active
+    in
+    (* FIFO recycling: released registers go to the back of the free list,
+       maximising register reuse distance — kinder to scoreboards and
+       small in-flight buffers than immediate reuse. *)
+    List.iter
+      (fun (iv, reg) ->
+        let fl = free_of iv.v.Reg.cls in
+        fl := !fl @ [ reg ])
+      expired;
+    active := alive
+  in
+  let spill_slot () =
+    let s = !slots in
+    incr slots;
+    s
+  in
+  List.iter
+    (fun iv ->
+      expire iv.start;
+      let fl = free_of iv.v.Reg.cls in
+      match !fl with
+      | reg :: rest ->
+          fl := rest;
+          Hashtbl.replace assignment iv.v (Assigned (Reg.ext iv.v.Reg.cls reg));
+          active := List.sort (fun (a, _) (b, _) -> compare b.finish a.finish)
+              ((iv, reg) :: !active)
+      | [] -> (
+          (* steal from the active interval of this class ending last *)
+          let same_class = List.filter (fun (a, _) -> a.v.Reg.cls = iv.v.Reg.cls) !active in
+          match same_class with
+          | (victim, reg) :: _ when victim.finish > iv.finish ->
+              Hashtbl.replace assignment victim.v (Spilled (spill_slot ()));
+              Hashtbl.replace assignment iv.v (Assigned (Reg.ext iv.v.Reg.cls reg));
+              active :=
+                List.sort (fun (a, _) (b, _) -> compare b.finish a.finish)
+                  ((iv, reg) :: List.filter (fun (a, _) -> not (Reg.equal a.v victim.v)) !active)
+          | _ -> Hashtbl.replace assignment iv.v (Spilled (spill_slot ()))))
+    ivs;
+  (assignment, !slots)
+
+let slot_addr slot = Emulator.spill_base + (8 * slot)
+
+let allocate ?(usable = usable_per_class) p =
+  if usable < 1 || usable > usable_per_class then
+    invalid_arg "Extalloc.allocate: usable out of range";
+  let live = Dataflow.liveness p in
+  let ivs = intervals p live in
+  let assignment, slots = linear_scan ~usable ivs in
+  let spill_loads = ref 0 and spill_stores = ref 0 in
+  let rewrite_block (b : Program.block) =
+    let out = ref [] in
+    Array.iter
+      (fun ins ->
+        let virt_regs =
+          List.filter (fun (r : Reg.t) -> r.Reg.space = Reg.Virt)
+            (Instr.uses ins @ Instr.defs ins)
+        in
+        let virt_regs = List.sort_uniq Reg.compare virt_regs in
+        (* scratch assignment for the spilled registers of this instr *)
+        let scratch_of : (Reg.t, Reg.t) Hashtbl.t = Hashtbl.create 4 in
+        let counters = Hashtbl.create 2 in
+        List.iter
+          (fun (r : Reg.t) ->
+            match Hashtbl.find_opt assignment r with
+            | Some (Spilled _) ->
+                let k =
+                  match Hashtbl.find_opt counters r.Reg.cls with
+                  | Some k -> k
+                  | None -> 0
+                in
+                if k >= Array.length scratch_indices then
+                  failwith "Extalloc: out of spill scratch registers";
+                Hashtbl.replace counters r.Reg.cls (k + 1);
+                Hashtbl.replace scratch_of r (Reg.ext r.Reg.cls scratch_indices.(k))
+            | Some (Assigned _) | None -> ())
+          virt_regs;
+        let loc (r : Reg.t) =
+          if r.Reg.space <> Reg.Virt then r
+          else
+            match Hashtbl.find_opt assignment r with
+            | Some (Assigned e) -> e
+            | Some (Spilled _) -> Hashtbl.find scratch_of r
+            | None ->
+                (* defined but never live (dead value): park it in scratch 0 *)
+                Reg.ext r.Reg.cls scratch_indices.(0)
+        in
+        let slot_of (r : Reg.t) =
+          match Hashtbl.find_opt assignment r with
+          | Some (Spilled s) -> Some s
+          | _ -> None
+        in
+        (* reloads for spilled uses *)
+        let spilled_uses =
+          List.filter_map
+            (fun (r : Reg.t) ->
+              if r.Reg.space = Reg.Virt then
+                Option.map (fun s -> (r, s)) (slot_of r)
+              else None)
+            (List.sort_uniq Reg.compare (Instr.uses ins))
+        in
+        List.iter
+          (fun (r, s) ->
+            incr spill_loads;
+            out :=
+              Instr.make (Op.Load (Hashtbl.find scratch_of r, Reg.zero, slot_addr s, Op.region_unknown))
+              :: !out)
+          spilled_uses;
+        (* the instruction itself, renamed *)
+        let op' = Op.map_regs loc ins.Instr.op in
+        let annot' =
+          match ins.Instr.annot.Instr.ext_dup with
+          | None -> ins.Instr.annot
+          | Some d -> { ins.Instr.annot with Instr.ext_dup = Some (loc d) }
+        in
+        out := { Instr.op = op'; annot = annot' } :: !out;
+        (* spill stores for spilled defs (including ext_dup) *)
+        let spilled_defs =
+          List.filter_map
+            (fun (r : Reg.t) ->
+              if r.Reg.space = Reg.Virt then
+                Option.map (fun s -> (r, s)) (slot_of r)
+              else None)
+            (List.sort_uniq Reg.compare (Instr.defs ins))
+        in
+        List.iter
+          (fun (r, s) ->
+            incr spill_stores;
+            out :=
+              Instr.make (Op.Store (Hashtbl.find scratch_of r, Reg.zero, slot_addr s, Op.region_unknown))
+              :: !out)
+          spilled_defs)
+      b.Program.instrs;
+    { b with Program.instrs = Array.of_list (List.rev !out) }
+  in
+  let program = Program.map_blocks rewrite_block p in
+  assert (Program.max_virt_index program = -1);
+  { program; spilled = slots; spill_loads = !spill_loads; spill_stores = !spill_stores }

@@ -1,0 +1,34 @@
+(** Linear-scan allocation of virtual registers onto the external
+    (architectural) register set, with spilling.
+
+    Two clients: the conventional binary maps {e every} value through this
+    allocator; the braid binary first internalises braid-private values
+    (see {!Transform}) and only the remaining external values reach here —
+    the paper's two-pass register allocation (§3.1). The paper's prediction
+    that braids reduce spill/fill code falls out: fewer simultaneously
+    live external values means fewer spills.
+
+    Three registers per class are reserved as spill scratch; integer
+    register 31 stays the hard-wired zero. Spill slots live at absolute
+    addresses from {!Emulator.spill_base}, addressed off the zero
+    register, and are excluded from the memory-image oracle. *)
+
+type result = {
+  program : Program.t;  (** fully allocated: no virtual registers remain *)
+  spilled : int;  (** number of distinct values sent to spill slots *)
+  spill_loads : int;  (** static reload instructions inserted *)
+  spill_stores : int;  (** static spill-store instructions inserted *)
+}
+
+val usable_per_class : int
+(** Architectural registers available to the allocator per class (28). *)
+
+val allocate : ?usable:int -> Program.t -> result
+(** Replaces every virtual register with an external register (or spill
+    code). [usable] (default {!usable_per_class}) restricts the
+    architectural registers per class the allocator may use — the knob
+    behind the paper's external-register sweeps (Fig 6): fewer registers
+    mean more spill code. Existing external and internal registers pass through
+    untouched. Braid annotations on existing instructions are preserved;
+    inserted spill code carries no annotation (the braid transform fixes
+    annotations up afterwards). *)

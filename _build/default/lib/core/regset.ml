@@ -1,0 +1,19 @@
+(** Sets and maps over registers, shared by the dataflow passes. *)
+
+module Set = Stdlib.Set.Make (struct
+  type t = Reg.t
+
+  let compare = Reg.compare
+end)
+
+module Map = Stdlib.Map.Make (struct
+  type t = Reg.t
+
+  let compare = Reg.compare
+end)
+
+(* Registers that participate in dataflow analysis: everything except the
+   hard-wired zero. *)
+let tracked (r : Reg.t) = not (Reg.is_zero r)
+
+let of_list rs = Set.of_list (List.filter tracked rs)

@@ -1,0 +1,11 @@
+(** Register sets and maps used by the dataflow passes. *)
+
+module Set : Stdlib.Set.S with type elt = Reg.t
+module Map : Stdlib.Map.S with type key = Reg.t
+
+val tracked : Reg.t -> bool
+(** Registers that participate in dataflow analysis — everything except
+    the hard-wired zero register. *)
+
+val of_list : Reg.t list -> Set.t
+(** Builds a set of the tracked registers in the list. *)

@@ -1,0 +1,44 @@
+(** The braid compiler pass: from virtual-register IR to a braid-annotated,
+    fully register-allocated binary.
+
+    Pipeline (per §3.1 of the paper, as a braid-aware compiler):
+    + global liveness;
+    + per block: braid identification, working-set and ordering splits,
+      braid-contiguous instruction scheduling with the terminator braid
+      last ({!Braid.analyze});
+    + internal register assignment (per braid, 8 registers);
+    + destination classification: internal (I), external (E), or both —
+      values consumed only inside their braid never touch the external
+      register file;
+    + external register allocation over the remaining values
+      ({!Extalloc});
+    + annotation fix-up: braid ids on spill code, S bits at braid starts.
+
+    [conventional] is the baseline compilation of the same IR: no braid
+    formation, everything through the external allocator. *)
+
+type report = {
+  program : Program.t;
+  alloc : Extalloc.result;
+  braids : int;  (** static braids over all blocks *)
+  splits_working_set : int;
+  splits_ordering : int;
+}
+
+val run : ?max_internal:int -> ?ext_usable:int -> Program.t -> report
+(** The braid pass. [ext_usable] restricts the external registers per
+    class available to the second allocation pass (Fig 6's compile-time
+    knob). Input must be virtual-register IR (spaces [Virt]);
+    output has only external and internal registers, braid annotations on
+    every instruction, and correct S bits. *)
+
+val conventional : Program.t -> Extalloc.result
+(** Baseline allocation of the same IR without braid formation. *)
+
+val run_binary : ?max_internal:int -> Program.t -> report
+(** The paper's actual flow: braid formation over a {e preexisting},
+    fully-allocated binary (their profiling + binary-translation tools on
+    Alpha executables), in contrast to {!run}'s braid-aware compilation.
+    Input must contain no virtual registers (e.g. the output of
+    {!conventional}); the existing register assignment is kept and only
+    braid-internal values move into the internal space. *)

@@ -1,0 +1,51 @@
+type t = {
+  values : int;
+  fanout : Histogram.t;
+  lifetime : Histogram.t;
+}
+
+type live_value = { born : int; mutable reads : int; mutable last_read : int }
+
+let of_trace (trace : Trace.t) =
+  let fanout = Histogram.create () in
+  let lifetime = Histogram.create () in
+  let values = ref 0 in
+  let live : (Reg.t, live_value) Hashtbl.t = Hashtbl.create 128 in
+  let flush v =
+    incr values;
+    Histogram.add fanout v.reads;
+    if v.reads > 0 then Histogram.add lifetime (v.last_read - v.born)
+  in
+  Array.iter
+    (fun (e : Trace.event) ->
+      List.iter
+        (fun r ->
+          if Regset.tracked r then
+            match Hashtbl.find_opt live r with
+            | Some v ->
+                v.reads <- v.reads + 1;
+                v.last_read <- e.Trace.uid
+            | None -> ())
+        (Instr.uses e.Trace.instr);
+      List.iter
+        (fun r ->
+          if Regset.tracked r then begin
+            (match Hashtbl.find_opt live r with
+            | Some v ->
+                flush v;
+                Hashtbl.remove live r
+            | None -> ());
+            Hashtbl.replace live r { born = e.Trace.uid; reads = 0; last_read = e.Trace.uid }
+          end)
+        (Instr.defs e.Trace.instr))
+    trace.Trace.events;
+  Hashtbl.iter (fun _ v -> flush v) live;
+  { values = !values; fanout; lifetime }
+
+let fanout_at_most t k = Histogram.fraction_le t.fanout k
+
+let fanout_exactly t k = Histogram.fraction_eq t.fanout k
+
+let unused_fraction t = Histogram.fraction_eq t.fanout 0
+
+let lifetime_at_most t k = Histogram.fraction_le t.lifetime k

@@ -1,0 +1,27 @@
+(** Dynamic value characterisation (paper §1.1).
+
+    A value is one dynamic definition of a register. Its fanout is the
+    number of times it is read before its register is redefined; its
+    lifetime is the dynamic-instruction distance from the producer to the
+    last consumer. The paper's motivating numbers: ~70% of values are used
+    exactly once, ~90% at most twice, ~4% never; ~80% of used values have
+    a lifetime of at most 32 instructions. *)
+
+type t = {
+  values : int;  (** dynamic values produced *)
+  fanout : Histogram.t;  (** reads per value (0 = produced but unused) *)
+  lifetime : Histogram.t;  (** producer→last-consumer distance, used values *)
+}
+
+val of_trace : Trace.t -> t
+
+val fanout_at_most : t -> int -> float
+(** Fraction of values read at most [k] times. *)
+
+val fanout_exactly : t -> int -> float
+
+val unused_fraction : t -> float
+(** Fraction of values never read. *)
+
+val lifetime_at_most : t -> int -> float
+(** Fraction of {e used} values whose lifetime is at most [k]. *)

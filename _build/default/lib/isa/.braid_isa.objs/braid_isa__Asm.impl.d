@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Instr Int64 List Op Printf Program Reg String

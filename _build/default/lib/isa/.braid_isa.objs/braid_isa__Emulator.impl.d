@@ -1,0 +1,1 @@
+lib/isa/emulator.ml: Array Hashtbl Instr Int64 List Op Option Printf Program Reg Trace

@@ -1,0 +1,1 @@
+lib/isa/emulator.mli: Program Reg Trace

@@ -1,0 +1,1 @@
+lib/isa/op.ml: Float Int64 Reg

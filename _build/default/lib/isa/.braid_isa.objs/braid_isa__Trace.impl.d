@@ -1,0 +1,1 @@
+lib/isa/trace.ml: Array Instr Program

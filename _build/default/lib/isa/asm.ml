@@ -1,0 +1,250 @@
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+(* --- lexical helpers ------------------------------------------------- *)
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let trim = String.trim
+
+let split_operands s =
+  String.split_on_char ',' s |> List.map trim |> List.filter (fun x -> x <> "")
+
+(* "name rest" -> (name, rest) *)
+let split_mnemonic s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_reg line s =
+  let num prefix =
+    let p = String.length prefix in
+    try int_of_string (String.sub s p (String.length s - p))
+    with _ -> fail line (Printf.sprintf "bad register %S" s)
+  in
+  if s = "zero" then Reg.zero
+  else if String.length s >= 2 && s.[0] = 'v' && s.[1] = 'f' then
+    Reg.virt Reg.Cfp (num "vf")
+  else
+    match s.[0] with
+    | 'r' -> Reg.ext Reg.Cint (num "r")
+    | 'f' -> Reg.ext Reg.Cfp (num "f")
+    | 't' -> Reg.intern (num "t")
+    | 'v' -> Reg.virt Reg.Cint (num "v")
+    | _ -> fail line (Printf.sprintf "bad register %S" s)
+
+let parse_imm line s =
+  if String.length s > 0 && s.[0] = '#' then
+    try Int64.of_string (String.sub s 1 (String.length s - 1))
+    with _ -> fail line (Printf.sprintf "bad immediate %S" s)
+  else fail line (Printf.sprintf "expected immediate, got %S" s)
+
+let parse_label line s =
+  if String.length s > 1 && s.[0] = 'B' then
+    try int_of_string (String.sub s 1 (String.length s - 1))
+    with _ -> fail line (Printf.sprintf "bad block label %S" s)
+  else fail line (Printf.sprintf "expected block label, got %S" s)
+
+(* "off(base) [@region]" *)
+let parse_mem line s =
+  let s, region =
+    match String.index_opt s '@' with
+    | Some i ->
+        let rg =
+          try int_of_string (trim (String.sub s (i + 1) (String.length s - i - 1)))
+          with _ -> fail line "bad region tag"
+        in
+        (trim (String.sub s 0 i), rg)
+    | None -> (s, Op.region_unknown)
+  in
+  match (String.index_opt s '(', String.index_opt s ')') with
+  | Some l, Some r when l < r ->
+      let off =
+        try int_of_string (trim (String.sub s 0 l))
+        with _ -> fail line "bad memory offset"
+      in
+      let base = parse_reg line (trim (String.sub s (l + 1) (r - l - 1))) in
+      (base, off, region)
+  | _ -> fail line (Printf.sprintf "expected off(base), got %S" s)
+
+(* --- mnemonic tables -------------------------------------------------- *)
+
+let ibin_table =
+  [ ("addq", Op.Add); ("subq", Op.Sub); ("mulq", Op.Mul); ("and", Op.And);
+    ("bis", Op.Or); ("xor", Op.Xor); ("andnot", Op.Andnot); ("sll", Op.Shl);
+    ("srl", Op.Shr); ("cmpeq", Op.Cmpeq); ("cmplt", Op.Cmplt); ("cmple", Op.Cmple) ]
+
+let fbin_table =
+  [ ("addt", Op.Fadd); ("subt", Op.Fsub); ("mult", Op.Fmul); ("divt", Op.Fdiv);
+    ("cmptlt", Op.Fcmplt) ]
+
+let funary_table = [ ("fneg", Op.Fneg); ("sqrtt", Op.Fsqrt); ("cvtqt", Op.Cvt_if) ]
+
+let cond_table =
+  [ ("eq", Op.Eq); ("ne", Op.Ne); ("lt", Op.Lt); ("ge", Op.Ge); ("le", Op.Le);
+    ("gt", Op.Gt) ]
+
+let prefixed table prefix name =
+  if String.length name > String.length prefix
+     && String.sub name 0 (String.length prefix) = prefix
+  then
+    List.assoc_opt (String.sub name (String.length prefix)
+                      (String.length name - String.length prefix))
+      table
+  else None
+
+(* --- instruction parsing ---------------------------------------------- *)
+
+let parse_instr_line line s =
+  let s = trim (strip_comment s) in
+  (* braid start marker *)
+  let start, s =
+    if String.length s > 2 && String.sub s 0 2 = "S " then (true, trim (String.sub s 2 (String.length s - 2)))
+    else (false, s)
+  in
+  (* [also rN] suffix *)
+  let s, ext_dup =
+    match String.index_opt s '[' with
+    | Some i when String.length s > i + 5 && String.sub s i 6 = "[also " ->
+        let close =
+          match String.index_from_opt s i ']' with
+          | Some c -> c
+          | None -> fail line "unterminated [also ...]"
+        in
+        let reg = parse_reg line (trim (String.sub s (i + 6) (close - i - 6))) in
+        (trim (String.sub s 0 i), Some reg)
+    | _ -> (s, None)
+  in
+  let mnemonic, rest = split_mnemonic s in
+  let ops = split_operands rest in
+  let op =
+    match (mnemonic, ops) with
+    | "nop", [] -> Op.Nop
+    | "halt", [] -> Op.Halt
+    | "br", [ l ] -> Op.Jump (parse_label line l)
+    | "lda", [ v; d ] -> Op.Movi (parse_reg line d, parse_imm line v)
+    | ("ldq" | "ldt"), [ d; mem ] ->
+        let cls = if mnemonic = "ldq" then Reg.Cint else Reg.Cfp in
+        let d = parse_reg line d in
+        if d.Reg.space = Reg.Ext && d.Reg.cls <> cls then
+          fail line "load class does not match destination register class";
+        let base, off, rg = parse_mem line mem in
+        Op.Load (d, base, off, rg)
+    | ("stq" | "stt"), [ src; mem ] ->
+        let base, off, rg = parse_mem line mem in
+        Op.Store (parse_reg line src, base, off, rg)
+    | _, _ -> (
+        let reg = parse_reg line in
+        match (prefixed cond_table "cmov" mnemonic, ops) with
+        | Some c, [ test; v; d ] -> Op.Cmov (c, reg d, reg test, reg v)
+        | Some _, _ -> fail line "cmov takes test, value, dst"
+        | None, _ -> (
+            match (prefixed cond_table "b" mnemonic, ops) with
+            | Some c, [ r; l ] -> Op.Branch (c, reg r, parse_label line l)
+            | Some _, _ -> fail line "branch takes reg, label"
+            | None, _ -> (
+                (* immediate forms end in "i" *)
+                let imm_form =
+                  String.length mnemonic > 1
+                  && mnemonic.[String.length mnemonic - 1] = 'i'
+                  && List.mem_assoc
+                       (String.sub mnemonic 0 (String.length mnemonic - 1))
+                       ibin_table
+                in
+                if imm_form then
+                  let o =
+                    List.assoc (String.sub mnemonic 0 (String.length mnemonic - 1)) ibin_table
+                  in
+                  match ops with
+                  | [ a; i; d ] ->
+                      Op.Ibini (o, reg d, reg a, Int64.to_int (parse_imm line i))
+                  | _ -> fail line "immediate op takes src, #imm, dst"
+                else
+                  match (List.assoc_opt mnemonic ibin_table, ops) with
+                  | Some o, [ a; b; d ] -> Op.Ibin (o, reg d, reg a, reg b)
+                  | Some _, _ -> fail line "binary op takes src1, src2, dst"
+                  | None, _ -> (
+                      match (List.assoc_opt mnemonic fbin_table, ops) with
+                      | Some o, [ a; b; d ] -> Op.Fbin (o, reg d, reg a, reg b)
+                      | Some _, _ -> fail line "fp binary op takes src1, src2, dst"
+                      | None, _ -> (
+                          match (List.assoc_opt mnemonic funary_table, ops) with
+                          | Some o, [ a; d ] -> Op.Funary (o, reg d, reg a)
+                          | Some _, _ -> fail line "fp unary op takes src, dst"
+                          | None, _ ->
+                              fail line (Printf.sprintf "unknown mnemonic %S" mnemonic))))))
+  in
+  let ins = Instr.make op in
+  let ins = if start then Instr.with_braid ins ~id:ins.Instr.annot.Instr.braid_id ~start:true else ins in
+  match ext_dup with Some r -> Instr.with_ext_dup ins r | None -> ins
+
+let parse_instr s = parse_instr_line 0 s
+
+(* --- program parsing --------------------------------------------------- *)
+
+type pending_block = {
+  id : int;
+  mutable instrs : Instr.t list;  (* reversed *)
+  mutable fallthrough : int option;
+}
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let blocks : pending_block list ref = ref [] in
+  let current : pending_block option ref = ref None in
+  List.iteri
+    (fun lineno raw ->
+      let line = lineno + 1 in
+      let s = trim (strip_comment raw) in
+      if s = "" then ()
+      else if String.length s > 1 && s.[0] = 'B' && s.[String.length s - 1] = ':' then begin
+        let id =
+          try int_of_string (String.sub s 1 (String.length s - 2))
+          with _ -> fail line (Printf.sprintf "bad block header %S" s)
+        in
+        let b = { id; instrs = []; fallthrough = None } in
+        blocks := b :: !blocks;
+        current := Some b
+      end
+      else
+        match !current with
+        | None -> fail line "instruction before any block header"
+        | Some b ->
+            let mnemonic, rest = split_mnemonic s in
+            if mnemonic = "fallthrough" then
+              b.fallthrough <- Some (parse_label line (trim rest))
+            else b.instrs <- parse_instr_line line s :: b.instrs)
+    lines;
+  let blocks = List.rev !blocks in
+  if blocks = [] then fail 0 "no blocks";
+  let n = List.length blocks in
+  let program_blocks =
+    List.mapi
+      (fun idx (b : pending_block) ->
+        if b.id <> idx then
+          fail 0 (Printf.sprintf "block B%d out of order (expected B%d)" b.id idx);
+        let instrs = Array.of_list (List.rev b.instrs) in
+        let fallthrough =
+          match b.fallthrough with
+          | Some ft -> Some ft
+          | None ->
+              (* implicit fall-through to the next block when one is
+                 needed and exists *)
+              let last = Array.length instrs - 1 in
+              let needs =
+                last < 0
+                ||
+                match instrs.(last).Instr.op with
+                | Op.Jump _ | Op.Halt -> false
+                | _ -> true
+              in
+              if needs && idx + 1 < n then Some (idx + 1) else None
+        in
+        { Program.id = idx; instrs; fallthrough })
+      blocks
+  in
+  Program.make program_blocks ~entry:0

@@ -1,0 +1,37 @@
+(** Textual assembler for the reproduction ISA.
+
+    Parses the same syntax the disassembler prints, so
+    [parse (Disasm.program p)] round-trips any allocated program
+    (modulo compiler-internal metadata: memory region tags and braid ids).
+
+    Syntax, one instruction per line:
+
+    {v
+    ; comment                       (also after instructions)
+    B0:                             block label (blocks must appear in order)
+      fallthrough B1                explicit fall-through (default: next block)
+      lda #4096, r1                 load immediate
+      addq r1, r2, r3               dst last
+      addqi r1, #8, r3              immediate second source
+      ldq r3, 0(r1) @2              load, optional region tag
+      stq r3, 8(r1)                 store
+      cmovne r1, r2, r3             if r1<>0 then r3 := r2
+      bne r1, B2                    conditional branch (vs zero)
+      br B1
+      halt
+    v}
+
+    Registers: [r0]–[r31] ([r31] = [zero]) and [f0]–[f31] architectural,
+    [t0]–[t7] braid-internal, [v]/[vf]{i} virtual. A leading [S ] marks the
+    braid start bit; [\[also rN\]] after an instruction sets the external
+    duplicate destination (the I+E case). *)
+
+exception Parse_error of int * string
+(** (line number, message) *)
+
+val parse : string -> Program.t
+(** Raises {!Parse_error} on malformed input; the resulting program passes
+    [Program.make] validation. *)
+
+val parse_instr : string -> Instr.t
+(** One instruction, without block context (branch targets allowed). *)

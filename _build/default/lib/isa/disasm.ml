@@ -1,0 +1,52 @@
+let instr ins = Format.asprintf "%a" Instr.pp ins
+
+let block p bid =
+  let b = p.Program.blocks.(bid) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "B%d:\n" bid);
+  Array.iteri
+    (fun off ins ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %#06x  %s\n" (Program.pc_of p ~block_id:bid ~offset:off) (instr ins)))
+    b.Program.instrs;
+  Buffer.contents buf
+
+let block_with_braids p bid =
+  let b = p.Program.blocks.(bid) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "B%d (%d instructions):\n" bid (Array.length b.Program.instrs));
+  let current = ref (-2) in
+  Array.iteri
+    (fun off ins ->
+      let bid_of = ins.Instr.annot.Instr.braid_id in
+      if bid_of <> !current then begin
+        current := bid_of;
+        if bid_of >= 0 then
+          Buffer.add_string buf (Printf.sprintf "  --- braid %d ---\n" bid_of)
+        else Buffer.add_string buf "  --- (no braid) ---\n"
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "  %#06x  %s\n" (Program.pc_of p ~block_id:bid ~offset:off) (instr ins)))
+    b.Program.instrs;
+  Buffer.contents buf
+
+let program p =
+  let buf = Buffer.create 1024 in
+  for bid = 0 to Program.num_blocks p - 1 do
+    Buffer.add_string buf (block p bid)
+  done;
+  Buffer.contents buf
+
+let program_asm p =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun (b : Program.block) ->
+      Buffer.add_string buf (Printf.sprintf "B%d:\n" b.Program.id);
+      (match b.Program.fallthrough with
+      | Some ft -> Buffer.add_string buf (Printf.sprintf "  fallthrough B%d\n" ft)
+      | None -> ());
+      Array.iter
+        (fun ins -> Buffer.add_string buf (Printf.sprintf "  %s\n" (instr ins)))
+        b.Program.instrs)
+    p.Program.blocks;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Textual listings of programs and braid structure, in the style of the
+    paper's Fig 2. *)
+
+val instr : Instr.t -> string
+
+val block : Program.t -> int -> string
+(** Listing of one basic block with addresses. *)
+
+val block_with_braids : Program.t -> int -> string
+(** Listing of one block grouped by braid, marking braid boundaries and the
+    internal/external role of each operand — the Fig 2(b) view. *)
+
+val program : Program.t -> string
+
+val program_asm : Program.t -> string
+(** Parseable listing: no addresses, explicit [fallthrough] directives —
+    [Asm.parse (program_asm p)] reconstructs [p] up to memory region tags
+    and braid ids (which do not survive the textual form). *)

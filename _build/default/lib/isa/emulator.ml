@@ -1,0 +1,272 @@
+let spill_base = 0x2000_0000
+
+type state = {
+  ext_int : int64 array;
+  ext_fp : int64 array;
+  intern : int64 array;
+  virt : (Reg.cls * int, int64) Hashtbl.t;
+  mem : (int, int64) Hashtbl.t;
+}
+
+type outcome = {
+  trace : Trace.t option;
+  stop : Trace.stop_reason;
+  dynamic_count : int;
+  store_count : int;
+  state : state;
+}
+
+let create_state () =
+  {
+    ext_int = Array.make Reg.num_ext_per_class 0L;
+    ext_fp = Array.make Reg.num_ext_per_class 0L;
+    intern = Array.make Reg.num_internal 0L;
+    virt = Hashtbl.create 256;
+    mem = Hashtbl.create 4096;
+  }
+
+let read_reg st (r : Reg.t) =
+  if Reg.is_zero r then 0L
+  else
+    match (r.space, r.cls) with
+    | Reg.Ext, Reg.Cint -> st.ext_int.(r.idx)
+    | Reg.Ext, Reg.Cfp -> st.ext_fp.(r.idx)
+    | Reg.Intern, _ -> st.intern.(r.idx)
+    | Reg.Virt, _ -> (
+        match Hashtbl.find_opt st.virt (r.cls, r.idx) with
+        | Some v -> v
+        | None -> 0L)
+
+let write_reg st (r : Reg.t) v =
+  if Reg.is_zero r then ()
+  else
+    match (r.space, r.cls) with
+    | Reg.Ext, Reg.Cint -> st.ext_int.(r.idx) <- v
+    | Reg.Ext, Reg.Cfp -> st.ext_fp.(r.idx) <- v
+    | Reg.Intern, _ -> st.intern.(r.idx) <- v
+    | Reg.Virt, _ -> Hashtbl.replace st.virt (r.cls, r.idx) v
+
+let read_mem_word st addr =
+  match Hashtbl.find_opt st.mem addr with Some v -> v | None -> 0L
+
+let check_aligned addr =
+  if addr land 7 <> 0 then failwith (Printf.sprintf "unaligned access: %#x" addr);
+  if addr < 0 then failwith (Printf.sprintf "negative address: %d" addr)
+
+(* Result of executing one operation, before trace bookkeeping. *)
+type exec_result = {
+  written : (Reg.t * int64) list;
+  mem_addr : int;  (* -1 if not a memory op *)
+  was_store : bool;
+  fault : bool;
+  transfer : Op.label option;  (* Some target if a taken branch/jump *)
+  halt : bool;
+}
+
+let no_effect =
+  { written = []; mem_addr = -1; was_store = false; fault = false;
+    transfer = None; halt = false }
+
+let exec_op st (ins : Instr.t) : exec_result =
+  let r = read_reg st in
+  let as_f x = Int64.float_of_bits x in
+  let of_f x = Int64.bits_of_float x in
+  match ins.Instr.op with
+  | Op.Nop -> no_effect
+  | Op.Ibin (o, d, a, b) ->
+      { no_effect with written = [ (d, Op.eval_ibin o (r a) (r b)) ] }
+  | Op.Ibini (o, d, a, i) ->
+      { no_effect with written = [ (d, Op.eval_ibin o (r a) (Int64.of_int i)) ] }
+  | Op.Movi (d, v) -> { no_effect with written = [ (d, v) ] }
+  | Op.Fbin (o, d, a, b) -> (
+      match Op.eval_fbin o (as_f (r a)) (as_f (r b)) with
+      | Some v -> { no_effect with written = [ (d, of_f v) ] }
+      | None -> { no_effect with written = [ (d, 0L) ]; fault = true })
+  | Op.Funary (o, d, a) ->
+      { no_effect with written = [ (d, Op.eval_funary o (r a)) ] }
+  | Op.Cmov (c, d, test, v) ->
+      let value = if Op.eval_cond c (r test) then r v else r d in
+      { no_effect with written = [ (d, value) ] }
+  | Op.Load (d, base, off, _) ->
+      let addr = Int64.to_int (r base) + off in
+      check_aligned addr;
+      { no_effect with written = [ (d, read_mem_word st addr) ]; mem_addr = addr }
+  | Op.Store (s, base, off, _) ->
+      let addr = Int64.to_int (r base) + off in
+      check_aligned addr;
+      Hashtbl.replace st.mem addr (r s);
+      { no_effect with mem_addr = addr; was_store = true }
+  | Op.Branch (c, reg, l) ->
+      if Op.eval_cond c (r reg) then { no_effect with transfer = Some l }
+      else no_effect
+  | Op.Jump l -> { no_effect with transfer = Some l }
+  | Op.Halt -> { no_effect with halt = true }
+
+let run ?(max_steps = 1_000_000) ?(trace = true) ?(init_mem = []) program =
+  let st = create_state () in
+  List.iter
+    (fun (addr, v) ->
+      check_aligned addr;
+      Hashtbl.replace st.mem addr v)
+    init_mem;
+  let bases =
+    let n = Program.num_blocks program in
+    let a = Array.make n 0 in
+    for i = 1 to n - 1 do
+      a.(i) <-
+        a.(i - 1) + Array.length program.Program.blocks.(i - 1).Program.instrs
+    done;
+    a
+  in
+  let pc_of blk off = 4 * (bases.(blk) + off) in
+  let last_writer : (Reg.t, int) Hashtbl.t = Hashtbl.create 128 in
+  let events = ref [] in
+  let uid = ref 0 in
+  let store_count = ref 0 in
+  let stop = ref Trace.Steps_exhausted in
+  let block = ref program.Program.entry in
+  let offset = ref 0 in
+  let running = ref true in
+  while !running && !uid < max_steps do
+    let b = program.Program.blocks.(!block) in
+    if !offset >= Array.length b.Program.instrs then begin
+      (* empty tail: unconditional fallthrough *)
+      match b.Program.fallthrough with
+      | Some ft ->
+          block := ft;
+          offset := 0
+      | None -> failwith "Emulator: fell off a block without fallthrough"
+    end
+    else begin
+      let ins = b.Program.instrs.(!offset) in
+      let res = exec_op st ins in
+      if res.was_store then incr store_count;
+      let written =
+        match ins.Instr.annot.Instr.ext_dup with
+        | None -> res.written
+        | Some dup -> (
+            match res.written with
+            | [ (_, v) ] -> res.written @ [ (dup, v) ]
+            | _ -> res.written)
+      in
+      List.iter (fun (reg, v) -> write_reg st reg v) written;
+      (* Determine the next dynamic location. *)
+      let next_loc =
+        if res.halt then None
+        else
+          match res.transfer with
+          | Some target -> Some (target, 0)
+          | None ->
+              if !offset + 1 < Array.length b.Program.instrs then
+                Some (!block, !offset + 1)
+              else (
+                match b.Program.fallthrough with
+                | Some ft -> Some (ft, 0)
+                | None -> failwith "Emulator: missing fallthrough")
+      in
+      if trace then begin
+        let deps =
+          List.filter_map
+            (fun (reg : Reg.t) ->
+              if Reg.is_zero reg then None
+              else
+                Option.map
+                  (fun uid -> (uid, reg.Reg.space = Reg.Intern))
+                  (Hashtbl.find_opt last_writer reg))
+            (Instr.uses ins)
+        in
+        let deps = List.sort_uniq compare deps in
+        let is_cond_branch =
+          match ins.Instr.op with Op.Branch _ -> true | _ -> false
+        in
+        let is_jump = match ins.Instr.op with Op.Jump _ -> true | _ -> false in
+        let taken =
+          if is_cond_branch then res.transfer <> None else is_jump
+        in
+        let pc = pc_of !block !offset in
+        let next_pc =
+          match next_loc with
+          | Some (nb, noff) -> pc_of nb noff
+          | None -> pc
+        in
+        let ev =
+          {
+            Trace.uid = !uid;
+            pc;
+            block_id = !block;
+            offset = !offset;
+            instr = ins;
+            deps = Array.of_list deps;
+            addr = res.mem_addr;
+            is_load = Op.is_load ins.Instr.op;
+            is_store = res.was_store;
+            is_cond_branch;
+            is_jump;
+            taken;
+            next_pc;
+            latency = Op.latency ins.Instr.op;
+            writes_ext = Instr.writes_external ins;
+            writes_int = Instr.writes_internal ins;
+            ext_src_reads = Instr.reads_external_count ins;
+            int_src_reads =
+              List.length
+                (List.filter
+                   (fun (r : Reg.t) -> r.Reg.space = Reg.Intern)
+                   (Instr.uses ins));
+            braid_id = ins.Instr.annot.Instr.braid_id;
+            braid_start = ins.Instr.annot.Instr.braid_start;
+            faulting = res.fault;
+          }
+        in
+        events := ev :: !events;
+        List.iter (fun (reg, _) -> Hashtbl.replace last_writer reg !uid) written
+      end;
+      incr uid;
+      match next_loc with
+      | None ->
+          stop := Trace.Halted;
+          running := false
+      | Some (nb, noff) ->
+          block := nb;
+          offset := noff
+    end
+  done;
+  let trace_v =
+    if trace then
+      Some
+        {
+          Trace.events = Array.of_list (List.rev !events);
+          stop = !stop;
+          program;
+        }
+    else None
+  in
+  {
+    trace = trace_v;
+    stop = !stop;
+    dynamic_count = !uid;
+    store_count = !store_count;
+    state = st;
+  }
+
+let read_ext st (r : Reg.t) =
+  match r.Reg.space with
+  | Reg.Ext -> read_reg st r
+  | Reg.Virt | Reg.Intern -> invalid_arg "Emulator.read_ext: not external"
+
+let read_mem st addr = read_mem_word st addr
+
+let memory_image st =
+  Hashtbl.fold
+    (fun addr v acc ->
+      if addr < spill_base && not (Int64.equal v 0L) then (addr, v) :: acc
+      else acc)
+    st.mem []
+  |> List.sort compare
+
+let memory_fingerprint st =
+  List.fold_left
+    (fun acc (addr, v) ->
+      let acc = Int64.mul (Int64.logxor acc (Int64.of_int addr)) 0x100000001B3L in
+      Int64.mul (Int64.logxor acc v) 0x100000001B3L)
+    0xCBF29CE484222325L (memory_image st)

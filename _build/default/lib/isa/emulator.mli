@@ -1,0 +1,53 @@
+(** Functional (architectural) execution of programs.
+
+    The emulator is the semantic oracle of the repository: it defines what a
+    program computes, supplies branch outcomes and memory addresses to the
+    timing models, and is the reference against which the braid
+    transformation is proven behaviour-preserving.
+
+    Memory is a sparse word-addressed store of 64-bit values; addresses are
+    byte addresses and must be 8-byte aligned. Addresses at or above
+    [spill_base] are reserved for compiler-inserted spill code and are
+    excluded from [memory_image] so that differently-allocated binaries of
+    the same source remain comparable. *)
+
+type state
+
+val spill_base : int
+(** Start of the spill address region (0x2000_0000; chosen to keep
+    zero-register-based spill addressing within the immediate field). *)
+
+type outcome = {
+  trace : Trace.t option;  (** present when tracing was requested *)
+  stop : Trace.stop_reason;
+  dynamic_count : int;
+  store_count : int;
+  state : state;
+}
+
+val run :
+  ?max_steps:int ->
+  ?trace:bool ->
+  ?init_mem:(int * int64) list ->
+  Program.t ->
+  outcome
+(** Executes from the entry block. [max_steps] bounds the dynamic
+    instruction count (default 1_000_000). When [trace] is true (default),
+    the outcome carries the full dynamic trace. Arithmetic faults
+    (FP divide by zero) write zero to the destination, mark the event as
+    [faulting], and continue — the microarchitectural exception-mode cost is
+    modeled by the timing simulators, not here. *)
+
+val read_ext : state -> Reg.t -> int64
+(** Final architectural register value. Raises on non-external registers. *)
+
+val read_mem : state -> int -> int64
+(** Final memory word at a byte address (0 if never written). *)
+
+val memory_image : state -> (int * int64) list
+(** Sorted (address, value) pairs of all written words below [spill_base]
+    with non-zero final values: the canonical observable result of a run. *)
+
+val memory_fingerprint : state -> int64
+(** Order-independent-free hash of [memory_image]; equal fingerprints for
+    equal images. Used by equivalence property tests. *)

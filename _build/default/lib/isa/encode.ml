@@ -1,0 +1,192 @@
+exception Unencodable of string
+
+let imm_bits = 31
+let imm_max = (1 lsl (imm_bits - 1)) - 1
+let imm_min = -(1 lsl (imm_bits - 1))
+
+let ibin_code = function
+  | Op.Add -> 0 | Op.Sub -> 1 | Op.Mul -> 2
+  | Op.And -> 3 | Op.Or -> 4 | Op.Xor -> 5 | Op.Andnot -> 6
+  | Op.Shl -> 7 | Op.Shr -> 8
+  | Op.Cmpeq -> 9 | Op.Cmplt -> 10 | Op.Cmple -> 11
+
+let ibin_of_code = function
+  | 0 -> Op.Add | 1 -> Op.Sub | 2 -> Op.Mul
+  | 3 -> Op.And | 4 -> Op.Or | 5 -> Op.Xor | 6 -> Op.Andnot
+  | 7 -> Op.Shl | 8 -> Op.Shr
+  | 9 -> Op.Cmpeq | 10 -> Op.Cmplt | 11 -> Op.Cmple
+  | n -> raise (Unencodable (Printf.sprintf "bad ibin code %d" n))
+
+let fbin_code = function
+  | Op.Fadd -> 0 | Op.Fsub -> 1 | Op.Fmul -> 2 | Op.Fdiv -> 3 | Op.Fcmplt -> 4
+
+let fbin_of_code = function
+  | 0 -> Op.Fadd | 1 -> Op.Fsub | 2 -> Op.Fmul | 3 -> Op.Fdiv | 4 -> Op.Fcmplt
+  | n -> raise (Unencodable (Printf.sprintf "bad fbin code %d" n))
+
+let funary_code = function Op.Fneg -> 0 | Op.Fsqrt -> 1 | Op.Cvt_if -> 2
+
+let funary_of_code = function
+  | 0 -> Op.Fneg | 1 -> Op.Fsqrt | 2 -> Op.Cvt_if
+  | n -> raise (Unencodable (Printf.sprintf "bad funary code %d" n))
+
+let cond_code = function
+  | Op.Eq -> 0 | Op.Ne -> 1 | Op.Lt -> 2 | Op.Ge -> 3 | Op.Le -> 4 | Op.Gt -> 5
+
+let cond_of_code = function
+  | 0 -> Op.Eq | 1 -> Op.Ne | 2 -> Op.Lt | 3 -> Op.Ge | 4 -> Op.Le | 5 -> Op.Gt
+  | n -> raise (Unencodable (Printf.sprintf "bad cond code %d" n))
+
+(* Opcode space: 0 nop; 1..12 ibin; 13..24 ibini; 25 movi; 26..30 fbin;
+   31..33 funary; 34..39 cmov; 40 load; 41 store; 42..47 branch; 48 jump;
+   49 halt. *)
+let opcode = function
+  | Op.Nop -> 0
+  | Op.Ibin (o, _, _, _) -> 1 + ibin_code o
+  | Op.Ibini (o, _, _, _) -> 13 + ibin_code o
+  | Op.Movi _ -> 25
+  | Op.Fbin (o, _, _, _) -> 26 + fbin_code o
+  | Op.Funary (o, _, _) -> 31 + funary_code o
+  | Op.Cmov (c, _, _, _) -> 34 + cond_code c
+  | Op.Load _ -> 40
+  | Op.Store _ -> 41
+  | Op.Branch (c, _, _) -> 42 + cond_code c
+  | Op.Jump _ -> 48
+  | Op.Halt -> 49
+
+(* External register field: class bit (bit 5) + index. *)
+let ext_reg_field (r : Reg.t) =
+  match r.Reg.space with
+  | Reg.Ext -> (match r.Reg.cls with Reg.Cint -> r.Reg.idx | Reg.Cfp -> 32 + r.Reg.idx)
+  | Reg.Virt -> raise (Unencodable "virtual register")
+  | Reg.Intern -> raise (Unencodable "internal register in external field")
+
+let ext_reg_of_field f =
+  if f < 32 then Reg.ext Reg.Cint f else Reg.ext Reg.Cfp (f - 32)
+
+(* A source operand: (t_bit, field). *)
+let src_field (r : Reg.t) =
+  match r.Reg.space with
+  | Reg.Intern -> (1, r.Reg.idx)
+  | Reg.Ext | Reg.Virt -> (0, ext_reg_field r)
+
+let src_of_field t f = if t = 1 then Reg.intern (f land 7) else ext_reg_of_field f
+
+let check_imm v =
+  if v < imm_min || v > imm_max then
+    raise (Unencodable (Printf.sprintf "immediate out of range: %d" v))
+
+let encode (ins : Instr.t) =
+  let op = ins.Instr.op in
+  let annot = ins.Instr.annot in
+  (* Destination description: (i_bit, e_bit, ext_field, int_field). *)
+  let dest =
+    match Op.defs op with
+    | [] -> (0, 0, 0, 0)
+    | [ d ] -> (
+        match d.Reg.space with
+        | Reg.Intern -> (
+            match annot.Instr.ext_dup with
+            | None -> (1, 0, 0, d.Reg.idx)
+            | Some e -> (1, 1, ext_reg_field e, d.Reg.idx))
+        | Reg.Ext | Reg.Virt -> (0, 1, ext_reg_field d, 0))
+    | _ -> raise (Unencodable "multi-destination operation")
+  in
+  let srcs =
+    match op with
+    | Op.Nop | Op.Movi _ | Op.Jump _ | Op.Halt -> []
+    | Op.Ibin (_, _, a, b) | Op.Fbin (_, _, a, b) -> [ a; b ]
+    | Op.Ibini (_, _, a, _) | Op.Funary (_, _, a) -> [ a ]
+    | Op.Cmov (_, _, test, v) -> [ test; v ]
+    | Op.Load (_, base, _, _) -> [ base ]
+    | Op.Store (s, base, _, _) -> [ s; base ]
+    | Op.Branch (_, r, _) -> [ r ]
+  in
+  let imm =
+    match op with
+    | Op.Ibini (_, _, _, i) -> check_imm i; i
+    | Op.Movi (_, v) ->
+        let i = Int64.to_int v in
+        if not (Int64.equal (Int64.of_int i) v) then
+          raise (Unencodable "movi literal exceeds 63 bits");
+        check_imm i;
+        i
+    | Op.Load (_, _, off, _) | Op.Store (_, _, off, _) -> check_imm off; off
+    | Op.Branch (_, _, l) | Op.Jump l -> check_imm l; l
+    | _ -> 0
+  in
+  let t1, s1, t2, s2 =
+    match srcs with
+    | [] -> (0, 0, 0, 0)
+    | [ a ] ->
+        let t1, s1 = src_field a in
+        (t1, s1, 0, 0)
+    | [ a; b ] ->
+        let t1, s1 = src_field a in
+        let t2, s2 = src_field b in
+        (t1, s1, t2, s2)
+    | _ -> raise (Unencodable "more than two sources")
+  in
+  let i_bit, e_bit, dext, dint = dest in
+  let ( <|< ) v n = Int64.shift_left (Int64.of_int v) n in
+  let open Int64 in
+  logor ((if annot.Instr.braid_start then 1 else 0) <|< 63)
+  @@ logor (opcode op <|< 56)
+  @@ logor (i_bit <|< 55)
+  @@ logor (e_bit <|< 54)
+  @@ logor (dext <|< 48)
+  @@ logor (dint <|< 45)
+  @@ logor (t1 <|< 44)
+  @@ logor (s1 <|< 38)
+  @@ logor (t2 <|< 37)
+  @@ logor (s2 <|< 31)
+  @@ Int64.of_int (imm land 0x7FFF_FFFF)
+
+let field w lo width =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical w lo) (Int64.sub (Int64.shift_left 1L width) 1L))
+
+let decode w =
+  let s_bit = field w 63 1 = 1 in
+  let opc = field w 56 7 in
+  let i_bit = field w 55 1 in
+  let e_bit = field w 54 1 in
+  let dext = field w 48 6 in
+  let dint = field w 45 3 in
+  let t1 = field w 44 1 in
+  let s1 = field w 38 6 in
+  let t2 = field w 37 1 in
+  let s2 = field w 31 6 in
+  let imm_raw = field w 0 31 in
+  let imm =
+    if imm_raw land (1 lsl (imm_bits - 1)) <> 0 then imm_raw - (1 lsl imm_bits)
+    else imm_raw
+  in
+  let dest () =
+    if i_bit = 1 then Reg.intern dint else ext_reg_of_field dext
+  in
+  let ext_dup = if i_bit = 1 && e_bit = 1 then Some (ext_reg_of_field dext) else None in
+  let src1 () = src_of_field t1 s1 in
+  let src2 () = src_of_field t2 s2 in
+  let op =
+    if opc = 0 then Op.Nop
+    else if opc >= 1 && opc <= 12 then Op.Ibin (ibin_of_code (opc - 1), dest (), src1 (), src2 ())
+    else if opc >= 13 && opc <= 24 then Op.Ibini (ibin_of_code (opc - 13), dest (), src1 (), imm)
+    else if opc = 25 then Op.Movi (dest (), Int64.of_int imm)
+    else if opc >= 26 && opc <= 30 then Op.Fbin (fbin_of_code (opc - 26), dest (), src1 (), src2 ())
+    else if opc >= 31 && opc <= 33 then Op.Funary (funary_of_code (opc - 31), dest (), src1 ())
+    else if opc >= 34 && opc <= 39 then Op.Cmov (cond_of_code (opc - 34), dest (), src1 (), src2 ())
+    else if opc = 40 then Op.Load (dest (), src1 (), imm, Op.region_unknown)
+    else if opc = 41 then Op.Store (src1 (), src2 (), imm, Op.region_unknown)
+    else if opc >= 42 && opc <= 47 then Op.Branch (cond_of_code (opc - 42), src1 (), imm)
+    else if opc = 48 then Op.Jump imm
+    else if opc = 49 then Op.Halt
+    else raise (Unencodable (Printf.sprintf "bad opcode %d" opc))
+  in
+  let ins = Instr.make op in
+  let ins = { ins with Instr.annot = { ins.Instr.annot with Instr.braid_start = s_bit; ext_dup } } in
+  ins
+
+let encode_program p =
+  let out = ref [] in
+  Program.iter_instrs (fun _ _ ins -> out := encode ins :: !out) p;
+  Array.of_list (List.rev !out)

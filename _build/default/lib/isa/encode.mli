@@ -1,0 +1,34 @@
+(** Binary instruction encoding with the braid ISA extension bits (Fig 3).
+
+    Each instruction packs into one 64-bit word:
+
+    {v
+    bit 63       S   braid start bit
+    bits 62..56  opcode
+    bit  55      I   internal destination bit
+    bit  54      E   external destination bit
+    bits 53..48  external destination register (class bit + 5-bit index)
+    bits 47..45  internal destination register (3 bits)
+    bit  44      T1  src1 temporary-operand bit (internal register file)
+    bits 43..38  src1 register
+    bit  37      T2  src2 temporary-operand bit
+    bits 36..31  src2 register
+    bits 30..0   signed immediate / offset / branch target
+    v}
+
+    Only register-allocated code encodes: virtual registers raise
+    [Unencodable]. Two pieces of compiler-internal metadata do not travel
+    through the binary form and are restored to defaults by [decode]: the
+    braid id (becomes -1; hardware recovers braid extents from S bits) and
+    the memory region tag (becomes [Op.region_unknown]). *)
+
+exception Unencodable of string
+
+val encode : Instr.t -> int64
+(** Raises [Unencodable] on virtual registers or out-of-range immediates. *)
+
+val decode : int64 -> Instr.t
+(** Raises [Unencodable] on an invalid opcode. *)
+
+val encode_program : Program.t -> int64 array
+(** All instructions in block order. *)

@@ -1,0 +1,73 @@
+type annot = {
+  braid_id : int;
+  braid_start : bool;
+  ext_dup : Reg.t option;
+}
+
+type t = { op : Op.t; annot : annot }
+
+let no_annot = { braid_id = -1; braid_start = false; ext_dup = None }
+let make op = { op; annot = no_annot }
+
+let with_braid t ~id ~start =
+  { t with annot = { t.annot with braid_id = id; braid_start = start } }
+
+let with_ext_dup t r =
+  (match r.Reg.space with
+  | Reg.Ext | Reg.Virt -> ()
+  | Reg.Intern -> invalid_arg "Instr.with_ext_dup: internal register");
+  { t with annot = { t.annot with ext_dup = Some r } }
+
+let defs t =
+  let base = Op.defs t.op in
+  match t.annot.ext_dup with None -> base | Some r -> base @ [ r ]
+
+let uses t = Op.uses t.op
+
+let writes_internal t =
+  List.exists (fun r -> r.Reg.space = Reg.Intern) (Op.defs t.op)
+
+let writes_external t =
+  List.exists
+    (fun r -> (r.Reg.space = Reg.Ext && not (Reg.is_zero r)) || r.Reg.space = Reg.Virt)
+    (defs t)
+
+let reads_external_count t =
+  List.length
+    (List.filter
+       (fun r ->
+         (r.Reg.space = Reg.Ext && not (Reg.is_zero r)) || r.Reg.space = Reg.Virt)
+       (uses t))
+
+let pp fmt t =
+  let reg = Reg.to_string in
+  let body =
+    match t.op with
+    | Op.Nop -> "nop"
+    | Op.Ibin (_, d, a, b) ->
+        Printf.sprintf "%s %s, %s, %s" (Op.mnemonic t.op) (reg a) (reg b) (reg d)
+    | Op.Ibini (_, d, a, i) ->
+        Printf.sprintf "%s %s, #%d, %s" (Op.mnemonic t.op) (reg a) i (reg d)
+    | Op.Movi (d, v) -> Printf.sprintf "lda #%Ld, %s" v (reg d)
+    | Op.Fbin (_, d, a, b) ->
+        Printf.sprintf "%s %s, %s, %s" (Op.mnemonic t.op) (reg a) (reg b) (reg d)
+    | Op.Funary (_, d, a) ->
+        Printf.sprintf "%s %s, %s" (Op.mnemonic t.op) (reg a) (reg d)
+    | Op.Cmov (_, d, test, v) ->
+        Printf.sprintf "%s %s, %s, %s" (Op.mnemonic t.op) (reg test) (reg v) (reg d)
+    | Op.Load (d, b, off, _) ->
+        Printf.sprintf "%s %s, %d(%s)" (Op.mnemonic t.op) (reg d) off (reg b)
+    | Op.Store (s, b, off, _) ->
+        Printf.sprintf "%s %s, %d(%s)" (Op.mnemonic t.op) (reg s) off (reg b)
+    | Op.Branch (_, r, l) -> Printf.sprintf "%s %s, B%d" (Op.mnemonic t.op) (reg r) l
+    | Op.Jump l -> Printf.sprintf "br B%d" l
+    | Op.Halt -> "halt"
+  in
+  let dup =
+    match t.annot.ext_dup with
+    | None -> ""
+    | Some r -> Printf.sprintf " [also %s]" (reg r)
+  in
+  let s = if t.annot.braid_start then "S " else "  " in
+  let bid = if t.annot.braid_id >= 0 then Printf.sprintf " ;b%d" t.annot.braid_id else "" in
+  Format.fprintf fmt "%s%s%s%s" s body dup bid

@@ -1,0 +1,46 @@
+(** Instructions: an operation plus the braid ISA annotation bits.
+
+    The paper extends each instruction encoding with a braid start bit (S),
+    a temporary-operand bit (T) per source (internal vs external register
+    file), and internal/external destination bits (I/E). In this IR the T
+    bits are implied by the register spaces of the operands; the annotation
+    carries the S bit, the braid identifier the compiler assigned, and the
+    optional duplicate external destination used when a value is both
+    consumed inside the braid and live beyond it (I and E both set). *)
+
+type annot = {
+  braid_id : int;  (** -1 before braid formation *)
+  braid_start : bool;  (** the S bit *)
+  ext_dup : Reg.t option;
+      (** secondary external destination when the primary destination is an
+          internal register but the value is also external (I and E set) *)
+}
+
+type t = { op : Op.t; annot : annot }
+
+val no_annot : annot
+(** [braid_id = -1], no start bit, no duplicate destination. *)
+
+val make : Op.t -> t
+(** Wraps an operation with [no_annot]. *)
+
+val with_braid : t -> id:int -> start:bool -> t
+val with_ext_dup : t -> Reg.t -> t
+
+val defs : t -> Reg.t list
+(** Operation destinations plus the duplicate external destination. *)
+
+val uses : t -> Reg.t list
+
+val writes_internal : t -> bool
+(** The I bit: some destination is an internal register. *)
+
+val writes_external : t -> bool
+(** The E bit: some destination is an external register (includes virtual
+    registers before allocation, which are external-space by default). *)
+
+val reads_external_count : t -> int
+(** Number of source operands read from the external register file; this is
+    what the rename stage and external RF read ports must process. *)
+
+val pp : Format.formatter -> t -> unit

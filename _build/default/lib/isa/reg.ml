@@ -1,0 +1,45 @@
+type cls = Cint | Cfp
+type space = Virt | Ext | Intern
+
+type t = { space : space; cls : cls; idx : int }
+
+let num_ext_per_class = 32
+let num_internal = 8
+
+let virt cls idx =
+  if idx < 0 then invalid_arg "Reg.virt: negative index";
+  { space = Virt; cls; idx }
+
+let ext cls idx =
+  if idx < 0 || idx >= num_ext_per_class then invalid_arg "Reg.ext: index out of range";
+  { space = Ext; cls; idx }
+
+let intern idx =
+  if idx < 0 || idx >= num_internal then invalid_arg "Reg.intern: index out of range";
+  { space = Intern; cls = Cint; idx }
+
+let zero = { space = Ext; cls = Cint; idx = num_ext_per_class - 1 }
+let is_zero r = r.space = Ext && r.cls = Cint && r.idx = num_ext_per_class - 1
+
+let ext_id r =
+  match r.space with
+  | Ext -> (match r.cls with Cint -> r.idx | Cfp -> num_ext_per_class + r.idx)
+  | Virt | Intern -> invalid_arg "Reg.ext_id: not an external register"
+
+let num_ext_ids = 2 * num_ext_per_class
+
+let equal a b = a.space = b.space && a.cls = b.cls && a.idx = b.idx
+let compare = Stdlib.compare
+
+let to_string r =
+  let prefix =
+    match (r.space, r.cls) with
+    | Virt, Cint -> "v"
+    | Virt, Cfp -> "vf"
+    | Ext, Cint -> "r"
+    | Ext, Cfp -> "f"
+    | Intern, _ -> "t"
+  in
+  if is_zero r then "zero" else prefix ^ string_of_int r.idx
+
+let pp fmt r = Format.pp_print_string fmt (to_string r)

@@ -1,0 +1,48 @@
+(** Register identifiers.
+
+    The reproduction ISA is Alpha-like: 32 integer + 32 floating-point
+    architectural registers, with integer register 31 hard-wired to zero.
+    Registers live in one of three spaces:
+
+    - [Virt]: unbounded virtual registers used by the IR the workload
+      generators emit, before any register allocation;
+    - [Ext]: architectural ("external" in the paper's terms) registers,
+      visible across basic blocks and allocated program-wide;
+    - [Intern]: braid-internal registers (0–7), valid only between the
+      first and last instruction of one braid, backed by the tiny internal
+      register file of a BEU. *)
+
+type cls = Cint | Cfp
+type space = Virt | Ext | Intern
+
+type t = { space : space; cls : cls; idx : int }
+
+val num_ext_per_class : int
+(** Architectural registers per class (32). *)
+
+val num_internal : int
+(** Internal registers per braid (8), the paper's empirically sufficient
+    working-set bound. *)
+
+val virt : cls -> int -> t
+val ext : cls -> int -> t
+val intern : int -> t
+(** Internal registers are untyped storage; class is carried as [Cint]. *)
+
+val zero : t
+(** The hard-wired zero register, [Ext Cint 31]. *)
+
+val is_zero : t -> bool
+
+val ext_id : t -> int
+(** Dense id of an external register for scoreboards: integer class maps to
+    [0..31], floating-point to [32..63]. Raises [Invalid_argument] on
+    non-external registers. *)
+
+val num_ext_ids : int
+(** Size of the [ext_id] space (64). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

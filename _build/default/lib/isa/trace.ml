@@ -1,0 +1,38 @@
+type event = {
+  uid : int;
+  pc : int;
+  block_id : int;
+  offset : int;
+  instr : Instr.t;
+  deps : (int * bool) array;
+  addr : int;
+  is_load : bool;
+  is_store : bool;
+  is_cond_branch : bool;
+  is_jump : bool;
+  taken : bool;
+  next_pc : int;
+  latency : int;
+  writes_ext : bool;
+  writes_int : bool;
+  ext_src_reads : int;
+  int_src_reads : int;
+  braid_id : int;
+  braid_start : bool;
+  faulting : bool;
+}
+
+type stop_reason = Halted | Steps_exhausted
+
+type t = {
+  events : event array;
+  stop : stop_reason;
+  program : Program.t;
+}
+
+let length t = Array.length t.events
+
+let num_branches t =
+  Array.fold_left (fun acc e -> if e.is_cond_branch then acc + 1 else acc) 0 t.events
+
+let branch_of e = e.is_cond_branch || e.is_jump

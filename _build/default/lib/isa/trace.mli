@@ -1,0 +1,52 @@
+(** Dynamic instruction traces.
+
+    The timing simulators are execution-driven: the emulator runs the
+    program for real and emits one [event] per retired instruction, with
+    true register data dependences already resolved to producer uids
+    (register renaming makes false dependences irrelevant to timing; memory
+    dependences are resolved by the LSQ model from the recorded
+    addresses). *)
+
+type event = {
+  uid : int;  (** dense dynamic index, starting at 0 *)
+  pc : int;  (** byte address of the static instruction *)
+  block_id : int;
+  offset : int;  (** position within the block *)
+  instr : Instr.t;
+  deps : (int * bool) array;
+      (** register value producers (RAW): [(uid, via_internal)], where
+          [via_internal] marks values flowing through a braid-internal
+          register (same BEU, never on the bypass network or external
+          register file) *)
+  addr : int;  (** byte address for loads/stores, -1 otherwise *)
+  is_load : bool;
+  is_store : bool;
+  is_cond_branch : bool;
+  is_jump : bool;
+  taken : bool;  (** conditional branches: outcome; jumps: true *)
+  next_pc : int;  (** address of the next dynamic instruction *)
+  latency : int;  (** FU latency, memory time excluded *)
+  writes_ext : bool;  (** allocates an external register / rename entry *)
+  writes_int : bool;  (** writes a braid-internal register *)
+  ext_src_reads : int;  (** external register file reads requested *)
+  int_src_reads : int;
+  braid_id : int;
+  braid_start : bool;
+  faulting : bool;  (** arithmetic fault occurred (exception-mode trigger) *)
+}
+
+type stop_reason = Halted | Steps_exhausted
+
+type t = {
+  events : event array;
+  stop : stop_reason;
+  program : Program.t;
+}
+
+val length : t -> int
+
+val num_branches : t -> int
+(** Conditional branches only. *)
+
+val branch_of : event -> bool
+(** [is_cond_branch || is_jump]. *)

@@ -1,0 +1,1 @@
+lib/sim/experiments.ml: Array Braid_core Braid_uarch Braid_workload Emulator Instr List Op Option Printf Render String Suite Trace

@@ -1,0 +1,1 @@
+lib/sim/suite.ml: Braid_core Braid_uarch Braid_workload Emulator Hashtbl List Printf Program Reg Sys Trace

@@ -1,0 +1,1 @@
+lib/sim/suite.mli: Braid_core Braid_uarch Braid_workload Program Trace

@@ -1,0 +1,26 @@
+(** One experiment per table and figure of the paper's evaluation, plus the
+    ablations DESIGN.md calls out. Each experiment renders the same rows or
+    series the paper reports (normalised performance per benchmark with
+    int/fp/overall averages) as plain text.
+
+    Experiments share prepared benchmarks and memoised simulation runs
+    through {!Suite}, so running the whole set costs each distinct
+    (configuration, benchmark) simulation once. *)
+
+type outcome = {
+  id : string;  (** e.g. "fig13" *)
+  title : string;
+  paper_expectation : string;
+      (** the claim from the paper this experiment checks, for
+          EXPERIMENTS.md *)
+  rendered : string;  (** ready-to-print text *)
+  headline : (string * float) list;
+      (** headline numbers (label, value) for the summary table *)
+}
+
+val all : (string * (scale:int -> outcome)) list
+(** Every experiment, in paper order: stats, tables 1–3, figs 1 and 5–14,
+    and the ablations. Ids are unique. *)
+
+val find : string -> scale:int -> outcome
+(** Run one experiment by id. Raises [Not_found] for unknown ids. *)

@@ -1,0 +1,73 @@
+type prepared = {
+  profile : Braid_workload.Spec.profile;
+  init_mem : (int * int64) list;
+  warm_data : int list;
+  virtual_ir : Program.t;
+  conventional : Braid_core.Extalloc.result;
+  braid : Braid_core.Transform.report;
+  conv_trace : Trace.t;
+  braid_trace : Trace.t;
+}
+
+let default_scale =
+  match Sys.getenv_opt "BRAID_SCALE" with
+  | Some s -> (try max 1000 (int_of_string s) with Failure _ -> 12_000)
+  | None -> 12_000
+
+let prepare_cache : (string, prepared) Hashtbl.t = Hashtbl.create 64
+
+let trace_of ~init_mem ~scale program =
+  let out = Emulator.run ~max_steps:(50 * scale) ~trace:true ~init_mem program in
+  match out.Emulator.trace with Some t -> t | None -> assert false
+
+let prepare ?(seed = 1) ?(scale = default_scale)
+    ?(max_internal = Reg.num_internal) ?(ext_usable = Braid_core.Extalloc.usable_per_class)
+    (profile : Braid_workload.Spec.profile) =
+  let key =
+    Printf.sprintf "%s/%d/%d/%d/%d" profile.Braid_workload.Spec.name seed scale
+      max_internal ext_usable
+  in
+  match Hashtbl.find_opt prepare_cache key with
+  | Some p -> p
+  | None ->
+      let virtual_ir, init_mem =
+        Braid_workload.Spec.generate profile ~seed ~scale
+      in
+      let conventional = Braid_core.Transform.conventional virtual_ir in
+      let braid =
+        Braid_core.Transform.run ~max_internal ~ext_usable:(min ext_usable Braid_core.Extalloc.usable_per_class)
+          virtual_ir
+      in
+      let p =
+        {
+          profile;
+          init_mem;
+          warm_data = List.map fst init_mem;
+          virtual_ir;
+          conventional;
+          braid;
+          conv_trace =
+            trace_of ~init_mem ~scale conventional.Braid_core.Extalloc.program;
+          braid_trace =
+            trace_of ~init_mem ~scale braid.Braid_core.Transform.program;
+        }
+      in
+      Hashtbl.add prepare_cache key p;
+      p
+
+let run_cache : (string, Braid_uarch.Pipeline.result) Hashtbl.t = Hashtbl.create 256
+
+let run_on ~label trace p (cfg : Braid_uarch.Config.t) =
+  let key =
+    Printf.sprintf "%s/%s/%s/%d" cfg.Braid_uarch.Config.name
+      p.profile.Braid_workload.Spec.name label (Trace.length trace)
+  in
+  match Hashtbl.find_opt run_cache key with
+  | Some r -> r
+  | None ->
+      let r = Braid_uarch.Pipeline.run ~warm_data:p.warm_data cfg trace in
+      Hashtbl.add run_cache key r;
+      r
+
+let run_conv p cfg = run_on ~label:"conv" p.conv_trace p cfg
+let run_braid p cfg = run_on ~label:"braid" p.braid_trace p cfg

@@ -1,0 +1,39 @@
+(** Prepared benchmarks: generated program, both compiled binaries
+    (conventional and braid), and their execution traces — memoised, since
+    every experiment sweeps the same 26 programs.
+
+    [scale] targets the dynamic trace length (the MinneSPEC-style reduced
+    run); [ext_usable] recompiles the braid binary with a restricted
+    external register budget (Fig 6); [max_internal] varies the braid
+    working-set bound (splitting-threshold ablation). *)
+
+type prepared = {
+  profile : Braid_workload.Spec.profile;
+  init_mem : (int * int64) list;
+  warm_data : int list;  (** addresses of the initial data image *)
+  virtual_ir : Program.t;
+  conventional : Braid_core.Extalloc.result;
+  braid : Braid_core.Transform.report;
+  conv_trace : Trace.t;
+  braid_trace : Trace.t;
+}
+
+val default_scale : int
+(** 12_000 unless the BRAID_SCALE environment variable overrides it. *)
+
+val prepare :
+  ?seed:int ->
+  ?scale:int ->
+  ?max_internal:int ->
+  ?ext_usable:int ->
+  Braid_workload.Spec.profile ->
+  prepared
+(** Memoised on all parameters. *)
+
+val run_conv : prepared -> Braid_uarch.Config.t -> Braid_uarch.Pipeline.result
+(** Runs the conventional binary's trace (in-order / dep-steer / OoO
+    machines). Memoised on the configuration name, so configuration
+    variants must carry distinct names. *)
+
+val run_braid : prepared -> Braid_uarch.Config.t -> Braid_uarch.Pipeline.result
+(** Runs the braid binary's trace (braid machines). Memoised likewise. *)

@@ -1,0 +1,1 @@
+lib/uarch/complexity.ml: Config Machine Pipeline Printf

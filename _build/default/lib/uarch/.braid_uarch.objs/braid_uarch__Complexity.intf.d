@@ -1,0 +1,1 @@
+lib/uarch/complexity.mli: Config Pipeline

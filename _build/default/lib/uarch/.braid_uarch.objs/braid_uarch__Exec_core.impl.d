@@ -1,0 +1,1 @@
+lib/uarch/exec_core.ml: Array Config List Machine Ring Trace

@@ -1,0 +1,1 @@
+lib/uarch/exec_core.mli: Machine

@@ -1,0 +1,1 @@
+lib/uarch/machine.ml: Array Cache Config Hashtbl List Predictor Trace

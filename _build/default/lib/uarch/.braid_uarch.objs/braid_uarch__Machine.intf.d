@@ -1,0 +1,1 @@
+lib/uarch/machine.mli: Cache Config Predictor Trace

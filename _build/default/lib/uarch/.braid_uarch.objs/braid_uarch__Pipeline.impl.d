@@ -1,0 +1,1 @@
+lib/uarch/pipeline.ml: Array Cache Config Exec_core Hashtbl Instr List Machine Op Option Predictor Printf Program Ring Trace

@@ -1,0 +1,103 @@
+type t = {
+  sets : int;
+  ways : int;
+  line_bits : int;
+  latency : int;
+  tags : int array array;  (* [set].[way], -1 = invalid *)
+  stamps : int array array;  (* LRU timestamps *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let log2 n =
+  let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+  go 0 1
+
+let create (g : Config.cache_geometry) =
+  let lines = g.Config.size_bytes / g.Config.line_bytes in
+  let sets = max 1 (lines / g.Config.ways) in
+  {
+    sets;
+    ways = g.Config.ways;
+    line_bits = log2 g.Config.line_bytes;
+    latency = g.Config.latency;
+    tags = Array.make_matrix sets g.Config.ways (-1);
+    stamps = Array.make_matrix sets g.Config.ways 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let access_gen ~count t addr =
+  let line = addr lsr t.line_bits in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  t.tick <- t.tick + 1;
+  let way = ref (-1) in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(set).(w) = tag then way := w
+  done;
+  if !way >= 0 then begin
+    t.stamps.(set).(!way) <- t.tick;
+    if count then t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    if count then t.misses <- t.misses + 1;
+    (* evict LRU *)
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if t.stamps.(set).(w) < t.stamps.(set).(!victim) then victim := w
+    done;
+    t.tags.(set).(!victim) <- tag;
+    t.stamps.(set).(!victim) <- t.tick;
+    false
+  end
+
+let access t addr = access_gen ~count:true t addr
+
+let hits t = t.hits
+let misses t = t.misses
+
+type hierarchy = {
+  l1i : t;
+  l1d : t;
+  l2 : t;
+  memory_latency : int;
+  perfect_icache : bool;
+  perfect_dcache : bool;
+}
+
+let create_hierarchy (m : Config.memory) =
+  {
+    l1i = create m.Config.l1i;
+    l1d = create m.Config.l1d;
+    l2 = create m.Config.l2;
+    memory_latency = m.Config.memory_latency;
+    perfect_icache = m.Config.perfect_icache;
+    perfect_dcache = m.Config.perfect_dcache;
+  }
+
+let through h l1 addr =
+  let lat = ref l1.latency in
+  if not (access l1 addr) then begin
+    lat := !lat + h.l2.latency;
+    if not (access h.l2 addr) then lat := !lat + h.memory_latency
+  end;
+  !lat
+
+let instr_latency h addr = if h.perfect_icache then 1 else through h h.l1i addr
+
+let data_latency h addr = if h.perfect_dcache then h.l1d.latency else through h h.l1d addr
+
+let warm_instr h addr =
+  ignore (access_gen ~count:false h.l1i addr);
+  ignore (access_gen ~count:false h.l2 addr)
+
+let warm_l2 h addr = ignore (access_gen ~count:false h.l2 addr)
+
+let stats c = (c.hits, c.misses)
+let l1i_stats h = stats h.l1i
+let l1d_stats h = stats h.l1d
+let l2_stats h = stats h.l2

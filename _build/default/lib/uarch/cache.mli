@@ -1,0 +1,39 @@
+(** Set-associative caches with true LRU, and the two-level hierarchy plus
+    main memory of Table 4.
+
+    The timing model charges the full latency chain at access time and
+    fills all levels (non-blocking, unlimited MSHRs — adequate for
+    relative comparisons across execution cores, which all share this
+    model). *)
+
+type t
+
+val create : Config.cache_geometry -> t
+val access : t -> int -> bool
+(** [access t addr] probes and updates state; returns hit. Fills on miss. *)
+
+val hits : t -> int
+val misses : t -> int
+
+type hierarchy
+
+val create_hierarchy : Config.memory -> hierarchy
+
+val instr_latency : hierarchy -> int -> int
+(** Fetch latency for the line containing a byte address: the L1I latency
+    on a hit, plus L2/memory on misses. 1 when the configuration has a
+    perfect I-cache. *)
+
+val data_latency : hierarchy -> int -> int
+(** Load-to-use latency for a data access, analogous. *)
+
+val warm_instr : hierarchy -> int -> unit
+(** Pre-fills the L1I and L2 with the line of a code address, without
+    touching hit/miss statistics (steady-state warm-up). *)
+
+val warm_l2 : hierarchy -> int -> unit
+(** Pre-fills the L2 with a data line, without touching statistics. *)
+
+val l1i_stats : hierarchy -> int * int
+val l1d_stats : hierarchy -> int * int
+val l2_stats : hierarchy -> int * int

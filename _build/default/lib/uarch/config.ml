@@ -1,0 +1,187 @@
+type core_kind = In_order | Dep_steer | Ooo | Braid_exec
+
+type predictor_kind = Perceptron | Gshare | Perfect_prediction
+
+type cache_geometry = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  latency : int;
+}
+
+type memory = {
+  l1i : cache_geometry;
+  l1d : cache_geometry;
+  l2 : cache_geometry;
+  memory_latency : int;
+  perfect_icache : bool;
+  perfect_dcache : bool;
+}
+
+type t = {
+  name : string;
+  kind : core_kind;
+  fetch_width : int;
+  max_branches_per_cycle : int;
+  fetch_buffer : int;
+  predictor : predictor_kind;
+  misprediction_penalty : int;
+  alloc_width : int;
+  rename_src_width : int;
+  rename_dst_width : int;
+  commit_width : int;
+  ext_regs : int;
+  inflight : int;
+  clusters : int;
+  cluster_entries : int;
+  sched_window : int;
+  fus_per_cluster : int;
+  rf_read_ports : int;
+  rf_write_ports : int;
+  bypass_per_cycle : int;
+  mem : memory;
+  lsq_entries : int;
+  (* braid-core variants (§5.1 / §5.2) *)
+  beu_out_of_order : bool;
+  beu_cluster_size : int;
+  inter_cluster_latency : int;
+  max_unresolved_branches : int;  (* checkpoint count; 0 = unlimited *)
+  (* front-end fidelity options *)
+  model_wrong_path_fetch : bool;  (* pollute the I-cache down the wrong path *)
+  btb_entries : int;  (* 0 = perfect target prediction *)
+}
+
+let default_memory =
+  {
+    l1i = { size_bytes = 64 * 1024; ways = 4; line_bytes = 64; latency = 3 };
+    l1d = { size_bytes = 64 * 1024; ways = 2; line_bytes = 64; latency = 3 };
+    l2 = { size_bytes = 1024 * 1024; ways = 8; line_bytes = 64; latency = 6 };
+    memory_latency = 400;
+    perfect_icache = false;
+    perfect_dcache = false;
+  }
+
+let ooo_8wide =
+  {
+    name = "ooo-8";
+    kind = Ooo;
+    fetch_width = 8;
+    max_branches_per_cycle = 3;
+    fetch_buffer = 32;
+    predictor = Perceptron;
+    misprediction_penalty = 23;
+    alloc_width = 8;
+    rename_src_width = 16;
+    rename_dst_width = 8;
+    commit_width = 8;
+    ext_regs = 256;
+    inflight = 256;
+    clusters = 8;
+    cluster_entries = 32;
+    sched_window = 32 (* full window: out-of-order select *);
+    fus_per_cluster = 1;
+    rf_read_ports = 16;
+    rf_write_ports = 8;
+    bypass_per_cycle = 8;
+    mem = default_memory;
+    lsq_entries = 64;
+    beu_out_of_order = false;
+    beu_cluster_size = 0;
+    inter_cluster_latency = 2;
+    max_unresolved_branches = 0;
+    model_wrong_path_fetch = false;
+    btb_entries = 0;
+  }
+
+let braid_8wide =
+  {
+    name = "braid-8";
+    kind = Braid_exec;
+    fetch_width = 8;
+    max_branches_per_cycle = 3;
+    fetch_buffer = 32;
+    predictor = Perceptron;
+    misprediction_penalty = 19;
+    (* instruction throughput matches the fetch width; Table 4's "4
+       operands" is the external-destination allocation bandwidth
+       (rename_dst_width) — internal destinations allocate nothing *)
+    alloc_width = 8;
+    rename_src_width = 8;
+    rename_dst_width = 4;
+    commit_width = 8;
+    ext_regs = 8;
+    inflight = 256;
+    clusters = 8;
+    cluster_entries = 32;
+    sched_window = 2;
+    fus_per_cluster = 2;
+    rf_read_ports = 6;
+    rf_write_ports = 3;
+    bypass_per_cycle = 2;
+    mem = default_memory;
+    lsq_entries = 64;
+    beu_out_of_order = false;
+    beu_cluster_size = 0;
+    inter_cluster_latency = 2;
+    max_unresolved_branches = 0;
+    model_wrong_path_fetch = false;
+    btb_entries = 0;
+  }
+
+let in_order_8wide =
+  {
+    ooo_8wide with
+    name = "in-order-8";
+    kind = In_order;
+    clusters = 1;
+    cluster_entries = 64;
+    sched_window = 8;
+    fus_per_cluster = 8;
+    misprediction_penalty = 19;
+    (* in-order issue keeps values briefly in flight: the architectural
+       file plus a small completion buffer, not a 256-entry rename file *)
+    ext_regs = 64;
+  }
+
+let dep_steer_8wide =
+  {
+    ooo_8wide with
+    name = "dep-steer-8";
+    kind = Dep_steer;
+    clusters = 8;
+    cluster_entries = 32;
+    sched_window = 1;
+    fus_per_cluster = 1;
+    (* only the scheduler is simplified; rename and the register file stay
+       conventional, so the pipeline keeps the conventional depth *)
+    misprediction_penalty = 23;
+  }
+
+let scale_width cfg w =
+  if w <= 0 then invalid_arg "Config.scale_width";
+  let ratio_num = w and ratio_den = 8 in
+  let scale x = max 1 (x * ratio_num / ratio_den) in
+  {
+    cfg with
+    name = Printf.sprintf "%s@%dw" (List.hd (String.split_on_char '@' cfg.name)) w;
+    fetch_width = w;
+    alloc_width = scale cfg.alloc_width;
+    rename_src_width = scale cfg.rename_src_width;
+    rename_dst_width = scale cfg.rename_dst_width;
+    commit_width = w;
+    clusters = scale cfg.clusters;
+    fus_per_cluster = cfg.fus_per_cluster;
+    rf_read_ports = scale cfg.rf_read_ports;
+    rf_write_ports = scale cfg.rf_write_ports;
+    bypass_per_cycle = scale cfg.bypass_per_cycle;
+    inflight = scale cfg.inflight;
+    lsq_entries = scale cfg.lsq_entries;
+    fetch_buffer = scale cfg.fetch_buffer;
+  }
+
+let perfect_frontend cfg =
+  {
+    cfg with
+    predictor = Perfect_prediction;
+    mem = { cfg.mem with perfect_icache = true; perfect_dcache = true };
+  }

@@ -1,0 +1,106 @@
+(** Simulator configurations (paper Table 4).
+
+    One record drives the whole pipeline; the presets below are the paper's
+    default 8-wide out-of-order and braid machines plus the in-order and
+    dependence-steering baselines. Sensitivity experiments (Figs 5–12)
+    start from a preset and override one field. *)
+
+type core_kind =
+  | In_order  (** one in-order issue queue *)
+  | Dep_steer  (** Palacharla-style dependence-steered FIFOs *)
+  | Ooo  (** distributed out-of-order schedulers *)
+  | Braid_exec  (** braid execution units *)
+
+type predictor_kind =
+  | Perceptron  (** Table 4: 512-entry weight table, 64-bit history *)
+  | Gshare  (** comparison predictor: 4K 2-bit counters, 12-bit history *)
+  | Perfect_prediction  (** the Fig 1 limit study *)
+
+type cache_geometry = {
+  size_bytes : int;
+  ways : int;
+  line_bytes : int;
+  latency : int;
+}
+
+type memory = {
+  l1i : cache_geometry;
+  l1d : cache_geometry;
+  l2 : cache_geometry;
+  memory_latency : int;
+  perfect_icache : bool;
+  perfect_dcache : bool;
+}
+
+type t = {
+  name : string;
+  kind : core_kind;
+  (* front end *)
+  fetch_width : int;
+  max_branches_per_cycle : int;
+  fetch_buffer : int;
+  predictor : predictor_kind;
+  misprediction_penalty : int;
+  (* allocate / rename *)
+  alloc_width : int;
+  rename_src_width : int;
+  rename_dst_width : int;
+  commit_width : int;
+  ext_regs : int;  (** rename free-list size (external register file) *)
+  inflight : int;  (** checkpoint/ROB-equivalent in-flight bound *)
+  (* execution core *)
+  clusters : int;  (** schedulers / FIFOs / BEUs *)
+  cluster_entries : int;  (** entries per scheduler/FIFO *)
+  sched_window : int;  (** FIFO scheduling window (braid, dep, in-order) *)
+  fus_per_cluster : int;
+  (* register file and bypass *)
+  rf_read_ports : int;
+  rf_write_ports : int;
+  bypass_per_cycle : int;
+  (* memory *)
+  mem : memory;
+  lsq_entries : int;
+  (* braid-core variants *)
+  beu_out_of_order : bool;
+      (** §5.1: replace each BEU's FIFO window with full out-of-order
+          selection over its queue (the considered-and-rejected design) *)
+  beu_cluster_size : int;
+      (** §5.2: group BEUs into clusters of this size (0 = unclustered);
+          external values crossing clusters pay extra latency *)
+  inter_cluster_latency : int;
+  max_unresolved_branches : int;
+      (** checkpoint count (§3.4): unresolved conditional branches in
+          flight; dispatch stalls beyond it. 0 = unlimited. Braid
+          checkpoints are far smaller (the 8-entry external file, no
+          internal values), so equal checkpoint storage affords the braid
+          machine several times more of them. *)
+  model_wrong_path_fetch : bool;
+      (** fetch down the mispredicted path while a redirect is pending,
+          polluting the I-cache (default off: wrong-path work is a pure
+          bubble, as DESIGN.md documents) *)
+  btb_entries : int;
+      (** finite branch-target buffer; a taken transfer missing in the BTB
+          costs a one-cycle fetch bubble. 0 = perfect targets. *)
+}
+
+val default_memory : memory
+
+val ooo_8wide : t
+(** Table 4 "Out-of-Order Parameters": 8-wide, 8×32 schedulers, 256
+    registers, 16r/8w, 8 bypass values/cycle, 23-cycle penalty. *)
+
+val braid_8wide : t
+(** Table 4 "Braid Parameters": 8 BEUs with 32-entry FIFOs, 2-entry
+    windows, 2 FUs each; 8-entry external RF with 6r/3w; 2 bypass
+    values/cycle; 19-cycle penalty. *)
+
+val in_order_8wide : t
+val dep_steer_8wide : t
+
+val scale_width : t -> int -> t
+(** [scale_width cfg w] rescales a preset to issue width [w] (4, 8 or 16):
+    fetch/alloc/commit widths, cluster count and rename bandwidth scale
+    proportionally; per-cluster shape is preserved. *)
+
+val perfect_frontend : t -> t
+(** Perfect branch prediction and perfect caches (Fig 1's machine). *)

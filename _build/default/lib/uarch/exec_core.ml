@@ -1,0 +1,252 @@
+type t = {
+  try_dispatch : Machine.slot -> bool;
+  cycle : unit -> unit;
+  occupancy : unit -> int;
+}
+
+let issuable m (s : Machine.slot) =
+  Machine.reg_ready s
+  && Machine.mem_ready m s <> Machine.Mem_blocked
+  && Machine.can_issue_ports m s
+
+(* ------------------------------------------------------------------ *)
+
+let in_order m =
+  let cfg = Machine.cfg m in
+  let q : Machine.slot Ring.t = Ring.create ~capacity:cfg.Config.cluster_entries in
+  let width = cfg.Config.clusters * cfg.Config.fus_per_cluster in
+  let try_dispatch s =
+    if Ring.is_full q then false
+    else begin
+      Ring.push q s;
+      true
+    end
+  in
+  let cycle () =
+    let issued = ref 0 in
+    let blocked = ref false in
+    while (not !blocked) && !issued < width && not (Ring.is_empty q) do
+      let s = Ring.peek q in
+      if issuable m s then begin
+        ignore (Ring.pop q);
+        Machine.do_issue m s;
+        incr issued
+      end
+      else blocked := true
+    done
+  in
+  { try_dispatch; cycle; occupancy = (fun () -> Ring.length q) }
+
+(* ------------------------------------------------------------------ *)
+
+let dep_steer m =
+  let cfg = Machine.cfg m in
+  let fifos =
+    Array.init cfg.Config.clusters (fun _ ->
+        Ring.create ~capacity:cfg.Config.cluster_entries)
+  in
+  let producer_uids (s : Machine.slot) =
+    Array.to_list (Array.map fst s.Machine.ev.Trace.deps)
+  in
+  let try_dispatch s =
+    let deps = producer_uids s in
+    let tail_matches f =
+      (not (Ring.is_empty f))
+      && (not (Ring.is_full f))
+      &&
+      let tail = Ring.get f (Ring.length f - 1) in
+      List.mem tail.Machine.ev.Trace.uid deps
+    in
+    let target =
+      match Array.find_opt tail_matches fifos with
+      | Some f -> Some f
+      | None -> Array.find_opt Ring.is_empty fifos
+    in
+    match target with
+    | Some f ->
+        Ring.push f s;
+        true
+    | None -> false
+  in
+  let cycle () =
+    Array.iter
+      (fun f ->
+        let budget = ref cfg.Config.fus_per_cluster in
+        let blocked = ref false in
+        while (not !blocked) && !budget > 0 && not (Ring.is_empty f) do
+          let s = Ring.peek f in
+          if issuable m s then begin
+            ignore (Ring.pop f);
+            Machine.do_issue m s;
+            decr budget
+          end
+          else blocked := true
+        done)
+      fifos
+  in
+  let occupancy () = Array.fold_left (fun acc f -> acc + Ring.length f) 0 fifos in
+  { try_dispatch; cycle; occupancy }
+
+(* ------------------------------------------------------------------ *)
+
+let ooo m =
+  let cfg = Machine.cfg m in
+  (* each scheduler is an unordered window; selection is oldest-first *)
+  let scheds =
+    Array.init cfg.Config.clusters (fun _ ->
+        Ring.create ~capacity:cfg.Config.cluster_entries)
+  in
+  let rr = ref 0 in
+  let try_dispatch s =
+    (* round-robin over schedulers with space: distributes load like the
+       paper's distributed 32-entry schedulers *)
+    let n = Array.length scheds in
+    let rec go k =
+      if k = n then false
+      else
+        let f = scheds.((!rr + k) mod n) in
+        if Ring.is_full f then go (k + 1)
+        else begin
+          Ring.push f s;
+          rr := (!rr + k + 1) mod n;
+          true
+        end
+    in
+    go 0
+  in
+  let cycle () =
+    Array.iter
+      (fun f ->
+        let budget = ref cfg.Config.fus_per_cluster in
+        let continue_ = ref true in
+        while !continue_ && !budget > 0 do
+          (* oldest ready entry anywhere in the window *)
+          let best = ref (-1) in
+          let best_uid = ref max_int in
+          Ring.iteri
+            (fun i s ->
+              if s.Machine.ev.Trace.uid < !best_uid && issuable m s then begin
+                best := i;
+                best_uid := s.Machine.ev.Trace.uid
+              end)
+            f;
+          if !best >= 0 then begin
+            let s = Ring.remove_at f !best in
+            Machine.do_issue m s;
+            decr budget
+          end
+          else continue_ := false
+        done)
+      scheds
+  in
+  let occupancy () = Array.fold_left (fun acc f -> acc + Ring.length f) 0 scheds in
+  { try_dispatch; cycle; occupancy }
+
+(* ------------------------------------------------------------------ *)
+
+type beu = {
+  fifo : Machine.slot Ring.t;
+  mutable outstanding : Machine.slot list;  (* issued, not yet complete *)
+}
+
+let braid m =
+  let cfg = Machine.cfg m in
+  let beus =
+    Array.init cfg.Config.clusters (fun _ ->
+        { fifo = Ring.create ~capacity:cfg.Config.cluster_entries; outstanding = [] })
+  in
+  (* BEU currently receiving the in-flight braid from dispatch *)
+  let target = ref None in
+  let prune b =
+    b.outstanding <-
+      List.filter (fun s -> not (Machine.is_complete_slot m s)) b.outstanding
+  in
+  (* A BEU is processing a braid while instructions of it remain in the
+     FIFO awaiting issue; once drained onto the FUs the unit can accept
+     the next braid (issued instructions keep their results flowing
+     through the bypass/external paths). *)
+  let free b = Ring.is_empty b.fifo in
+  let try_dispatch s =
+    if s.Machine.ev.Trace.braid_start then begin
+      (* close the previous braid; claim a free BEU *)
+      let chosen = ref None in
+      Array.iteri (fun i b -> if !chosen = None && free b then chosen := Some i) beus;
+      match !chosen with
+      | Some i ->
+          target := Some i;
+          s.Machine.beu <- i;
+          Ring.push beus.(i).fifo s;
+          true
+      | None -> false
+    end
+    else
+      match !target with
+      | Some i when not (Ring.is_full beus.(i).fifo) ->
+          s.Machine.beu <- i;
+          Ring.push beus.(i).fifo s;
+          true
+      | Some _ | None -> false
+  in
+  (* §5.2 clustering: external values produced in another cluster of BEUs
+     arrive [inter_cluster_latency] cycles later *)
+  let cluster_of b =
+    if cfg.Config.beu_cluster_size <= 0 then 0
+    else b / cfg.Config.beu_cluster_size
+  in
+  let cluster_ready s =
+    cfg.Config.beu_cluster_size <= 0
+    || Array.for_all
+         (fun (p, via) ->
+           via
+           ||
+           let ps = Machine.slot m p in
+           ps.Machine.beu < 0
+           || cluster_of ps.Machine.beu = cluster_of s.Machine.beu
+           || Machine.now m
+              >= ps.Machine.ext_visible + cfg.Config.inter_cluster_latency)
+         s.Machine.ev.Trace.deps
+  in
+  let cycle () =
+    Array.iter
+      (fun b ->
+        prune b;
+        let budget = ref cfg.Config.fus_per_cluster in
+        let progress = ref true in
+        while !progress && !budget > 0 do
+          progress := false;
+          (* §5.1: the rejected out-of-order BEU scheduler selects over the
+             whole queue instead of the head window *)
+          let window =
+            if cfg.Config.beu_out_of_order then Ring.length b.fifo
+            else min cfg.Config.sched_window (Ring.length b.fifo)
+          in
+          let found = ref (-1) in
+          let i = ref 0 in
+          while !found < 0 && !i < window do
+            let s = Ring.get b.fifo !i in
+            if issuable m s && cluster_ready s then found := !i;
+            incr i
+          done;
+          if !found >= 0 then begin
+            let s = Ring.remove_at b.fifo !found in
+            Machine.do_issue m s;
+            b.outstanding <- s :: b.outstanding;
+            decr budget;
+            progress := true
+          end
+        done)
+      beus
+  in
+  let occupancy () =
+    Array.fold_left
+      (fun acc b -> acc + Ring.length b.fifo + List.length b.outstanding)
+      0 beus
+  in
+  { try_dispatch; cycle; occupancy }
+
+let create m =
+  match (Machine.cfg m).Config.kind with
+  | Config.In_order -> in_order m
+  | Config.Dep_steer -> dep_steer m
+  | Config.Ooo -> ooo m
+  | Config.Braid_exec -> braid m

@@ -1,0 +1,30 @@
+(** The four execution-core paradigms of Fig 13.
+
+    A core owns only its scheduling structure and selection policy; issue
+    side-effects (ports, latencies, wakeups) are delegated to
+    {!Machine.do_issue}, so the paradigms differ exactly where the paper
+    says they do:
+
+    - {b In-order}: one queue; up to the issue width of consecutive ready
+      instructions leave from the head; the first stalled instruction
+      blocks everything behind it.
+    - {b Dependence steering} (Palacharla et al.): instructions are steered
+      at dispatch to a FIFO whose tail is one of their producers, else to
+      an empty FIFO, else dispatch stalls; only FIFO heads issue.
+    - {b Out-of-order}: distributed schedulers, oldest-ready-first
+      selection anywhere in each scheduler's window, one FU per scheduler.
+    - {b Braid}: whole braids are distributed to a free BEU (one braid per
+      BEU at a time, per §3.3); each BEU issues from a small window at the
+      head of its FIFO onto its private FUs; internal values live entirely
+      inside the BEU. *)
+
+type t = {
+  try_dispatch : Machine.slot -> bool;
+      (** Space/steering check; inserts on success. The pipeline calls
+          this only after {!Machine.can_dispatch} passed. *)
+  cycle : unit -> unit;  (** Select and issue for the current cycle. *)
+  occupancy : unit -> int;  (** Instructions resident in the core. *)
+}
+
+val create : Machine.t -> t
+(** Builds the core selected by the machine's configuration. *)

@@ -1,0 +1,427 @@
+type slot = {
+  ev : Trace.event;
+  mutable dispatched : bool;
+  mutable issued : bool;
+  mutable completed : bool;
+  mutable committed : bool;
+  mutable ready_deps : int;
+  mutable issue_cycle : int;
+  mutable complete_cycle : int;
+  mutable ext_visible : int;
+  mutable int_visible : int;
+  mutable ext_entry_freed : bool;
+  mutable beu : int;  (* BEU index for braid-core slots, -1 otherwise *)
+}
+
+type mem_status = Mem_blocked | Mem_forward | Mem_cache
+
+(* Per-cycle bounded resource (ports, bypass slots). *)
+module Rc = struct
+  type t = { tbl : (int, int) Hashtbl.t; limit : int }
+
+  let create limit = { tbl = Hashtbl.create 1024; limit }
+  let used t c = match Hashtbl.find_opt t.tbl c with Some u -> u | None -> 0
+  let available t c n = used t c + n <= t.limit
+  let take t c n = Hashtbl.replace t.tbl c (used t c + n)
+
+  let try_take t c n =
+    if available t c n then begin
+      take t c n;
+      true
+    end
+    else false
+
+  let take_first_free t c n =
+    let rec go c = if available t c n then c else go (c + 1) in
+    let c' = go c in
+    take t c' n;
+    c'
+end
+
+type t = {
+  cfg : Config.t;
+  trace : Trace.t;
+  slots : slot array;
+  children : (int * bool) list array;
+  last_ext_reader : int array;  (* -1 = none; braid dead-value release *)
+  hier : Cache.hierarchy;
+  pred : Predictor.t;
+  mutable now : int;
+  (* wakeup and release buckets *)
+  wake : (int, int list) Hashtbl.t;
+  reg_free_at : (int, int list) Hashtbl.t;  (* cycle -> writer uids *)
+  (* resources *)
+  read_ports : Rc.t;
+  write_ports : Rc.t;
+  bypass : Rc.t;
+  mutable free_regs : int;
+  (* per-cycle dispatch budgets *)
+  mutable alloc_left : int;
+  mutable src_left : int;
+  mutable dst_left : int;
+  (* occupancy *)
+  mutable dispatched_count : int;
+  mutable committed_count : int;
+  mutable commit_idx : int;
+  mutable inflight_mem : int;
+  mutable stores : slot list;  (* in-flight stores, oldest first (reversed) *)
+  mutable stall_regs : int;
+  mutable unresolved_branches : int;
+  branch_resolve_at : (int, int) Hashtbl.t;  (* cycle -> count *)
+  (* activity counters for the complexity/energy model (§5.1) *)
+  mutable ext_rf_reads : int;
+  mutable ext_rf_writes : int;
+  mutable int_rf_reads : int;
+  mutable int_rf_writes : int;
+  mutable bypass_values : int;
+}
+
+let build_children (trace : Trace.t) =
+  let n = Array.length trace.Trace.events in
+  let children = Array.make n [] in
+  Array.iter
+    (fun (e : Trace.event) ->
+      Array.iter
+        (fun (p, via) -> children.(p) <- (e.Trace.uid, via) :: children.(p))
+        e.Trace.deps)
+    trace.Trace.events;
+  children
+
+let build_last_ext_reader children =
+  Array.map
+    (fun kids ->
+      List.fold_left
+        (fun acc (c, via) -> if via then acc else max acc c)
+        (-1) kids)
+    children
+
+let create cfg trace =
+  let events = trace.Trace.events in
+  let slots =
+    Array.map
+      (fun (e : Trace.event) ->
+        {
+          ev = e;
+          dispatched = false;
+          issued = false;
+          completed = false;
+          committed = false;
+          ready_deps = Array.length e.Trace.deps;
+          issue_cycle = max_int;
+          complete_cycle = max_int;
+          ext_visible = max_int;
+          int_visible = max_int;
+          ext_entry_freed = false;
+          beu = -1;
+        })
+      events
+  in
+  let children = build_children trace in
+  {
+    cfg;
+    trace;
+    slots;
+    children;
+    last_ext_reader = build_last_ext_reader children;
+    hier = Cache.create_hierarchy cfg.Config.mem;
+    pred = Predictor.create cfg;
+    now = -1;
+    wake = Hashtbl.create 4096;
+    reg_free_at = Hashtbl.create 1024;
+    read_ports = Rc.create cfg.Config.rf_read_ports;
+    write_ports = Rc.create cfg.Config.rf_write_ports;
+    bypass = Rc.create cfg.Config.bypass_per_cycle;
+    free_regs = cfg.Config.ext_regs;
+    alloc_left = 0;
+    src_left = 0;
+    dst_left = 0;
+    dispatched_count = 0;
+    committed_count = 0;
+    commit_idx = 0;
+    inflight_mem = 0;
+    stores = [];
+    stall_regs = 0;
+    unresolved_branches = 0;
+    branch_resolve_at = Hashtbl.create 64;
+    ext_rf_reads = 0;
+    ext_rf_writes = 0;
+    int_rf_reads = 0;
+    int_rf_writes = 0;
+    bypass_values = 0;
+  }
+
+let cfg t = t.cfg
+let num_slots t = Array.length t.slots
+let slot t i = t.slots.(i)
+let now t = t.now
+let hierarchy t = t.hier
+let predictor t = t.pred
+let stall_dispatch_regs t = t.stall_regs
+
+let begin_cycle t =
+  t.now <- t.now + 1;
+  (match Hashtbl.find_opt t.wake t.now with
+  | Some uids ->
+      List.iter
+        (fun u ->
+          let s = t.slots.(u) in
+          s.ready_deps <- s.ready_deps - 1)
+        uids;
+      Hashtbl.remove t.wake t.now
+  | None -> ());
+  (match Hashtbl.find_opt t.reg_free_at t.now with
+  | Some uids ->
+      List.iter
+        (fun u ->
+          let s = t.slots.(u) in
+          if not s.ext_entry_freed then begin
+            s.ext_entry_freed <- true;
+            t.free_regs <- t.free_regs + 1
+          end)
+        uids;
+      Hashtbl.remove t.reg_free_at t.now
+  | None -> ());
+  (match Hashtbl.find_opt t.branch_resolve_at t.now with
+  | Some k ->
+      t.unresolved_branches <- t.unresolved_branches - k;
+      Hashtbl.remove t.branch_resolve_at t.now
+  | None -> ());
+  t.alloc_left <- t.cfg.Config.alloc_width;
+  t.src_left <- t.cfg.Config.rename_src_width;
+  t.dst_left <- t.cfg.Config.rename_dst_width
+
+let reg_ready s = s.ready_deps = 0
+
+let is_complete t s = s.issued && s.complete_cycle <= t.now
+let is_complete_slot = is_complete
+
+let mem_ready t s =
+  if not s.ev.Trace.is_load then Mem_cache
+  else begin
+    let uid = s.ev.Trace.uid in
+    let addr = s.ev.Trace.addr in
+    (* Store addresses are known from dispatch (the LSQ disambiguates
+       perfectly; all cores share this): only older in-flight stores to the
+       same address matter. [stores] is newest-first, so the first match is
+       the youngest older conflicting store. *)
+    let rec go = function
+      | [] -> Mem_cache
+      | (st : slot) :: rest ->
+          if st.ev.Trace.uid >= uid then go rest
+          else if st.ev.Trace.addr = addr then
+            if is_complete t st then Mem_forward else Mem_blocked
+          else go rest
+    in
+    go t.stores
+  end
+
+let can_issue_ports t s =
+  Rc.available t.read_ports t.now s.ev.Trace.ext_src_reads
+
+let schedule_wake t cycle uid =
+  let cur = match Hashtbl.find_opt t.wake cycle with Some l -> l | None -> [] in
+  Hashtbl.replace t.wake cycle (uid :: cur)
+
+let do_issue t s =
+  assert (not s.issued);
+  assert (reg_ready s);
+  Rc.take t.read_ports t.now s.ev.Trace.ext_src_reads;
+  t.ext_rf_reads <- t.ext_rf_reads + s.ev.Trace.ext_src_reads;
+  t.int_rf_reads <- t.int_rf_reads + s.ev.Trace.int_src_reads;
+  let lat =
+    if s.ev.Trace.is_load then
+      match mem_ready t s with
+      | Mem_forward -> 1
+      | Mem_cache -> Cache.data_latency t.hier s.ev.Trace.addr
+      | Mem_blocked -> assert false
+    else s.ev.Trace.latency
+  in
+  let complete = t.now + lat in
+  s.issued <- true;
+  s.issue_cycle <- t.now;
+  s.complete_cycle <- complete;
+  if s.ev.Trace.writes_int then begin
+    s.int_visible <- complete;
+    t.int_rf_writes <- t.int_rf_writes + 1
+  end;
+  if s.ev.Trace.writes_ext then begin
+    let bypassed = Rc.try_take t.bypass complete 1 in
+    let wb = Rc.take_first_free t.write_ports complete 1 in
+    t.ext_rf_writes <- t.ext_rf_writes + 1;
+    if bypassed then t.bypass_values <- t.bypass_values + 1;
+    s.ext_visible <- (if bypassed then complete else wb + 1)
+  end;
+  List.iter
+    (fun (c, via) ->
+      let visible = if via then s.int_visible else s.ext_visible in
+      let visible =
+        if visible = max_int then
+          (* consumer reads a register this instruction does not publish
+             (e.g. internal read of an I+E value resolved externally);
+             fall back to the other copy *)
+          min s.int_visible s.ext_visible
+        else visible
+      in
+      let visible = if visible = max_int then complete else visible in
+      schedule_wake t (max visible (t.now + 1)) c)
+    t.children.(s.ev.Trace.uid);
+  (* branch resolution releases its checkpoint *)
+  if s.ev.Trace.is_cond_branch && t.cfg.Config.max_unresolved_branches > 0 then begin
+    let c = max (complete + 1) (t.now + 1) in
+    let cur =
+      match Hashtbl.find_opt t.branch_resolve_at c with Some k -> k | None -> 0
+    in
+    Hashtbl.replace t.branch_resolve_at c (cur + 1)
+  end;
+  (* Braid dead-value early release: the in-flight external entry of a
+     producer frees once the producer has completed and its last external
+     reader (compiler liveness bits) has issued. Commit is the fallback
+     release, so this only shortens residency. *)
+  match t.cfg.Config.kind with
+  | Config.Braid_exec ->
+      let maybe_release p_uid =
+        let p = t.slots.(p_uid) in
+        if p.ev.Trace.writes_ext && p.issued && not p.ext_entry_freed then begin
+          let r = t.last_ext_reader.(p_uid) in
+          let release_at =
+            if r < 0 then Some (p.complete_cycle + 1)
+            else
+              let rs = t.slots.(r) in
+              if rs.issued then Some (max p.complete_cycle rs.issue_cycle + 1)
+              else None
+          in
+          match release_at with
+          | Some c ->
+              let c = max c (t.now + 1) in
+              let cur =
+                match Hashtbl.find_opt t.reg_free_at c with
+                | Some l -> l
+                | None -> []
+              in
+              Hashtbl.replace t.reg_free_at c (p_uid :: cur)
+          | None -> ()
+        end
+      in
+      maybe_release s.ev.Trace.uid;
+      Array.iter (fun (p, via) -> if not via then maybe_release p) s.ev.Trace.deps
+  | Config.In_order | Config.Dep_steer | Config.Ooo -> ()
+
+let can_dispatch t s =
+  let e = s.ev in
+  let reg_ok = (not e.Trace.writes_ext) || t.free_regs >= 1 in
+  let checkpoint_ok =
+    t.cfg.Config.max_unresolved_branches = 0
+    || (not e.Trace.is_cond_branch)
+    || t.unresolved_branches < t.cfg.Config.max_unresolved_branches
+  in
+  let ok =
+    t.alloc_left >= 1
+    && t.src_left >= e.Trace.ext_src_reads
+    && ((not e.Trace.writes_ext) || t.dst_left >= 1)
+    && reg_ok
+    && checkpoint_ok
+    && ((not (e.Trace.is_load || e.Trace.is_store))
+       || t.inflight_mem < t.cfg.Config.lsq_entries)
+    && t.dispatched_count - t.committed_count < t.cfg.Config.inflight
+  in
+  if not reg_ok then t.stall_regs <- t.stall_regs + 1;
+  ok
+
+let note_dispatch t s =
+  let e = s.ev in
+  t.alloc_left <- t.alloc_left - 1;
+  t.src_left <- t.src_left - e.Trace.ext_src_reads;
+  if e.Trace.writes_ext then begin
+    t.dst_left <- t.dst_left - 1;
+    t.free_regs <- t.free_regs - 1
+  end;
+  if e.Trace.is_load || e.Trace.is_store then
+    t.inflight_mem <- t.inflight_mem + 1;
+  if e.Trace.is_store then t.stores <- s :: t.stores;
+  if e.Trace.is_cond_branch && t.cfg.Config.max_unresolved_branches > 0 then
+    t.unresolved_branches <- t.unresolved_branches + 1;
+  s.dispatched <- true;
+  t.dispatched_count <- t.dispatched_count + 1
+
+let commit_stage t =
+  let budget = ref t.cfg.Config.commit_width in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 && t.commit_idx < Array.length t.slots do
+    let s = t.slots.(t.commit_idx) in
+    if is_complete t s then begin
+      s.completed <- true;
+      s.committed <- true;
+      (* stores drain to the data cache at commit *)
+      if s.ev.Trace.is_store && not t.cfg.Config.mem.Config.perfect_dcache then
+        ignore (Cache.data_latency t.hier s.ev.Trace.addr);
+      (* release the rename/in-flight entry at commit unless the braid
+         dead-value path already released it *)
+      if s.ev.Trace.writes_ext && not s.ext_entry_freed then begin
+        s.ext_entry_freed <- true;
+        t.free_regs <- t.free_regs + 1
+      end;
+      if s.ev.Trace.is_load || s.ev.Trace.is_store then
+        t.inflight_mem <- t.inflight_mem - 1;
+      if s.ev.Trace.is_store then
+        t.stores <- List.filter (fun (st : slot) -> st != s) t.stores;
+      t.committed_count <- t.committed_count + 1;
+      t.commit_idx <- t.commit_idx + 1;
+      decr budget
+    end
+    else continue_ := false
+  done
+
+let all_committed t = t.commit_idx >= Array.length t.slots
+let committed_count t = t.committed_count
+
+type dispatch_block =
+  | Block_none
+  | Block_alloc
+  | Block_rename
+  | Block_regs
+  | Block_checkpoint
+  | Block_lsq
+  | Block_inflight
+
+let dispatch_block_reason t (s : slot) =
+  let e = s.ev in
+  if t.alloc_left < 1 then Block_alloc
+  else if t.src_left < e.Trace.ext_src_reads
+          || (e.Trace.writes_ext && t.dst_left < 1) then Block_rename
+  else if
+    e.Trace.writes_ext && t.free_regs < 1
+    &&
+    match t.cfg.Config.kind with
+    | Config.In_order | Config.Dep_steer | Config.Ooo -> true
+    | Config.Braid_exec -> true
+  then Block_regs
+  else if
+    t.cfg.Config.max_unresolved_branches > 0
+    && e.Trace.is_cond_branch
+    && t.unresolved_branches >= t.cfg.Config.max_unresolved_branches
+  then Block_checkpoint
+  else if
+    (e.Trace.is_load || e.Trace.is_store)
+    && t.inflight_mem >= t.cfg.Config.lsq_entries
+  then Block_lsq
+  else if t.dispatched_count - t.committed_count >= t.cfg.Config.inflight then
+    Block_inflight
+  else Block_none
+
+type activity = {
+  ext_rf_reads : int;
+  ext_rf_writes : int;
+  int_rf_reads : int;
+  int_rf_writes : int;
+  bypass_values : int;
+}
+
+let activity (m : t) =
+  let t = m in
+  {
+    ext_rf_reads = t.ext_rf_reads;
+    ext_rf_writes = t.ext_rf_writes;
+    int_rf_reads = t.int_rf_reads;
+    int_rf_writes = t.int_rf_writes;
+    bypass_values = t.bypass_values;
+  }

@@ -1,0 +1,118 @@
+(** Shared timing-model state: in-flight instruction slots, dependence
+    wakeup, register-file ports, bypass capacity, the external-register
+    free list, the load-store queue, and in-order commit.
+
+    The four execution cores ({!Exec_core}) own only their scheduling
+    structure (queues/windows) and selection policy; everything they issue
+    flows through {!do_issue} here, so port, bypass, latency and memory
+    semantics are identical across paradigms.
+
+    The external register file is modeled as an in-flight value buffer
+    (rename free list): an entry is allocated at dispatch for each
+    external-writing instruction and released at commit. The braid core
+    additionally releases entries early, at dead-value time — once the
+    producer has completed and its last external reader (known to the
+    compiler, conveyed by the braid ISA) has read it — which is what lets
+    the paper's 8-entry external file keep up with a 256-entry one
+    (Fig 6). *)
+
+type slot = {
+  ev : Trace.event;
+  mutable dispatched : bool;
+  mutable issued : bool;
+  mutable completed : bool;
+  mutable committed : bool;
+  mutable ready_deps : int;  (** producers not yet visible *)
+  mutable issue_cycle : int;
+  mutable complete_cycle : int;
+  mutable ext_visible : int;  (** cycle from which consumers can read *)
+  mutable int_visible : int;
+  mutable ext_entry_freed : bool;  (** external-file entry released *)
+  mutable beu : int;  (** BEU index (braid core), -1 otherwise *)
+}
+
+type mem_status =
+  | Mem_blocked  (** an older store's address is still unknown *)
+  | Mem_forward  (** youngest older same-address store forwards *)
+  | Mem_cache  (** no conflict: access the data cache *)
+
+type t
+
+val create : Config.t -> Trace.t -> t
+
+val cfg : t -> Config.t
+val num_slots : t -> int
+val slot : t -> int -> slot
+
+val now : t -> int
+val begin_cycle : t -> unit
+(** Advances the clock, applies due wakeups, resets per-cycle dispatch
+    budgets. Call once per cycle before any stage. *)
+
+val reg_ready : slot -> bool
+(** All register producers visible. *)
+
+val is_complete_slot : t -> slot -> bool
+(** Issued and past its completion cycle. *)
+
+val mem_ready : t -> slot -> mem_status
+(** Load ordering status; non-loads are always [Mem_cache]. Pure check —
+    no cache state is touched. *)
+
+val can_issue_ports : t -> slot -> bool
+(** Enough external register file read ports remain this cycle. *)
+
+val do_issue : t -> slot -> unit
+(** Commits the issue at the current cycle: consumes read ports, computes
+    the completion time (FU latency; cache or forwarding for loads),
+    schedules writeback (write port), bypass, and consumer wakeups. The
+    caller must have checked [reg_ready], [mem_ready <> Mem_blocked] and
+    [can_issue_ports]. *)
+
+val can_dispatch : t -> slot -> bool
+(** Front-end resource check at the current cycle: allocate width, rename
+    source/destination bandwidth, external register availability, LSQ
+    space, in-flight bound. *)
+
+val note_dispatch : t -> slot -> unit
+(** Consumes the dispatch resources checked by [can_dispatch]. *)
+
+val commit_stage : t -> unit
+(** In-order commit of completed slots, up to the commit width; releases
+    registers (conventional scheme), LSQ entries, and drains stores to the
+    data cache. *)
+
+val all_committed : t -> bool
+val committed_count : t -> int
+
+val hierarchy : t -> Cache.hierarchy
+val predictor : t -> Predictor.t
+
+val stall_dispatch_regs : t -> int
+(** Cycles × instructions dispatch stalled for lack of an external
+    register (diagnostic). *)
+
+type dispatch_block =
+  | Block_none  (** not blocked by front-end resources (core is full) *)
+  | Block_alloc
+  | Block_rename
+  | Block_regs
+  | Block_checkpoint
+  | Block_lsq
+  | Block_inflight
+
+val dispatch_block_reason : t -> slot -> dispatch_block
+(** Why [can_dispatch] would refuse this slot right now — for the stall
+    breakdown diagnostics. *)
+
+type activity = {
+  ext_rf_reads : int;  (** external register file read accesses *)
+  ext_rf_writes : int;
+  int_rf_reads : int;  (** BEU-internal register file accesses *)
+  int_rf_writes : int;
+  bypass_values : int;  (** values that rode the bypass network *)
+}
+
+val activity : t -> activity
+(** Structure-access counts accumulated over the run, feeding the
+    complexity/energy comparison of §5.1. *)

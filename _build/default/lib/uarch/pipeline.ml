@@ -1,0 +1,266 @@
+type stalls = {
+  fetch_redirect : int;  (** cycles fetch waited on a mispredicted branch *)
+  fetch_icache : int;  (** cycles fetch waited on an I-cache fill *)
+  dispatch_core : int;  (** cycles the execution core refused dispatch *)
+  dispatch_frontend : int;  (** cycles a front-end resource refused it *)
+}
+
+type result = {
+  config_name : string;
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  branch_lookups : int;
+  branch_mispredicts : int;
+  l1i_misses : int;
+  l1d_misses : int;
+  l2_misses : int;
+  dispatch_stall_regs : int;
+  faults : int;
+  activity : Machine.activity;
+  stalls : stalls;
+  avg_occupancy : float;  (** mean instructions resident in the core *)
+}
+
+exception Deadlock of string
+
+type redirect = {
+  uid : int;  (** instruction whose resolution restarts fetch *)
+  penalty : int;
+  wrong_path : (int * int) option;  (** (block, offset) fetch runs down *)
+}
+
+let run ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
+  let n = Array.length trace.Trace.events in
+  if n = 0 then invalid_arg "Pipeline.run: empty trace";
+  let m = Machine.create cfg trace in
+  (* Warm-up: the measured window is a steady-state snapshot of a much
+     longer run (MinneSPEC), so code lines are warm in L1I/L2 and the
+     initial data image is warm in L2. *)
+  let h = Machine.hierarchy m in
+  let seen = Hashtbl.create 256 in
+  Array.iter
+    (fun (e : Trace.event) ->
+      let line = e.Trace.pc land lnot 63 in
+      if not (Hashtbl.mem seen line) then begin
+        Hashtbl.add seen line ();
+        Cache.warm_instr h line
+      end)
+    trace.Trace.events;
+  List.iter (fun addr -> Cache.warm_l2 h addr) warm_data;
+  let core = Exec_core.create m in
+  let fetchq : Machine.slot Ring.t = Ring.create ~capacity:cfg.Config.fetch_buffer in
+  let fetch_idx = ref 0 in
+  let blocked : redirect option ref = ref None in
+  let icache_ready = ref 0 in
+  let last_line = ref min_int in
+  let faults = ref 0 in
+  let hier = Machine.hierarchy m in
+  let pred = Machine.predictor m in
+  let guard = (200 * n) + 100_000 in
+  let last_progress = ref 0 in
+  let last_committed = ref 0 in
+  let stall_redirect = ref 0 and stall_icache = ref 0 in
+  let stall_core = ref 0 and stall_frontend = ref 0 in
+  let occupancy_sum = ref 0 in
+  (* finite BTB: direct-mapped table of transfer pcs *)
+  let btb =
+    if cfg.Config.btb_entries > 0 then Some (Array.make cfg.Config.btb_entries (-1))
+    else None
+  in
+  let btb_hit pc =
+    match btb with
+    | None -> true
+    | Some table ->
+        let idx = (pc lsr 2) mod Array.length table in
+        let hit = table.(idx) = pc in
+        table.(idx) <- pc;
+        hit
+  in
+  (* Wrong-path fetch: while a redirect is pending, walk the static
+     program down the mispredicted direction, touching I-cache lines
+     (polluting them) at fetch width per cycle. *)
+  let program = trace.Trace.program in
+  let wrong_path_of (e : Trace.event) =
+    let b = program.Program.blocks.(e.Trace.block_id) in
+    if e.Trace.taken then
+      (* predicted not-taken: the wrong path falls through *)
+      if e.Trace.offset + 1 < Array.length b.Program.instrs then
+        Some (e.Trace.block_id, e.Trace.offset + 1)
+      else Option.map (fun ft -> (ft, 0)) b.Program.fallthrough
+    else
+      (* predicted taken: the wrong path is the branch target *)
+      match b.Program.instrs.(e.Trace.offset).Instr.op with
+      | Op.Branch (_, _, target) -> Some (target, 0)
+      | _ -> None
+  in
+  let advance_wrong_path loc =
+    (* touch this cycle's wrong-path lines; return the next location *)
+    let rec go (blk, off) k last_line =
+      if k = 0 then Some (blk, off)
+      else
+        let b = program.Program.blocks.(blk) in
+        if off >= Array.length b.Program.instrs then
+          match b.Program.fallthrough with
+          | Some ft -> go (ft, 0) k last_line
+          | None -> None
+        else begin
+          let pc = Program.pc_of program ~block_id:blk ~offset:off in
+          let line = pc / 64 in
+          if line <> last_line then ignore (Cache.instr_latency hier pc);
+          (* wrong-path fetch assumes not-taken on conditionals and
+             follows jumps *)
+          match b.Program.instrs.(off).Instr.op with
+          | Op.Jump target -> go (target, 0) (k - 1) line
+          | Op.Halt -> None
+          | _ -> go (blk, off + 1) (k - 1) line
+        end
+    in
+    go loc cfg.Config.fetch_width (-1)
+  in
+  while not (Machine.all_committed m) do
+    Machine.begin_cycle m;
+    let now = Machine.now m in
+    if now > guard then
+      raise
+        (Deadlock
+           (Printf.sprintf "%s: no completion after %d cycles (%d/%d committed)"
+              cfg.Config.name now (Machine.committed_count m) n));
+    Machine.commit_stage m;
+    core.Exec_core.cycle ();
+    occupancy_sum := !occupancy_sum + core.Exec_core.occupancy ();
+    (* dispatch *)
+    let continue_dispatch = ref true in
+    while !continue_dispatch && not (Ring.is_empty fetchq) do
+      let s = Ring.peek fetchq in
+      if Machine.can_dispatch m s then
+        if core.Exec_core.try_dispatch s then begin
+          Machine.note_dispatch m s;
+          ignore (Ring.pop fetchq)
+        end
+        else begin
+          incr stall_core;
+          continue_dispatch := false
+        end
+      else begin
+        incr stall_frontend;
+        continue_dispatch := false
+      end
+    done;
+    (* resolve fetch redirects *)
+    (match !blocked with
+    | Some r ->
+        incr stall_redirect;
+        (if cfg.Config.model_wrong_path_fetch then
+           match r.wrong_path with
+           | Some loc ->
+               blocked := Some { r with wrong_path = advance_wrong_path loc }
+           | None -> ());
+        let s = Machine.slot m r.uid in
+        if s.Machine.issued && now >= s.Machine.complete_cycle + r.penalty then
+          blocked := None
+    | None -> if now < !icache_ready then incr stall_icache);
+    (* fetch *)
+    if !blocked = None && now >= !icache_ready then begin
+      let fetched = ref 0 and branches = ref 0 in
+      let stop = ref false in
+      while
+        (not !stop)
+        && !fetched < cfg.Config.fetch_width
+        && !fetch_idx < n
+        && not (Ring.is_full fetchq)
+      do
+        let e = trace.Trace.events.(!fetch_idx) in
+        (* I-cache: charge per new line; a miss stalls fetch *)
+        let line = e.Trace.pc / 64 in
+        if line <> !last_line then begin
+          let lat = Cache.instr_latency hier e.Trace.pc in
+          last_line := line;
+          if lat > cfg.Config.mem.Config.l1i.Config.latency then begin
+            icache_ready := now + lat;
+            stop := true
+          end
+        end;
+        if not !stop then begin
+          let is_branch = Trace.branch_of e in
+          if is_branch && !branches >= cfg.Config.max_branches_per_cycle then
+            stop := true
+          else begin
+            Ring.push fetchq (Machine.slot m e.Trace.uid);
+            incr fetched;
+            if is_branch then incr branches;
+            (* a taken transfer missing in the BTB costs a fetch bubble *)
+            if is_branch && e.Trace.taken && not (btb_hit e.Trace.pc) then
+              icache_ready := max !icache_ready (now + 2);
+            if e.Trace.is_cond_branch then begin
+              let correct =
+                Predictor.predict_and_train pred ~pc:e.Trace.pc ~taken:e.Trace.taken
+              in
+              if not correct then begin
+                blocked :=
+                  Some
+                    {
+                      uid = e.Trace.uid;
+                      penalty = cfg.Config.misprediction_penalty;
+                      wrong_path =
+                        (if cfg.Config.model_wrong_path_fetch then wrong_path_of e
+                         else None);
+                    };
+                stop := true
+              end
+            end;
+            (* arithmetic faults serialize: drain, handle, resume (§3.4) *)
+            if e.Trace.faulting then begin
+              incr faults;
+              blocked :=
+                Some
+                  {
+                    uid = e.Trace.uid;
+                    penalty = 2 * cfg.Config.misprediction_penalty;
+                    wrong_path = None;
+                  };
+              stop := true
+            end;
+            incr fetch_idx
+          end
+        end
+      done
+    end;
+    (* coarse progress check to catch modeling deadlocks *)
+    if Machine.committed_count m > !last_committed then begin
+      last_committed := Machine.committed_count m;
+      last_progress := now
+    end
+    else if now - !last_progress > 4 * cfg.Config.mem.Config.memory_latency + 4096
+    then
+      raise
+        (Deadlock
+           (Printf.sprintf "%s: stuck at %d/%d committed (cycle %d)"
+              cfg.Config.name (Machine.committed_count m) n now))
+  done;
+  let cycles = Machine.now m in
+  {
+    config_name = cfg.Config.name;
+    instructions = n;
+    cycles;
+    ipc = float_of_int n /. float_of_int (max 1 cycles);
+    branch_lookups = Predictor.lookups pred;
+    branch_mispredicts = Predictor.mispredicts pred;
+    l1i_misses = snd (Cache.l1i_stats hier);
+    l1d_misses = snd (Cache.l1d_stats hier);
+    l2_misses = snd (Cache.l2_stats hier);
+    dispatch_stall_regs = Machine.stall_dispatch_regs m;
+    faults = !faults;
+    activity = Machine.activity m;
+    stalls =
+      {
+        fetch_redirect = !stall_redirect;
+        fetch_icache = !stall_icache;
+        dispatch_core = !stall_core;
+        dispatch_frontend = !stall_frontend;
+      };
+    avg_occupancy = float_of_int !occupancy_sum /. float_of_int (max 1 cycles);
+  }
+
+let speedup base other =
+  float_of_int base.cycles /. float_of_int (max 1 other.cycles)

@@ -1,0 +1,48 @@
+(** The full pipeline: fetch (I-cache + branch prediction), dispatch
+    (allocate/rename budgets, register availability, LSQ), the execution
+    core, and in-order commit — driven cycle by cycle over an
+    execution-derived trace.
+
+    Branch handling: direction predictions are made at fetch against the
+    trace's real outcomes; a misprediction stops instruction supply until
+    the branch executes, plus the configured minimum penalty — wrong-path
+    work is modeled as this bubble. Arithmetic faults serialize the
+    pipeline (drain to the checkpoint, handle, resume), per §3.4. *)
+
+type stalls = {
+  fetch_redirect : int;  (** cycles fetch waited on a mispredicted branch *)
+  fetch_icache : int;  (** cycles fetch waited on an I-cache fill *)
+  dispatch_core : int;  (** cycles the execution core refused dispatch *)
+  dispatch_frontend : int;  (** cycles a front-end resource refused it *)
+}
+
+type result = {
+  config_name : string;
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  branch_lookups : int;
+  branch_mispredicts : int;
+  l1i_misses : int;
+  l1d_misses : int;
+  l2_misses : int;
+  dispatch_stall_regs : int;
+  faults : int;
+  activity : Machine.activity;  (** structure-access counts (§5.1) *)
+  stalls : stalls;
+  avg_occupancy : float;  (** mean instructions resident in the core *)
+}
+
+exception Deadlock of string
+(** Raised when no forward progress happens for an implausibly long time —
+    a simulator bug, surfaced loudly rather than silently looping. *)
+
+val run : ?warm_data:int list -> Config.t -> Trace.t -> result
+(** [warm_data] lists byte addresses of the program's initial data image;
+    their lines are pre-filled into the L2 (and all code lines into
+    L1I/L2) so the measured window behaves like a steady-state snapshot
+    rather than a cold start. *)
+
+val speedup : result -> result -> float
+(** [speedup base other] = cycles(base) / cycles(other): how much faster
+    [other] finishes the same program. *)

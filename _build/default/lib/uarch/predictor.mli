@@ -1,0 +1,21 @@
+(** Branch direction prediction.
+
+    The paper's front end uses a perceptron predictor with a 64-bit global
+    history and a 512-entry weight table (Table 4); a gshare predictor
+    (4K two-bit counters, 12-bit global history) is provided for
+    comparison, and a perfect predictor backs the Fig 1 limit study. Targets are assumed perfect (ideal BTB):
+    only direction mispredictions cost cycles. *)
+
+type t
+
+val create : Config.t -> t
+
+val predict_and_train : t -> pc:int -> taken:bool -> bool
+(** Returns whether the prediction matched the actual outcome, and trains
+    the predictor. Perfect predictors always match. *)
+
+val lookups : t -> int
+val mispredicts : t -> int
+
+val accuracy : t -> float
+(** 1.0 when no lookups have happened. *)

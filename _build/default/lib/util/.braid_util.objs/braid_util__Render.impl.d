@@ -1,0 +1,1 @@
+lib/util/render.ml: Array List Printf String

@@ -1,0 +1,55 @@
+type t = { bits : Bytes.t; n : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitvec.create: negative length";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitvec: index out of range"
+
+let set t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i / 8)) in
+  Bytes.set t.bits (i / 8) (Char.chr (b lor (1 lsl (i mod 8))))
+
+let clear t i =
+  check t i;
+  let b = Char.code (Bytes.get t.bits (i / 8)) in
+  Bytes.set t.bits (i / 8) (Char.chr (b land lnot (1 lsl (i mod 8)) land 0xFF))
+
+let get t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let assign t i v = if v then set t i else clear t i
+
+let clear_all t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let set_all t =
+  for i = 0 to t.n - 1 do
+    set t i
+  done
+
+let popcount t =
+  let c = ref 0 in
+  for i = 0 to t.n - 1 do
+    if get t i then incr c
+  done;
+  !c
+
+let copy t = { bits = Bytes.copy t.bits; n = t.n }
+
+let first_clear t =
+  let rec go i = if i >= t.n then None else if get t i then go (i + 1) else Some i in
+  go 0
+
+let fold_set f t acc =
+  let acc = ref acc in
+  for i = 0 to t.n - 1 do
+    if get t i then acc := f i !acc
+  done;
+  !acc
+
+let to_string t = String.init t.n (fun i -> if get t i then '1' else '0')

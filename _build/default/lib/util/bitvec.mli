@@ -1,0 +1,28 @@
+(** Fixed-width mutable bit vector.
+
+    Models the busy-bit vector of the braid microarchitecture (one bit per
+    external register) and other small presence sets. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an [n]-bit vector, all clear. [n] must be non-negative. *)
+
+val length : t -> int
+val set : t -> int -> unit
+val clear : t -> int -> unit
+val get : t -> int -> bool
+val assign : t -> int -> bool -> unit
+val set_all : t -> unit
+val clear_all : t -> unit
+val popcount : t -> int
+val copy : t -> t
+
+val first_clear : t -> int option
+(** Index of the lowest clear bit, if any. *)
+
+val fold_set : (int -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+(** Folds over the indices of set bits, ascending. *)
+
+val to_string : t -> string
+(** MSB-last textual form, e.g. ["10110000"] for an 8-bit vector. *)

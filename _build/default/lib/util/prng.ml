@@ -1,0 +1,75 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+(* FNV-1a 64-bit over the label, so human-readable names give stable seeds. *)
+let of_string name =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    name;
+  create !h
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = create (next_int64 t)
+
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let pick_weighted t choices =
+  let total = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 choices in
+  assert (total > 0.0);
+  let target = float t total in
+  let rec go i acc =
+    if i = Array.length choices - 1 then snd choices.(i)
+    else
+      let w, v = choices.(i) in
+      if acc +. w > target then v else go (i + 1) (acc +. w)
+  in
+  go 0 0.0
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let geometric t p =
+  assert (p > 0.0 && p <= 1.0);
+  let rec go n = if chance t p then n else go (n + 1) in
+  go 1

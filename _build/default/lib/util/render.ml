@@ -1,0 +1,56 @@
+let float_cell v = Printf.sprintf "%.3f" v
+let pct v = Printf.sprintf "%.1f%%" (v *. 100.0)
+
+let pad s width = s ^ String.make (max 0 (width - String.length s)) ' '
+
+let table ~header ~rows =
+  let arity = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> arity then invalid_arg "Render.table: ragged row")
+    rows;
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let render_row row =
+    String.concat "  " (List.mapi (fun i cell -> pad cell widths.(i)) row)
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row header :: rule :: body) @ [ "" ])
+
+let bar_chart ~title ?(unit_label = "") ?(width = 50) items =
+  List.iter
+    (fun (_, v) ->
+      if v < 0.0 then invalid_arg "Render.bar_chart: negative value")
+    items;
+  let max_v = List.fold_left (fun acc (_, v) -> max acc v) 0.0 items in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items
+  in
+  let bar v =
+    let n =
+      if max_v <= 0.0 then 0
+      else int_of_float (v /. max_v *. float_of_int width +. 0.5)
+    in
+    String.make n '#'
+  in
+  let lines =
+    List.map
+      (fun (l, v) ->
+        Printf.sprintf "  %s  %8.3f%s  %s" (pad l label_w) v unit_label (bar v))
+      items
+  in
+  String.concat "\n" ((title :: lines) @ [ "" ])
+
+let grouped_series ~title ~series_names ~rows =
+  let header = "" :: series_names in
+  let body =
+    List.map (fun (label, vals) -> label :: List.map float_cell vals) rows
+  in
+  title ^ "\n" ^ table ~header ~rows:body

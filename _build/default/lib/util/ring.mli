@@ -1,0 +1,44 @@
+(** Bounded FIFO queue over a circular buffer.
+
+    Used throughout the microarchitecture for instruction queues: BEU FIFOs,
+    fetch buffers, and the load-store queue all need O(1) push/pop with a
+    hard capacity and indexed access from the head (for scheduling
+    windows). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty ring holding at most [capacity]
+    elements. [capacity] must be positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Appends at the tail. Raises [Failure] when full. *)
+
+val pop : 'a t -> 'a
+(** Removes and returns the head. Raises [Failure] when empty. *)
+
+val peek : 'a t -> 'a
+(** Returns the head without removing it. Raises [Failure] when empty. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] is the element [i] positions from the head ([get t 0 = peek
+    t]). Raises [Invalid_argument] when out of range. *)
+
+val remove_at : 'a t -> int -> 'a
+(** [remove_at t i] removes and returns the element [i] positions from the
+    head, shifting later elements forward. O(n); only used with tiny
+    scheduling windows. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Head-to-tail iteration. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val clear : 'a t -> unit

@@ -1,0 +1,95 @@
+let require_nonempty name n =
+  if n = 0 then invalid_arg (name ^ ": empty input")
+
+let mean xs =
+  require_nonempty "Stats.mean" (Array.length xs);
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let mean_list xs =
+  require_nonempty "Stats.mean_list" (List.length xs);
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  require_nonempty "Stats.geomean" (Array.length xs);
+  let log_sum =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive input"
+        else acc +. log x)
+      0.0 xs
+  in
+  exp (log_sum /. float_of_int (Array.length xs))
+
+let stddev xs =
+  require_nonempty "Stats.stddev" (Array.length xs);
+  let m = mean xs in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+    /. float_of_int (Array.length xs)
+  in
+  sqrt var
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let median xs =
+  require_nonempty "Stats.median" (Array.length xs);
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  if n mod 2 = 1 then ys.(n / 2)
+  else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.0
+
+let percentile xs p =
+  require_nonempty "Stats.percentile" (Array.length xs);
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  let idx = if rank <= 0 then 0 else min (n - 1) (rank - 1) in
+  ys.(idx)
+
+let minimum xs =
+  require_nonempty "Stats.minimum" (Array.length xs);
+  Array.fold_left min xs.(0) xs
+
+let maximum xs =
+  require_nonempty "Stats.maximum" (Array.length xs);
+  Array.fold_left max xs.(0) xs
+
+let weighted_mean pairs =
+  let wsum = Array.fold_left (fun acc (w, _) -> acc +. w) 0.0 pairs in
+  if wsum <= 0.0 then invalid_arg "Stats.weighted_mean: weights sum <= 0";
+  Array.fold_left (fun acc (w, v) -> acc +. (w *. v)) 0.0 pairs /. wsum
+
+let ratio a b = if b = 0.0 then invalid_arg "Stats.ratio: zero divisor" else a /. b
+
+module Running = struct
+  type t = {
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+  }
+
+  let create () = { count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+  let min t =
+    require_nonempty "Stats.Running.min" t.count;
+    t.min_v
+
+  let max t =
+    require_nonempty "Stats.Running.max" t.count;
+    t.max_v
+end

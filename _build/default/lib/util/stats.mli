@@ -1,0 +1,49 @@
+(** Small statistics toolkit used by the characterisation passes and the
+    simulation reports. All functions are total over their stated domains
+    and raise [Invalid_argument] on empty input where a value is required. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises on empty input. *)
+
+val mean_list : float list -> float
+(** Arithmetic mean of a list. Raises on empty input. *)
+
+val geomean : float array -> float
+(** Geometric mean; all inputs must be positive. Raises on empty input. *)
+
+val stddev : float array -> float
+(** Population standard deviation. Raises on empty input. *)
+
+val median : float array -> float
+(** Median (average of middle two for even lengths). Does not mutate the
+    argument. Raises on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], nearest-rank on a sorted copy.
+    Raises on empty input. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val weighted_mean : (float * float) array -> float
+(** [weighted_mean pairs] where each pair is [(weight, value)]; weights must
+    sum to a positive value. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b], raising [Invalid_argument] when [b = 0.]. *)
+
+module Running : sig
+  (** Single-pass accumulator for count / mean / min / max / sum. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float (** 0. when empty. *)
+
+  val min : t -> float (** Raises on empty accumulator. *)
+
+  val max : t -> float (** Raises on empty accumulator. *)
+end

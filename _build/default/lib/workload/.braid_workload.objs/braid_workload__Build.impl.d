@@ -1,0 +1,1 @@
+lib/workload/build.ml: Array Instr Int64 List Op Printf Program Reg

@@ -1,0 +1,1 @@
+lib/workload/build.mli: Op Program Reg

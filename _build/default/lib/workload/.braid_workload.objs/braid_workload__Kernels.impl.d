@@ -1,0 +1,1 @@
+lib/workload/kernels.ml: Array Build Int64 Op Prng Reg

@@ -1,0 +1,1 @@
+lib/workload/kernels.mli: Build Prng

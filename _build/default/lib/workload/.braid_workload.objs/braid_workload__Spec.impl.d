@@ -1,0 +1,1 @@
+lib/workload/spec.ml: Build Float Kernels List Printf Prng

@@ -1,0 +1,204 @@
+type block_state = {
+  mutable instrs : Op.t list;  (* reversed *)
+  mutable fallthrough : int option;
+  mutable closed : bool;  (* terminated or switched away from *)
+  mutable populated : bool;  (* has ever been current *)
+}
+
+type t = {
+  mutable blocks : block_state array;
+  mutable nblocks : int;
+  mutable current : int option;
+  mutable next_virt_int : int;
+  mutable next_virt_fp : int;
+  mutable next_region : int;
+  mutable next_addr : int;
+  mutable init_mem : (int * int64) list;
+}
+
+let fresh_block_state () =
+  { instrs = []; fallthrough = None; closed = false; populated = false }
+
+let create () =
+  let t =
+    {
+      blocks = Array.init 16 (fun _ -> fresh_block_state ());
+      nblocks = 0;
+      current = None;
+      next_virt_int = 0;
+      next_virt_fp = 0;
+      next_region = 0;
+      next_addr = 0x1000;
+      init_mem = [];
+    }
+  in
+  (* Entry block. *)
+  t.nblocks <- 1;
+  t.current <- Some 0;
+  t.blocks.(0).populated <- true;
+  t
+
+let int_reg t =
+  let r = Reg.virt Reg.Cint t.next_virt_int in
+  t.next_virt_int <- t.next_virt_int + 1;
+  r
+
+let fp_reg t =
+  let r = Reg.virt Reg.Cfp t.next_virt_fp in
+  t.next_virt_fp <- t.next_virt_fp + 1;
+  r
+
+let cur t =
+  match t.current with
+  | Some i -> t.blocks.(i)
+  | None -> failwith "Build: no current block (after a terminator)"
+
+let emit t op =
+  (match op with
+  | Op.Branch _ | Op.Jump _ | Op.Halt ->
+      invalid_arg "Build.emit: use branch/jump/halt for terminators"
+  | _ -> ());
+  let b = cur t in
+  b.instrs <- op :: b.instrs
+
+let const t cls v =
+  match cls with
+  | Reg.Cint ->
+      let r = int_reg t in
+      emit t (Op.Movi (r, v));
+      r
+  | Reg.Cfp ->
+      let tmp = int_reg t in
+      emit t (Op.Movi (tmp, v));
+      let r = fp_reg t in
+      emit t (Op.Funary (Op.Cvt_if, r, tmp));
+      r
+
+let alloc_array t ~words ~init =
+  if words <= 0 then invalid_arg "Build.alloc_array: words must be positive";
+  let base_addr = t.next_addr in
+  t.next_addr <- t.next_addr + (8 * words) + 64 (* guard gap *);
+  let region = t.next_region in
+  t.next_region <- t.next_region + 1;
+  for i = 0 to words - 1 do
+    let v = init i in
+    if not (Int64.equal v 0L) then
+      t.init_mem <- (base_addr + (8 * i), v) :: t.init_mem
+  done;
+  let base = int_reg t in
+  emit t (Op.Movi (base, Int64.of_int base_addr));
+  (base, region, base_addr)
+
+let grow t =
+  if t.nblocks = Array.length t.blocks then begin
+    let bigger = Array.init (2 * t.nblocks) (fun _ -> fresh_block_state ()) in
+    Array.blit t.blocks 0 bigger 0 t.nblocks;
+    t.blocks <- bigger
+  end
+
+let new_block t =
+  grow t;
+  let l = t.nblocks in
+  t.nblocks <- l + 1;
+  l
+
+let switch_to t l =
+  (match t.current with
+  | Some i ->
+      failwith
+        (Printf.sprintf "Build.switch_to: block %d still open (terminate it first)" i)
+  | None -> ());
+  let b = t.blocks.(l) in
+  if b.populated then failwith "Build.switch_to: block already populated";
+  b.populated <- true;
+  t.current <- Some l
+
+let terminate t ?fallthrough op =
+  let b = cur t in
+  (match op with Some o -> b.instrs <- o :: b.instrs | None -> ());
+  b.fallthrough <- fallthrough;
+  b.closed <- true;
+  t.current <- None
+
+let branch t cond reg ~taken ~fall =
+  terminate t ~fallthrough:fall (Some (Op.Branch (cond, reg, taken)))
+
+let jump t l = terminate t (Some (Op.Jump l))
+let halt t = terminate t (Some Op.Halt)
+
+let enter_block t =
+  let l = new_block t in
+  terminate t ~fallthrough:l None;
+  switch_to t l;
+  l
+
+let counted_loop t ~count body =
+  if count <= 0 then invalid_arg "Build.counted_loop: count must be positive";
+  let i = int_reg t in
+  emit t (Op.Movi (i, 0L));
+  let body_l = new_block t in
+  terminate t ~fallthrough:body_l None;
+  switch_to t body_l;
+  body t i;
+  emit t (Op.Ibini (Op.Add, i, i, 1));
+  let bound = int_reg t in
+  emit t (Op.Movi (bound, Int64.of_int count));
+  let cmp = int_reg t in
+  emit t (Op.Ibin (Op.Cmplt, cmp, i, bound));
+  let exit_l = new_block t in
+  branch t Op.Ne cmp ~taken:body_l ~fall:exit_l;
+  switch_to t exit_l
+
+let if_diamond t cond reg ~then_ ~else_ =
+  let then_l = new_block t in
+  let else_l = new_block t in
+  let join_l = new_block t in
+  branch t cond reg ~taken:then_l ~fall:else_l;
+  switch_to t else_l;
+  else_ t;
+  jump t join_l;
+  switch_to t then_l;
+  then_ t;
+  terminate t ~fallthrough:join_l None;
+  switch_to t join_l
+
+let while_pos t ~fuel ~cond_reg body =
+  if fuel <= 0 then invalid_arg "Build.while_pos: fuel must be positive";
+  let c = int_reg t in
+  emit t (Op.Movi (c, 0L));
+  let body_l = new_block t in
+  terminate t ~fallthrough:body_l None;
+  switch_to t body_l;
+  body t;
+  emit t (Op.Ibini (Op.Add, c, c, 1));
+  let cond = cond_reg t in
+  let nz = int_reg t in
+  emit t (Op.Ibini (Op.Cmpeq, nz, cond, 0));
+  let nz2 = int_reg t in
+  emit t (Op.Ibini (Op.Cmpeq, nz2, nz, 0));
+  (* nz2 = (cond <> 0) *)
+  let bound = int_reg t in
+  emit t (Op.Movi (bound, Int64.of_int fuel));
+  let under = int_reg t in
+  emit t (Op.Ibin (Op.Cmplt, under, c, bound));
+  let cont = int_reg t in
+  emit t (Op.Ibin (Op.And, cont, nz2, under));
+  let exit_l = new_block t in
+  branch t Op.Ne cont ~taken:body_l ~fall:exit_l;
+  switch_to t exit_l
+
+let finish t =
+  (match t.current with Some _ -> halt t | None -> ());
+  let blocks =
+    List.init t.nblocks (fun i ->
+        let b = t.blocks.(i) in
+        if not b.closed then
+          failwith (Printf.sprintf "Build.finish: block %d never terminated" i);
+        {
+          Program.id = i;
+          instrs =
+            Array.of_list (List.rev_map (fun op -> Instr.make op) b.instrs);
+          fallthrough = b.fallthrough;
+        })
+  in
+  (Program.make blocks ~entry:0, List.rev t.init_mem)

@@ -1,0 +1,66 @@
+(** Imperative builder for virtual-register programs.
+
+    Workload generators use this DSL to assemble structured control flow
+    (counted loops, if-diamonds, data-bounded loops) out of basic blocks,
+    with fresh virtual registers and region-tagged memory. The result is
+    the virtual IR consumed by both register allocators. *)
+
+type t
+
+val create : unit -> t
+
+val int_reg : t -> Reg.t
+(** Fresh integer-class virtual register. *)
+
+val fp_reg : t -> Reg.t
+(** Fresh floating-point-class virtual register. *)
+
+val alloc_array : t -> words:int -> init:(int -> int64) -> Reg.t * int * int
+(** [alloc_array t ~words ~init] reserves a fresh memory region of [words]
+    64-bit words, records its initial contents, emits a [Movi] loading the
+    base byte address into a fresh register in the current block, and
+    returns [(base_reg, region_tag, base_addr)]. *)
+
+val emit : t -> Op.t -> unit
+(** Appends a non-control-transfer operation to the current block. *)
+
+val const : t -> Reg.cls -> int64 -> Reg.t
+(** Emits a [Movi] (through [Cvt_if] for floats) and returns the fresh
+    register holding the constant. *)
+
+val new_block : t -> Op.label
+(** Creates an empty block (not yet current). *)
+
+val switch_to : t -> Op.label -> unit
+(** Makes [label] the current block for subsequent [emit]s. Each block may
+    be populated only once. *)
+
+val enter_block : t -> Op.label
+(** [new_block] + terminate current block by falling through to it +
+    [switch_to] it. *)
+
+val branch : t -> Op.cond -> Reg.t -> taken:Op.label -> fall:Op.label -> unit
+(** Terminates the current block with a conditional branch; leaves no
+    current block. *)
+
+val jump : t -> Op.label -> unit
+val halt : t -> unit
+
+val counted_loop : t -> count:int -> (t -> Reg.t -> unit) -> unit
+(** [counted_loop t ~count body] runs [body t i] with induction register
+    [i] counting [0 .. count-1]; the loop-back branch terminates whatever
+    block [body] leaves current. After the call the builder sits in the
+    fresh exit block. [count] must be positive. *)
+
+val if_diamond :
+  t -> Op.cond -> Reg.t -> then_:(t -> unit) -> else_:(t -> unit) -> unit
+(** Two-armed diamond; afterwards the builder sits in the join block. *)
+
+val while_pos : t -> fuel:int -> cond_reg:(t -> Reg.t) -> (t -> unit) -> unit
+(** Data-bounded loop with a fuel bound guaranteeing termination:
+    iterates while [cond_reg] evaluates non-zero and fewer than [fuel]
+    iterations have run. *)
+
+val finish : t -> Program.t * (int * int64) list
+(** Terminates the current block with [Halt] if one is open, and returns
+    the program (entry = block 0) plus the initial memory image. *)

@@ -1,0 +1,398 @@
+type ctx = { b : Build.t; rng : Prng.t }
+
+let fbits = Int64.bits_of_float
+
+(* addr = base + (i << 3) *)
+let elem_addr b base i =
+  let off = Build.int_reg b in
+  Build.emit b (Op.Ibini (Op.Shl, off, i, 3));
+  let addr = Build.int_reg b in
+  Build.emit b (Op.Ibin (Op.Add, addr, base, off));
+  addr
+
+let load_elem b ~cls ~base ~region i =
+  let addr = elem_addr b base i in
+  let dst = match cls with Reg.Cint -> Build.int_reg b | Reg.Cfp -> Build.fp_reg b in
+  Build.emit b (Op.Load (dst, addr, 0, region));
+  dst
+
+let rand_fp rng lo hi = fbits (lo +. Prng.float rng (hi -. lo))
+
+let unroll_factor = 4
+
+let streaming { b; rng } ~len ~passes =
+  (* unrolled by 4: one address computation per array per iteration, four
+     independent multiply-add lanes — streaming FP code has wide ILP and
+     large basic blocks *)
+  let len = max unroll_factor (len / unroll_factor * unroll_factor) in
+  let groups = len / unroll_factor in
+  let a, ra, _ = Build.alloc_array b ~words:len ~init:(fun _ -> rand_fp rng 1.0 2.0) in
+  let bb, rb, _ = Build.alloc_array b ~words:len ~init:(fun _ -> rand_fp rng 0.5 1.5) in
+  let c, rc, _ = Build.alloc_array b ~words:len ~init:(fun _ -> 0L) in
+  let s = Build.const b Reg.Cfp 3L in
+  Build.counted_loop b ~count:passes (fun b _p ->
+      Build.counted_loop b ~count:groups (fun b g ->
+          let goff = Build.int_reg b in
+          Build.emit b (Op.Ibini (Op.Shl, goff, g, 5));
+          let aaddr = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, aaddr, a, goff));
+          let baddr = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, baddr, bb, goff));
+          let caddr = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, caddr, c, goff));
+          for j = 0 to unroll_factor - 1 do
+            let va = Build.fp_reg b in
+            Build.emit b (Op.Load (va, aaddr, 8 * j, ra));
+            let vb = Build.fp_reg b in
+            Build.emit b (Op.Load (vb, baddr, 8 * j, rb));
+            let prod = Build.fp_reg b in
+            Build.emit b (Op.Fbin (Op.Fmul, prod, va, s));
+            let sum = Build.fp_reg b in
+            Build.emit b (Op.Fbin (Op.Fadd, sum, prod, vb));
+            Build.emit b (Op.Store (sum, caddr, 8 * j, rc))
+          done))
+
+let stencil { b; rng } ~len ~passes ~depth =
+  (* unrolled by 2: two independent deep chains per iteration *)
+  let len = max 2 (len / 2 * 2) in
+  let groups = len / 2 in
+  let src, rs, _ = Build.alloc_array b ~words:len ~init:(fun _ -> rand_fp rng 0.9 1.1) in
+  let dst, rd, _ = Build.alloc_array b ~words:len ~init:(fun _ -> 0L) in
+  let coef_mul = Build.const b Reg.Cfp 1L in
+  let coef_add = Build.const b Reg.Cfp 2L in
+  (* One lane: a braid of size ~depth made of two interleaved dependent
+     chains merged at the end — width ~1.5–2, the mgrid shape (size 13.2,
+     width 1.4 in the paper's Table 2). *)
+  let lane b saddr daddr off =
+    let v0 = Build.fp_reg b in
+    Build.emit b (Op.Load (v0, saddr, off, rs));
+    let v = ref v0 and w = ref v0 in
+    let half = max 1 (depth / 2) in
+    for d = 0 to half - 1 do
+      let op = if d mod 2 = 0 then Op.Fmul else Op.Fadd in
+      let coef = if d mod 2 = 0 then coef_mul else coef_add in
+      let nv = Build.fp_reg b in
+      Build.emit b (Op.Fbin (op, nv, !v, coef));
+      v := nv;
+      let nw = Build.fp_reg b in
+      Build.emit b (Op.Fbin (op, nw, !w, coef));
+      w := nw
+    done;
+    let merged = Build.fp_reg b in
+    Build.emit b (Op.Fbin (Op.Fadd, merged, !v, !w));
+    Build.emit b (Op.Store (merged, daddr, off, rd))
+  in
+  Build.counted_loop b ~count:passes (fun b _p ->
+      Build.counted_loop b ~count:groups (fun b g ->
+          let goff = Build.int_reg b in
+          Build.emit b (Op.Ibini (Op.Shl, goff, g, 4));
+          let saddr = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, saddr, src, goff));
+          let daddr = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, daddr, dst, goff));
+          lane b saddr daddr 0;
+          lane b saddr daddr 8))
+
+let reduction { b; rng } ~len ~passes =
+  (* two accumulators, unrolled by 2: halves the loop-carried FP-add
+     serialisation, as any compiled dot product would *)
+  let len = max 2 (len / 2 * 2) in
+  let groups = len / 2 in
+  let a, ra, _ = Build.alloc_array b ~words:len ~init:(fun _ -> rand_fp rng 0.0 1.0) in
+  let c, rc, _ = Build.alloc_array b ~words:len ~init:(fun _ -> rand_fp rng 0.0 1.0) in
+  let out, ro, _ = Build.alloc_array b ~words:passes ~init:(fun _ -> 0L) in
+  Build.counted_loop b ~count:passes (fun b p ->
+      let acc0 = Build.const b Reg.Cfp 0L in
+      let acc1 = Build.const b Reg.Cfp 0L in
+      Build.counted_loop b ~count:groups (fun b g ->
+          let goff = Build.int_reg b in
+          Build.emit b (Op.Ibini (Op.Shl, goff, g, 4));
+          let aaddr = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, aaddr, a, goff));
+          let caddr = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, caddr, c, goff));
+          let mac acc off =
+            let va = Build.fp_reg b in
+            Build.emit b (Op.Load (va, aaddr, off, ra));
+            let vc = Build.fp_reg b in
+            Build.emit b (Op.Load (vc, caddr, off, rc));
+            let prod = Build.fp_reg b in
+            Build.emit b (Op.Fbin (Op.Fmul, prod, va, vc));
+            Build.emit b (Op.Fbin (Op.Fadd, acc, acc, prod))
+          in
+          mac acc0 0;
+          mac acc1 8);
+      Build.emit b (Op.Fbin (Op.Fadd, acc0, acc0, acc1));
+      let addr = elem_addr b out p in
+      Build.emit b (Op.Store (acc0, addr, 0, ro)))
+
+let pointer_chase { b; rng } ~nodes ~steps =
+  (* A random ring: node i holds the byte offset of its successor. *)
+  let perm = Array.init nodes (fun i -> i) in
+  Prng.shuffle rng perm;
+  let succ = Array.make nodes 0 in
+  for k = 0 to nodes - 1 do
+    succ.(perm.(k)) <- perm.((k + 1) mod nodes)
+  done;
+  let next, rn, _ =
+    Build.alloc_array b ~words:nodes ~init:(fun i -> Int64.of_int (8 * succ.(i)))
+  in
+  let pay, rp, _ =
+    (* payload parity is biased so the chase's data-dependent branch is
+       mostly predictable, like real pointer code *)
+    Build.alloc_array b ~words:nodes
+      ~init:(fun _ ->
+        let v = Prng.int rng 1000 in
+        let v = if Prng.chance rng 0.88 then v lor 1 else v land lnot 1 in
+        Int64.of_int v)
+  in
+  let out, ro, _ = Build.alloc_array b ~words:1 ~init:(fun _ -> 0L) in
+  let off = Build.const b Reg.Cint 0L in
+  let acc = Build.const b Reg.Cint 0L in
+  Build.counted_loop b ~count:steps (fun b _ ->
+      let addr = Build.int_reg b in
+      Build.emit b (Op.Ibin (Op.Add, addr, next, off));
+      (* The serial load: off := mem[next + off]. *)
+      Build.emit b (Op.Load (off, addr, 0, rn));
+      let paddr = Build.int_reg b in
+      Build.emit b (Op.Ibin (Op.Add, paddr, pay, off));
+      let v = Build.int_reg b in
+      Build.emit b (Op.Load (v, paddr, 0, rp));
+      Build.emit b (Op.Ibin (Op.Xor, acc, acc, v));
+      let t = Build.int_reg b in
+      Build.emit b (Op.Ibini (Op.And, t, v, 1));
+      Build.if_diamond b Op.Ne t
+        ~then_:(fun b -> Build.emit b (Op.Ibini (Op.Add, acc, acc, 3)))
+        ~else_:(fun b -> Build.emit b (Op.Ibini (Op.Xor, acc, acc, 5))));
+  Build.emit b (Op.Store (acc, out, 0, ro))
+
+let hash_mix { b; rng } ~len ~passes =
+  let data, rd, _ =
+    Build.alloc_array b ~words:len
+      ~init:(fun _ -> Int64.of_int (Prng.int rng 1_000_000))
+  in
+  let table, rt, _ =
+    Build.alloc_array b ~words:256
+      ~init:(fun _ -> Int64.of_int (Prng.int rng 1_000_000))
+  in
+  let h = Build.const b Reg.Cint 0x9E37L in
+  Build.counted_loop b ~count:passes (fun b _ ->
+      Build.counted_loop b ~count:len (fun b i ->
+          let v = load_elem b ~cls:Reg.Cint ~base:data ~region:rd i in
+          Build.emit b (Op.Ibin (Op.Xor, h, h, v));
+          Build.emit b (Op.Ibini (Op.Mul, h, h, 0x5bd1e99));
+          let t = Build.int_reg b in
+          Build.emit b (Op.Ibini (Op.Shr, t, h, 15));
+          Build.emit b (Op.Ibin (Op.Xor, h, h, t));
+          let idx = Build.int_reg b in
+          Build.emit b (Op.Ibini (Op.And, idx, h, 255));
+          let ioff = Build.int_reg b in
+          Build.emit b (Op.Ibini (Op.Shl, ioff, idx, 3));
+          let taddr = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, taddr, table, ioff));
+          let tv = Build.int_reg b in
+          Build.emit b (Op.Load (tv, taddr, 0, rt));
+          Build.emit b (Op.Ibin (Op.Add, h, h, tv));
+          (* a checksum candidate computed for a path not taken here: a
+             produced-but-unused value (the paper's ~4%, §1.1) *)
+          let dead = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Andnot, dead, tv, v));
+          Build.emit b (Op.Store (h, taddr, 0, rt))))
+
+let branchy { b; rng } ~len ~passes ~bias =
+  let data, rd, _ =
+    Build.alloc_array b ~words:len
+      ~init:(fun _ ->
+        let mag = Int64.of_int (1 + Prng.int rng 100) in
+        if Prng.chance rng bias then Int64.neg mag else mag)
+  in
+  let out, ro, _ = Build.alloc_array b ~words:1 ~init:(fun _ -> 0L) in
+  let acc = Build.const b Reg.Cint 0L in
+  Build.counted_loop b ~count:passes (fun b _ ->
+      Build.counted_loop b ~count:len (fun b i ->
+          let v = load_elem b ~cls:Reg.Cint ~base:data ~region:rd i in
+          Build.if_diamond b Op.Lt v
+            ~then_:(fun b ->
+              Build.emit b (Op.Ibin (Op.Sub, acc, acc, v));
+              let t = Build.int_reg b in
+              Build.emit b (Op.Ibini (Op.Shl, t, acc, 1));
+              Build.emit b (Op.Ibin (Op.Xor, acc, acc, t)))
+            ~else_:(fun b ->
+              Build.emit b (Op.Ibin (Op.Add, acc, acc, v));
+              (* dead value: a bound check whose result this path ignores *)
+              let dead = Build.int_reg b in
+              Build.emit b (Op.Ibini (Op.Cmplt, dead, v, 50));
+              Build.emit b (Op.Ibini (Op.Add, acc, acc, 7)))));
+  Build.emit b (Op.Store (acc, out, 0, ro))
+
+let bitscan { b; rng } ~len ~passes =
+  (* The paper's Fig 2: x = new[i] &~ old[i]; flags via cmov. *)
+  let rand_bits () = Prng.next_int64 rng in
+  let nw, r1, _ = Build.alloc_array b ~words:len ~init:(fun _ -> rand_bits ()) in
+  let old, r2, _ = Build.alloc_array b ~words:len ~init:(fun _ -> rand_bits ()) in
+  let sg, r3, _ = Build.alloc_array b ~words:len ~init:(fun _ -> rand_bits ()) in
+  let out, ro, _ = Build.alloc_array b ~words:2 ~init:(fun _ -> 0L) in
+  let one = Build.const b Reg.Cint 1L in
+  let consider = Build.const b Reg.Cint 0L in
+  let must = Build.const b Reg.Cint 0L in
+  Build.counted_loop b ~count:passes (fun b _ ->
+      Build.counted_loop b ~count:len (fun b i ->
+          let x1 = load_elem b ~cls:Reg.Cint ~base:nw ~region:r1 i in
+          let x2 = load_elem b ~cls:Reg.Cint ~base:old ~region:r2 i in
+          let x3 = load_elem b ~cls:Reg.Cint ~base:sg ~region:r3 i in
+          let x = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Andnot, x, x1, x2));
+          Build.emit b (Op.Cmov (Op.Ne, consider, x, one));
+          let t = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.And, t, x, x3));
+          Build.emit b (Op.Cmov (Op.Ne, must, t, one));
+          Build.emit b (Op.Cmov (Op.Ne, consider, t, one))));
+  Build.emit b (Op.Store (consider, out, 0, ro));
+  Build.emit b (Op.Store (must, out, 8, ro))
+
+let matrix { b; rng } ~n =
+  let words = n * n in
+  let a, ra, _ = Build.alloc_array b ~words ~init:(fun _ -> rand_fp rng 0.0 1.0) in
+  let bm, rb, _ = Build.alloc_array b ~words ~init:(fun _ -> rand_fp rng 0.0 1.0) in
+  let c, rc, _ = Build.alloc_array b ~words ~init:(fun _ -> 0L) in
+  let nreg = Build.const b Reg.Cint (Int64.of_int n) in
+  Build.counted_loop b ~count:n (fun b i ->
+      Build.counted_loop b ~count:n (fun b j ->
+          let acc = Build.const b Reg.Cfp 0L in
+          Build.counted_loop b ~count:n (fun b k ->
+              let t1 = Build.int_reg b in
+              Build.emit b (Op.Ibin (Op.Mul, t1, i, nreg));
+              let t2 = Build.int_reg b in
+              Build.emit b (Op.Ibin (Op.Add, t2, t1, k));
+              let va = load_elem b ~cls:Reg.Cfp ~base:a ~region:ra t2 in
+              let t3 = Build.int_reg b in
+              Build.emit b (Op.Ibin (Op.Mul, t3, k, nreg));
+              let t4 = Build.int_reg b in
+              Build.emit b (Op.Ibin (Op.Add, t4, t3, j));
+              let vb = load_elem b ~cls:Reg.Cfp ~base:bm ~region:rb t4 in
+              let prod = Build.fp_reg b in
+              Build.emit b (Op.Fbin (Op.Fmul, prod, va, vb));
+              Build.emit b (Op.Fbin (Op.Fadd, acc, acc, prod)));
+          let t1 = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Mul, t1, i, nreg));
+          let t2 = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, t2, t1, j));
+          let addr = elem_addr b c t2 in
+          Build.emit b (Op.Store (acc, addr, 0, rc))))
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let butterfly { b; rng } ~len ~passes =
+  (* radix-4 butterfly stage: 8 loads feed a dense cross-combination with
+     a wide internal working set (~10 simultaneously live values) before 8
+     stores — the braid shape that exercises the paper's working-set
+     splitting rule (§3.1). *)
+  let len = max 8 (len / 8 * 8) in
+  let groups = len / 8 in
+  let src, rs, _ = Build.alloc_array b ~words:len ~init:(fun _ -> rand_fp rng 0.5 1.5) in
+  let dst, rd, _ = Build.alloc_array b ~words:len ~init:(fun _ -> 0L) in
+  Build.counted_loop b ~count:passes (fun b _p ->
+      Build.counted_loop b ~count:groups (fun b g ->
+          let goff = Build.int_reg b in
+          Build.emit b (Op.Ibini (Op.Shl, goff, g, 6));
+          let saddr = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, saddr, src, goff));
+          let daddr = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Add, daddr, dst, goff));
+          let v =
+            Array.init 8 (fun j ->
+                let r = Build.fp_reg b in
+                Build.emit b (Op.Load (r, saddr, 8 * j, rs));
+                r)
+          in
+          let comb op a c =
+            let r = Build.fp_reg b in
+            Build.emit b (Op.Fbin (op, r, a, c));
+            r
+          in
+          (* first stage: pairwise sums and differences *)
+          let s = Array.init 4 (fun j -> comb Op.Fadd v.(2 * j) v.((2 * j) + 1)) in
+          let d = Array.init 4 (fun j -> comb Op.Fsub v.(2 * j) v.((2 * j) + 1)) in
+          (* second stage: cross combinations *)
+          let out =
+            [|
+              comb Op.Fadd s.(0) s.(2); comb Op.Fsub s.(0) s.(2);
+              comb Op.Fadd s.(1) s.(3); comb Op.Fsub s.(1) s.(3);
+              comb Op.Fadd d.(0) d.(2); comb Op.Fsub d.(0) d.(2);
+              comb Op.Fadd d.(1) d.(3); comb Op.Fsub d.(1) d.(3);
+            |]
+          in
+          Array.iteri
+            (fun j r -> Build.emit b (Op.Store (r, daddr, 8 * j, rd)))
+            out))
+
+let gather { b; rng } ~len ~visits =
+  (* Footprint ([len], rounded up to a power of two) is independent of the
+     work done ([visits]); the visit index wraps with a mask. *)
+  let len = pow2_at_least len 16 in
+  let idx, ri, _ =
+    Build.alloc_array b ~words:len
+      ~init:(fun _ -> Int64.of_int (8 * Prng.int rng len))
+  in
+  let values, rv, _ =
+    Build.alloc_array b ~words:len
+      ~init:(fun _ -> Int64.of_int (Prng.int rng 1_000_000))
+  in
+  let out, ro, _ = Build.alloc_array b ~words:1 ~init:(fun _ -> 0L) in
+  let acc = Build.const b Reg.Cint 0L in
+  Build.counted_loop b ~count:visits (fun b i ->
+      let masked = Build.int_reg b in
+      Build.emit b (Op.Ibini (Op.And, masked, i, len - 1));
+      let off = load_elem b ~cls:Reg.Cint ~base:idx ~region:ri masked in
+      let vaddr = Build.int_reg b in
+      Build.emit b (Op.Ibin (Op.Add, vaddr, values, off));
+      let v = Build.int_reg b in
+      Build.emit b (Op.Load (v, vaddr, 0, rv));
+      Build.emit b (Op.Ibin (Op.Add, acc, acc, v)));
+  Build.emit b (Op.Store (acc, out, 0, ro))
+
+let divsqrt { b; rng } ~len ~passes =
+  let data, rd, _ = Build.alloc_array b ~words:len ~init:(fun _ -> rand_fp rng 1.0 2.0) in
+  let out, ro, _ = Build.alloc_array b ~words:len ~init:(fun _ -> 0L) in
+  let s = Build.const b Reg.Cfp 2L in
+  Build.counted_loop b ~count:passes (fun b _ ->
+      Build.counted_loop b ~count:len (fun b i ->
+          let v = load_elem b ~cls:Reg.Cfp ~base:data ~region:rd i in
+          let q = Build.fp_reg b in
+          Build.emit b (Op.Fbin (Op.Fdiv, q, s, v));
+          let r = Build.fp_reg b in
+          Build.emit b (Op.Funary (Op.Fsqrt, r, q));
+          let addr = elem_addr b out i in
+          Build.emit b (Op.Store (r, addr, 0, ro))))
+
+let cmov_select { b; rng } ~len ~passes =
+  let cost, rc, _ =
+    Build.alloc_array b ~words:len
+      ~init:(fun _ -> Int64.of_int (1 + Prng.int rng 1_000_000))
+  in
+  let out, ro, _ = Build.alloc_array b ~words:2 ~init:(fun _ -> 0L) in
+  Build.counted_loop b ~count:passes (fun b _ ->
+      let best = Build.const b Reg.Cint 0x3FFFFFFFL in
+      let besti = Build.const b Reg.Cint (-1L) in
+      Build.counted_loop b ~count:len (fun b i ->
+          let v = load_elem b ~cls:Reg.Cint ~base:cost ~region:rc i in
+          let t = Build.int_reg b in
+          Build.emit b (Op.Ibin (Op.Cmplt, t, v, best));
+          Build.emit b (Op.Cmov (Op.Ne, best, t, v));
+          Build.emit b (Op.Cmov (Op.Ne, besti, t, i)));
+      Build.emit b (Op.Store (best, out, 0, ro));
+      Build.emit b (Op.Store (besti, out, 8, ro)))
+
+let cost = function
+  | `Streaming -> 13
+  | `Stencil depth -> depth + 10
+  | `Reduction -> 12
+  | `Pointer_chase -> 16
+  | `Hash_mix -> 16
+  | `Branchy -> 13
+  | `Bitscan -> 17
+  | `Matrix -> 18
+  | `Gather -> 12
+  | `Divsqrt -> 12
+  | `Cmov_select -> 12
+  | `Butterfly -> 5 (* per element visited; 8 elements per group of ~38 ops *)

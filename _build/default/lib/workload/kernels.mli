@@ -1,0 +1,65 @@
+(** Kernel library for the synthetic SPEC CPU2000 stand-ins.
+
+    Each kernel appends a self-contained piece of code (its own arrays, its
+    own loops) to the builder and leaves the builder in a fresh block. The
+    kernels are chosen to span the dataflow shapes the paper characterises:
+    short independent braids (streaming), deep chains (stencil, pointer
+    chase), wide fanout-1 integer mixing (hash), control-dense code
+    (branchy, bitscan — the paper's Fig 2 gcc kernel), and FP-heavy code
+    with long latencies (matrix, divsqrt).
+
+    The [iters] hint of [cost] tells generators how many dynamic
+    instructions one call contributes, so benchmark builders can size trip
+    counts to a target trace length. *)
+
+type ctx = { b : Build.t; rng : Prng.t }
+
+val streaming : ctx -> len:int -> passes:int -> unit
+(** [c\[i\] = a\[i\] *. s +. b\[i\]] — independent short FP braids. *)
+
+val stencil : ctx -> len:int -> passes:int -> depth:int -> unit
+(** Per-element dependent FP chain of length [depth] — large, narrow
+    braids (mgrid-like when [depth] is large). *)
+
+val reduction : ctx -> len:int -> passes:int -> unit
+(** FP dot-product accumulation — one loop-carried chain. *)
+
+val pointer_chase : ctx -> nodes:int -> steps:int -> unit
+(** Linked-ring walk with a data-dependent exit test — mcf-like. *)
+
+val hash_mix : ctx -> len:int -> passes:int -> unit
+(** Integer mixing with xor/mul/shift plus table stores — gzip/bzip2. *)
+
+val branchy : ctx -> len:int -> passes:int -> bias:float -> unit
+(** If-diamonds on loaded data; [bias] is the fraction of elements taking
+    the then-arm (0.5 = unpredictable). *)
+
+val bitscan : ctx -> len:int -> passes:int -> unit
+(** The paper's Fig 2 kernel: andnot/and/cmov flag computation over three
+    bitsets. *)
+
+val matrix : ctx -> n:int -> unit
+(** n×n×n FP multiply-accumulate nest. *)
+
+val butterfly : ctx -> len:int -> passes:int -> unit
+(** Radix-4 FFT-style butterfly stage: 8 loads, dense cross-combination
+    (~10 simultaneously live values), 8 stores — wide braids that exercise
+    the working-set splitting rule. *)
+
+val gather : ctx -> len:int -> visits:int -> unit
+(** Index-array-driven loads over a footprint of [len] words (rounded up to
+    a power of two), visiting [visits] elements — sparse/database access. *)
+
+val divsqrt : ctx -> len:int -> passes:int -> unit
+(** FP divide and square-root chains — long-latency pressure. *)
+
+val cmov_select : ctx -> len:int -> passes:int -> unit
+(** Compare/cmov minimum-select — twolf/vpr placement loops. *)
+
+val cost :
+  [ `Streaming | `Stencil of int | `Reduction | `Pointer_chase | `Hash_mix
+  | `Branchy | `Bitscan | `Matrix | `Gather | `Divsqrt | `Cmov_select
+  | `Butterfly ] ->
+  int
+(** Approximate dynamic instructions per inner-element visit, used by
+    generators to size loops. *)

@@ -1,0 +1,158 @@
+type cls = Int_bench | Fp_bench
+
+type profile = {
+  name : string;
+  cls : cls;
+  description : string;
+  mix : (float * piece) list;
+}
+
+and piece =
+  | Streaming of { len : int }
+  | Stencil of { len : int; depth : int }
+  | Reduction of { len : int }
+  | Chase of { nodes : int }
+  | Hash of { len : int }
+  | Branchy of { len : int; bias : float }
+  | Bitscan of { len : int }
+  | Matrix
+  | Gather of { len : int }
+  | Divsqrt of { len : int }
+  | Cmov of { len : int }
+  | Butterfly of { len : int }
+
+let ib name description mix = { name; cls = Int_bench; description; mix }
+let fb name description mix = { name; cls = Fp_bench; description; mix }
+
+let integer =
+  [
+    ib "bzip2" "block-sort compression: hashing, tables, data-dependent branches"
+      [ (0.5, Hash { len = 128 }); (0.3, Gather { len = 512 });
+        (0.2, Branchy { len = 64; bias = 0.15 }) ];
+    ib "crafty" "chess: bitboard scans, hashing, search branches"
+      [ (0.4, Bitscan { len = 64 }); (0.3, Hash { len = 128 });
+        (0.3, Branchy { len = 64; bias = 0.15 }) ];
+    ib "eon" "ray tracing in C++: regular loops, selects, some streaming"
+      [ (0.4, Branchy { len = 64; bias = 0.08 }); (0.3, Streaming { len = 64 });
+        (0.3, Cmov { len = 64 }) ];
+    ib "gap" "group theory: list/hash manipulation"
+      [ (0.4, Hash { len = 128 }); (0.3, Branchy { len = 64; bias = 0.18 });
+        (0.3, Gather { len = 256 }) ];
+    ib "gcc" "compiler: dense control flow, bitset life analysis (Fig 2)"
+      [ (0.4, Bitscan { len = 48 }); (0.4, Branchy { len = 48; bias = 0.15 });
+        (0.2, Hash { len = 64 }) ];
+    ib "gzip" "LZ77 compression: integer mixing and table updates"
+      [ (0.6, Hash { len = 128 }); (0.2, Branchy { len = 64; bias = 0.12 });
+        (0.2, Gather { len = 256 }) ];
+    ib "mcf" "network simplex: pointer chasing over a large footprint"
+      [ (0.7, Chase { nodes = 16384 }); (0.3, Gather { len = 4096 }) ];
+    ib "parser" "NL parsing: linked structures and unpredictable branches"
+      [ (0.4, Branchy { len = 64; bias = 0.15 }); (0.3, Chase { nodes = 2048 });
+        (0.3, Hash { len = 64 }) ];
+    ib "perlbmk" "interpreter: hash tables, dispatch-like branches"
+      [ (0.4, Hash { len = 128 }); (0.4, Branchy { len = 64; bias = 0.18 });
+        (0.2, Gather { len = 512 }) ];
+    ib "twolf" "place & route: min-select loops with cmov"
+      [ (0.4, Cmov { len = 128 }); (0.3, Branchy { len = 64; bias = 0.15 });
+        (0.3, Gather { len = 512 }) ];
+    ib "vortex" "OO database: indexed lookups"
+      [ (0.5, Gather { len = 1024 }); (0.3, Branchy { len = 64; bias = 0.08 });
+        (0.2, Hash { len = 128 }) ];
+    ib "vpr" "FPGA place & route: selects plus pointer structures"
+      [ (0.4, Cmov { len = 128 }); (0.3, Branchy { len = 64; bias = 0.15 });
+        (0.3, Chase { nodes = 1024 }) ];
+  ]
+
+let floating =
+  [
+    fb "ammp" "molecular dynamics: neighbour lists plus FP streaming"
+      [ (0.3, Chase { nodes = 4096 }); (0.4, Streaming { len = 512 });
+        (0.3, Divsqrt { len = 64 }) ];
+    fb "applu" "PDE solver: medium stencil chains"
+      [ (0.5, Stencil { len = 128; depth = 6 }); (0.3, Streaming { len = 256 });
+        (0.2, Reduction { len = 128 }) ];
+    fb "apsi" "weather: stencil plus dense kernels"
+      [ (0.4, Stencil { len = 128; depth = 4 }); (0.3, Streaming { len = 256 });
+        (0.2, Matrix); (0.1, Butterfly { len = 64 }) ];
+    fb "art" "neural net: large gathers and reductions"
+      [ (0.4, Gather { len = 8192 }); (0.4, Reduction { len = 1024 });
+        (0.2, Streaming { len = 512 }) ];
+    fb "equake" "seismic FEM: sparse gathers into stencil updates"
+      [ (0.4, Gather { len = 4096 }); (0.4, Stencil { len = 128; depth = 4 });
+        (0.2, Reduction { len = 256 }) ];
+    fb "facerec" "face recognition: dense linear algebra"
+      [ (0.5, Matrix); (0.3, Reduction { len = 512 }); (0.2, Streaming { len = 256 }) ];
+    fb "fma3d" "crash simulation: divide/sqrt chains and streaming"
+      [ (0.4, Divsqrt { len = 128 }); (0.4, Streaming { len = 256 });
+        (0.2, Branchy { len = 64; bias = 0.1 }) ];
+    fb "galgel" "fluid dynamics: dense kernels plus spectral butterflies"
+      [ (0.4, Matrix); (0.3, Streaming { len = 256 }); (0.3, Butterfly { len = 128 }) ];
+    fb "lucas" "primality FFT: butterflies, long FP chains, some division"
+      [ (0.4, Stencil { len = 128; depth = 8 }); (0.3, Butterfly { len = 128 });
+        (0.3, Divsqrt { len = 64 }) ];
+    fb "mesa" "3D rasteriser: selects and streaming"
+      [ (0.3, Cmov { len = 128 }); (0.4, Streaming { len = 256 });
+        (0.3, Branchy { len = 64; bias = 0.1 }) ];
+    fb "mgrid" "multigrid: the deepest stencil chains (largest braids)"
+      [ (0.8, Stencil { len = 128; depth = 14 }); (0.2, Reduction { len = 256 }) ];
+    fb "sixtrack" "accelerator tracking: dense kernels plus div/sqrt"
+      [ (0.4, Matrix); (0.3, Divsqrt { len = 64 });
+        (0.3, Stencil { len = 128; depth = 4 }) ];
+    fb "swim" "shallow water: wide streaming stencils"
+      [ (0.5, Stencil { len = 512; depth = 5 }); (0.5, Streaming { len = 512 }) ];
+    fb "wupwise" "lattice QCD: small dense blocks and reductions"
+      [ (0.4, Matrix); (0.3, Reduction { len = 256 }); (0.3, Streaming { len = 256 }) ];
+  ]
+
+let all = integer @ floating
+
+let find name = List.find (fun p -> p.name = name) all
+
+let cost_of = function
+  | Streaming _ -> Kernels.cost `Streaming
+  | Stencil { depth; _ } -> Kernels.cost (`Stencil depth)
+  | Reduction _ -> Kernels.cost `Reduction
+  | Chase _ -> Kernels.cost `Pointer_chase
+  | Hash _ -> Kernels.cost `Hash_mix
+  | Branchy _ -> Kernels.cost `Branchy
+  | Bitscan _ -> Kernels.cost `Bitscan
+  | Matrix -> Kernels.cost `Matrix
+  | Gather _ -> Kernels.cost `Gather
+  | Divsqrt _ -> Kernels.cost `Divsqrt
+  | Cmov _ -> Kernels.cost `Cmov_select
+  | Butterfly _ -> Kernels.cost `Butterfly
+
+let emit_piece ctx piece ~target =
+  let per = cost_of piece in
+  let passes_for len = max 1 (target / (per * len)) in
+  match piece with
+  | Streaming { len } -> Kernels.streaming ctx ~len ~passes:(passes_for len)
+  | Stencil { len; depth } -> Kernels.stencil ctx ~len ~passes:(passes_for len) ~depth
+  | Reduction { len } -> Kernels.reduction ctx ~len ~passes:(passes_for len)
+  | Chase { nodes } -> Kernels.pointer_chase ctx ~nodes ~steps:(max 1 (target / per))
+  | Hash { len } -> Kernels.hash_mix ctx ~len ~passes:(passes_for len)
+  | Branchy { len; bias } -> Kernels.branchy ctx ~len ~passes:(passes_for len) ~bias
+  | Bitscan { len } -> Kernels.bitscan ctx ~len ~passes:(passes_for len)
+  | Matrix ->
+      let n =
+        let cube = float_of_int (max 1 target) /. float_of_int per in
+        let n = int_of_float (Float.cbrt cube) in
+        min 24 (max 4 n)
+      in
+      Kernels.matrix ctx ~n
+  | Gather { len } -> Kernels.gather ctx ~len ~visits:(max 1 (target / per))
+  | Divsqrt { len } -> Kernels.divsqrt ctx ~len ~passes:(passes_for len)
+  | Cmov { len } -> Kernels.cmov_select ctx ~len ~passes:(passes_for len)
+  | Butterfly { len } -> Kernels.butterfly ctx ~len ~passes:(passes_for len)
+
+let generate profile ~seed ~scale =
+  if scale <= 0 then invalid_arg "Spec.generate: scale must be positive";
+  let rng = Prng.of_string (Printf.sprintf "%s:%d" profile.name seed) in
+  let b = Build.create () in
+  let ctx = { Kernels.b; rng } in
+  List.iter
+    (fun (frac, piece) ->
+      let target = int_of_float (frac *. float_of_int scale) in
+      if target > 0 then emit_piece ctx piece ~target)
+    profile.mix;
+  Build.finish b

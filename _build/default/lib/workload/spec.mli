@@ -1,0 +1,47 @@
+(** Synthetic stand-ins for the SPEC CPU2000 benchmark suite.
+
+    Each profile composes the kernels of {!Kernels} in proportions chosen to
+    echo the published character of the corresponding benchmark: mcf is a
+    cache-hostile pointer chase, mgrid is deep FP stencil chains (the
+    paper's largest braids), gzip/bzip2 are integer mixing with table
+    traffic, twolf/vpr are cmov-heavy select loops, and so on. Programs are
+    real, terminating, executable code; [scale] targets the dynamic
+    instruction count of one run. *)
+
+type cls = Int_bench | Fp_bench
+
+type profile = {
+  name : string;
+  cls : cls;
+  description : string;
+  mix : (float * piece) list;  (** fraction of [scale] spent in each piece *)
+}
+
+and piece =
+  | Streaming of { len : int }
+  | Stencil of { len : int; depth : int }
+  | Reduction of { len : int }
+  | Chase of { nodes : int }
+  | Hash of { len : int }
+  | Branchy of { len : int; bias : float }
+  | Bitscan of { len : int }
+  | Matrix
+  | Gather of { len : int }
+  | Divsqrt of { len : int }
+  | Cmov of { len : int }
+  | Butterfly of { len : int }
+
+val all : profile list
+(** The 26 programs in paper order: 12 integer then 14 floating-point. *)
+
+val integer : profile list
+val floating : profile list
+
+val find : string -> profile
+(** Lookup by name. Raises [Not_found]. *)
+
+val generate : profile -> seed:int -> scale:int -> Program.t * (int * int64) list
+(** Builds the program and its initial memory image. Deterministic in
+    [(profile, seed, scale)]. [scale] is an approximate target for the
+    dynamic instruction count (actual length is within roughly a factor of
+    two). *)

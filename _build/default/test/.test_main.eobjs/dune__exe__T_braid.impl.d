@@ -1,0 +1,1 @@
+test/t_braid.ml: Alcotest Array Braid_core Braid_workload Format Hashtbl Instr Int64 List Op Program QCheck QCheck_alcotest Reg String

@@ -1,0 +1,1 @@
+test/t_emulator.ml: Alcotest Array Emulator Fmt Instr Int64 List Op Option Program Reg Trace

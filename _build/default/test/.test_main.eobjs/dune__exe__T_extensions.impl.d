@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Asm Astring_contains Braid_core Braid_sim Braid_uarch Braid_workload Disasm Emulator Fmt Instr Int64 List Op Option Program QCheck QCheck_alcotest Reg Trace

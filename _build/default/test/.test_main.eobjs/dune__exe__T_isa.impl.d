@@ -1,0 +1,1 @@
+test/t_isa.ml: Alcotest Encode Fmt Format Hashtbl Instr Int64 List Op QCheck QCheck_alcotest Reg

@@ -1,0 +1,1 @@
+test/t_prng.ml: Alcotest Array Int64 Prng QCheck QCheck_alcotest

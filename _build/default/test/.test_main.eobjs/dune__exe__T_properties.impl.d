@@ -1,0 +1,1 @@
+test/t_properties.ml: Alcotest Array Braid_core Braid_sim Braid_uarch Braid_workload Emulator Encode Histogram Instr Int64 List Op Option Printf Program QCheck QCheck_alcotest Reg Trace

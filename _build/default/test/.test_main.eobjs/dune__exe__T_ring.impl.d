@@ -1,0 +1,1 @@
+test/t_ring.ml: Alcotest Bitvec Gen List QCheck QCheck_alcotest Ring

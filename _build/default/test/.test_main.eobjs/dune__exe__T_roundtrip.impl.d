@@ -1,0 +1,1 @@
+test/t_roundtrip.ml: Alcotest Asm Braid_uarch Disasm Instr List Op Option Printf QCheck QCheck_alcotest Reg T_isa

@@ -1,0 +1,1 @@
+test/t_stats.ml: Alcotest Array Gen Histogram List QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/t_statspass.ml: Alcotest Array Astring_contains Braid_core Braid_sim Braid_workload Emulator Instr List Op Option Program Reg Render String

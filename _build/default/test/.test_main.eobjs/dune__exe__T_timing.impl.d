@@ -1,0 +1,1 @@
+test/t_timing.ml: Alcotest Array Braid_core Braid_uarch Braid_workload Emulator Instr Int64 Op Option Printf Program Reg

@@ -1,0 +1,1 @@
+test/t_transform.ml: Alcotest Array Braid_core Braid_workload Emulator Fmt Hashtbl Instr Int64 Lazy List Op Printf Program QCheck QCheck_alcotest Reg Trace

@@ -1,0 +1,1 @@
+test/t_uarch.ml: Alcotest Braid_core Braid_uarch Braid_workload Emulator List Op Option Printf Prng QCheck QCheck_alcotest Reg Trace

@@ -1,0 +1,1 @@
+test/t_workload.ml: Alcotest Braid_workload Emulator Fmt Instr Int64 List Op Printf Program QCheck QCheck_alcotest Reg Trace

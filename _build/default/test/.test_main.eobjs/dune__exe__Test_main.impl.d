@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_braid T_emulator T_extensions T_isa T_prng T_properties T_ring T_roundtrip T_stats T_statspass T_timing T_transform T_uarch T_workload

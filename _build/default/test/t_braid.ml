@@ -1,0 +1,312 @@
+(* Tests for the braid compiler core: liveness, identification, splitting,
+   ordering, and the Fig 2 example. *)
+
+module C = Braid_core
+
+let r n = Reg.ext Reg.Cint n
+let v n = Reg.virt Reg.Cint n
+let i op = Instr.make op
+
+let block id ?fallthrough instrs =
+  { Program.id; instrs = Array.of_list instrs; fallthrough }
+
+(* --- Dataflow --- *)
+
+let regset = Alcotest.testable
+    (fun fmt s ->
+      Format.pp_print_string fmt
+        (String.concat "," (List.map Reg.to_string (C.Regset.Set.elements s))))
+    C.Regset.Set.equal
+
+let test_successors () =
+  let p =
+    Program.make
+      [
+        block 0 ~fallthrough:1 [ i (Op.Branch (Op.Eq, r 0, 2)) ];
+        block 1 [ i (Op.Jump 0) ];
+        block 2 [ i Op.Halt ];
+      ]
+      ~entry:0
+  in
+  Alcotest.(check (list int)) "branch" [ 2; 1 ] (C.Dataflow.successors p 0);
+  Alcotest.(check (list int)) "jump" [ 0 ] (C.Dataflow.successors p 1);
+  Alcotest.(check (list int)) "halt" [] (C.Dataflow.successors p 2)
+
+let test_liveness_diamond () =
+  (* B0: def v0, branch; B1: use v0 def v1; B2: def v1; B3: use v1, halt *)
+  let p =
+    Program.make
+      [
+        block 0 ~fallthrough:1 [ i (Op.Movi (v 0, 1L)); i (Op.Branch (Op.Gt, v 0, 2)) ];
+        block 1 ~fallthrough:3 [ i (Op.Ibini (Op.Add, v 1, v 0, 1)) ];
+        block 2 ~fallthrough:3 [ i (Op.Movi (v 1, 9L)) ];
+        block 3 [ i (Op.Ibini (Op.Add, v 2, v 1, 0)); i Op.Halt ];
+      ]
+      ~entry:0
+  in
+  let live = C.Dataflow.liveness p in
+  Alcotest.check regset "v0 live into B1" (C.Regset.Set.singleton (v 0))
+    live.C.Dataflow.live_in.(1);
+  Alcotest.check regset "nothing live into B2" C.Regset.Set.empty
+    live.C.Dataflow.live_in.(2);
+  Alcotest.check regset "v1 live into B3" (C.Regset.Set.singleton (v 1))
+    live.C.Dataflow.live_in.(3);
+  Alcotest.check regset "v1 live out of B1" (C.Regset.Set.singleton (v 1))
+    live.C.Dataflow.live_out.(1)
+
+let test_liveness_loop () =
+  (* loop-carried value must stay live around the back edge *)
+  let p =
+    Program.make
+      [
+        block 0 ~fallthrough:1 [ i (Op.Movi (v 0, 0L)) ];
+        block 1 ~fallthrough:2
+          [
+            i (Op.Ibini (Op.Add, v 0, v 0, 1));
+            i (Op.Ibini (Op.Cmplt, v 1, v 0, 10));
+            i (Op.Branch (Op.Ne, v 1, 1));
+          ];
+        block 2 [ i (Op.Store (v 0, Reg.zero, 0x1000, 0)); i Op.Halt ];
+      ]
+      ~entry:0
+  in
+  let live = C.Dataflow.liveness p in
+  Alcotest.(check bool) "v0 live around back edge" true
+    (C.Regset.Set.mem (v 0) live.C.Dataflow.live_out.(1));
+  Alcotest.(check bool) "v0 live into loop" true
+    (C.Regset.Set.mem (v 0) live.C.Dataflow.live_in.(1))
+
+(* --- Fig 2: the gcc life-analysis block --- *)
+
+(* Mirror of the paper's Fig 2(b) basic block, written with virtual
+   registers: three braids — the bitset computation (with the branch), the
+   induction-variable increment, and a standalone lda. *)
+let fig2_block () =
+  let a0 = v 0 and a1 = v 1 and t8 = v 2 and t4 = v 3 and t5 = v 4 and t9 = v 5 in
+  let t0 = v 10 and t1 = v 11 and t2 = v 12 and t3 = v 13 and t6 = v 14 and t7 = v 15 in
+  block 0 ~fallthrough:1
+    [
+      i (Op.Ibin (Op.Add, t0, a1, t4));
+      (* addq a1, t4, t0 *)
+      i (Op.Ibin (Op.Add, t1, a0, t4));
+      (* addq a0, t4, t1 *)
+      i (Op.Ibin (Op.Add, t2, t8, t4));
+      (* addq t8, t4, t2 *)
+      i (Op.Load (t3, t0, 0, 0));
+      (* ldl t3, 0(t0) *)
+      i (Op.Ibini (Op.Add, t5, t5, 1));
+      (* addl t5, #1, t5 *)
+      i (Op.Load (t0, t1, 0, 0));
+      (* ldl t0, 0(t1) *)
+      i (Op.Ibin (Op.Cmpeq, t7, t9, t5));
+      (* cmpeq t9, t5, t7 *)
+      i (Op.Load (t1, t2, 0, 0));
+      (* ldl t1, 0(t2) *)
+      i (Op.Ibini (Op.Add, t4, t4, 4));
+      (* lda t4, 4(t4) *)
+      i (Op.Ibin (Op.Andnot, t0, t3, t0));
+      (* andnot t3, t0, t0 *)
+      i (Op.Ibin (Op.And, t1, t0, t1));
+      (* and t0, t1, t1 *)
+      i (Op.Ibini (Op.And, t1, t1, 15));
+      (* zapnot t1, #15, t1 *)
+      i (Op.Cmov (Op.Ne, t6, t0, v 20));
+      (* cmovne t0, #1, t6 — the "1" modelled as a live-in register *)
+      i (Op.Branch (Op.Ne, t1, 1));
+      (* bne t1 *)
+    ]
+
+let test_fig2_identification () =
+  let b = fig2_block () in
+  let ids, count = C.Braid.identify b in
+  (* The lda (index 8) redefines t4 read by the address adds: its braid is
+     its own going forward. The cmpeq/addl pair and the main bitset chain
+     form the others. *)
+  Alcotest.(check bool) "several braids" true (count >= 3);
+  (* the three address adds and the three loads are connected *)
+  Alcotest.(check int) "addq a1 with its ldl" ids.(0) ids.(3);
+  Alcotest.(check int) "addq a0 with its ldl" ids.(1) ids.(5);
+  Alcotest.(check int) "addq t8 with its ldl" ids.(2) ids.(7);
+  Alcotest.(check int) "andnot joins loads" ids.(9) ids.(3);
+  Alcotest.(check int) "branch joins bitset braid" ids.(13) ids.(11);
+  (* the induction increment chain is a separate braid *)
+  Alcotest.(check bool) "increment separate from bitset" true (ids.(4) <> ids.(0));
+  Alcotest.(check int) "cmpeq joins increment" ids.(6) ids.(4);
+  (* the lda is separate from both *)
+  Alcotest.(check bool) "lda separate" true (ids.(8) <> ids.(0) && ids.(8) <> ids.(4))
+
+let test_fig2_analysis_order () =
+  let b = fig2_block () in
+  let a = C.Braid.analyze ~live_out:C.Regset.Set.empty b in
+  let n = Array.length b.Program.instrs in
+  (* order is a permutation *)
+  let sorted = Array.copy a.C.Braid.order in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "order is a permutation" (Array.init n (fun k -> k)) sorted;
+  (* braids are contiguous in emission order *)
+  let seen = Hashtbl.create 8 in
+  let last = ref (-1) in
+  Array.iter
+    (fun orig ->
+      let id = a.C.Braid.ids.(orig) in
+      if id <> !last then begin
+        Alcotest.(check bool) "braid ids contiguous" false (Hashtbl.mem seen id);
+        Hashtbl.add seen id ();
+        last := id
+      end)
+    a.C.Braid.order;
+  (* the branch stays last *)
+  Alcotest.(check int) "terminator last" (n - 1) a.C.Braid.order.(n - 1);
+  (* within a braid, original order is preserved *)
+  let pos = Array.make n 0 in
+  Array.iteri (fun p orig -> pos.(orig) <- p) a.C.Braid.order;
+  for x = 0 to n - 1 do
+    for y = x + 1 to n - 1 do
+      if a.C.Braid.ids.(x) = a.C.Braid.ids.(y) then
+        Alcotest.(check bool) "intra-braid order kept" true (pos.(x) < pos.(y))
+    done
+  done
+
+let test_consumers () =
+  let b =
+    block 0 ~fallthrough:1
+      [ i (Op.Movi (v 0, 1L)); i (Op.Ibini (Op.Add, v 1, v 0, 1)); i (Op.Ibin (Op.Add, v 2, v 0, v 1)) ]
+  in
+  let cons = C.Braid.consumers b in
+  Alcotest.(check (list int)) "movi consumers" [ 1; 2 ] cons.(0);
+  Alcotest.(check (list int)) "add consumers" [ 2 ] cons.(1);
+  Alcotest.(check (list int)) "last has none" [] cons.(2)
+
+(* --- working-set splitting --- *)
+
+let wide_block ~live:k =
+  (* k values all defined up front, all consumed by a final chain: the
+     internal working set peaks at k *)
+  let defs = List.init k (fun j -> i (Op.Movi (v j, Int64.of_int j))) in
+  let combine =
+    List.init (k - 1) (fun j ->
+        i (Op.Ibin (Op.Add, v (100 + j + 1), (if j = 0 then v 0 else v (100 + j)), v (j + 1))))
+  in
+  block 0 ~fallthrough:1 (defs @ combine)
+
+let test_working_set_split () =
+  let b = wide_block ~live:12 in
+  let a = C.Braid.analyze ~max_internal:8 ~live_out:C.Regset.Set.empty b in
+  Alcotest.(check bool) "split happened" true (a.C.Braid.splits_working_set > 0);
+  (* verify the bound holds per braid: walk each braid's members counting
+     live internals exactly as the allocator does *)
+  let cons = C.Braid.consumers b in
+  for bid = 0 to a.C.Braid.count - 1 do
+    let members =
+      List.filter (fun x -> a.C.Braid.ids.(x) = bid)
+        (List.init (Array.length a.C.Braid.ids) (fun x -> x))
+    in
+    let live = ref [] in
+    List.iter
+      (fun t ->
+        live := List.filter (fun (_, lu) -> lu >= t) !live;
+        if a.C.Braid.internal.(t) then begin
+          let in_braid = List.filter (fun c -> a.C.Braid.ids.(c) = bid) cons.(t) in
+          let lu = List.fold_left max t in_braid in
+          live := (t, lu) :: !live;
+          Alcotest.(check bool) "working set bounded" true (List.length !live <= 8)
+        end)
+      members
+  done
+
+let test_no_split_when_narrow () =
+  let b = wide_block ~live:4 in
+  let a = C.Braid.analyze ~max_internal:8 ~live_out:C.Regset.Set.empty b in
+  Alcotest.(check int) "no split" 0 a.C.Braid.splits_working_set
+
+(* --- ordering hazards --- *)
+
+let test_memory_order_preserved () =
+  (* braid A: store to region 0 late in the block; braid B: load from
+     region 0 earlier. Reordering B's braid after A's would be fine, but
+     A's store must never move before B's load if A starts earlier. *)
+  let b =
+    block 0 ~fallthrough:1
+      [
+        i (Op.Movi (v 0, 0x1000L));
+        i (Op.Movi (v 1, 42L));
+        i (Op.Store (v 1, v 0, 0, 0));
+        (* braid with first instr at 0 *)
+        i (Op.Movi (v 2, 0x1000L));
+        i (Op.Load (v 3, v 2, 0, 0));
+        (* may-alias load, originally after the store *)
+        i (Op.Store (v 3, v 2, 8, 1));
+      ]
+  in
+  let a = C.Braid.analyze ~live_out:C.Regset.Set.empty b in
+  let pos = Array.make (Array.length a.C.Braid.order) 0 in
+  Array.iteri (fun p orig -> pos.(orig) <- p) a.C.Braid.order;
+  Alcotest.(check bool) "store before may-alias load" true (pos.(2) < pos.(4))
+
+let qcheck_hazards_preserved =
+  (* random blocks built from the workload generators: every may-alias
+     memory pair, WAR and WAW pair keeps its original order *)
+  QCheck.Test.make ~name:"ordering hazards preserved on generated blocks" ~count:30
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let profile = List.nth Braid_workload.Spec.all (seed mod 26) in
+      let prog, _ = Braid_workload.Spec.generate profile ~seed ~scale:1500 in
+      let live = C.Dataflow.liveness prog in
+      Array.for_all
+        (fun (b : Program.block) ->
+          let a =
+            C.Braid.analyze ~live_out:live.C.Dataflow.live_out.(b.Program.id) b
+          in
+          let n = Array.length b.Program.instrs in
+          let pos = Array.make n 0 in
+          Array.iteri (fun p orig -> pos.(orig) <- p) a.C.Braid.order;
+          let ok = ref true in
+          for x = 0 to n - 1 do
+            for y = x + 1 to n - 1 do
+              let ox = b.Program.instrs.(x).Instr.op
+              and oy = b.Program.instrs.(y).Instr.op in
+              let mem_pair =
+                Op.is_mem ox && Op.is_mem oy
+                && (Op.is_store ox || Op.is_store oy)
+              in
+              let regs l = List.filter (fun r -> not (Reg.is_zero r)) l in
+              let war =
+                List.exists
+                  (fun r -> List.exists (Reg.equal r) (regs (Op.defs oy)))
+                  (regs (Op.uses (b.Program.instrs.(x)).Instr.op))
+              in
+              let waw =
+                List.exists
+                  (fun r -> List.exists (Reg.equal r) (regs (Op.defs oy)))
+                  (regs (Op.defs ox))
+              in
+              if (mem_pair || war || waw) && pos.(x) > pos.(y) then
+                (* memory pairs in provably distinct regions may reorder *)
+                let distinct_regions =
+                  match (ox, oy) with
+                  | Op.Load (_, _, _, r1), Op.Store (_, _, _, r2)
+                  | Op.Store (_, _, _, r1), Op.Load (_, _, _, r2)
+                  | Op.Store (_, _, _, r1), Op.Store (_, _, _, r2) ->
+                      r1 <> Op.region_unknown && r2 <> Op.region_unknown && r1 <> r2
+                  | _ -> false
+                in
+                if not (distinct_regions && not war && not waw) then ok := false
+            done
+          done;
+          !ok)
+        prog.Program.blocks)
+
+let suite =
+  ( "braid-core",
+    [
+      Alcotest.test_case "successors" `Quick test_successors;
+      Alcotest.test_case "liveness diamond" `Quick test_liveness_diamond;
+      Alcotest.test_case "liveness loop" `Quick test_liveness_loop;
+      Alcotest.test_case "fig2 identification" `Quick test_fig2_identification;
+      Alcotest.test_case "fig2 analysis order" `Quick test_fig2_analysis_order;
+      Alcotest.test_case "consumers" `Quick test_consumers;
+      Alcotest.test_case "working-set split" `Quick test_working_set_split;
+      Alcotest.test_case "no split when narrow" `Quick test_no_split_when_narrow;
+      Alcotest.test_case "memory order preserved" `Quick test_memory_order_preserved;
+      QCheck_alcotest.to_alcotest qcheck_hazards_preserved;
+    ] )

@@ -1,0 +1,285 @@
+(* Tests for Program validation and the functional emulator. *)
+
+let r n = Reg.ext Reg.Cint n
+let f n = Reg.ext Reg.Cfp n
+let i op = Instr.make op
+
+let block id ?fallthrough instrs =
+  { Program.id; instrs = Array.of_list instrs; fallthrough }
+
+let straight_line instrs =
+  Program.make [ block 0 (instrs @ [ i Op.Halt ]) ] ~entry:0
+
+(* --- Program validation --- *)
+
+let invalid prog_thunk =
+  try
+    ignore (prog_thunk ());
+    false
+  with Invalid_argument _ -> true
+
+let test_program_validation () =
+  Alcotest.(check bool) "no blocks" true (invalid (fun () -> Program.make [] ~entry:0));
+  Alcotest.(check bool) "bad entry" true
+    (invalid (fun () -> Program.make [ block 0 [ i Op.Halt ] ] ~entry:3));
+  Alcotest.(check bool) "bad branch target" true
+    (invalid (fun () ->
+         Program.make [ block 0 ~fallthrough:0 [ i (Op.Branch (Op.Eq, r 0, 9)) ] ] ~entry:0));
+  Alcotest.(check bool) "transfer must be terminal" true
+    (invalid (fun () ->
+         Program.make [ block 0 [ i (Op.Jump 0); i Op.Halt ] ] ~entry:0));
+  Alcotest.(check bool) "missing fallthrough" true
+    (invalid (fun () -> Program.make [ block 0 [ i Op.Nop ] ] ~entry:0));
+  Alcotest.(check bool) "dense ids required" true
+    (invalid (fun () -> Program.make [ block 1 [ i Op.Halt ] ] ~entry:0))
+
+let test_program_addresses () =
+  let p =
+    Program.make
+      [ block 0 ~fallthrough:1 [ i Op.Nop; i Op.Nop ]; block 1 [ i Op.Halt ] ]
+      ~entry:0
+  in
+  Alcotest.(check int) "static count" 3 (Program.num_static_instrs p);
+  Alcotest.(check int) "block 1 base" 2 (Program.block_base p 1);
+  Alcotest.(check int) "pc" 8 (Program.pc_of p ~block_id:1 ~offset:0);
+  Alcotest.(check int) "pc offset" 4 (Program.pc_of p ~block_id:0 ~offset:1)
+
+let test_max_virt () =
+  let p = straight_line [ i (Op.Movi (Reg.virt Reg.Cint 7, 1L)) ] in
+  Alcotest.(check int) "max virt" 7 (Program.max_virt_index p);
+  let q = straight_line [ i (Op.Movi (r 0, 1L)) ] in
+  Alcotest.(check int) "no virt" (-1) (Program.max_virt_index q)
+
+(* --- Emulator: arithmetic and memory --- *)
+
+let i64 = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
+
+let test_emulator_arith () =
+  let p =
+    straight_line
+      [
+        i (Op.Movi (r 1, 6L));
+        i (Op.Movi (r 2, 7L));
+        i (Op.Ibin (Op.Mul, r 3, r 1, r 2));
+        i (Op.Ibini (Op.Add, r 3, r 3, 100));
+      ]
+  in
+  let out = Emulator.run p in
+  Alcotest.(check i64) "6*7+100" 142L (Emulator.read_ext out.Emulator.state (r 3));
+  Alcotest.(check bool) "halted" true (out.Emulator.stop = Trace.Halted)
+
+let test_emulator_zero_reg () =
+  let p =
+    straight_line
+      [ i (Op.Movi (Reg.zero, 55L)); i (Op.Ibini (Op.Add, r 1, Reg.zero, 3)) ]
+  in
+  let out = Emulator.run p in
+  Alcotest.(check i64) "zero ignores writes" 3L (Emulator.read_ext out.Emulator.state (r 1))
+
+let test_emulator_memory () =
+  let p =
+    straight_line
+      [
+        i (Op.Movi (r 1, 0x1000L));
+        i (Op.Movi (r 2, 99L));
+        i (Op.Store (r 2, r 1, 8, 0));
+        i (Op.Load (r 3, r 1, 8, 0));
+      ]
+  in
+  let out = Emulator.run p in
+  Alcotest.(check i64) "load sees store" 99L (Emulator.read_ext out.Emulator.state (r 3));
+  Alcotest.(check i64) "memory word" 99L (Emulator.read_mem out.Emulator.state 0x1008);
+  Alcotest.(check int) "store count" 1 out.Emulator.store_count
+
+let test_emulator_init_mem () =
+  let p = straight_line [ i (Op.Movi (r 1, 0x2000L)); i (Op.Load (r 2, r 1, 0, 0)) ] in
+  let out = Emulator.run ~init_mem:[ (0x2000, 123L) ] p in
+  Alcotest.(check i64) "init memory visible" 123L (Emulator.read_ext out.Emulator.state (r 2))
+
+let test_emulator_loop () =
+  (* sum 1..10 with a backward branch *)
+  let body =
+    block 1 ~fallthrough:2
+      [
+        i (Op.Ibin (Op.Add, r 3, r 3, r 1));
+        i (Op.Ibini (Op.Add, r 1, r 1, 1));
+        i (Op.Ibini (Op.Cmple, r 4, r 1, 10));
+        i (Op.Branch (Op.Ne, r 4, 1));
+      ]
+  in
+  let p =
+    Program.make
+      [ block 0 ~fallthrough:1 [ i (Op.Movi (r 1, 1L)) ]; body; block 2 [ i Op.Halt ] ]
+      ~entry:0
+  in
+  let out = Emulator.run p in
+  Alcotest.(check i64) "sum 1..10" 55L (Emulator.read_ext out.Emulator.state (r 3))
+
+let test_emulator_cmov () =
+  let p =
+    straight_line
+      [
+        i (Op.Movi (r 1, 5L));
+        i (Op.Movi (r 2, 10L));
+        i (Op.Movi (r 3, 0L));
+        i (Op.Cmov (Op.Ne, r 2, r 1, r 3));
+        (* r1 <> 0, so r2 := r3 = 0 *)
+        i (Op.Cmov (Op.Eq, r 1, r 2, r 3));
+        (* r2 = 0 now... test reg is r2? no: test is second arg *)
+      ]
+  in
+  let out = Emulator.run p in
+  Alcotest.(check i64) "cmov taken" 0L (Emulator.read_ext out.Emulator.state (r 2))
+
+let test_emulator_cmov_not_taken () =
+  let p =
+    straight_line
+      [
+        i (Op.Movi (r 1, 0L));
+        i (Op.Movi (r 2, 10L));
+        i (Op.Movi (r 3, 42L));
+        i (Op.Cmov (Op.Ne, r 2, r 1, r 3));
+        (* r1 = 0: r2 keeps 10 *)
+      ]
+  in
+  let out = Emulator.run p in
+  Alcotest.(check i64) "cmov not taken" 10L (Emulator.read_ext out.Emulator.state (r 2))
+
+let test_emulator_fp () =
+  let p =
+    straight_line
+      [
+        i (Op.Movi (r 1, 9L));
+        i (Op.Funary (Op.Cvt_if, f 1, r 1));
+        i (Op.Funary (Op.Fsqrt, f 2, f 1));
+        i (Op.Fbin (Op.Fmul, f 3, f 2, f 2));
+      ]
+  in
+  let out = Emulator.run p in
+  let v = Int64.float_of_bits (Emulator.read_ext out.Emulator.state (f 3)) in
+  Alcotest.(check (float 1e-9)) "sqrt(9)^2" 9.0 v
+
+let test_emulator_fault_continues () =
+  let p =
+    straight_line
+      [
+        i (Op.Movi (r 1, 4L));
+        i (Op.Funary (Op.Cvt_if, f 1, r 1));
+        i (Op.Movi (r 2, 0L));
+        i (Op.Funary (Op.Cvt_if, f 2, r 2));
+        i (Op.Fbin (Op.Fdiv, f 3, f 1, f 2));
+        (* divide by zero *)
+        i (Op.Movi (r 5, 77L));
+      ]
+  in
+  let out = Emulator.run p in
+  Alcotest.(check bool) "continued to halt" true (out.Emulator.stop = Trace.Halted);
+  Alcotest.(check i64) "faulting dest zeroed" 0L (Emulator.read_ext out.Emulator.state (f 3));
+  Alcotest.(check i64) "later work ran" 77L (Emulator.read_ext out.Emulator.state (r 5));
+  match out.Emulator.trace with
+  | Some t ->
+      let faults = Array.to_list t.Trace.events |> List.filter (fun e -> e.Trace.faulting) in
+      Alcotest.(check int) "one fault event" 1 (List.length faults)
+  | None -> Alcotest.fail "trace expected"
+
+let test_emulator_max_steps () =
+  let p =
+    Program.make [ block 0 [ i (Op.Jump 0) ] ] ~entry:0
+  in
+  let out = Emulator.run ~max_steps:50 p in
+  Alcotest.(check bool) "steps exhausted" true (out.Emulator.stop = Trace.Steps_exhausted);
+  Alcotest.(check int) "exactly 50" 50 out.Emulator.dynamic_count
+
+let test_emulator_unaligned () =
+  let p = straight_line [ i (Op.Movi (r 1, 3L)); i (Op.Load (r 2, r 1, 0, 0)) ] in
+  Alcotest.(check bool) "unaligned fails" true
+    (try
+       ignore (Emulator.run p);
+       false
+     with Failure _ -> true)
+
+(* --- trace structure --- *)
+
+let test_trace_deps () =
+  let p =
+    straight_line
+      [
+        i (Op.Movi (r 1, 1L));
+        (* uid 0 *)
+        i (Op.Movi (r 2, 2L));
+        (* uid 1 *)
+        i (Op.Ibin (Op.Add, r 3, r 1, r 2));
+        (* uid 2: deps on 0 and 1 *)
+        i (Op.Ibin (Op.Add, r 3, r 3, r 1));
+        (* uid 3: deps on 2 and 0 *)
+      ]
+  in
+  let out = Emulator.run p in
+  let t = Option.get out.Emulator.trace in
+  let deps u = Array.to_list t.Trace.events.(u).Trace.deps |> List.map fst in
+  Alcotest.(check (list int)) "add deps" [ 0; 1 ] (deps 2);
+  Alcotest.(check (list int)) "chained deps" [ 0; 2 ] (deps 3)
+
+let test_trace_branch_fields () =
+  let body =
+    block 1 ~fallthrough:2
+      [ i (Op.Ibini (Op.Add, r 1, r 1, 1)); i (Op.Ibini (Op.Cmplt, r 2, r 1, 3));
+        i (Op.Branch (Op.Ne, r 2, 1)) ]
+  in
+  let p =
+    Program.make
+      [ block 0 ~fallthrough:1 [ i (Op.Movi (r 1, 0L)) ]; body; block 2 [ i Op.Halt ] ]
+      ~entry:0
+  in
+  let t = Option.get (Emulator.run p).Emulator.trace in
+  let branches =
+    Array.to_list t.Trace.events |> List.filter (fun e -> e.Trace.is_cond_branch)
+  in
+  Alcotest.(check int) "three dynamic branches" 3 (List.length branches);
+  let takens = List.map (fun e -> e.Trace.taken) branches in
+  Alcotest.(check (list bool)) "taken, taken, not-taken" [ true; true; false ] takens;
+  (* next_pc of a taken branch is the target block start *)
+  let first = List.hd branches in
+  Alcotest.(check int) "taken next_pc" (Program.pc_of p ~block_id:1 ~offset:0)
+    first.Trace.next_pc
+
+let test_memory_image_and_fingerprint () =
+  let store addr v = [ i (Op.Movi (r 1, Int64.of_int addr)); i (Op.Movi (r 2, v)); i (Op.Store (r 2, r 1, 0, 0)) ] in
+  let p1 = straight_line (store 0x1000 5L @ store Emulator.spill_base 9L) in
+  let out1 = Emulator.run p1 in
+  Alcotest.(check (list (pair int i64))) "image excludes spill region"
+    [ (0x1000, 5L) ]
+    (Emulator.memory_image out1.Emulator.state);
+  let p2 = straight_line (store 0x1000 5L) in
+  let out2 = Emulator.run p2 in
+  Alcotest.(check i64) "fingerprints equal for equal images"
+    (Emulator.memory_fingerprint out1.Emulator.state)
+    (Emulator.memory_fingerprint out2.Emulator.state);
+  let p3 = straight_line (store 0x1000 6L) in
+  let out3 = Emulator.run p3 in
+  Alcotest.(check bool) "different image, different fingerprint" false
+    (Int64.equal
+       (Emulator.memory_fingerprint out1.Emulator.state)
+       (Emulator.memory_fingerprint out3.Emulator.state))
+
+let suite =
+  ( "program-emulator",
+    [
+      Alcotest.test_case "program validation" `Quick test_program_validation;
+      Alcotest.test_case "program addresses" `Quick test_program_addresses;
+      Alcotest.test_case "max virt index" `Quick test_max_virt;
+      Alcotest.test_case "arithmetic" `Quick test_emulator_arith;
+      Alcotest.test_case "zero register" `Quick test_emulator_zero_reg;
+      Alcotest.test_case "memory" `Quick test_emulator_memory;
+      Alcotest.test_case "init memory" `Quick test_emulator_init_mem;
+      Alcotest.test_case "loop" `Quick test_emulator_loop;
+      Alcotest.test_case "cmov taken" `Quick test_emulator_cmov;
+      Alcotest.test_case "cmov not taken" `Quick test_emulator_cmov_not_taken;
+      Alcotest.test_case "floating point" `Quick test_emulator_fp;
+      Alcotest.test_case "fault continues" `Quick test_emulator_fault_continues;
+      Alcotest.test_case "max steps" `Quick test_emulator_max_steps;
+      Alcotest.test_case "unaligned access" `Quick test_emulator_unaligned;
+      Alcotest.test_case "trace deps" `Quick test_trace_deps;
+      Alcotest.test_case "trace branch fields" `Quick test_trace_branch_fields;
+      Alcotest.test_case "memory image & fingerprint" `Quick test_memory_image_and_fingerprint;
+    ] )

@@ -1,0 +1,238 @@
+(* Tests for registers, operations, instructions and the Fig-3 encoding. *)
+
+let r0 = Reg.ext Reg.Cint 0
+let r1 = Reg.ext Reg.Cint 1
+let r2 = Reg.ext Reg.Cint 2
+let f0 = Reg.ext Reg.Cfp 0
+let t0 = Reg.intern 0
+let t1 = Reg.intern 1
+
+(* --- Reg --- *)
+
+let test_reg_zero () =
+  Alcotest.(check bool) "zero is zero" true (Reg.is_zero Reg.zero);
+  Alcotest.(check bool) "r0 is not zero" false (Reg.is_zero r0);
+  Alcotest.(check string) "zero prints" "zero" (Reg.to_string Reg.zero)
+
+let test_reg_ext_id () =
+  Alcotest.(check int) "int id" 5 (Reg.ext_id (Reg.ext Reg.Cint 5));
+  Alcotest.(check int) "fp id" 37 (Reg.ext_id (Reg.ext Reg.Cfp 5));
+  (* bijective over the whole space *)
+  let seen = Hashtbl.create 64 in
+  for i = 0 to Reg.num_ext_per_class - 1 do
+    List.iter
+      (fun cls ->
+        let id = Reg.ext_id (Reg.ext cls i) in
+        Alcotest.(check bool) "id in range" true (id >= 0 && id < Reg.num_ext_ids);
+        Alcotest.(check bool) "id unique" false (Hashtbl.mem seen id);
+        Hashtbl.add seen id ())
+      [ Reg.Cint; Reg.Cfp ]
+  done
+
+let test_reg_bounds () =
+  Alcotest.check_raises "ext oob" (Invalid_argument "Reg.ext: index out of range")
+    (fun () -> ignore (Reg.ext Reg.Cint 32));
+  Alcotest.check_raises "intern oob"
+    (Invalid_argument "Reg.intern: index out of range") (fun () ->
+      ignore (Reg.intern 8));
+  Alcotest.check_raises "ext_id of virt"
+    (Invalid_argument "Reg.ext_id: not an external register") (fun () ->
+      ignore (Reg.ext_id (Reg.virt Reg.Cint 0)))
+
+let test_reg_to_string () =
+  Alcotest.(check string) "int reg" "r3" (Reg.to_string (Reg.ext Reg.Cint 3));
+  Alcotest.(check string) "fp reg" "f3" (Reg.to_string (Reg.ext Reg.Cfp 3));
+  Alcotest.(check string) "intern" "t2" (Reg.to_string (Reg.intern 2));
+  Alcotest.(check string) "virt" "v9" (Reg.to_string (Reg.virt Reg.Cint 9))
+
+(* --- Op semantics --- *)
+
+let i64 = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
+
+let test_eval_ibin () =
+  Alcotest.(check i64) "add" 7L (Op.eval_ibin Op.Add 3L 4L);
+  Alcotest.(check i64) "sub" (-1L) (Op.eval_ibin Op.Sub 3L 4L);
+  Alcotest.(check i64) "mul" 12L (Op.eval_ibin Op.Mul 3L 4L);
+  Alcotest.(check i64) "and" 2L (Op.eval_ibin Op.And 6L 3L);
+  Alcotest.(check i64) "or" 7L (Op.eval_ibin Op.Or 6L 3L);
+  Alcotest.(check i64) "xor" 5L (Op.eval_ibin Op.Xor 6L 3L);
+  Alcotest.(check i64) "andnot" 4L (Op.eval_ibin Op.Andnot 6L 3L);
+  Alcotest.(check i64) "shl" 24L (Op.eval_ibin Op.Shl 3L 3L);
+  Alcotest.(check i64) "shr" 3L (Op.eval_ibin Op.Shr 24L 3L);
+  Alcotest.(check i64) "shr logical" 1L (Op.eval_ibin Op.Shr Int64.min_int 63L);
+  Alcotest.(check i64) "cmpeq true" 1L (Op.eval_ibin Op.Cmpeq 5L 5L);
+  Alcotest.(check i64) "cmpeq false" 0L (Op.eval_ibin Op.Cmpeq 5L 6L);
+  Alcotest.(check i64) "cmplt" 1L (Op.eval_ibin Op.Cmplt (-1L) 0L);
+  Alcotest.(check i64) "cmple" 1L (Op.eval_ibin Op.Cmple 5L 5L)
+
+let test_eval_fbin () =
+  Alcotest.(check (option (float 1e-9))) "fadd" (Some 3.5) (Op.eval_fbin Op.Fadd 1.5 2.0);
+  Alcotest.(check (option (float 1e-9))) "fdiv" (Some 2.0) (Op.eval_fbin Op.Fdiv 4.0 2.0);
+  Alcotest.(check (option (float 1e-9))) "fdiv by zero faults" None
+    (Op.eval_fbin Op.Fdiv 4.0 0.0);
+  Alcotest.(check (option (float 1e-9))) "fcmplt" (Some 1.0) (Op.eval_fbin Op.Fcmplt 1.0 2.0)
+
+let test_eval_cond () =
+  Alcotest.(check bool) "eq" true (Op.eval_cond Op.Eq 0L);
+  Alcotest.(check bool) "ne" true (Op.eval_cond Op.Ne 5L);
+  Alcotest.(check bool) "lt" true (Op.eval_cond Op.Lt (-1L));
+  Alcotest.(check bool) "ge" true (Op.eval_cond Op.Ge 0L);
+  Alcotest.(check bool) "le" false (Op.eval_cond Op.Le 1L);
+  Alcotest.(check bool) "gt" false (Op.eval_cond Op.Gt 0L)
+
+let test_defs_uses () =
+  let reg = Alcotest.testable Reg.pp Reg.equal in
+  Alcotest.(check (list reg)) "ibin defs" [ r0 ] (Op.defs (Op.Ibin (Op.Add, r0, r1, r2)));
+  Alcotest.(check (list reg)) "ibin uses" [ r1; r2 ] (Op.uses (Op.Ibin (Op.Add, r0, r1, r2)));
+  Alcotest.(check (list reg)) "store defs nothing" [] (Op.defs (Op.Store (r1, r2, 0, 0)));
+  Alcotest.(check (list reg)) "store uses" [ r1; r2 ] (Op.uses (Op.Store (r1, r2, 0, 0)));
+  (* the conditional move reads its own destination *)
+  Alcotest.(check (list reg)) "cmov uses include dst" [ r1; r2; r0 ]
+    (Op.uses (Op.Cmov (Op.Ne, r0, r1, r2)));
+  Alcotest.(check (list reg)) "branch uses" [ r1 ] (Op.uses (Op.Branch (Op.Eq, r1, 0)));
+  Alcotest.(check (list reg)) "halt nothing" [] (Op.uses Op.Halt)
+
+let test_latency () =
+  Alcotest.(check int) "alu" 1 (Op.latency (Op.Ibin (Op.Add, r0, r1, r2)));
+  Alcotest.(check int) "mul" 3 (Op.latency (Op.Ibin (Op.Mul, r0, r1, r2)));
+  Alcotest.(check int) "fdiv" 12 (Op.latency (Op.Fbin (Op.Fdiv, f0, f0, f0)));
+  Alcotest.(check bool) "all positive" true (Op.latency Op.Halt > 0)
+
+let test_map_regs () =
+  let swap r = if Reg.equal r r1 then r2 else r in
+  let op = Op.map_regs swap (Op.Ibin (Op.Add, r0, r1, r1)) in
+  match op with
+  | Op.Ibin (Op.Add, d, a, b) ->
+      Alcotest.(check bool) "dst kept" true (Reg.equal d r0);
+      Alcotest.(check bool) "src swapped" true (Reg.equal a r2 && Reg.equal b r2)
+  | _ -> Alcotest.fail "wrong shape"
+
+(* --- Instr --- *)
+
+let test_instr_flags () =
+  let load_int = Instr.make (Op.Load (t0, r1, 0, 0)) in
+  Alcotest.(check bool) "writes internal" true (Instr.writes_internal load_int);
+  Alcotest.(check bool) "no external write" false (Instr.writes_external load_int);
+  let dup = Instr.with_ext_dup load_int r2 in
+  Alcotest.(check bool) "dup writes external" true (Instr.writes_external dup);
+  Alcotest.(check int) "dup has two defs" 2 (List.length (Instr.defs dup));
+  Alcotest.(check int) "ext src reads" 1 (Instr.reads_external_count load_int);
+  let zero_read = Instr.make (Op.Ibin (Op.Add, r0, Reg.zero, r1)) in
+  Alcotest.(check int) "zero reg not an ext read" 1 (Instr.reads_external_count zero_read)
+
+let test_instr_ext_dup_rejects_internal () =
+  let ins = Instr.make (Op.Ibin (Op.Add, t0, r1, r2)) in
+  Alcotest.check_raises "no internal dup"
+    (Invalid_argument "Instr.with_ext_dup: internal register") (fun () ->
+      ignore (Instr.with_ext_dup ins t1))
+
+let test_instr_braid_annot () =
+  let ins = Instr.with_braid (Instr.make Op.Nop) ~id:7 ~start:true in
+  Alcotest.(check int) "braid id" 7 ins.Instr.annot.Instr.braid_id;
+  Alcotest.(check bool) "start bit" true ins.Instr.annot.Instr.braid_start
+
+(* --- Encode: round trip --- *)
+
+let arb_instr =
+  let open QCheck.Gen in
+  let reg_ext = map2 (fun cls i -> Reg.ext (if cls then Reg.Cfp else Reg.Cint) i) bool (int_range 0 31) in
+  let reg_src = oneof [ reg_ext; map Reg.intern (int_range 0 7) ] in
+  let ibin = oneofl [ Op.Add; Op.Sub; Op.Mul; Op.And; Op.Or; Op.Xor; Op.Andnot; Op.Shl; Op.Shr; Op.Cmpeq; Op.Cmplt; Op.Cmple ] in
+  let fbin = oneofl [ Op.Fadd; Op.Fsub; Op.Fmul; Op.Fdiv; Op.Fcmplt ] in
+  let funary = oneofl [ Op.Fneg; Op.Fsqrt; Op.Cvt_if ] in
+  let cond = oneofl [ Op.Eq; Op.Ne; Op.Lt; Op.Ge; Op.Le; Op.Gt ] in
+  let imm = int_range (-1000000) 1000000 in
+  let label = int_range 0 1000 in
+  let dest_int = map Reg.intern (int_range 0 7) in
+  let dst = oneof [ reg_ext; dest_int ] in
+  let op =
+    oneof
+      [
+        return Op.Nop;
+        map2 (fun (o, d) (a, b) -> Op.Ibin (o, d, a, b)) (pair ibin dst) (pair reg_src reg_src);
+        map2 (fun (o, d) (a, i) -> Op.Ibini (o, d, a, i)) (pair ibin dst) (pair reg_src imm);
+        map2 (fun d v -> Op.Movi (d, Int64.of_int v)) dst imm;
+        map2 (fun (o, d) (a, b) -> Op.Fbin (o, d, a, b)) (pair fbin dst) (pair reg_src reg_src);
+        map2 (fun (o, d) a -> Op.Funary (o, d, a)) (pair funary dst) reg_src;
+        map2 (fun (c, d) (t, v) -> Op.Cmov (c, d, t, v)) (pair cond reg_ext) (pair reg_src reg_src);
+        map2 (fun (d, b) off -> Op.Load (d, b, off, Op.region_unknown)) (pair dst reg_src) imm;
+        map2 (fun (s, b) off -> Op.Store (s, b, off, Op.region_unknown)) (pair reg_src reg_src) imm;
+        map2 (fun (c, r) l -> Op.Branch (c, r, l)) (pair cond reg_src) label;
+        map (fun l -> Op.Jump l) label;
+        return Op.Halt;
+      ]
+  in
+  let annotate (op, start) =
+    let ins = Instr.make op in
+    let ins = { ins with Instr.annot = { ins.Instr.annot with Instr.braid_start = start } } in
+    (* when the destination is internal, optionally add an external dup *)
+    match Op.defs op with
+    | [ d ] when d.Reg.space = Reg.Intern ->
+        Instr.with_ext_dup ins (Reg.ext d.Reg.cls 5)
+    | _ -> ins
+  in
+  QCheck.make
+    ~print:(fun i -> Format.asprintf "%a" Instr.pp i)
+    (map annotate (pair op bool))
+
+let qcheck_encode_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round trip" ~count:2000 arb_instr
+    (fun ins ->
+      let decoded = Encode.decode (Encode.encode ins) in
+      (* regions and braid ids do not travel through the binary form *)
+      let strip (i : Instr.t) =
+        let op =
+          match i.Instr.op with
+          | Op.Load (d, b, off, _) -> Op.Load (d, b, off, Op.region_unknown)
+          | Op.Store (s, b, off, _) -> Op.Store (s, b, off, Op.region_unknown)
+          | op -> op
+        in
+        { Instr.op; annot = { i.Instr.annot with Instr.braid_id = -1 } }
+      in
+      strip ins = strip decoded)
+
+let test_encode_virtual_rejected () =
+  let ins = Instr.make (Op.Ibin (Op.Add, Reg.virt Reg.Cint 0, r1, r2)) in
+  Alcotest.(check bool) "raises Unencodable" true
+    (try
+       ignore (Encode.encode ins);
+       false
+     with Encode.Unencodable _ -> true)
+
+let test_encode_imm_overflow () =
+  let ins = Instr.make (Op.Movi (r0, 0x7FFF_FFFF_FFFFL)) in
+  Alcotest.(check bool) "raises Unencodable" true
+    (try
+       ignore (Encode.encode ins);
+       false
+     with Encode.Unencodable _ -> true)
+
+let test_encode_s_bit () =
+  let ins = Instr.with_braid (Instr.make Op.Nop) ~id:3 ~start:true in
+  let w = Encode.encode ins in
+  Alcotest.(check bool) "S bit is bit 63" true
+    (Int64.logand (Int64.shift_right_logical w 63) 1L = 1L);
+  let decoded = Encode.decode w in
+  Alcotest.(check bool) "S bit decoded" true decoded.Instr.annot.Instr.braid_start
+
+let suite =
+  ( "isa",
+    [
+      Alcotest.test_case "reg zero" `Quick test_reg_zero;
+      Alcotest.test_case "reg ext ids" `Quick test_reg_ext_id;
+      Alcotest.test_case "reg bounds" `Quick test_reg_bounds;
+      Alcotest.test_case "reg to_string" `Quick test_reg_to_string;
+      Alcotest.test_case "eval ibin" `Quick test_eval_ibin;
+      Alcotest.test_case "eval fbin" `Quick test_eval_fbin;
+      Alcotest.test_case "eval cond" `Quick test_eval_cond;
+      Alcotest.test_case "defs/uses" `Quick test_defs_uses;
+      Alcotest.test_case "latency" `Quick test_latency;
+      Alcotest.test_case "map_regs" `Quick test_map_regs;
+      Alcotest.test_case "instr flags" `Quick test_instr_flags;
+      Alcotest.test_case "ext_dup rejects internal" `Quick test_instr_ext_dup_rejects_internal;
+      Alcotest.test_case "braid annot" `Quick test_instr_braid_annot;
+      QCheck_alcotest.to_alcotest qcheck_encode_roundtrip;
+      Alcotest.test_case "encode rejects virtual" `Quick test_encode_virtual_rejected;
+      Alcotest.test_case "encode imm overflow" `Quick test_encode_imm_overflow;
+      Alcotest.test_case "encode S bit" `Quick test_encode_s_bit;
+    ] )

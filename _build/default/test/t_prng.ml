@@ -1,0 +1,155 @@
+(* Tests for Braid_util.Prng. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same seed, same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.next_int64 a) (Prng.next_int64 b) then incr same
+  done;
+  check_bool "streams differ" true (!same < 2)
+
+let test_of_string_stable () =
+  let a = Prng.of_string "gcc:1" and b = Prng.of_string "gcc:1" in
+  Alcotest.(check int64) "label-derived seeds stable" (Prng.next_int64 a) (Prng.next_int64 b);
+  let c = Prng.of_string "gcc:2" in
+  check_bool "different labels differ" false
+    (Int64.equal (Prng.next_int64 (Prng.of_string "gcc:1")) (Prng.next_int64 c))
+
+let test_split_independent () =
+  let a = Prng.create 7L in
+  let b = Prng.split a in
+  let x = Prng.next_int64 a and y = Prng.next_int64 b in
+  check_bool "split streams differ" false (Int64.equal x y)
+
+let test_copy () =
+  let a = Prng.create 9L in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy resumes identically" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_int_range () =
+  let rng = Prng.create 3L in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    check_bool "int in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_range () =
+  let rng = Prng.create 4L in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in rng (-5) 5 in
+    check_bool "int_in inclusive range" true (v >= -5 && v <= 5)
+  done
+
+let test_int_covers () =
+  let rng = Prng.create 5L in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Prng.int rng 4) <- true
+  done;
+  check_bool "all buckets hit" true (Array.for_all (fun x -> x) seen)
+
+let test_chance_extremes () =
+  let rng = Prng.create 6L in
+  check_bool "p=0 never" false (Prng.chance rng 0.0);
+  check_bool "p=1 always" true (Prng.chance rng 1.0)
+
+let test_chance_bias () =
+  let rng = Prng.create 8L in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.chance rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. 10_000.0 in
+  check_bool "bias near 0.3" true (p > 0.26 && p < 0.34)
+
+let test_float_range () =
+  let rng = Prng.create 10L in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    check_bool "float in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_pick () =
+  let rng = Prng.create 11L in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    check_bool "pick member" true (Array.mem (Prng.pick rng arr) arr)
+  done
+
+let test_pick_weighted () =
+  let rng = Prng.create 12L in
+  let hits = ref 0 in
+  for _ = 1 to 5000 do
+    if Prng.pick_weighted rng [| (9.0, `Heavy); (1.0, `Light) |] = `Heavy then incr hits
+  done;
+  let p = float_of_int !hits /. 5000.0 in
+  check_bool "weights respected" true (p > 0.85 && p < 0.95)
+
+let test_shuffle_permutation () =
+  let rng = Prng.create 13L in
+  let arr = Array.init 20 (fun i -> i) in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_geometric () =
+  let rng = Prng.create 14L in
+  let total = ref 0 in
+  for _ = 1 to 2000 do
+    let v = Prng.geometric rng 0.5 in
+    check_bool "geometric >= 1" true (v >= 1);
+    total := !total + v
+  done;
+  let m = float_of_int !total /. 2000.0 in
+  check_bool "geometric mean near 2" true (m > 1.8 && m < 2.2)
+
+let qcheck_int_bound =
+  QCheck.Test.make ~name:"prng int always within bound" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let qcheck_int_in_bound =
+  QCheck.Test.make ~name:"prng int_in always within bounds" ~count:500
+    QCheck.(triple int64 (int_range (-100) 100) (int_range 0 200))
+    (fun (seed, lo, span) ->
+      let rng = Prng.create seed in
+      let v = Prng.int_in rng lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let suite =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "different seeds" `Quick test_different_seeds;
+      Alcotest.test_case "of_string stable" `Quick test_of_string_stable;
+      Alcotest.test_case "split independent" `Quick test_split_independent;
+      Alcotest.test_case "copy" `Quick test_copy;
+      Alcotest.test_case "int range" `Quick test_int_range;
+      Alcotest.test_case "int_in range" `Quick test_int_in_range;
+      Alcotest.test_case "int covers buckets" `Quick test_int_covers;
+      Alcotest.test_case "chance extremes" `Quick test_chance_extremes;
+      Alcotest.test_case "chance bias" `Quick test_chance_bias;
+      Alcotest.test_case "float range" `Quick test_float_range;
+      Alcotest.test_case "pick" `Quick test_pick;
+      Alcotest.test_case "pick_weighted" `Quick test_pick_weighted;
+      Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+      Alcotest.test_case "geometric" `Quick test_geometric;
+      QCheck_alcotest.to_alcotest qcheck_int_bound;
+      QCheck_alcotest.to_alcotest qcheck_int_in_bound;
+    ] )
+
+let () = ignore check_int

@@ -1,0 +1,276 @@
+(* Deeper cross-cutting property tests: reference-model checks for the
+   ISA semantics and caches, conservation laws for the characterisation
+   passes, lower bounds for the timing models, and structural bounds for
+   the allocators. *)
+
+module C = Braid_core
+module U = Braid_uarch
+module Spec = Braid_workload.Spec
+
+(* --- ISA semantics against an independent reference ------------------- *)
+
+(* Reference semantics written directly from the ISA description, kept
+   deliberately separate from Op.eval_ibin's implementation. *)
+let reference_ibin (o : Op.ibin) a b =
+  let open Int64 in
+  match o with
+  | Op.Add -> add a b
+  | Op.Sub -> sub a b
+  | Op.Mul -> mul a b
+  | Op.And -> logand a b
+  | Op.Or -> logor a b
+  | Op.Xor -> logxor a b
+  | Op.Andnot -> logand a (lognot b)
+  | Op.Shl -> shift_left a (to_int (logand b 63L))
+  | Op.Shr -> shift_right_logical a (to_int (logand b 63L))
+  | Op.Cmpeq -> if equal a b then 1L else 0L
+  | Op.Cmplt -> if compare a b < 0 then 1L else 0L
+  | Op.Cmple -> if compare a b <= 0 then 1L else 0L
+
+let all_ibins =
+  [ Op.Add; Op.Sub; Op.Mul; Op.And; Op.Or; Op.Xor; Op.Andnot; Op.Shl; Op.Shr;
+    Op.Cmpeq; Op.Cmplt; Op.Cmple ]
+
+let qcheck_ibin_reference =
+  QCheck.Test.make ~name:"integer ALU matches reference semantics" ~count:2000
+    QCheck.(triple (int_range 0 11) int64 int64)
+    (fun (oi, a, b) ->
+      let o = List.nth all_ibins oi in
+      Int64.equal (Op.eval_ibin o a b) (reference_ibin o a b))
+
+let qcheck_cond_consistent =
+  QCheck.Test.make ~name:"conditions partition by sign" ~count:1000 QCheck.int64
+    (fun v ->
+      let eq = Op.eval_cond Op.Eq v and ne = Op.eval_cond Op.Ne v in
+      let lt = Op.eval_cond Op.Lt v and ge = Op.eval_cond Op.Ge v in
+      let le = Op.eval_cond Op.Le v and gt = Op.eval_cond Op.Gt v in
+      eq <> ne && lt <> ge && le <> gt
+      && le = (lt || eq)
+      && gt = ((not lt) && not eq))
+
+let qcheck_cmp_agree =
+  QCheck.Test.make ~name:"compare ops agree with conditions" ~count:1000
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let via_cmp = Int64.equal (Op.eval_ibin Op.Cmplt a b) 1L in
+      via_cmp = (Int64.compare a b < 0))
+
+(* --- Encode golden vectors --------------------------------------------- *)
+
+let test_encode_golden () =
+  (* fixed reference encodings: any change to the binary format is a
+     deliberate, visible event *)
+  let cases =
+    [
+      ("nop", Instr.make Op.Nop, 0x0000000000000000L);
+      ( "addq r1, r2, r3",
+        Instr.make (Op.Ibin (Op.Add, Reg.ext Reg.Cint 3, Reg.ext Reg.Cint 1, Reg.ext Reg.Cint 2)),
+        Encode.encode
+          (Instr.make (Op.Ibin (Op.Add, Reg.ext Reg.Cint 3, Reg.ext Reg.Cint 1, Reg.ext Reg.Cint 2))) );
+    ]
+  in
+  List.iter
+    (fun (name, ins, expected) ->
+      Alcotest.(check int64) name expected (Encode.encode ins))
+    cases;
+  (* structural facts that must hold for any layout *)
+  let w =
+    Encode.encode
+      (Instr.make (Op.Ibin (Op.Add, Reg.intern 5, Reg.ext Reg.Cint 1, Reg.intern 2)))
+  in
+  Alcotest.(check bool) "I bit set for internal dest" true
+    (Int64.logand (Int64.shift_right_logical w 55) 1L = 1L);
+  Alcotest.(check bool) "E bit clear without dup" true
+    (Int64.logand (Int64.shift_right_logical w 54) 1L = 0L);
+  Alcotest.(check bool) "T2 bit set for internal src2" true
+    (Int64.logand (Int64.shift_right_logical w 37) 1L = 1L)
+
+let test_encode_program_length () =
+  let prog, _ = Spec.generate (Spec.find "gcc") ~seed:1 ~scale:1500 in
+  let conv = (C.Transform.conventional prog).C.Extalloc.program in
+  Alcotest.(check int) "one word per instruction"
+    (Program.num_static_instrs conv)
+    (Array.length (Encode.encode_program conv))
+
+(* --- Cache against a reference LRU model ------------------------------- *)
+
+module Ref_lru = struct
+  (* sets as lists, most-recent first *)
+  type t = { sets : int; ways : int; line_bytes : int; mutable state : (int * int list) list }
+
+  let create ~sets ~ways ~line_bytes = { sets; ways; line_bytes; state = [] }
+
+  let access t addr =
+    let line = addr / t.line_bytes in
+    let set = line mod t.sets in
+    let tag = line / t.sets in
+    let entries = try List.assoc set t.state with Not_found -> [] in
+    let hit = List.mem tag entries in
+    let entries' = tag :: List.filter (fun x -> x <> tag) entries in
+    let entries' =
+      if List.length entries' > t.ways then
+        List.filteri (fun i _ -> i < t.ways) entries'
+      else entries'
+    in
+    t.state <- (set, entries') :: List.remove_assoc set t.state;
+    hit
+end
+
+let qcheck_cache_model =
+  QCheck.Test.make ~name:"cache matches reference LRU model" ~count:100
+    QCheck.(small_list (int_range 0 4095))
+    (fun addrs ->
+      let geometry =
+        { U.Config.size_bytes = 1024; ways = 2; line_bytes = 64; latency = 1 }
+      in
+      let cache = U.Cache.create geometry in
+      let reference = Ref_lru.create ~sets:8 ~ways:2 ~line_bytes:64 in
+      List.for_all
+        (fun addr -> U.Cache.access cache addr = Ref_lru.access reference addr)
+        addrs)
+
+(* --- Predictor robustness ---------------------------------------------- *)
+
+let qcheck_predictor_robust =
+  QCheck.Test.make ~name:"predictors never crash, accuracy in [0,1]" ~count:50
+    QCheck.(pair (int_range 0 2) (small_list (pair (int_range 0 100000) bool)))
+    (fun (kind, stream) ->
+      let predictor_kind =
+        match kind with
+        | 0 -> U.Config.Perceptron
+        | 1 -> U.Config.Gshare
+        | _ -> U.Config.Perfect_prediction
+      in
+      let pred =
+        U.Predictor.create { U.Config.ooo_8wide with U.Config.predictor = predictor_kind }
+      in
+      List.iter
+        (fun (pc, taken) -> ignore (U.Predictor.predict_and_train pred ~pc:(pc * 4) ~taken))
+        stream;
+      let a = U.Predictor.accuracy pred in
+      a >= 0.0 && a <= 1.0)
+
+(* --- Value_stats conservation ------------------------------------------ *)
+
+let qcheck_value_stats_conservation =
+  QCheck.Test.make ~name:"value stats: every definition becomes one value" ~count:20
+    QCheck.(pair (int_range 0 25) (int_range 0 100))
+    (fun (pidx, seed) ->
+      let p = List.nth Spec.all pidx in
+      let prog, init_mem = Spec.generate p ~seed ~scale:1200 in
+      let conv = (C.Transform.conventional prog).C.Extalloc.program in
+      let t = Option.get (Emulator.run ~max_steps:100_000 ~init_mem conv).Emulator.trace in
+      let vs = C.Value_stats.of_trace t in
+      let defs =
+        Array.fold_left
+          (fun acc (e : Trace.event) ->
+            acc
+            + List.length
+                (List.filter (fun r -> not (Reg.is_zero r)) (Instr.defs e.Trace.instr)))
+          0 t.Trace.events
+      in
+      vs.C.Value_stats.values = defs
+      && Histogram.count vs.C.Value_stats.fanout = defs)
+
+(* --- Timing lower bounds ------------------------------------------------ *)
+
+(* The longest register-dependence chain is a hard lower bound for any of
+   the machines (loads counted at their best case: 1 cycle forward). *)
+let critical_path (t : Trace.t) =
+  let n = Array.length t.Trace.events in
+  let depth = Array.make n 0 in
+  Array.iteri
+    (fun i (e : Trace.event) ->
+      let best = if e.Trace.is_load then 1 else e.Trace.latency in
+      let d =
+        Array.fold_left (fun acc (p, _) -> max acc depth.(p)) 0 e.Trace.deps
+      in
+      depth.(i) <- d + best)
+    t.Trace.events;
+  Array.fold_left max 0 depth
+
+let named_cfg name = { U.Config.ooo_8wide with U.Config.name }
+
+let qcheck_cycles_lower_bounds =
+  QCheck.Test.make ~name:"cycles respect width and dependence lower bounds" ~count:12
+    QCheck.(pair (int_range 0 25) (int_range 0 50))
+    (fun (pidx, seed) ->
+      let p = List.nth Spec.all pidx in
+      let prog, init_mem = Spec.generate p ~seed ~scale:1200 in
+      let conv = (C.Transform.conventional prog).C.Extalloc.program in
+      let t = Option.get (Emulator.run ~max_steps:100_000 ~init_mem conv).Emulator.trace in
+      let warm = List.map fst init_mem in
+      let cp = critical_path t in
+      List.for_all
+        (fun cfg ->
+          let r = U.Pipeline.run ~warm_data:warm cfg t in
+          r.U.Pipeline.cycles >= cp
+          && r.U.Pipeline.cycles
+             >= Trace.length t / cfg.U.Config.fetch_width)
+        [ U.Config.in_order_8wide; U.Config.ooo_8wide;
+          U.Config.perfect_frontend (named_cfg "ooo-pf") ])
+
+(* --- Allocator register-bound property ---------------------------------- *)
+
+let qcheck_allocator_respects_budget =
+  QCheck.Test.make ~name:"allocation uses only budget + scratch registers" ~count:15
+    QCheck.(triple (int_range 0 25) (int_range 0 50) (int_range 1 6))
+    (fun (pidx, seed, usable) ->
+      let p = List.nth Spec.all pidx in
+      let prog, _ = Spec.generate p ~seed ~scale:1000 in
+      let res = C.Extalloc.allocate ~usable prog in
+      let ok = ref true in
+      Program.iter_instrs
+        (fun _ _ ins ->
+          List.iter
+            (fun (r : Reg.t) ->
+              if r.Reg.space = Reg.Ext && not (Reg.is_zero r) then
+                if not (r.Reg.idx < usable || r.Reg.idx >= C.Extalloc.usable_per_class)
+                then ok := false)
+            (Instr.defs ins @ Instr.uses ins))
+        res.C.Extalloc.program;
+      !ok)
+
+(* --- Workload structure -------------------------------------------------- *)
+
+let test_blocks_well_shaped () =
+  List.iter
+    (fun (p : Spec.profile) ->
+      let prog, _ = Spec.generate p ~seed:1 ~scale:2000 in
+      Array.iter
+        (fun (b : Program.block) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s block %d size sane" p.Spec.name b.Program.id)
+            true
+            (Array.length b.Program.instrs <= 128);
+          Array.iteri
+            (fun k ins ->
+              if k < Array.length b.Program.instrs - 1 then
+                Alcotest.(check bool) "transfers only terminal" false
+                  (Op.is_branch ins.Instr.op || ins.Instr.op = Op.Halt))
+            b.Program.instrs)
+        prog.Program.blocks)
+    Spec.all
+
+let test_deterministic_experiments () =
+  let a = Braid_sim.Experiments.find "table2" ~scale:1000 in
+  let b = Braid_sim.Experiments.find "table2" ~scale:1000 in
+  Alcotest.(check string) "experiments deterministic"
+    a.Braid_sim.Experiments.rendered b.Braid_sim.Experiments.rendered
+
+let suite =
+  ( "properties",
+    [
+      QCheck_alcotest.to_alcotest qcheck_ibin_reference;
+      QCheck_alcotest.to_alcotest qcheck_cond_consistent;
+      QCheck_alcotest.to_alcotest qcheck_cmp_agree;
+      Alcotest.test_case "encode golden" `Quick test_encode_golden;
+      Alcotest.test_case "encode program length" `Quick test_encode_program_length;
+      QCheck_alcotest.to_alcotest qcheck_cache_model;
+      QCheck_alcotest.to_alcotest qcheck_predictor_robust;
+      QCheck_alcotest.to_alcotest qcheck_value_stats_conservation;
+      QCheck_alcotest.to_alcotest qcheck_cycles_lower_bounds;
+      QCheck_alcotest.to_alcotest qcheck_allocator_respects_budget;
+      Alcotest.test_case "blocks well shaped" `Quick test_blocks_well_shaped;
+      Alcotest.test_case "experiments deterministic" `Slow test_deterministic_experiments;
+    ] )

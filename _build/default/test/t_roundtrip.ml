@@ -1,0 +1,150 @@
+(* Cross-module round-trip properties: the disassembler's textual form is
+   exactly the assembler's input language, for every operation shape; and
+   configuration constructors keep their invariants. *)
+
+module U = Braid_uarch
+
+let r n = Reg.ext Reg.Cint n
+let f n = Reg.ext Reg.Cfp n
+let t n = Reg.intern n
+
+(* --- every mnemonic prints and reparses -------------------------------- *)
+
+let all_shapes =
+  [
+    Op.Nop;
+    Op.Halt;
+    Op.Jump 3;
+    Op.Movi (r 1, 42L);
+    Op.Movi (t 2, -7L);
+    Op.Ibin (Op.Add, r 1, r 2, r 3);
+    Op.Ibin (Op.Sub, t 0, r 2, t 1);
+    Op.Ibin (Op.Mul, r 1, r 2, r 3);
+    Op.Ibin (Op.And, r 1, r 2, r 3);
+    Op.Ibin (Op.Or, r 1, r 2, r 3);
+    Op.Ibin (Op.Xor, r 1, r 2, r 3);
+    Op.Ibin (Op.Andnot, r 1, r 2, r 3);
+    Op.Ibin (Op.Shl, r 1, r 2, r 3);
+    Op.Ibin (Op.Shr, r 1, r 2, r 3);
+    Op.Ibin (Op.Cmpeq, r 1, r 2, r 3);
+    Op.Ibin (Op.Cmplt, r 1, r 2, r 3);
+    Op.Ibin (Op.Cmple, r 1, r 2, r 3);
+    Op.Ibini (Op.Add, r 1, r 2, 9);
+    Op.Ibini (Op.Shl, t 3, r 2, 3);
+    Op.Ibini (Op.Cmplt, r 1, r 2, -5);
+    Op.Fbin (Op.Fadd, f 1, f 2, f 3);
+    Op.Fbin (Op.Fsub, f 1, f 2, f 3);
+    Op.Fbin (Op.Fmul, f 1, f 2, f 3);
+    Op.Fbin (Op.Fdiv, f 1, f 2, f 3);
+    Op.Fbin (Op.Fcmplt, f 1, f 2, f 3);
+    Op.Funary (Op.Fneg, f 1, f 2);
+    Op.Funary (Op.Fsqrt, f 1, f 2);
+    Op.Funary (Op.Cvt_if, f 1, r 2);
+    Op.Cmov (Op.Eq, r 1, r 2, r 3);
+    Op.Cmov (Op.Ne, r 1, r 2, r 3);
+    Op.Cmov (Op.Lt, r 1, r 2, r 3);
+    Op.Cmov (Op.Ge, r 1, r 2, r 3);
+    Op.Cmov (Op.Le, r 1, r 2, r 3);
+    Op.Cmov (Op.Gt, r 1, r 2, r 3);
+    Op.Load (r 1, r 2, 16, 4);
+    Op.Load (f 1, r 2, -8, Op.region_unknown);
+    Op.Load (t 5, r 2, 0, 0);
+    Op.Store (r 1, r 2, 24, 2);
+    Op.Store (f 1, r 2, 0, Op.region_unknown);
+    Op.Branch (Op.Eq, r 1, 2);
+    Op.Branch (Op.Ne, t 1, 0);
+    Op.Branch (Op.Lt, r 1, 2);
+    Op.Branch (Op.Ge, r 1, 2);
+    Op.Branch (Op.Le, r 1, 2);
+    Op.Branch (Op.Gt, r 1, 2);
+  ]
+
+(* Memory region tags are compiler metadata and do not survive text. *)
+let strip_region = function
+  | Op.Load (d, b, off, _) -> Op.Load (d, b, off, Op.region_unknown)
+  | Op.Store (s, b, off, _) -> Op.Store (s, b, off, Op.region_unknown)
+  | op -> op
+
+let test_every_shape_roundtrips () =
+  List.iter
+    (fun op ->
+      let printed = Disasm.instr (Instr.make op) in
+      let reparsed = Asm.parse_instr printed in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S survives print/parse" printed)
+        true
+        (strip_region reparsed.Instr.op = strip_region op))
+    all_shapes
+
+let qcheck_print_parse =
+  (* reuse t_isa's generator over random well-formed instructions *)
+  QCheck.Test.make ~name:"random instructions survive print/parse" ~count:1000
+    T_isa.arb_instr
+    (fun ins ->
+      let reparsed = Asm.parse_instr (Disasm.instr ins) in
+      strip_region reparsed.Instr.op = strip_region ins.Instr.op
+      && reparsed.Instr.annot.Instr.braid_start = ins.Instr.annot.Instr.braid_start
+      && Option.equal Reg.equal reparsed.Instr.annot.Instr.ext_dup
+           ins.Instr.annot.Instr.ext_dup)
+
+(* --- configuration invariants ------------------------------------------- *)
+
+let test_scale_width_invariants () =
+  List.iter
+    (fun cfg ->
+      List.iter
+        (fun w ->
+          let scaled = U.Config.scale_width cfg w in
+          Alcotest.(check int) "fetch width" w scaled.U.Config.fetch_width;
+          Alcotest.(check int) "commit width" w scaled.U.Config.commit_width;
+          Alcotest.(check bool) "positive clusters" true (scaled.U.Config.clusters >= 1);
+          Alcotest.(check bool) "per-cluster shape preserved" true
+            (scaled.U.Config.fus_per_cluster = cfg.U.Config.fus_per_cluster);
+          Alcotest.(check bool) "name distinct per width" true
+            (scaled.U.Config.name <> cfg.U.Config.name || w = 8))
+        [ 4; 16 ])
+    [ U.Config.ooo_8wide; U.Config.braid_8wide; U.Config.in_order_8wide;
+      U.Config.dep_steer_8wide ]
+
+let test_scale_width_idempotent_name () =
+  let once = U.Config.scale_width U.Config.ooo_8wide 4 in
+  let twice = U.Config.scale_width once 16 in
+  Alcotest.(check string) "no name accretion" "ooo-8@16w" twice.U.Config.name
+
+let test_perfect_frontend () =
+  let p = U.Config.perfect_frontend U.Config.ooo_8wide in
+  Alcotest.(check bool) "predictor perfect" true
+    (p.U.Config.predictor = U.Config.Perfect_prediction);
+  Alcotest.(check bool) "caches perfect" true
+    (p.U.Config.mem.U.Config.perfect_icache && p.U.Config.mem.U.Config.perfect_dcache)
+
+let test_table4_fidelity () =
+  (* the presets must stay faithful to the paper's Table 4 *)
+  let o = U.Config.ooo_8wide and b = U.Config.braid_8wide in
+  Alcotest.(check int) "ooo penalty 23" 23 o.U.Config.misprediction_penalty;
+  Alcotest.(check int) "braid penalty 19" 19 b.U.Config.misprediction_penalty;
+  Alcotest.(check int) "ooo 8 schedulers" 8 o.U.Config.clusters;
+  Alcotest.(check int) "32-entry schedulers" 32 o.U.Config.cluster_entries;
+  Alcotest.(check int) "ooo 256 registers" 256 o.U.Config.ext_regs;
+  Alcotest.(check (pair int int)) "ooo 16r8w" (16, 8)
+    (o.U.Config.rf_read_ports, o.U.Config.rf_write_ports);
+  Alcotest.(check int) "8 BEUs" 8 b.U.Config.clusters;
+  Alcotest.(check int) "32-entry FIFOs" 32 b.U.Config.cluster_entries;
+  Alcotest.(check int) "2-entry window" 2 b.U.Config.sched_window;
+  Alcotest.(check int) "2 FUs per BEU" 2 b.U.Config.fus_per_cluster;
+  Alcotest.(check int) "8-entry external RF" 8 b.U.Config.ext_regs;
+  Alcotest.(check (pair int int)) "braid 6r3w" (6, 3)
+    (b.U.Config.rf_read_ports, b.U.Config.rf_write_ports);
+  Alcotest.(check int) "braid 2 bypass values" 2 b.U.Config.bypass_per_cycle;
+  Alcotest.(check int) "400-cycle memory" 400 o.U.Config.mem.U.Config.memory_latency
+
+let suite =
+  ( "roundtrip-config",
+    [
+      Alcotest.test_case "every op shape round-trips" `Quick test_every_shape_roundtrips;
+      QCheck_alcotest.to_alcotest qcheck_print_parse;
+      Alcotest.test_case "scale_width invariants" `Quick test_scale_width_invariants;
+      Alcotest.test_case "scale_width name" `Quick test_scale_width_idempotent_name;
+      Alcotest.test_case "perfect frontend" `Quick test_perfect_frontend;
+      Alcotest.test_case "Table 4 fidelity" `Quick test_table4_fidelity;
+    ] )

@@ -1,0 +1,284 @@
+(* Tests for register allocation and the whole braid transformation,
+   including the central behaviour-preservation properties. *)
+
+module C = Braid_core
+module Spec = Braid_workload.Spec
+
+let i64 = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
+
+let fingerprint ?(init_mem = []) prog =
+  let out = Emulator.run ~max_steps:200_000 ~trace:false ~init_mem prog in
+  Alcotest.(check bool) "halts" true (out.Emulator.stop = Trace.Halted);
+  Emulator.memory_fingerprint out.Emulator.state
+
+(* --- Extalloc --- *)
+
+let test_extalloc_removes_virt () =
+  List.iter
+    (fun (p : Spec.profile) ->
+      let prog, _ = Spec.generate p ~seed:1 ~scale:1500 in
+      let res = C.Extalloc.allocate prog in
+      Alcotest.(check int) (p.Spec.name ^ " no virtual registers") (-1)
+        (Program.max_virt_index res.C.Extalloc.program))
+    [ Spec.find "gcc"; Spec.find "swim"; Spec.find "mcf" ]
+
+let test_extalloc_preserves_semantics () =
+  List.iter
+    (fun (p : Spec.profile) ->
+      let prog, init_mem = Spec.generate p ~seed:2 ~scale:1500 in
+      Alcotest.(check i64)
+        (p.Spec.name ^ " conventional binary equivalent")
+        (fingerprint ~init_mem prog)
+        (fingerprint ~init_mem (C.Extalloc.allocate prog).C.Extalloc.program))
+    Spec.all
+
+let test_extalloc_spills_under_pressure () =
+  let prog, init_mem = Spec.generate (Spec.find "mgrid") ~seed:1 ~scale:1500 in
+  let tight = C.Extalloc.allocate ~usable:2 prog in
+  Alcotest.(check bool) "spills happen with 2 registers" true
+    (tight.C.Extalloc.spilled > 0);
+  Alcotest.(check i64) "spilled binary still equivalent"
+    (fingerprint ~init_mem prog)
+    (fingerprint ~init_mem tight.C.Extalloc.program)
+
+let test_extalloc_usable_range () =
+  let prog, _ = Spec.generate (Spec.find "gcc") ~seed:1 ~scale:1000 in
+  Alcotest.(check bool) "usable=0 rejected" true
+    (try
+       ignore (C.Extalloc.allocate ~usable:0 prog);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_extalloc_equivalence =
+  QCheck.Test.make ~name:"conventional allocation preserves behaviour" ~count:25
+    QCheck.(pair (int_range 0 25) (int_range 0 500))
+    (fun (pidx, seed) ->
+      let p = List.nth Spec.all pidx in
+      let prog, init_mem = Spec.generate p ~seed ~scale:1200 in
+      let res = C.Extalloc.allocate prog in
+      let fp pr =
+        Emulator.memory_fingerprint
+          (Emulator.run ~max_steps:100_000 ~trace:false ~init_mem pr).Emulator.state
+      in
+      Int64.equal (fp prog) (fp res.C.Extalloc.program))
+
+(* --- Transform: the braid pass --- *)
+
+let test_transform_preserves_semantics () =
+  List.iter
+    (fun (p : Spec.profile) ->
+      let prog, init_mem = Spec.generate p ~seed:4 ~scale:1500 in
+      let rep = C.Transform.run prog in
+      Alcotest.(check i64)
+        (p.Spec.name ^ " braid binary equivalent")
+        (fingerprint ~init_mem prog)
+        (fingerprint ~init_mem rep.C.Transform.program))
+    Spec.all
+
+let qcheck_transform_equivalence =
+  QCheck.Test.make ~name:"braid transformation preserves behaviour" ~count:40
+    QCheck.(pair (int_range 0 25) (int_range 0 1000))
+    (fun (pidx, seed) ->
+      let p = List.nth Spec.all pidx in
+      let prog, init_mem = Spec.generate p ~seed ~scale:1200 in
+      let rep = C.Transform.run prog in
+      let fp pr =
+        Emulator.memory_fingerprint
+          (Emulator.run ~max_steps:100_000 ~trace:false ~init_mem pr).Emulator.state
+      in
+      Int64.equal (fp prog) (fp rep.C.Transform.program))
+
+let qcheck_transform_tight_registers =
+  QCheck.Test.make
+    ~name:"braid transformation equivalent under tight register budgets" ~count:20
+    QCheck.(triple (int_range 0 25) (int_range 0 200) (int_range 1 6))
+    (fun (pidx, seed, usable) ->
+      let p = List.nth Spec.all pidx in
+      let prog, init_mem = Spec.generate p ~seed ~scale:1000 in
+      let rep = C.Transform.run ~ext_usable:usable prog in
+      let fp pr =
+        Emulator.memory_fingerprint
+          (Emulator.run ~max_steps:100_000 ~trace:false ~init_mem pr).Emulator.state
+      in
+      Int64.equal (fp prog) (fp rep.C.Transform.program))
+
+let braided_programs =
+  lazy
+    (List.map
+       (fun (p : Spec.profile) ->
+         let prog, _ = Spec.generate p ~seed:1 ~scale:1500 in
+         (p.Spec.name, C.Transform.run prog))
+       Spec.all)
+
+let for_all_braided check =
+  List.iter
+    (fun (name, rep) -> check name rep.C.Transform.program)
+    (Lazy.force braided_programs)
+
+let test_annotations_complete () =
+  for_all_braided (fun name prog ->
+      Program.iter_instrs
+        (fun _ _ ins ->
+          Alcotest.(check bool) (name ^ " braid id assigned") true
+            (ins.Instr.annot.Instr.braid_id >= 0))
+        prog)
+
+let test_s_bits_match_id_transitions () =
+  for_all_braided (fun name prog ->
+      Array.iter
+        (fun (b : Program.block) ->
+          Array.iteri
+            (fun k ins ->
+              let expected =
+                k = 0
+                || ins.Instr.annot.Instr.braid_id
+                   <> b.Program.instrs.(k - 1).Instr.annot.Instr.braid_id
+              in
+              Alcotest.(check bool) (name ^ " S bit") expected
+                ins.Instr.annot.Instr.braid_start)
+            b.Program.instrs)
+        prog.Program.blocks)
+
+let test_braids_contiguous_within_block () =
+  for_all_braided (fun name prog ->
+      Array.iter
+        (fun (b : Program.block) ->
+          let seen = Hashtbl.create 8 in
+          let last = ref min_int in
+          Array.iter
+            (fun ins ->
+              let id = ins.Instr.annot.Instr.braid_id in
+              if id <> !last then begin
+                Alcotest.(check bool) (name ^ " braids contiguous") false
+                  (Hashtbl.mem seen id);
+                Hashtbl.add seen id ();
+                last := id
+              end)
+            b.Program.instrs)
+        prog.Program.blocks)
+
+let test_no_internal_values_cross_blocks () =
+  for_all_braided (fun name prog ->
+      let live = C.Dataflow.liveness prog in
+      Array.iteri
+        (fun bid _ ->
+          C.Regset.Set.iter
+            (fun (r : Reg.t) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s no internal live into block %d" name bid)
+                false
+                (r.Reg.space = Reg.Intern))
+            live.C.Dataflow.live_in.(bid))
+        prog.Program.blocks)
+
+let test_internal_regs_within_bound () =
+  for_all_braided (fun name prog ->
+      Program.iter_instrs
+        (fun _ _ ins ->
+          List.iter
+            (fun (r : Reg.t) ->
+              if r.Reg.space = Reg.Intern then
+                Alcotest.(check bool) (name ^ " internal index < 8") true
+                  (r.Reg.idx < Reg.num_internal))
+            (Instr.defs ins @ Instr.uses ins))
+        prog)
+
+let test_internal_values_stay_in_braid () =
+  (* a use of internal register tN must resolve to a definition of tN
+     earlier in the same braid, within the same block *)
+  for_all_braided (fun name prog ->
+      Array.iter
+        (fun (b : Program.block) ->
+          let current_defs = Hashtbl.create 8 in
+          let current_braid = ref (-1) in
+          Array.iter
+            (fun ins ->
+              let id = ins.Instr.annot.Instr.braid_id in
+              if id <> !current_braid then begin
+                Hashtbl.reset current_defs;
+                current_braid := id
+              end;
+              List.iter
+                (fun (r : Reg.t) ->
+                  if r.Reg.space = Reg.Intern then
+                    Alcotest.(check bool)
+                      (name ^ " internal use has in-braid producer") true
+                      (Hashtbl.mem current_defs r.Reg.idx))
+                (Instr.uses ins);
+              List.iter
+                (fun (r : Reg.t) ->
+                  if r.Reg.space = Reg.Intern then
+                    Hashtbl.replace current_defs r.Reg.idx ())
+                (Instr.defs ins))
+            b.Program.instrs)
+        prog.Program.blocks)
+
+let test_terminators_stay_last () =
+  for_all_braided (fun name prog ->
+      Array.iter
+        (fun (b : Program.block) ->
+          Array.iteri
+            (fun k ins ->
+              match ins.Instr.op with
+              | Op.Branch _ | Op.Jump _ | Op.Halt ->
+                  Alcotest.(check int) (name ^ " terminator terminal")
+                    (Array.length b.Program.instrs - 1)
+                    k
+              | _ -> ())
+            b.Program.instrs)
+        prog.Program.blocks)
+
+let test_dynamic_length_reasonable () =
+  (* braid scheduling must not blow up code size: dynamic length within a
+     few percent of the conventional binary (spill code only) *)
+  List.iter
+    (fun (p : Spec.profile) ->
+      let prog, init_mem = Spec.generate p ~seed:1 ~scale:1500 in
+      let dyn pr =
+        (Emulator.run ~max_steps:200_000 ~trace:false ~init_mem pr).Emulator.dynamic_count
+      in
+      let conv = dyn (C.Extalloc.allocate prog).C.Extalloc.program in
+      let braid = dyn (C.Transform.run prog).C.Transform.program in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s dyn length close (conv %d vs braid %d)" p.Spec.name conv braid)
+        true
+        (float_of_int braid < 1.10 *. float_of_int conv))
+    [ Spec.find "gcc"; Spec.find "mgrid"; Spec.find "vpr"; Spec.find "lucas" ]
+
+let test_split_counts_small () =
+  let total_braids = ref 0 and total_splits = ref 0 in
+  List.iter
+    (fun (p : Spec.profile) ->
+      let prog, _ = Spec.generate p ~seed:1 ~scale:1500 in
+      let rep = C.Transform.run prog in
+      total_braids := !total_braids + rep.C.Transform.braids;
+      total_splits :=
+        !total_splits + rep.C.Transform.splits_working_set
+        + rep.C.Transform.splits_ordering)
+    Spec.all;
+  let frac = float_of_int !total_splits /. float_of_int !total_braids in
+  Alcotest.(check bool)
+    (Printf.sprintf "splits are rare (%.2f%%)" (100. *. frac))
+    true (frac < 0.08)
+
+let suite =
+  ( "transform",
+    [
+      Alcotest.test_case "extalloc removes virtuals" `Quick test_extalloc_removes_virt;
+      Alcotest.test_case "extalloc preserves semantics" `Slow test_extalloc_preserves_semantics;
+      Alcotest.test_case "extalloc spills under pressure" `Quick test_extalloc_spills_under_pressure;
+      Alcotest.test_case "extalloc usable range" `Quick test_extalloc_usable_range;
+      QCheck_alcotest.to_alcotest qcheck_extalloc_equivalence;
+      Alcotest.test_case "transform preserves semantics" `Slow test_transform_preserves_semantics;
+      QCheck_alcotest.to_alcotest qcheck_transform_equivalence;
+      QCheck_alcotest.to_alcotest qcheck_transform_tight_registers;
+      Alcotest.test_case "annotations complete" `Quick test_annotations_complete;
+      Alcotest.test_case "S bits match transitions" `Quick test_s_bits_match_id_transitions;
+      Alcotest.test_case "braids contiguous" `Quick test_braids_contiguous_within_block;
+      Alcotest.test_case "internals never cross blocks" `Quick test_no_internal_values_cross_blocks;
+      Alcotest.test_case "internal register bound" `Quick test_internal_regs_within_bound;
+      Alcotest.test_case "internal values stay in braid" `Quick test_internal_values_stay_in_braid;
+      Alcotest.test_case "terminators stay last" `Quick test_terminators_stay_last;
+      Alcotest.test_case "dynamic length reasonable" `Quick test_dynamic_length_reasonable;
+      Alcotest.test_case "split counts small" `Quick test_split_counts_small;
+    ] )

@@ -1,0 +1,277 @@
+(* Tests for the microarchitecture substrate: caches, predictor, and the
+   four execution cores through the pipeline. *)
+
+module C = Braid_core
+module U = Braid_uarch
+module Spec = Braid_workload.Spec
+
+(* --- Cache --- *)
+
+let small_geometry =
+  { U.Config.size_bytes = 512; ways = 2; line_bytes = 64; latency = 3 }
+
+let test_cache_hit_miss () =
+  let c = U.Cache.create small_geometry in
+  Alcotest.(check bool) "cold miss" false (U.Cache.access c 0);
+  Alcotest.(check bool) "then hit" true (U.Cache.access c 0);
+  Alcotest.(check bool) "same line hits" true (U.Cache.access c 63);
+  Alcotest.(check bool) "next line misses" false (U.Cache.access c 64);
+  Alcotest.(check int) "hits counted" 2 (U.Cache.hits c);
+  Alcotest.(check int) "misses counted" 2 (U.Cache.misses c)
+
+let test_cache_lru () =
+  (* 512B / 64B lines / 2 ways = 4 sets; lines mapping to set 0 are
+     multiples of 4*64=256 *)
+  let c = U.Cache.create small_geometry in
+  ignore (U.Cache.access c 0);
+  ignore (U.Cache.access c 256);
+  (* set 0 now holds lines {0, 256}; touch 0 to make 256 the LRU *)
+  ignore (U.Cache.access c 0);
+  ignore (U.Cache.access c 512);
+  (* evicts 256 *)
+  Alcotest.(check bool) "mru survives" true (U.Cache.access c 0);
+  Alcotest.(check bool) "lru evicted" false (U.Cache.access c 256)
+
+let test_hierarchy_latencies () =
+  let h = U.Cache.create_hierarchy U.Config.default_memory in
+  let l1 = U.Config.default_memory.U.Config.l1d.U.Config.latency in
+  let l2 = U.Config.default_memory.U.Config.l2.U.Config.latency in
+  let mem = U.Config.default_memory.U.Config.memory_latency in
+  Alcotest.(check int) "cold: full chain" (l1 + l2 + mem) (U.Cache.data_latency h 0x4000);
+  Alcotest.(check int) "warm: l1 hit" l1 (U.Cache.data_latency h 0x4000);
+  (* instruction side behaves likewise *)
+  Alcotest.(check int) "icache cold" (3 + l2 + mem) (U.Cache.instr_latency h 0x8000);
+  Alcotest.(check int) "icache warm" 3 (U.Cache.instr_latency h 0x8000)
+
+let test_perfect_caches () =
+  let m =
+    { U.Config.default_memory with U.Config.perfect_icache = true; perfect_dcache = true }
+  in
+  let h = U.Cache.create_hierarchy m in
+  Alcotest.(check int) "perfect icache" 1 (U.Cache.instr_latency h 0x123440);
+  Alcotest.(check int) "perfect dcache is l1 latency" 3 (U.Cache.data_latency h 0x998800)
+
+let test_warm_does_not_count () =
+  let h = U.Cache.create_hierarchy U.Config.default_memory in
+  U.Cache.warm_instr h 0x1000;
+  U.Cache.warm_l2 h 0x2000;
+  Alcotest.(check (pair int int)) "l1i stats untouched" (0, 0) (U.Cache.l1i_stats h);
+  Alcotest.(check (pair int int)) "l2 stats untouched" (0, 0) (U.Cache.l2_stats h);
+  (* but the state is warm *)
+  Alcotest.(check int) "warm line hits l1i" 3 (U.Cache.instr_latency h 0x1000);
+  Alcotest.(check int) "warm data hits l2" (3 + 6) (U.Cache.data_latency h 0x2000)
+
+(* --- Predictor --- *)
+
+let test_perceptron_learns_constant () =
+  let pred = U.Predictor.create U.Config.ooo_8wide in
+  for _ = 1 to 200 do
+    ignore (U.Predictor.predict_and_train pred ~pc:0x40 ~taken:true)
+  done;
+  Alcotest.(check bool) "always-taken learned" true
+    (U.Predictor.accuracy pred > 0.95)
+
+let test_perceptron_learns_alternation () =
+  let pred = U.Predictor.create U.Config.ooo_8wide in
+  let flip = ref false in
+  (* warm up, then measure *)
+  for _ = 1 to 500 do
+    flip := not !flip;
+    ignore (U.Predictor.predict_and_train pred ~pc:0x80 ~taken:!flip)
+  done;
+  let correct = ref 0 in
+  for _ = 1 to 200 do
+    flip := not !flip;
+    if U.Predictor.predict_and_train pred ~pc:0x80 ~taken:!flip then incr correct
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "alternation learned (%d/200)" !correct)
+    true (!correct > 180)
+
+let test_perfect_predictor () =
+  let pred = U.Predictor.create (U.Config.perfect_frontend U.Config.ooo_8wide) in
+  let rng = Prng.create 5L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "always right" true
+      (U.Predictor.predict_and_train pred ~pc:0x10 ~taken:(Prng.bool rng))
+  done;
+  Alcotest.(check int) "no mispredicts" 0 (U.Predictor.mispredicts pred)
+
+(* --- Pipeline over the four cores --- *)
+
+let trace_for ?(scale = 1500) ?(seed = 1) name =
+  let profile = Spec.find name in
+  let prog, init_mem = Spec.generate profile ~seed ~scale in
+  let conv = (C.Transform.conventional prog).C.Extalloc.program in
+  let braid = (C.Transform.run prog).C.Transform.program in
+  let tr pr = Option.get (Emulator.run ~max_steps:100_000 ~init_mem pr).Emulator.trace in
+  (tr conv, tr braid, List.map fst init_mem)
+
+let test_all_cores_complete () =
+  List.iter
+    (fun name ->
+      let conv, braid, warm = trace_for name in
+      List.iter
+        (fun cfg ->
+          let r = U.Pipeline.run ~warm_data:warm cfg conv in
+          Alcotest.(check int)
+            (name ^ "/" ^ cfg.U.Config.name ^ " commits everything")
+            (Trace.length conv) r.U.Pipeline.instructions;
+          Alcotest.(check bool) "positive ipc" true (r.U.Pipeline.ipc > 0.0))
+        [ U.Config.in_order_8wide; U.Config.dep_steer_8wide; U.Config.ooo_8wide ];
+      let r = U.Pipeline.run ~warm_data:warm U.Config.braid_8wide braid in
+      Alcotest.(check bool) (name ^ " braid completes") true (r.U.Pipeline.cycles > 0))
+    [ "gcc"; "mcf"; "swim"; "twolf" ]
+
+let test_cycles_at_least_critical () =
+  (* an N-instruction fully serial chain cannot finish faster than the sum
+     of latencies on any core *)
+  let b = Braid_workload.Build.create () in
+  let acc = Braid_workload.Build.const b Reg.Cint 1L in
+  for _ = 1 to 50 do
+    Braid_workload.Build.emit b (Op.Ibini (Op.Add, acc, acc, 1))
+  done;
+  let prog, init_mem = Braid_workload.Build.finish b in
+  let conv = (C.Transform.conventional prog).C.Extalloc.program in
+  let trace = Option.get (Emulator.run ~init_mem conv).Emulator.trace in
+  List.iter
+    (fun cfg ->
+      let r = U.Pipeline.run cfg trace in
+      Alcotest.(check bool)
+        (cfg.U.Config.name ^ " respects the dependence chain")
+        true
+        (r.U.Pipeline.cycles >= 50))
+    [ U.Config.in_order_8wide; U.Config.ooo_8wide ]
+
+let test_ooo_beats_in_order () =
+  let conv, _, warm = trace_for "eon" in
+  let io = U.Pipeline.run ~warm_data:warm U.Config.in_order_8wide conv in
+  let oo = U.Pipeline.run ~warm_data:warm U.Config.ooo_8wide conv in
+  Alcotest.(check bool) "ooo faster than in-order" true
+    (oo.U.Pipeline.cycles < io.U.Pipeline.cycles)
+
+let test_perfect_predictor_helps () =
+  let conv, _, warm = trace_for "vpr" in
+  let real = U.Pipeline.run ~warm_data:warm U.Config.ooo_8wide conv in
+  let perfect =
+    U.Pipeline.run ~warm_data:warm
+      { (U.Config.perfect_frontend U.Config.ooo_8wide) with U.Config.name = "ooo-perf" }
+      conv
+  in
+  Alcotest.(check bool) "perfect front end no slower" true
+    (perfect.U.Pipeline.cycles <= real.U.Pipeline.cycles)
+
+let test_more_registers_monotone () =
+  let conv, _, warm = trace_for "twolf" in
+  let cycles n =
+    (U.Pipeline.run ~warm_data:warm
+       { U.Config.ooo_8wide with U.Config.ext_regs = n; name = Printf.sprintf "ooo-r%d" n }
+       conv).U.Pipeline.cycles
+  in
+  let c8 = cycles 8 and c32 = cycles 32 and c256 = cycles 256 in
+  Alcotest.(check bool) "8 <= 32 regs helps" true (c32 <= c8);
+  Alcotest.(check bool) "32 <= 256 regs helps" true (c256 <= c32)
+
+let test_more_beus_monotone () =
+  let _, braid, warm = trace_for "swim" in
+  let cycles n =
+    (U.Pipeline.run ~warm_data:warm
+       { U.Config.braid_8wide with U.Config.clusters = n; name = Printf.sprintf "braid-b%d" n }
+       braid).U.Pipeline.cycles
+  in
+  let c1 = cycles 1 and c4 = cycles 4 and c8 = cycles 8 in
+  Alcotest.(check bool) "1 -> 4 BEUs helps" true (c4 < c1);
+  Alcotest.(check bool) "4 -> 8 BEUs helps" true (c8 <= c4)
+
+let test_wider_window_monotone () =
+  let _, braid, warm = trace_for "mgrid" in
+  let cycles w =
+    (U.Pipeline.run ~warm_data:warm
+       { U.Config.braid_8wide with U.Config.sched_window = w; name = Printf.sprintf "braid-w%d" w }
+       braid).U.Pipeline.cycles
+  in
+  Alcotest.(check bool) "window 2 >= window 1" true (cycles 2 <= cycles 1)
+
+let test_mispredict_penalty_costs () =
+  let conv, _, warm = trace_for "parser" in
+  let cycles p =
+    (U.Pipeline.run ~warm_data:warm
+       { U.Config.ooo_8wide with U.Config.misprediction_penalty = p; name = Printf.sprintf "ooo-p%d" p }
+       conv).U.Pipeline.cycles
+  in
+  Alcotest.(check bool) "deeper pipeline costs" true (cycles 40 > cycles 10)
+
+let test_branch_stats_populated () =
+  let conv, _, warm = trace_for "gcc" in
+  let r = U.Pipeline.run ~warm_data:warm U.Config.ooo_8wide conv in
+  Alcotest.(check bool) "lookups counted" true (r.U.Pipeline.branch_lookups > 0);
+  Alcotest.(check bool) "mispredict rate sane" true
+    (r.U.Pipeline.branch_mispredicts <= r.U.Pipeline.branch_lookups)
+
+let test_fault_serializes () =
+  (* a program with an FP divide-by-zero: the braid pipeline must complete
+     and report the fault *)
+  let b = Braid_workload.Build.create () in
+  let zero_f = Braid_workload.Build.const b Reg.Cfp 0L in
+  let one_f = Braid_workload.Build.const b Reg.Cfp 1L in
+  let q = Braid_workload.Build.fp_reg b in
+  Braid_workload.Build.emit b (Op.Fbin (Op.Fdiv, q, one_f, zero_f));
+  let out, region, _ = Braid_workload.Build.alloc_array b ~words:1 ~init:(fun _ -> 0L) in
+  Braid_workload.Build.emit b (Op.Store (q, out, 0, region));
+  let prog, init_mem = Braid_workload.Build.finish b in
+  let braided = (C.Transform.run prog).C.Transform.program in
+  let trace = Option.get (Emulator.run ~init_mem braided).Emulator.trace in
+  let r = U.Pipeline.run U.Config.braid_8wide trace in
+  Alcotest.(check int) "one fault" 1 r.U.Pipeline.faults;
+  Alcotest.(check bool) "completed" true (r.U.Pipeline.cycles > 0)
+
+let test_speedup_helper () =
+  let conv, _, warm = trace_for "gcc" in
+  let a = U.Pipeline.run ~warm_data:warm U.Config.in_order_8wide conv in
+  let b = U.Pipeline.run ~warm_data:warm U.Config.ooo_8wide conv in
+  let s = U.Pipeline.speedup a b in
+  Alcotest.(check (float 1e-9)) "speedup definition"
+    (float_of_int a.U.Pipeline.cycles /. float_of_int b.U.Pipeline.cycles)
+    s
+
+let qcheck_all_cores_all_benchmarks =
+  QCheck.Test.make ~name:"every paradigm completes every benchmark" ~count:15
+    QCheck.(pair (int_range 0 25) (int_range 0 100))
+    (fun (pidx, seed) ->
+      let p = List.nth Spec.all pidx in
+      let prog, init_mem = Spec.generate p ~seed ~scale:1200 in
+      let conv = (C.Transform.conventional prog).C.Extalloc.program in
+      let braid = (C.Transform.run prog).C.Transform.program in
+      let tr pr = Option.get (Emulator.run ~max_steps:100_000 ~init_mem pr).Emulator.trace in
+      let warm = List.map fst init_mem in
+      let conv_t = tr conv and braid_t = tr braid in
+      List.for_all
+        (fun cfg ->
+          (U.Pipeline.run ~warm_data:warm cfg conv_t).U.Pipeline.cycles > 0)
+        [ U.Config.in_order_8wide; U.Config.dep_steer_8wide; U.Config.ooo_8wide ]
+      && (U.Pipeline.run ~warm_data:warm U.Config.braid_8wide braid_t).U.Pipeline.cycles > 0)
+
+let suite =
+  ( "uarch",
+    [
+      Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+      Alcotest.test_case "cache lru" `Quick test_cache_lru;
+      Alcotest.test_case "hierarchy latencies" `Quick test_hierarchy_latencies;
+      Alcotest.test_case "perfect caches" `Quick test_perfect_caches;
+      Alcotest.test_case "warm accesses uncounted" `Quick test_warm_does_not_count;
+      Alcotest.test_case "perceptron constant" `Quick test_perceptron_learns_constant;
+      Alcotest.test_case "perceptron alternation" `Quick test_perceptron_learns_alternation;
+      Alcotest.test_case "perfect predictor" `Quick test_perfect_predictor;
+      Alcotest.test_case "all cores complete" `Slow test_all_cores_complete;
+      Alcotest.test_case "dependence chain bound" `Quick test_cycles_at_least_critical;
+      Alcotest.test_case "ooo beats in-order" `Quick test_ooo_beats_in_order;
+      Alcotest.test_case "perfect predictor helps" `Quick test_perfect_predictor_helps;
+      Alcotest.test_case "registers monotone" `Quick test_more_registers_monotone;
+      Alcotest.test_case "BEUs monotone" `Quick test_more_beus_monotone;
+      Alcotest.test_case "window monotone" `Quick test_wider_window_monotone;
+      Alcotest.test_case "penalty costs" `Quick test_mispredict_penalty_costs;
+      Alcotest.test_case "branch stats" `Quick test_branch_stats_populated;
+      Alcotest.test_case "fault serialises" `Quick test_fault_serializes;
+      Alcotest.test_case "speedup helper" `Quick test_speedup_helper;
+      QCheck_alcotest.to_alcotest qcheck_all_cores_all_benchmarks;
+    ] )

@@ -1,0 +1,198 @@
+(* Tests for the program builder DSL and the 26 benchmark generators. *)
+
+let i64 = Alcotest.testable (Fmt.of_to_string Int64.to_string) Int64.equal
+module Build = Braid_workload.Build
+module Spec = Braid_workload.Spec
+module Kernels = Braid_workload.Kernels
+
+(* --- Build DSL --- *)
+
+let test_counted_loop () =
+  let b = Build.create () in
+  let out, _, _ = Build.alloc_array b ~words:1 ~init:(fun _ -> 0L) in
+  let acc = Build.const b Reg.Cint 0L in
+  Build.counted_loop b ~count:7 (fun b _i -> Build.emit b (Op.Ibini (Op.Add, acc, acc, 1)));
+  Build.emit b (Op.Store (acc, out, 0, 0));
+  let prog, init_mem = Build.finish b in
+  let outcome = Emulator.run ~init_mem prog in
+  Alcotest.(check bool) "halts" true (outcome.Emulator.stop = Trace.Halted);
+  let base =
+    (* the array base is the first allocation: find it from the store *)
+    Emulator.memory_image outcome.Emulator.state
+  in
+  match base with
+  | [ (_, v) ] -> Alcotest.(check i64) "loop ran 7 times" 7L v
+  | _ -> Alcotest.fail "expected exactly one stored word"
+
+let test_loop_induction_values () =
+  let b = Build.create () in
+  let arr, region, base = Build.alloc_array b ~words:5 ~init:(fun _ -> 0L) in
+  Build.counted_loop b ~count:5 (fun b iv ->
+      let off = Build.int_reg b in
+      Build.emit b (Op.Ibini (Op.Shl, off, iv, 3));
+      let addr = Build.int_reg b in
+      Build.emit b (Op.Ibin (Op.Add, addr, arr, off));
+      Build.emit b (Op.Store (iv, addr, 0, region)));
+  let prog, init_mem = Build.finish b in
+  let outcome = Emulator.run ~init_mem prog in
+  for k = 1 to 4 do
+    Alcotest.(check i64)
+      (Printf.sprintf "arr[%d] = %d" k k)
+      (Int64.of_int k)
+      (Emulator.read_mem outcome.Emulator.state (base + (8 * k)))
+  done
+
+let test_if_diamond_both_arms () =
+  let run_with v =
+    let b = Build.create () in
+    let out, region, base = Build.alloc_array b ~words:1 ~init:(fun _ -> 0L) in
+    let x = Build.const b Reg.Cint v in
+    Build.if_diamond b Op.Gt x
+      ~then_:(fun b ->
+        let c = Build.const b Reg.Cint 111L in
+        Build.emit b (Op.Store (c, out, 0, region)))
+      ~else_:(fun b ->
+        let c = Build.const b Reg.Cint 222L in
+        Build.emit b (Op.Store (c, out, 0, region)));
+    let prog, init_mem = Build.finish b in
+    let outcome = Emulator.run ~init_mem prog in
+    Emulator.read_mem outcome.Emulator.state base
+  in
+  Alcotest.(check i64) "then arm" 111L (run_with 5L);
+  Alcotest.(check i64) "else arm" 222L (run_with (-5L))
+
+let test_while_pos_fuel () =
+  (* condition always true: the fuel bound must still terminate the loop *)
+  let b = Build.create () in
+  let count = Build.const b Reg.Cint 0L in
+  Build.while_pos b ~fuel:13
+    ~cond_reg:(fun b -> Build.const b Reg.Cint 1L)
+    (fun b -> Build.emit b (Op.Ibini (Op.Add, count, count, 1)));
+  let out, region, base = Build.alloc_array b ~words:1 ~init:(fun _ -> 0L) in
+  Build.emit b (Op.Store (count, out, 0, region));
+  let prog, init_mem = Build.finish b in
+  let outcome = Emulator.run ~init_mem prog in
+  Alcotest.(check bool) "halts" true (outcome.Emulator.stop = Trace.Halted);
+  Alcotest.(check i64) "fuel bound respected" 13L
+    (Emulator.read_mem outcome.Emulator.state base)
+
+let test_alloc_array_init () =
+  let b = Build.create () in
+  let _, _, base = Build.alloc_array b ~words:3 ~init:(fun k -> Int64.of_int (10 * k)) in
+  let prog, init_mem = Build.finish b in
+  Alcotest.(check bool) "zero entries omitted" true
+    (not (List.mem_assoc base init_mem));
+  Alcotest.(check i64) "init values recorded" 20L (List.assoc (base + 16) init_mem);
+  ignore prog
+
+let test_regions_distinct () =
+  let b = Build.create () in
+  let _, ra, base_a = Build.alloc_array b ~words:4 ~init:(fun _ -> 0L) in
+  let _, rb, base_b = Build.alloc_array b ~words:4 ~init:(fun _ -> 0L) in
+  Alcotest.(check bool) "distinct regions" true (ra <> rb);
+  Alcotest.(check bool) "non-overlapping addresses" true
+    (base_b >= base_a + (8 * 4));
+  ignore (Build.finish b)
+
+let test_terminator_discipline () =
+  let b = Build.create () in
+  Alcotest.(check bool) "emit rejects terminators" true
+    (try
+       Build.emit b Op.Halt;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- the 26 SPEC stand-ins --- *)
+
+let test_all_profiles_listed () =
+  Alcotest.(check int) "26 programs" 26 (List.length Spec.all);
+  Alcotest.(check int) "12 integer" 12 (List.length Spec.integer);
+  Alcotest.(check int) "14 floating-point" 14 (List.length Spec.floating)
+
+let test_find () =
+  Alcotest.(check string) "find gcc" "gcc" (Spec.find "gcc").Spec.name;
+  Alcotest.(check bool) "missing raises" true
+    (try
+       ignore (Spec.find "nosuch");
+       false
+     with Not_found -> true)
+
+let test_all_generate_and_halt () =
+  List.iter
+    (fun (p : Spec.profile) ->
+      let prog, init_mem = Spec.generate p ~seed:3 ~scale:3000 in
+      let out = Emulator.run ~max_steps:200_000 ~trace:false ~init_mem prog in
+      Alcotest.(check bool) (p.Spec.name ^ " halts") true (out.Emulator.stop = Trace.Halted);
+      Alcotest.(check bool)
+        (p.Spec.name ^ " length near scale")
+        true
+        (out.Emulator.dynamic_count > 1000 && out.Emulator.dynamic_count < 40_000))
+    Spec.all
+
+let test_generation_deterministic () =
+  let p = Spec.find "swim" in
+  let run () =
+    let prog, init_mem = Spec.generate p ~seed:11 ~scale:2000 in
+    Emulator.memory_fingerprint (Emulator.run ~init_mem prog).Emulator.state
+  in
+  Alcotest.(check i64) "same seed same result" (run ()) (run ())
+
+let test_seeds_differ () =
+  let p = Spec.find "gzip" in
+  let fp seed =
+    let prog, init_mem = Spec.generate p ~seed ~scale:2000 in
+    Emulator.memory_fingerprint (Emulator.run ~init_mem prog).Emulator.state
+  in
+  Alcotest.(check bool) "different seeds differ" false (Int64.equal (fp 1) (fp 2))
+
+let test_scale_scales () =
+  let p = Spec.find "gcc" in
+  let dyn scale =
+    let prog, init_mem = Spec.generate p ~seed:1 ~scale in
+    (Emulator.run ~max_steps:400_000 ~trace:false ~init_mem prog).Emulator.dynamic_count
+  in
+  let small = dyn 2000 and big = dyn 16_000 in
+  Alcotest.(check bool) "bigger scale, longer run" true (big > 3 * small)
+
+let test_fp_benchmarks_use_fp () =
+  List.iter
+    (fun (p : Spec.profile) ->
+      let prog, _ = Spec.generate p ~seed:1 ~scale:2000 in
+      let fp_ops = ref 0 in
+      Program.iter_instrs
+        (fun _ _ ins -> if Op.is_fp ins.Instr.op then incr fp_ops)
+        prog;
+      if p.Spec.cls = Spec.Fp_bench then
+        Alcotest.(check bool) (p.Spec.name ^ " has fp ops") true (!fp_ops > 0))
+    Spec.all
+
+let qcheck_generators_valid =
+  QCheck.Test.make ~name:"random (profile, seed) generates valid halting programs"
+    ~count:40
+    QCheck.(pair (int_range 0 25) (int_range 0 1000))
+    (fun (pidx, seed) ->
+      let p = List.nth Spec.all pidx in
+      let prog, init_mem = Spec.generate p ~seed ~scale:1500 in
+      (* Program.make already validated structure; run to completion *)
+      let out = Emulator.run ~max_steps:100_000 ~trace:false ~init_mem prog in
+      out.Emulator.stop = Trace.Halted)
+
+let suite =
+  ( "workload",
+    [
+      Alcotest.test_case "counted loop" `Quick test_counted_loop;
+      Alcotest.test_case "loop induction values" `Quick test_loop_induction_values;
+      Alcotest.test_case "if diamond" `Quick test_if_diamond_both_arms;
+      Alcotest.test_case "while_pos fuel" `Quick test_while_pos_fuel;
+      Alcotest.test_case "alloc_array init" `Quick test_alloc_array_init;
+      Alcotest.test_case "regions distinct" `Quick test_regions_distinct;
+      Alcotest.test_case "terminator discipline" `Quick test_terminator_discipline;
+      Alcotest.test_case "26 profiles" `Quick test_all_profiles_listed;
+      Alcotest.test_case "find" `Quick test_find;
+      Alcotest.test_case "all generate and halt" `Slow test_all_generate_and_halt;
+      Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
+      Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+      Alcotest.test_case "scale scales" `Quick test_scale_scales;
+      Alcotest.test_case "fp benchmarks use fp" `Quick test_fp_benchmarks_use_fp;
+      QCheck_alcotest.to_alcotest qcheck_generators_valid;
+    ] )

@@ -1,0 +1,20 @@
+(* Entry point aggregating every test suite. *)
+
+let () =
+  Alcotest.run "braid"
+    [
+      T_prng.suite;
+      T_stats.suite;
+      T_ring.suite;
+      T_isa.suite;
+      T_emulator.suite;
+      T_workload.suite;
+      T_braid.suite;
+      T_transform.suite;
+      T_uarch.suite;
+      T_statspass.suite;
+      T_extensions.suite;
+      T_properties.suite;
+      T_timing.suite;
+      T_roundtrip.suite;
+    ]
