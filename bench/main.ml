@@ -1,51 +1,21 @@
 (* Benchmark harness: regenerates every table and figure of the paper.
 
-   Default mode runs each experiment at the configured scale and prints the
-   same rows/series the paper reports, followed by a headline summary of
-   paper-claim vs measured. `--bechamel` instead times the computational
-   kernels behind each experiment (one Bechamel test per table/figure). *)
+   Default mode fans each experiment's per-benchmark simulation jobs out
+   across a domain pool (--jobs), prints the same rows/series the paper
+   reports, then a headline summary of paper-claim vs measured. Tables go to
+   stdout and are byte-identical for every --jobs value; timing/telemetry
+   goes to stderr. `--json FILE` additionally serializes the typed results.
+   `--bechamel` instead times the computational kernels behind each
+   experiment (one Bechamel test per table/figure). *)
 
 module E = Braid_sim.Experiments
 module S = Braid_sim.Suite
+module Runner = Braid_sim.Runner
+module Report = Braid_sim.Report
 
-let usage () =
-  print_endline
-    "usage: main.exe [--scale N] [--only id[,id...]] [--list] [--bechamel]\n\
-     Experiments (paper tables and figures):";
-  List.iter (fun (id, _) -> Printf.printf "  %s\n" id) E.all
-
-let parse_args () =
-  let scale = ref S.default_scale in
-  let only = ref [] in
-  let bechamel = ref false in
-  let list = ref false in
-  let rec go = function
-    | [] -> ()
-    | "--scale" :: n :: rest ->
-        scale := int_of_string n;
-        go rest
-    | "--only" :: ids :: rest ->
-        only := String.split_on_char ',' ids;
-        go rest
-    | "--quick" :: rest ->
-        scale := 4000;
-        go rest
-    | "--bechamel" :: rest ->
-        bechamel := true;
-        go rest
-    | "--list" :: rest ->
-        list := true;
-        go rest
-    | ("--help" | "-h") :: _ ->
-        usage ();
-        exit 0
-    | arg :: _ ->
-        Printf.eprintf "unknown argument %s\n" arg;
-        usage ();
-        exit 1
-  in
-  go (List.tl (Array.to_list Sys.argv));
-  (!scale, !only, !bechamel, !list)
+let list_experiments () =
+  print_endline "Experiments (paper tables and figures):";
+  List.iter (fun (e : E.t) -> Printf.printf "  %s\n" e.E.id) E.all
 
 let selected only =
   match only with
@@ -53,49 +23,56 @@ let selected only =
   | ids ->
       List.map
         (fun id ->
-          match List.assoc_opt id E.all with
-          | Some f -> (id, f)
-          | None ->
-              Printf.eprintf "unknown experiment id %s\n" id;
-              exit 1)
+          try E.find id
+          with Not_found ->
+            Printf.eprintf "unknown experiment id %s\n" id;
+            exit 1)
         ids
 
-let run_experiments ~scale only =
-  let outcomes =
-    List.map
-      (fun (id, f) ->
-        let t0 = Sys.time () in
-        let o = f ~scale in
-        Printf.printf "==================================================================\n";
-        Printf.printf "%s — %s\n" o.E.id o.E.title;
-        Printf.printf "paper: %s\n" o.E.paper_expectation;
-        Printf.printf "------------------------------------------------------------------\n";
-        print_string o.E.rendered;
-        Printf.printf "(%s took %.1fs)\n\n%!" id (Sys.time () -. t0);
-        o)
-      (selected only)
-  in
-  Printf.printf "==================================================================\n";
-  Printf.printf "Headline summary (measured)\n";
-  Printf.printf "------------------------------------------------------------------\n";
+let run_experiments ~scale ~jobs ~json only =
+  let ctx = S.create_ctx () in
+  let exps = selected only in
+  let t0 = Unix.gettimeofday () in
+  let results = Runner.run_experiments ~ctx ~jobs ~scale exps in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* --json - claims stdout for the document; keep it valid JSON *)
+  let quiet = json = Some "-" in
   List.iter
-    (fun o ->
-      let cells =
-        String.concat "  "
-          (List.map (fun (k, v) -> Printf.sprintf "%s=%.3f" k v) o.E.headline)
-      in
-      Printf.printf "%-18s %s\n" o.E.id cells)
-    outcomes
+    (fun ((r : E.result), (st : Runner.stats)) ->
+      if not quiet then begin
+        print_string (Report.render_full r);
+        print_newline ()
+      end;
+      Printf.eprintf "(%s: %.1fs of job time)\n%!" r.E.id st.Runner.wall_s)
+    results;
+  if not quiet then
+    print_string (Report.headline_summary (List.map fst results));
+  Printf.eprintf "(total: %.1fs wall-clock, %d jobs, %d domains recommended)\n%!"
+    wall jobs
+    (Runner.default_jobs ());
+  Option.iter
+    (fun file ->
+      try
+        Report.write_json ~file ~scale ~jobs
+          (List.map (fun (r, st) -> (r, Some st)) results)
+      with Sys_error msg ->
+        Printf.eprintf "bench: cannot write JSON: %s\n" msg;
+        exit 1)
+    json
 
 (* Bechamel timing of each experiment's computational kernel at a small,
-   fixed scale: how long regenerating that table/figure costs. *)
+   fixed scale: how long regenerating that table/figure costs. Each run gets
+   a fresh memoisation context so the cost measured is the real one. *)
 let run_bechamel () =
   let open Bechamel in
   let scale = 2000 in
   let tests =
     List.map
-      (fun (id, f) ->
-        Test.make ~name:id (Staged.stage (fun () -> ignore (f ~scale))))
+      (fun (e : E.t) ->
+        Test.make ~name:e.E.id
+          (Staged.stage (fun () ->
+               let ctx = Braid_sim.Suite.create_ctx () in
+               ignore (E.run ctx ~scale e))))
       E.all
   in
   let test = Test.make_grouped ~name:"experiments" tests in
@@ -116,8 +93,55 @@ let run_bechamel () =
         tbl)
     results
 
-let () =
-  let scale, only, bechamel, list = parse_args () in
-  if list then usage ()
+(* --- command line --- *)
+
+let scale_arg =
+  let doc = "Target dynamic instruction count of each benchmark run." in
+  Cmdliner.Arg.(value & opt int S.default_scale & info [ "scale" ] ~docv:"N" ~doc)
+
+let quick_arg =
+  let doc = "Shorthand for --scale 4000." in
+  Cmdliner.Arg.(value & flag & info [ "quick" ] ~doc)
+
+let only_arg =
+  let doc = "Comma-separated experiment ids to run (default: all)." in
+  Cmdliner.Arg.(value & opt (list string) [] & info [ "only" ] ~docv:"IDS" ~doc)
+
+let list_arg =
+  let doc = "List experiment ids and exit." in
+  Cmdliner.Arg.(value & flag & info [ "list" ] ~doc)
+
+let bechamel_arg =
+  let doc = "Time each experiment kernel with Bechamel instead of printing results." in
+  Cmdliner.Arg.(value & flag & info [ "bechamel" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Simulation jobs to run in parallel (one domain each). 0 picks \
+     Domain.recommended_domain_count; 1 runs serially on the calling domain. \
+     Output is identical for every value."
+  in
+  Cmdliner.Arg.(value & opt int 0 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let json_arg =
+  let doc = "Serialize typed results and per-job telemetry to $(docv) (- for stdout)." in
+  Cmdliner.Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let main scale quick only list bechamel jobs json =
+  let scale = if quick then 4000 else scale in
+  let jobs = if jobs <= 0 then Runner.default_jobs () else jobs in
+  if list then list_experiments ()
   else if bechamel then run_bechamel ()
-  else run_experiments ~scale only
+  else run_experiments ~scale ~jobs ~json only
+
+let () =
+  let info =
+    Cmdliner.Cmd.info "bench" ~version:"1.0.0"
+      ~doc:"Regenerate every table and figure of the paper's evaluation."
+  in
+  let term =
+    Cmdliner.Term.(
+      const main $ scale_arg $ quick_arg $ only_arg $ list_arg $ bechamel_arg
+      $ jobs_arg $ json_arg)
+  in
+  exit (Cmdliner.Cmd.eval (Cmdliner.Cmd.v info term))

@@ -154,30 +154,84 @@ let run_cmd =
 (* --- experiment --- *)
 
 let experiment_cmd =
+  let module E = Braid_sim.Experiments in
   let id_arg =
     Cmdliner.Arg.(
-      required
+      value
       & pos 0 (some string) None
       & info [] ~docv:"ID"
-          ~doc:"Experiment id (e.g. fig13); `braidsim experiment list` to enumerate.")
+          ~doc:
+            "Experiment id (e.g. fig13); `braidsim experiment list` to \
+             enumerate. Omitted: run all (or the --only subset).")
   in
-  let run id scale =
-    if id = "list" then
-      List.iter (fun (i, _) -> print_endline i) Braid_sim.Experiments.all
-    else
-      match List.assoc_opt id Braid_sim.Experiments.all with
-      | None ->
-          Printf.eprintf "unknown experiment %s\n" id;
-          exit 1
-      | Some f ->
-          let o = f ~scale in
-          Printf.printf "%s\npaper: %s\n\n%s"
-            o.Braid_sim.Experiments.title o.Braid_sim.Experiments.paper_expectation
-            o.Braid_sim.Experiments.rendered
+  let only_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (list string) []
+      & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated experiment ids to run.")
+  in
+  let jobs_arg =
+    Cmdliner.Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Simulation jobs to run in parallel (one domain each); 0 picks \
+             Domain.recommended_domain_count. Output is identical for every \
+             value.")
+  in
+  let json_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Serialize the typed results and per-job telemetry to $(docv) (- for stdout).")
+  in
+  let run id only jobs json scale =
+    if id = Some "list" then
+      List.iter (fun (e : E.t) -> print_endline e.E.id) E.all
+    else begin
+      let ids = (match id with Some i -> [ i ] | None -> []) @ only in
+      let exps =
+        match ids with
+        | [] -> E.all
+        | ids ->
+            List.map
+              (fun id ->
+                try E.find id
+                with Not_found ->
+                  Printf.eprintf "unknown experiment %s\n" id;
+                  exit 1)
+              ids
+      in
+      let jobs = if jobs <= 0 then Braid_sim.Runner.default_jobs () else jobs in
+      let ctx = Braid_sim.Suite.create_ctx () in
+      let results =
+        Braid_sim.Runner.run_experiments ~ctx ~jobs ~scale exps
+      in
+      (* --json - claims stdout for the document; keep it valid JSON *)
+      if json <> Some "-" then
+        List.iter
+          (fun (r, _) ->
+            print_string (Braid_sim.Report.render_full r);
+            print_newline ())
+          results;
+      Option.iter
+        (fun file ->
+          try
+            Braid_sim.Report.write_json ~file ~scale ~jobs
+              (List.map (fun (r, st) -> (r, Some st)) results)
+          with Sys_error msg ->
+            Printf.eprintf "braidsim: cannot write JSON: %s\n" msg;
+            exit 1)
+        json
+    end
   in
   Cmdliner.Cmd.v
-    (Cmdliner.Cmd.info "experiment" ~doc:"Run one of the paper's tables/figures.")
-    Cmdliner.Term.(const run $ id_arg $ scale_arg)
+    (Cmdliner.Cmd.info "experiment"
+       ~doc:
+         "Run one or more of the paper's tables/figures, optionally in \
+          parallel across domains.")
+    Cmdliner.Term.(const run $ id_arg $ only_arg $ jobs_arg $ json_arg $ scale_arg)
 
 (* --- disasm --- *)
 

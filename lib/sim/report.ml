@@ -1,0 +1,184 @@
+module E = Experiments
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* int/fp/overall average rows over the benchmark rows of a series; classes
+   with no rows contribute no average row. *)
+let average_rows (s : E.series) =
+  if not s.E.averages then []
+  else
+    let make label keep =
+      match
+        List.filter_map
+          (fun (r : E.row) -> if keep r.E.cls then Some r.E.values else None)
+          s.E.rows
+      with
+      | [] -> None
+      | vss ->
+          let n = List.length s.E.columns in
+          Some
+            {
+              E.label;
+              cls = E.Config_row;
+              values = List.init n (fun i -> mean (List.map (fun vs -> List.nth vs i) vss));
+            }
+    in
+    List.filter_map
+      (fun x -> x)
+      [
+        make "int avg" (fun c -> c = E.Int_row);
+        make "fp avg" (fun c -> c = E.Fp_row);
+        make "average" (fun c -> c = E.Int_row || c = E.Fp_row);
+      ]
+
+let render_series (s : E.series) =
+  let fmt v = Printf.sprintf "%.*f" s.E.decimals v in
+  let tail = average_rows s in
+  let table =
+    Render.table
+      ~header:("" :: s.E.columns)
+      ~rows:
+        (List.map
+           (fun (r : E.row) -> r.E.label :: List.map fmt r.E.values)
+           (s.E.rows @ tail))
+  in
+  (* the paper presents most of these as bar charts: chart the average row *)
+  let chart =
+    match List.find_opt (fun (r : E.row) -> r.E.label = "average") tail with
+    | Some r when List.for_all (fun v -> v >= 0.0) r.E.values ->
+        Render.bar_chart ~title:"(averages)"
+          (List.combine s.E.columns r.E.values)
+    | Some _ | None -> ""
+  in
+  s.E.s_title ^ "\n" ^ table ^ chart
+
+let render (r : E.result) =
+  String.concat "\n" (List.map render_series r.E.series)
+  ^ String.concat "" (List.map (fun n -> "\n" ^ n ^ "\n") r.E.notes)
+
+let eq_rule = String.make 66 '='
+let dash_rule = String.make 66 '-'
+
+let render_full (r : E.result) =
+  Printf.sprintf "%s\n%s — %s\npaper: %s\n%s\n%s" eq_rule r.E.id r.E.title
+    r.E.paper_expectation dash_rule (render r)
+
+let headline_summary results =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (eq_rule ^ "\n");
+  Buffer.add_string b "Headline summary (measured)\n";
+  Buffer.add_string b (dash_rule ^ "\n");
+  List.iter
+    (fun (r : E.result) ->
+      let cells =
+        String.concat "  "
+          (List.map
+             (fun (m : E.metric) -> Printf.sprintf "%s=%.3f" m.E.m_label m.E.value)
+             r.E.headline)
+      in
+      Buffer.add_string b (Printf.sprintf "%-18s %s\n" r.E.id cells))
+    results;
+  Buffer.contents b
+
+(* --- JSON (hand-rolled: no JSON library in the tree) --- *)
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+(* NaN/infinity are not valid JSON — emit null; integral values print
+   without an exponent so the output diffs cleanly *)
+let json_float v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let json_list f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+let json_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields) ^ "}"
+
+let json_of_row (r : E.row) =
+  json_obj
+    [
+      ("label", json_string r.E.label);
+      ( "class",
+        json_string
+          (match r.E.cls with
+          | E.Int_row -> "int"
+          | E.Fp_row -> "fp"
+          | E.Config_row -> "config") );
+      ("values", json_list json_float r.E.values);
+    ]
+
+let json_of_series (s : E.series) =
+  json_obj
+    [
+      ("title", json_string s.E.s_title);
+      ("columns", json_list json_string s.E.columns);
+      ("rows", json_list json_of_row s.E.rows);
+    ]
+
+let json_of_metric (m : E.metric) =
+  json_obj [ ("label", json_string m.E.m_label); ("value", json_float m.E.value) ]
+
+let json_of_telemetry (t : Runner.telemetry) =
+  json_obj
+    [
+      ("job", json_string t.Runner.job_label);
+      ("wall_s", json_float t.Runner.wall_s);
+      ("domain", string_of_int t.Runner.domain);
+    ]
+
+let json_of_result ((r : E.result), (stats : Runner.stats option)) =
+  let timing =
+    match stats with
+    | None -> []
+    | Some s ->
+        [
+          ("wall_s", json_float s.Runner.wall_s);
+          ("jobs", json_list json_of_telemetry s.Runner.jobs);
+        ]
+  in
+  json_obj
+    ([
+       ("id", json_string r.E.id);
+       ("title", json_string r.E.title);
+       ("paper_expectation", json_string r.E.paper_expectation);
+       ("series", json_list json_of_series r.E.series);
+       ("notes", json_list json_string r.E.notes);
+       ("headline", json_list json_of_metric r.E.headline);
+     ]
+    @ timing)
+
+let to_json ~scale ~jobs items =
+  json_obj
+    [
+      ("scale", string_of_int scale);
+      ("jobs", string_of_int jobs);
+      ("experiments", json_list json_of_result items);
+    ]
+  ^ "\n"
+
+let write_json ~file ~scale ~jobs items =
+  let doc = to_json ~scale ~jobs items in
+  if file = "-" then print_string doc
+  else begin
+    let oc = open_out file in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)
+  end

@@ -1,0 +1,35 @@
+(** Rendering of typed experiment results: plain-text tables/charts for the
+    terminal, and a machine-readable JSON serialization for diffing bench
+    trajectories across PRs.
+
+    This is the only layer that turns {!Experiments.result} floats into
+    strings — the experiments themselves carry data, not text. *)
+
+val render : Experiments.result -> string
+(** Tables (with int/fp/overall average rows and an average bar chart where
+    the series asks for them) followed by the result's notes. *)
+
+val render_full : Experiments.result -> string
+(** [render] preceded by the framed header (id, title, paper expectation)
+    the bench harness prints for each experiment. *)
+
+val headline_summary : Experiments.result list -> string
+(** The framed "Headline summary (measured)" block: one line of
+    [label=value] metrics per experiment. *)
+
+val to_json :
+  scale:int ->
+  jobs:int ->
+  (Experiments.result * Runner.stats option) list ->
+  string
+(** Serialize a batch of results (with optional per-job telemetry) as one
+    JSON document: experiment id, series with per-benchmark rows and
+    columns, headline metrics, notes, and per-job wall-clock. *)
+
+val write_json :
+  file:string ->
+  scale:int ->
+  jobs:int ->
+  (Experiments.result * Runner.stats option) list ->
+  unit
+(** [to_json] written to [file]; ["-"] writes to stdout. *)

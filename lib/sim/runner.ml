@@ -1,0 +1,76 @@
+module Spec = Braid_workload.Spec
+
+exception Job_failed of { label : string; error : exn }
+
+type telemetry = { job_label : string; wall_s : float; domain : int }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'a slot =
+  | Done of 'a * telemetry
+  | Failed of string * exn * Printexc.raw_backtrace
+
+let run_one ~domain (label, f) =
+  let t0 = Unix.gettimeofday () in
+  match f () with
+  | v -> Done (v, { job_label = label; wall_s = Unix.gettimeofday () -. t0; domain })
+  | exception error ->
+      let bt = Printexc.get_raw_backtrace () in
+      Failed (label, error, bt)
+
+let map_jobs ~jobs work =
+  let n = Array.length work in
+  let pool = max 1 (min jobs n) in
+  let slots = Array.make n None in
+  (if pool <= 1 then
+     Array.iteri (fun i job -> slots.(i) <- Some (run_one ~domain:0 job)) work
+   else
+     (* Work-stealing from a shared counter: each index is claimed by exactly
+        one domain, so every slot has a single writer. *)
+     let next = Atomic.make 0 in
+     let worker domain () =
+       let rec loop () =
+         let i = Atomic.fetch_and_add next 1 in
+         if i < n then begin
+           slots.(i) <- Some (run_one ~domain work.(i));
+           loop ()
+         end
+       in
+       loop ()
+     in
+     let domains = List.init pool (fun d -> Domain.spawn (worker d)) in
+     List.iter Domain.join domains);
+  Array.map
+    (function
+      | Some (Done (v, t)) -> (v, t)
+      | Some (Failed (label, error, bt)) ->
+          Printexc.raise_with_backtrace (Job_failed { label; error }) bt
+      | None -> assert false)
+    slots
+
+type stats = { wall_s : float; jobs : telemetry list }
+
+let run_experiments ~ctx ~jobs ~scale exps =
+  let work =
+    Array.of_list
+      (List.concat_map
+         (fun (e : Experiments.t) ->
+           List.map
+             (fun (pr : Spec.profile) ->
+               ( e.Experiments.id ^ "/" ^ pr.Spec.name,
+                 fun () -> e.Experiments.bench_job ctx ~scale pr ))
+             Spec.all)
+         exps)
+  in
+  let out = map_jobs ~jobs work in
+  let nbench = List.length Spec.all in
+  List.mapi
+    (fun ei (e : Experiments.t) ->
+      let slice = Array.sub out (ei * nbench) nbench in
+      let cells = List.mapi (fun bi pr -> (pr, fst slice.(bi))) Spec.all in
+      let telemetry = Array.to_list (Array.map snd slice) in
+      let wall_s =
+        List.fold_left (fun acc (t : telemetry) -> acc +. t.wall_s) 0.0 telemetry
+      in
+      (e.Experiments.assemble ctx ~scale cells, { wall_s; jobs = telemetry }))
+    exps

@@ -1,0 +1,49 @@
+(** Parallel experiment engine: a fixed-size domain pool that fans
+    simulation jobs out across cores.
+
+    Jobs are handed out from a shared atomic counter; each result lands in
+    the slot matching its input index, so output order is deterministic and
+    independent of the number of domains or scheduling. Every job carries
+    per-job wall-clock telemetry. With [jobs <= 1] (or a single-job input)
+    the pool degrades gracefully to a plain serial loop on the calling
+    domain — no domains are spawned.
+
+    Jobs must not depend on shared mutable state except through
+    domain-safe structures such as {!Suite.ctx}. *)
+
+exception Job_failed of { label : string; error : exn }
+(** Raised (on the calling domain) when a job raises. If several jobs fail,
+    the one with the lowest input index is reported; its backtrace is the
+    failing job's. *)
+
+type telemetry = {
+  job_label : string;
+  wall_s : float;  (** wall-clock seconds spent in the job *)
+  domain : int;  (** pool slot (0 = the calling domain when serial) *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size used when a front
+    end passes [--jobs 0]. *)
+
+val map_jobs :
+  jobs:int -> (string * (unit -> 'a)) array -> ('a * telemetry) array
+(** [map_jobs ~jobs work] runs every labelled thunk and returns the results
+    in input order. At most [jobs] domains run concurrently; [jobs <= 1]
+    runs serially on the calling domain. *)
+
+type stats = {
+  wall_s : float;  (** summed wall-clock of the experiment's jobs *)
+  jobs : telemetry list;  (** per-benchmark telemetry, suite order *)
+}
+
+val run_experiments :
+  ctx:Suite.ctx ->
+  jobs:int ->
+  scale:int ->
+  Experiments.t list ->
+  (Experiments.result * stats) list
+(** Fan the (experiment × benchmark) job matrix out across the pool, then
+    assemble each experiment's typed result. Results are returned in the
+    order the experiments were given and are identical for every [jobs]
+    value — parallelism only changes wall-clock, never output. *)

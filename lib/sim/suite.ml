@@ -11,63 +11,112 @@ type prepared = {
 
 let default_scale =
   match Sys.getenv_opt "BRAID_SCALE" with
-  | Some s -> (try max 1000 (int_of_string s) with Failure _ -> 12_000)
   | None -> 12_000
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> max 1000 n
+      | None ->
+          Printf.eprintf
+            "braid: ignoring malformed BRAID_SCALE=%S (expected an integer); \
+             using %d\n%!"
+            s 12_000;
+          12_000)
 
-let prepare_cache : (string, prepared) Hashtbl.t = Hashtbl.create 64
+type 'v slot = Ready of 'v | In_flight
+
+type ctx = {
+  lock : Mutex.t;
+  done_ : Condition.t;
+  prepared : (string, prepared slot) Hashtbl.t;
+  runs : (string, Braid_uarch.Pipeline.result slot) Hashtbl.t;
+}
+
+let create_ctx () =
+  {
+    lock = Mutex.create ();
+    done_ = Condition.create ();
+    prepared = Hashtbl.create 64;
+    runs = Hashtbl.create 256;
+  }
+
+(* Look up under the lock; on a miss, mark the key in-flight and compute
+   *outside* the lock (simulations are long and must overlap across
+   domains). A domain that finds the key in-flight blocks on the condition
+   variable rather than duplicating the work; every caller shares one
+   physical value. There is no nesting (prepare never calls run_on and vice
+   versa), so waiting cannot deadlock. If the computation raises, the
+   in-flight marker is withdrawn and a waiter takes over. *)
+let rec memoise : 'v. ctx -> (string, 'v slot) Hashtbl.t -> string -> (unit -> 'v) -> 'v =
+  fun ctx tbl key compute ->
+  Mutex.lock ctx.lock;
+  match Hashtbl.find_opt tbl key with
+  | Some (Ready v) ->
+      Mutex.unlock ctx.lock;
+      v
+  | Some In_flight ->
+      Condition.wait ctx.done_ ctx.lock;
+      Mutex.unlock ctx.lock;
+      memoise ctx tbl key compute
+  | None -> (
+      Hashtbl.replace tbl key In_flight;
+      Mutex.unlock ctx.lock;
+      match compute () with
+      | v ->
+          Mutex.lock ctx.lock;
+          Hashtbl.replace tbl key (Ready v);
+          Condition.broadcast ctx.done_;
+          Mutex.unlock ctx.lock;
+          v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock ctx.lock;
+          Hashtbl.remove tbl key;
+          Condition.broadcast ctx.done_;
+          Mutex.unlock ctx.lock;
+          Printexc.raise_with_backtrace e bt)
 
 let trace_of ~init_mem ~scale program =
   let out = Emulator.run ~max_steps:(50 * scale) ~trace:true ~init_mem program in
   match out.Emulator.trace with Some t -> t | None -> assert false
 
-let prepare ?(seed = 1) ?(scale = default_scale)
-    ?(max_internal = Reg.num_internal) ?(ext_usable = Braid_core.Extalloc.usable_per_class)
+let prepare ctx ?(seed = 1) ?(scale = default_scale)
+    ?(max_internal = Reg.num_internal)
+    ?(ext_usable = Braid_core.Extalloc.usable_per_class)
     (profile : Braid_workload.Spec.profile) =
   let key =
     Printf.sprintf "%s/%d/%d/%d/%d" profile.Braid_workload.Spec.name seed scale
       max_internal ext_usable
   in
-  match Hashtbl.find_opt prepare_cache key with
-  | Some p -> p
-  | None ->
+  memoise ctx ctx.prepared key (fun () ->
       let virtual_ir, init_mem =
         Braid_workload.Spec.generate profile ~seed ~scale
       in
       let conventional = Braid_core.Transform.conventional virtual_ir in
       let braid =
-        Braid_core.Transform.run ~max_internal ~ext_usable:(min ext_usable Braid_core.Extalloc.usable_per_class)
+        Braid_core.Transform.run ~max_internal
+          ~ext_usable:(min ext_usable Braid_core.Extalloc.usable_per_class)
           virtual_ir
       in
-      let p =
-        {
-          profile;
-          init_mem;
-          warm_data = List.map fst init_mem;
-          virtual_ir;
-          conventional;
-          braid;
-          conv_trace =
-            trace_of ~init_mem ~scale conventional.Braid_core.Extalloc.program;
-          braid_trace =
-            trace_of ~init_mem ~scale braid.Braid_core.Transform.program;
-        }
-      in
-      Hashtbl.add prepare_cache key p;
-      p
+      {
+        profile;
+        init_mem;
+        warm_data = List.map fst init_mem;
+        virtual_ir;
+        conventional;
+        braid;
+        conv_trace =
+          trace_of ~init_mem ~scale conventional.Braid_core.Extalloc.program;
+        braid_trace =
+          trace_of ~init_mem ~scale braid.Braid_core.Transform.program;
+      })
 
-let run_cache : (string, Braid_uarch.Pipeline.result) Hashtbl.t = Hashtbl.create 256
-
-let run_on ~label trace p (cfg : Braid_uarch.Config.t) =
+let run_on ctx ~label trace p (cfg : Braid_uarch.Config.t) =
   let key =
     Printf.sprintf "%s/%s/%s/%d" cfg.Braid_uarch.Config.name
       p.profile.Braid_workload.Spec.name label (Trace.length trace)
   in
-  match Hashtbl.find_opt run_cache key with
-  | Some r -> r
-  | None ->
-      let r = Braid_uarch.Pipeline.run ~warm_data:p.warm_data cfg trace in
-      Hashtbl.add run_cache key r;
-      r
+  memoise ctx ctx.runs key (fun () ->
+      Braid_uarch.Pipeline.run ~warm_data:p.warm_data cfg trace)
 
-let run_conv p cfg = run_on ~label:"conv" p.conv_trace p cfg
-let run_braid p cfg = run_on ~label:"braid" p.braid_trace p cfg
+let run_conv ctx p cfg = run_on ctx ~label:"conv" p.conv_trace p cfg
+let run_braid ctx p cfg = run_on ctx ~label:"braid" p.braid_trace p cfg

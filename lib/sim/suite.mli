@@ -1,6 +1,11 @@
 (** Prepared benchmarks: generated program, both compiled binaries
-    (conventional and braid), and their execution traces — memoised, since
-    every experiment sweeps the same 26 programs.
+    (conventional and braid), and their execution traces — memoised in an
+    explicit {!ctx}, since every experiment sweeps the same 26 programs.
+
+    A [ctx] is safe to share across domains: lookups and insertions are
+    mutex-guarded, and a cache miss runs the (deterministic) computation
+    outside the lock so simulations overlap. Two domains racing on the same
+    key may duplicate work, but every caller observes one canonical value.
 
     [scale] targets the dynamic trace length (the MinneSPEC-style reduced
     run); [ext_usable] recompiles the braid binary with a restricted
@@ -18,10 +23,19 @@ type prepared = {
   braid_trace : Trace.t;
 }
 
+type ctx
+(** Memoisation context: prepared benchmarks plus simulation results.
+    Create one per experiment batch and thread it through explicitly —
+    there is no global mutable cache. *)
+
+val create_ctx : unit -> ctx
+
 val default_scale : int
-(** 12_000 unless the BRAID_SCALE environment variable overrides it. *)
+(** 12_000 unless the BRAID_SCALE environment variable overrides it.
+    A malformed override is reported on stderr and ignored. *)
 
 val prepare :
+  ctx ->
   ?seed:int ->
   ?scale:int ->
   ?max_internal:int ->
@@ -30,10 +44,12 @@ val prepare :
   prepared
 (** Memoised on all parameters. *)
 
-val run_conv : prepared -> Braid_uarch.Config.t -> Braid_uarch.Pipeline.result
+val run_conv :
+  ctx -> prepared -> Braid_uarch.Config.t -> Braid_uarch.Pipeline.result
 (** Runs the conventional binary's trace (in-order / dep-steer / OoO
     machines). Memoised on the configuration name, so configuration
     variants must carry distinct names. *)
 
-val run_braid : prepared -> Braid_uarch.Config.t -> Braid_uarch.Pipeline.result
+val run_braid :
+  ctx -> prepared -> Braid_uarch.Config.t -> Braid_uarch.Pipeline.result
 (** Runs the braid binary's trace (braid machines). Memoised likewise. *)

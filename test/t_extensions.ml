@@ -284,7 +284,8 @@ let test_btb_misses_cost () =
 (* --- dynamic braid stats --- *)
 
 let test_dynamic_stats () =
-  let p = Braid_sim.Suite.prepare ~scale:1500 (Spec.find "gcc") in
+  let ctx = Braid_sim.Suite.create_ctx () in
+  let p = Braid_sim.Suite.prepare ctx ~scale:1500 (Spec.find "gcc") in
   let d = C.Braid_stats.dynamic_of_trace p.Braid_sim.Suite.braid_trace in
   Alcotest.(check bool) "instances positive" true (d.C.Braid_stats.instances > 0);
   Alcotest.(check bool) "size >= 1" true (d.C.Braid_stats.dyn_avg_size >= 1.0);

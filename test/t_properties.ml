@@ -253,10 +253,14 @@ let test_blocks_well_shaped () =
     Spec.all
 
 let test_deterministic_experiments () =
-  let a = Braid_sim.Experiments.find "table2" ~scale:1000 in
-  let b = Braid_sim.Experiments.find "table2" ~scale:1000 in
+  let run () =
+    let ctx = Braid_sim.Suite.create_ctx () in
+    Braid_sim.Experiments.run ctx ~scale:1000
+      (Braid_sim.Experiments.find "table2")
+  in
+  let a = run () and b = run () in
   Alcotest.(check string) "experiments deterministic"
-    a.Braid_sim.Experiments.rendered b.Braid_sim.Experiments.rendered
+    (Braid_sim.Report.render a) (Braid_sim.Report.render b)
 
 let suite =
   ( "properties",

@@ -1,0 +1,115 @@
+(* Domain-pool runner: job ordering, exception propagation, telemetry, and
+   the headline guarantee — `--jobs N` and `--jobs 1` produce identical
+   typed results and byte-identical rendered tables. *)
+
+module E = Braid_sim.Experiments
+module R = Braid_sim.Runner
+module S = Braid_sim.Suite
+
+let test_pool_ordering () =
+  let work =
+    Array.init 23 (fun i -> (Printf.sprintf "job-%d" i, fun () -> i * i))
+  in
+  let check ~jobs =
+    let out = R.map_jobs ~jobs work in
+    Alcotest.(check int) "all jobs ran" 23 (Array.length out);
+    Array.iteri
+      (fun i (v, (t : R.telemetry)) ->
+        Alcotest.(check int) "results in input order" (i * i) v;
+        Alcotest.(check string) "telemetry label matches slot"
+          (Printf.sprintf "job-%d" i) t.R.job_label)
+      out
+  in
+  check ~jobs:1;
+  check ~jobs:4;
+  check ~jobs:64 (* more domains than jobs *)
+
+let test_pool_exception () =
+  let work =
+    Array.init 8 (fun i ->
+        ( Printf.sprintf "job-%d" i,
+          fun () -> if i = 5 then failwith "boom" else i ))
+  in
+  let failing_label jobs =
+    try
+      ignore (R.map_jobs ~jobs work);
+      Alcotest.fail "expected Job_failed"
+    with R.Job_failed { label; error } ->
+      Alcotest.(check bool) "original exception preserved" true
+        (match error with Failure m -> String.equal m "boom" | _ -> false);
+      label
+  in
+  Alcotest.(check string) "serial propagates the failing job" "job-5"
+    (failing_label 1);
+  Alcotest.(check string) "parallel propagates the failing job" "job-5"
+    (failing_label 4)
+
+let test_pool_telemetry () =
+  let jobs = 3 in
+  let work = Array.init 10 (fun i -> (string_of_int i, fun () -> i)) in
+  let out = R.map_jobs ~jobs work in
+  Array.iter
+    (fun (_, (t : R.telemetry)) ->
+      Alcotest.(check bool) "wall clock non-negative" true (t.R.wall_s >= 0.0);
+      Alcotest.(check bool) "domain within pool" true
+        (t.R.domain >= 0 && t.R.domain < jobs))
+    out
+
+(* The determinism contract of the ISSUE: two experiments at scale 2000,
+   serial vs 4-way parallel, byte-identical rendering and equal typed
+   results. Fresh contexts on each side so nothing is shared. *)
+let test_jobs_determinism () =
+  let exps = [ E.find "fanout-lifetime"; E.find "table2" ] in
+  let batch jobs =
+    let ctx = S.create_ctx () in
+    List.map fst (R.run_experiments ~ctx ~jobs ~scale:2000 exps)
+  in
+  let serial = batch 1 and parallel = batch 4 in
+  List.iter2
+    (fun (a : E.result) (b : E.result) ->
+      Alcotest.(check string)
+        ("rendered identical: " ^ a.E.id)
+        (Braid_sim.Report.render_full a)
+        (Braid_sim.Report.render_full b);
+      Alcotest.(check bool)
+        ("typed results equal: " ^ a.E.id)
+        true (a = b))
+    serial parallel;
+  Alcotest.(check string) "headline summary identical"
+    (Braid_sim.Report.headline_summary serial)
+    (Braid_sim.Report.headline_summary parallel)
+
+(* Parallel runs also go through the shared memoised context safely. *)
+let test_shared_ctx_parallel () =
+  let ctx = S.create_ctx () in
+  let exps = [ E.find "table2" ] in
+  let a = List.map fst (R.run_experiments ~ctx ~jobs:4 ~scale:1200 exps) in
+  let b = List.map fst (R.run_experiments ~ctx ~jobs:4 ~scale:1200 exps) in
+  Alcotest.(check bool) "rerun on a warm context is identical" true (a = b)
+
+let test_json_shape () =
+  let ctx = S.create_ctx () in
+  let results = R.run_experiments ~ctx ~jobs:2 ~scale:1200 [ E.find "table2" ] in
+  let json =
+    Braid_sim.Report.to_json ~scale:1200 ~jobs:2
+      (List.map (fun (r, st) -> (r, Some st)) results)
+  in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("json mentions " ^ fragment) true
+        (Astring_contains.contains json fragment))
+    [
+      "\"id\":\"table2\""; "\"columns\""; "\"rows\""; "\"label\":\"gcc\"";
+      "\"headline\""; "\"wall_s\""; "\"job\":\"table2/gcc\"";
+    ]
+
+let suite =
+  ( "runner",
+    [
+      Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
+      Alcotest.test_case "pool exception propagation" `Quick test_pool_exception;
+      Alcotest.test_case "pool telemetry" `Quick test_pool_telemetry;
+      Alcotest.test_case "jobs determinism" `Slow test_jobs_determinism;
+      Alcotest.test_case "shared ctx parallel" `Slow test_shared_ctx_parallel;
+      Alcotest.test_case "json shape" `Quick test_json_shape;
+    ] )

@@ -137,7 +137,11 @@ let test_render_pct () =
 let test_experiment_registry () =
   Alcotest.(check bool) "all experiments listed" true
     (List.length Braid_sim.Experiments.all >= 18);
-  let ids = List.map fst Braid_sim.Experiments.all in
+  let ids =
+    List.map
+      (fun (e : Braid_sim.Experiments.t) -> e.Braid_sim.Experiments.id)
+      Braid_sim.Experiments.all
+  in
   Alcotest.(check int) "ids unique" (List.length ids)
     (List.length (List.sort_uniq compare ids));
   List.iter
@@ -145,23 +149,34 @@ let test_experiment_registry () =
     [ "table1"; "table2"; "table3"; "fig1"; "fig5"; "fig6"; "fig13"; "fig14" ]
 
 let test_experiment_runs () =
-  let o = Braid_sim.Experiments.find "table1" ~scale:1200 in
+  let ctx = Braid_sim.Suite.create_ctx () in
+  let o =
+    Braid_sim.Experiments.run ctx ~scale:1200
+      (Braid_sim.Experiments.find "table1")
+  in
   Alcotest.(check string) "id" "table1" o.Braid_sim.Experiments.id;
   Alcotest.(check bool) "rendered non-empty" true
-    (String.length o.Braid_sim.Experiments.rendered > 100);
+    (String.length (Braid_sim.Report.render o) > 100);
+  Alcotest.(check bool) "typed rows present" true
+    (List.for_all
+       (fun (s : Braid_sim.Experiments.series) ->
+         List.length s.Braid_sim.Experiments.rows > 0)
+       o.Braid_sim.Experiments.series
+    && o.Braid_sim.Experiments.series <> []);
   Alcotest.(check bool) "headline present" true
     (List.length o.Braid_sim.Experiments.headline > 0)
 
 let test_experiment_unknown () =
   Alcotest.(check bool) "unknown raises" true
     (try
-       ignore (Braid_sim.Experiments.find "fig99" ~scale:1000);
+       ignore (Braid_sim.Experiments.find "fig99");
        false
      with Not_found -> true)
 
 let test_suite_memoisation () =
-  let p1 = Braid_sim.Suite.prepare ~scale:1200 (Spec.find "gcc") in
-  let p2 = Braid_sim.Suite.prepare ~scale:1200 (Spec.find "gcc") in
+  let ctx = Braid_sim.Suite.create_ctx () in
+  let p1 = Braid_sim.Suite.prepare ctx ~scale:1200 (Spec.find "gcc") in
+  let p2 = Braid_sim.Suite.prepare ctx ~scale:1200 (Spec.find "gcc") in
   Alcotest.(check bool) "same prepared value" true (p1 == p2)
 
 let suite =

@@ -17,4 +17,5 @@ let () =
       T_properties.suite;
       T_timing.suite;
       T_roundtrip.suite;
+      T_runner.suite;
     ]
