@@ -115,13 +115,26 @@ let bechamel_arg =
   let doc = "Time each experiment kernel with Bechamel instead of printing results." in
   Cmdliner.Arg.(value & flag & info [ "bechamel" ] ~doc)
 
+(* --jobs must be a positive integer; 0/negative is a usage error *)
+let positive_int : int Cmdliner.Arg.conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%s is not a positive integer" s))
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Cmdliner.Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let jobs_arg =
   let doc =
-    "Simulation jobs to run in parallel (one domain each). 0 picks \
-     Domain.recommended_domain_count; 1 runs serially on the calling domain. \
-     Output is identical for every value."
+    "Simulation jobs to run in parallel (one domain each); must be positive. \
+     1 runs serially on the calling domain; the default is \
+     Domain.recommended_domain_count. Output is identical for every value."
   in
-  Cmdliner.Arg.(value & opt int 0 & info [ "jobs" ] ~docv:"N" ~doc)
+  Cmdliner.Arg.(
+    value
+    & opt positive_int (Runner.default_jobs ())
+    & info [ "jobs" ] ~docv:"N" ~doc)
 
 let json_arg =
   let doc = "Serialize typed results and per-job telemetry to $(docv) (- for stdout)." in
@@ -129,7 +142,6 @@ let json_arg =
 
 let main scale quick only list bechamel jobs json =
   let scale = if quick then 4000 else scale in
-  let jobs = if jobs <= 0 then Runner.default_jobs () else jobs in
   if list then list_experiments ()
   else if bechamel then run_bechamel ()
   else run_experiments ~scale ~jobs ~json only

@@ -1,11 +1,12 @@
 (* braidsim: command-line front end for the braid reproduction.
 
-   Subcommands: list, stats, inspect, run, experiment. *)
+   Subcommands: list, stats, inspect, run, trace, experiment. *)
 
 open Braid_isa
 module C = Braid_core
 module U = Braid_uarch
 module W = Braid_workload
+module Obs = Braid_obs
 
 let scale_arg =
   let doc = "Target dynamic instruction count of the run." in
@@ -15,15 +16,71 @@ let seed_arg =
   let doc = "Workload generation seed." in
   Cmdliner.Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* benchmark names resolve at the command line, so a typo is a usage
+   error (non-zero exit, valid names listed) instead of an exception *)
+let bench_conv : W.Spec.profile Cmdliner.Arg.conv =
+  let parse s =
+    match W.Spec.find s with
+    | p -> Ok p
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown benchmark %S; valid names:\n%s" s
+                (String.concat "\n"
+                   (List.map
+                      (fun (p : W.Spec.profile) -> p.W.Spec.name)
+                      W.Spec.all))))
+  in
+  let print fmt (p : W.Spec.profile) =
+    Format.pp_print_string fmt p.W.Spec.name
+  in
+  Cmdliner.Arg.conv ~docv:"BENCH" (parse, print)
+
 let bench_arg =
   let doc = "Benchmark name (one of the 26 SPEC CPU2000 stand-ins)." in
-  Cmdliner.Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  Cmdliner.Arg.(
+    required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH" ~doc)
 
-let find_bench name =
-  try W.Spec.find name
-  with Not_found ->
-    Printf.eprintf "unknown benchmark %s; try `braidsim list`\n" name;
-    exit 1
+(* --jobs must be a positive integer; 0/negative is a usage error *)
+let positive_int : int Cmdliner.Arg.conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%s is not a positive integer" s))
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Cmdliner.Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let core_arg =
+  let cores =
+    [ ("in-order", `Io); ("dep-steer", `Dep); ("ooo", `Ooo); ("braid", `Braid) ]
+  in
+  Cmdliner.Arg.(
+    value
+    & opt (enum cores) `Braid
+    & info [ "core" ] ~docv:"CORE"
+        ~doc:"Execution core: in-order, dep-steer, ooo or braid.")
+
+let width_arg =
+  Cmdliner.Arg.(
+    value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Issue width (4, 8 or 16).")
+
+(* shared by run and trace: generate, compile for the chosen core, emulate,
+   and time the resulting trace on the configured machine *)
+let simulate ~(profile : W.Spec.profile) ~seed ~scale ~core ~width ~obs =
+  let program, init_mem = W.Spec.generate profile ~seed ~scale in
+  let cfg, binary =
+    match core with
+    | `Io -> (U.Config.in_order_8wide, (C.Transform.conventional program).C.Extalloc.program)
+    | `Dep -> (U.Config.dep_steer_8wide, (C.Transform.conventional program).C.Extalloc.program)
+    | `Ooo -> (U.Config.ooo_8wide, (C.Transform.conventional program).C.Extalloc.program)
+    | `Braid -> (U.Config.braid_8wide, (C.Transform.run program).C.Transform.program)
+  in
+  let cfg = if width = 8 then cfg else U.Config.scale_width cfg width in
+  let out = Emulator.run ~max_steps:(50 * scale) ~init_mem binary in
+  let trace = Option.get out.Emulator.trace in
+  let r = U.Pipeline.run ~obs ~warm_data:(List.map fst init_mem) cfg trace in
+  (r, trace)
 
 (* --- list --- *)
 
@@ -44,8 +101,7 @@ let list_cmd =
 (* --- stats --- *)
 
 let stats_cmd =
-  let run name seed scale =
-    let profile = find_bench name in
+  let run (profile : W.Spec.profile) seed scale =
     let program, init_mem = W.Spec.generate profile ~seed ~scale in
     let rep = C.Transform.run program in
     let stats = C.Braid_stats.summarize (C.Braid_stats.of_program rep.C.Transform.program) in
@@ -86,8 +142,7 @@ let inspect_cmd =
   let block_arg =
     Cmdliner.Arg.(value & opt int 1 & info [ "block" ] ~docv:"ID" ~doc:"Block to print.")
   in
-  let run name seed scale block =
-    let profile = find_bench name in
+  let run (profile : W.Spec.profile) seed scale block =
     let program, _ = W.Spec.generate profile ~seed ~scale in
     let rep = C.Transform.run program in
     print_string (Disasm.block_with_braids rep.C.Transform.program block)
@@ -99,33 +154,10 @@ let inspect_cmd =
 (* --- run --- *)
 
 let run_cmd =
-  let core_arg =
-    let cores =
-      [ ("in-order", `Io); ("dep-steer", `Dep); ("ooo", `Ooo); ("braid", `Braid) ]
+  let run (profile : W.Spec.profile) seed scale core width =
+    let r, _ =
+      simulate ~profile ~seed ~scale ~core ~width ~obs:Obs.Sink.disabled
     in
-    Cmdliner.Arg.(
-      value
-      & opt (enum cores) `Braid
-      & info [ "core" ] ~docv:"CORE"
-          ~doc:"Execution core: in-order, dep-steer, ooo or braid.")
-  in
-  let width_arg =
-    Cmdliner.Arg.(value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Issue width (4, 8 or 16).")
-  in
-  let run name seed scale core width =
-    let profile = find_bench name in
-    let program, init_mem = W.Spec.generate profile ~seed ~scale in
-    let cfg, binary =
-      match core with
-      | `Io -> (U.Config.in_order_8wide, (C.Transform.conventional program).C.Extalloc.program)
-      | `Dep -> (U.Config.dep_steer_8wide, (C.Transform.conventional program).C.Extalloc.program)
-      | `Ooo -> (U.Config.ooo_8wide, (C.Transform.conventional program).C.Extalloc.program)
-      | `Braid -> (U.Config.braid_8wide, (C.Transform.run program).C.Transform.program)
-    in
-    let cfg = if width = 8 then cfg else U.Config.scale_width cfg width in
-    let out = Emulator.run ~max_steps:(50 * scale) ~init_mem binary in
-    let trace = Option.get out.Emulator.trace in
-    let r = U.Pipeline.run ~warm_data:(List.map fst init_mem) cfg trace in
     Printf.printf "%s on %s\n" profile.W.Spec.name r.U.Pipeline.config_name;
     Printf.printf "  instructions        %d\n" r.U.Pipeline.instructions;
     Printf.printf "  cycles              %d\n" r.U.Pipeline.cycles;
@@ -151,6 +183,116 @@ let run_cmd =
     (Cmdliner.Cmd.info "run" ~doc:"Simulate one benchmark on one machine configuration.")
     Cmdliner.Term.(const run $ bench_arg $ seed_arg $ scale_arg $ core_arg $ width_arg)
 
+(* --- trace --- *)
+
+let trace_cmd =
+  let from_arg =
+    Cmdliner.Arg.(
+      value & opt int 0
+      & info [ "from" ] ~docv:"CYCLE" ~doc:"First cycle of the timeline window.")
+  in
+  let cycles_arg =
+    Cmdliner.Arg.(
+      value & opt int 64
+      & info [ "cycles" ] ~docv:"N" ~doc:"Width of the timeline window in cycles.")
+  in
+  let chrome_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Also export the retained events as Chrome trace_event JSON to \
+             $(docv) (load it in chrome://tracing or ui.perfetto.dev). The \
+             document is parsed back before writing; a malformed export is \
+             an error.")
+  in
+  let counters_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "counters" ]
+          ~doc:"Dump the run's counter registry after the timeline.")
+  in
+  let buffer_arg =
+    Cmdliner.Arg.(
+      value
+      & opt positive_int Obs.Tracer.default_capacity
+      & info [ "buffer" ] ~docv:"N"
+          ~doc:
+            "Tracer ring-buffer capacity (events). When a run overflows it, \
+             the oldest events are dropped and the retained window is the \
+             end of the run.")
+  in
+  let run (profile : W.Spec.profile) seed scale core width from_cycle cycles
+      chrome counters buffer =
+    let obs = Obs.Sink.create () in
+    let tracer = Obs.Tracer.create ~capacity:buffer () in
+    Obs.Sink.attach_tracer obs tracer;
+    let r, trace = simulate ~profile ~seed ~scale ~core ~width ~obs in
+    let events = Obs.Tracer.events tracer in
+    let label uid = Disasm.instr trace.Trace.events.(uid).Trace.instr in
+    let chrome_label uid = Printf.sprintf "%d %s" uid (label uid) in
+    Printf.printf "%s on %s: %d instructions, %d cycles, IPC %.3f\n"
+      profile.W.Spec.name r.U.Pipeline.config_name r.U.Pipeline.instructions
+      r.U.Pipeline.cycles r.U.Pipeline.ipc;
+    Printf.printf "tracer: %d events retained, %d dropped (buffer %d)\n\n"
+      (Obs.Tracer.length tracer)
+      (Obs.Tracer.dropped tracer)
+      (Obs.Tracer.capacity tracer);
+    (match Obs.Timeline.render ~from_cycle ~cycles ~label events with
+    | "" ->
+        Printf.printf
+          "no instruction activity in cycles [%d, %d) — try --from/--cycles \
+           (run length %d cycles)\n"
+          from_cycle (from_cycle + cycles) r.U.Pipeline.cycles
+    | diagram -> print_string diagram);
+    Option.iter
+      (fun file ->
+        let doc = Obs.Chrome.export ~label:chrome_label tracer in
+        (* self-check with the same parser the test suite uses: the CI
+           smoke step relies on a non-zero exit for a malformed export *)
+        (match Obs.Json.parse doc with
+        | Ok _ -> ()
+        | Error msg ->
+            Printf.eprintf "braidsim: internal error: Chrome export is not valid JSON: %s\n" msg;
+            exit 1);
+        (if file = "-" then print_string doc
+         else
+           let oc = open_out file in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () -> output_string oc doc));
+        let tracks =
+          List.sort_uniq compare (List.map Obs.Tracer.track_of events)
+        in
+        if file <> "-" then
+          Printf.printf "\nwrote %s: %d events on %d tracks (validated)\n" file
+            (List.length events) (List.length tracks))
+      chrome;
+    if counters then begin
+      print_newline ();
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Obs.Counters.Count n -> Printf.printf "%-26s %d\n" name n
+          | Obs.Counters.Hist { counts; observations; sum; _ } ->
+              Printf.printf "%-26s n=%d sum=%d buckets=[%s]\n" name
+                observations sum
+                (String.concat ";"
+                   (Array.to_list (Array.map string_of_int counts))))
+        (Obs.Counters.snapshot (Obs.Sink.counters obs))
+    end
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "trace"
+       ~doc:
+         "Trace one benchmark run: ASCII pipeline timeline (F=fetch \
+          D=dispatch I=issue X=complete C=commit), optional Chrome \
+          trace_event export and counter dump.")
+    Cmdliner.Term.(
+      const run $ bench_arg $ seed_arg $ scale_arg $ core_arg $ width_arg
+      $ from_arg $ cycles_arg $ chrome_arg $ counters_arg $ buffer_arg)
+
 (* --- experiment --- *)
 
 let experiment_cmd =
@@ -172,12 +314,12 @@ let experiment_cmd =
   in
   let jobs_arg =
     Cmdliner.Arg.(
-      value & opt int 1
+      value
+      & opt positive_int 1
       & info [ "jobs" ] ~docv:"N"
           ~doc:
-            "Simulation jobs to run in parallel (one domain each); 0 picks \
-             Domain.recommended_domain_count. Output is identical for every \
-             value.")
+            "Simulation jobs to run in parallel (one domain each); must be \
+             positive. Output is identical for every value.")
   in
   let json_arg =
     Cmdliner.Arg.(
@@ -186,7 +328,16 @@ let experiment_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Serialize the typed results and per-job telemetry to $(docv) (- for stdout).")
   in
-  let run id only jobs json scale =
+  let counters_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "counters" ]
+          ~doc:
+            "Append per-benchmark observability counters (one braid 8-wide \
+             run per benchmark) to the report, and a \"counters\" object to \
+             --json output.")
+  in
+  let run id only jobs json counters scale =
     if id = Some "list" then
       List.iter (fun (e : E.t) -> print_endline e.E.id) E.all
     else begin
@@ -203,22 +354,28 @@ let experiment_cmd =
                   exit 1)
               ids
       in
-      let jobs = if jobs <= 0 then Braid_sim.Runner.default_jobs () else jobs in
       let ctx = Braid_sim.Suite.create_ctx () in
       let results =
         Braid_sim.Runner.run_experiments ~ctx ~jobs ~scale exps
       in
+      let counters =
+        if counters then Some (E.counters_report ctx ~scale) else None
+      in
       (* --json - claims stdout for the document; keep it valid JSON *)
-      if json <> Some "-" then
+      if json <> Some "-" then begin
         List.iter
           (fun (r, _) ->
             print_string (Braid_sim.Report.render_full r);
             print_newline ())
           results;
+        Option.iter
+          (fun cs -> print_string (Braid_sim.Report.render_counters cs))
+          counters
+      end;
       Option.iter
         (fun file ->
           try
-            Braid_sim.Report.write_json ~file ~scale ~jobs
+            Braid_sim.Report.write_json ?counters ~file ~scale ~jobs
               (List.map (fun (r, st) -> (r, Some st)) results)
           with Sys_error msg ->
             Printf.eprintf "braidsim: cannot write JSON: %s\n" msg;
@@ -231,7 +388,9 @@ let experiment_cmd =
        ~doc:
          "Run one or more of the paper's tables/figures, optionally in \
           parallel across domains.")
-    Cmdliner.Term.(const run $ id_arg $ only_arg $ jobs_arg $ json_arg $ scale_arg)
+    Cmdliner.Term.(
+      const run $ id_arg $ only_arg $ jobs_arg $ json_arg $ counters_arg
+      $ scale_arg)
 
 (* --- disasm --- *)
 
@@ -241,8 +400,7 @@ let disasm_cmd =
       value & flag
       & info [ "braided" ] ~doc:"Disassemble the braid binary instead of the conventional one.")
   in
-  let run name seed scale braided =
-    let profile = find_bench name in
+  let run (profile : W.Spec.profile) seed scale braided =
     let program, _ = W.Spec.generate profile ~seed ~scale in
     let binary =
       if braided then (C.Transform.run program).C.Transform.program
@@ -288,4 +446,6 @@ let () =
   in
   exit
     (Cmdliner.Cmd.eval
-       (Cmdliner.Cmd.group info [ list_cmd; stats_cmd; inspect_cmd; run_cmd; experiment_cmd; disasm_cmd; complexity_cmd ]))
+       (Cmdliner.Cmd.group info
+          [ list_cmd; stats_cmd; inspect_cmd; run_cmd; trace_cmd;
+            experiment_cmd; disasm_cmd; complexity_cmd ]))

@@ -1,0 +1,29 @@
+(** A minimal self-contained JSON tree: enough to validate and inspect the
+    Chrome traces and experiment documents this tree emits, without an
+    external JSON dependency. Shared by the test suite, the CI smoke check
+    and the [braidsim trace --chrome] self-validation. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict: the whole input must be one JSON value (plus whitespace).
+    The error mentions the byte offset. *)
+
+val parse_exn : string -> t
+(** Raises [Failure] with the parse error. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] elsewhere. *)
+
+val to_string : t -> string
+(** Serializer (compact); [parse (to_string v)] round-trips. NaN and
+    infinities serialize as [null]. *)
+
+val escape_string : string -> string
+(** The quoted, escaped JSON form of a string literal. *)

@@ -1,0 +1,34 @@
+(** The hook the timing model talks to: a counters registry plus an
+    optionally attached event tracer.
+
+    The disabled sink ({!disabled}) is the default everywhere. It hands out
+    dummy (unregistered) counter handles, so instrumentation updates them
+    unconditionally — one dead store, no branch — and nothing is ever
+    published; it is shared across domains but never mutated. Event
+    construction is the only costly part of tracing, so call sites must
+    match on {!tracer} and build events only under [Some]. *)
+
+type t
+
+val disabled : t
+(** The shared no-op sink: counters are dummies, no tracer can attach. *)
+
+val create : unit -> t
+(** A live sink with a fresh counters registry and no tracer. *)
+
+val enabled : t -> bool
+
+val counters : t -> Counters.t
+(** The registry. For [disabled] this is an empty registry that no handle
+    ever joins. *)
+
+val counter : t -> string -> Counters.counter
+(** Registered handle on a live sink; a dummy on [disabled]. *)
+
+val histogram : t -> string -> bounds:int array -> Counters.histogram
+
+val attach_tracer : t -> Tracer.t -> unit
+(** No-op on [disabled]. *)
+
+val detach_tracer : t -> unit
+val tracer : t -> Tracer.t option

@@ -1087,3 +1087,20 @@ let find id =
 let run ctx ~scale e =
   e.assemble ctx ~scale
     (List.map (fun pr -> (pr, e.bench_job ctx ~scale pr)) Spec.all)
+
+(* --- observability counters (opt-in; braidsim experiment --counters) --- *)
+
+module Obs = Braid_obs
+
+type counters = (string * (string * Obs.Counters.value) list) list
+
+let counters_report ctx ~scale =
+  List.map
+    (fun (profile : Spec.profile) ->
+      let p = Suite.prepare ctx ~scale profile in
+      let obs = Obs.Sink.create () in
+      ignore
+        (U.Pipeline.run ~obs ~warm_data:p.Suite.warm_data U.Config.braid_8wide
+           p.Suite.braid_trace);
+      (profile.Spec.name, Obs.Counters.snapshot (Obs.Sink.counters obs)))
+    Spec.all

@@ -82,6 +82,29 @@ let headline_summary results =
     results;
   Buffer.contents b
 
+let render_counter_value = function
+  | Braid_obs.Counters.Count n -> string_of_int n
+  | Braid_obs.Counters.Hist { counts; observations; sum; _ } ->
+      Printf.sprintf "n=%d sum=%d buckets=[%s]" observations sum
+        (String.concat ";" (Array.to_list (Array.map string_of_int counts)))
+
+let render_counters (counters : Experiments.counters) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (eq_rule ^ "\n");
+  Buffer.add_string b
+    "Observability counters (braid 8-wide, one run per benchmark)\n";
+  Buffer.add_string b (dash_rule ^ "\n");
+  List.iter
+    (fun (bench, snap) ->
+      Buffer.add_string b (bench ^ "\n");
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string b
+            (Printf.sprintf "  %-26s %s\n" name (render_counter_value v)))
+        snap)
+    counters;
+  Buffer.contents b
+
 (* --- JSON (hand-rolled: no JSON library in the tree) --- *)
 
 let json_string s =
@@ -166,17 +189,43 @@ let json_of_result ((r : E.result), (stats : Runner.stats option)) =
      ]
     @ timing)
 
-let to_json ~scale ~jobs items =
+let json_of_counter_value = function
+  | Braid_obs.Counters.Count n -> string_of_int n
+  | Braid_obs.Counters.Hist { bounds; counts; observations; sum } ->
+      json_obj
+        [
+          ("bounds", json_list string_of_int (Array.to_list bounds));
+          ("counts", json_list string_of_int (Array.to_list counts));
+          ("observations", string_of_int observations);
+          ("sum", string_of_int sum);
+        ]
+
+let json_of_counters (cs : Experiments.counters) =
   json_obj
-    [
-      ("scale", string_of_int scale);
-      ("jobs", string_of_int jobs);
-      ("experiments", json_list json_of_result items);
-    ]
+    (List.map
+       (fun (bench, snap) ->
+         ( bench,
+           json_obj
+             (List.map (fun (n, v) -> (n, json_of_counter_value v)) snap) ))
+       cs)
+
+(* the "counters" key exists only when requested, so default output is
+   byte-identical with or without the observability build *)
+let to_json ?counters ~scale ~jobs items =
+  json_obj
+    ([
+       ("scale", string_of_int scale);
+       ("jobs", string_of_int jobs);
+       ("experiments", json_list json_of_result items);
+     ]
+    @
+    match counters with
+    | None -> []
+    | Some cs -> [ ("counters", json_of_counters cs) ])
   ^ "\n"
 
-let write_json ~file ~scale ~jobs items =
-  let doc = to_json ~scale ~jobs items in
+let write_json ?counters ~file ~scale ~jobs items =
+  let doc = to_json ?counters ~scale ~jobs items in
   if file = "-" then print_string doc
   else begin
     let oc = open_out file in

@@ -17,16 +17,26 @@ val headline_summary : Experiments.result list -> string
 (** The framed "Headline summary (measured)" block: one line of
     [label=value] metrics per experiment. *)
 
+val render_counters : Experiments.counters -> string
+(** Framed per-benchmark dump of an observability counters report
+    ({!Experiments.counters_report}): one line per counter, histograms as
+    observation count / sum / bucket vector. *)
+
 val to_json :
+  ?counters:Experiments.counters ->
   scale:int ->
   jobs:int ->
   (Experiments.result * Runner.stats option) list ->
   string
 (** Serialize a batch of results (with optional per-job telemetry) as one
     JSON document: experiment id, series with per-benchmark rows and
-    columns, headline metrics, notes, and per-job wall-clock. *)
+    columns, headline metrics, notes, and per-job wall-clock. When
+    [counters] is given the document gains a top-level ["counters"]
+    object (benchmark → counter name → value); without it the output is
+    byte-for-byte what it was before observability existed. *)
 
 val write_json :
+  ?counters:Experiments.counters ->
   file:string ->
   scale:int ->
   jobs:int ->

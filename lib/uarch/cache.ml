@@ -1,3 +1,5 @@
+module Obs = Braid_obs
+
 type t = {
   sets : int;
   ways : int;
@@ -8,13 +10,16 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  (* observability handles; dummies (dead stores) when the sink is disabled *)
+  c_hits : Obs.Counters.counter;
+  c_misses : Obs.Counters.counter;
 }
 
 let log2 n =
   let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
   go 0 1
 
-let create (g : Config.cache_geometry) =
+let create ?(obs = Obs.Sink.disabled) ?(name = "cache") (g : Config.cache_geometry) =
   let lines = g.Config.size_bytes / g.Config.line_bytes in
   let sets = max 1 (lines / g.Config.ways) in
   {
@@ -27,6 +32,8 @@ let create (g : Config.cache_geometry) =
     tick = 0;
     hits = 0;
     misses = 0;
+    c_hits = Obs.Sink.counter obs (name ^ ".hits");
+    c_misses = Obs.Sink.counter obs (name ^ ".misses");
   }
 
 let access_gen ~count t addr =
@@ -40,11 +47,17 @@ let access_gen ~count t addr =
   done;
   if !way >= 0 then begin
     t.stamps.(set).(!way) <- t.tick;
-    if count then t.hits <- t.hits + 1;
+    if count then begin
+      t.hits <- t.hits + 1;
+      Obs.Counters.incr t.c_hits
+    end;
     true
   end
   else begin
-    if count then t.misses <- t.misses + 1;
+    if count then begin
+      t.misses <- t.misses + 1;
+      Obs.Counters.incr t.c_misses
+    end;
     (* evict LRU *)
     let victim = ref 0 in
     for w = 1 to t.ways - 1 do
@@ -69,11 +82,11 @@ type hierarchy = {
   perfect_dcache : bool;
 }
 
-let create_hierarchy (m : Config.memory) =
+let create_hierarchy ?(obs = Obs.Sink.disabled) (m : Config.memory) =
   {
-    l1i = create m.Config.l1i;
-    l1d = create m.Config.l1d;
-    l2 = create m.Config.l2;
+    l1i = create ~obs ~name:"l1i" m.Config.l1i;
+    l1d = create ~obs ~name:"l1d" m.Config.l1d;
+    l2 = create ~obs ~name:"l2" m.Config.l2;
     memory_latency = m.Config.memory_latency;
     perfect_icache = m.Config.perfect_icache;
     perfect_dcache = m.Config.perfect_dcache;

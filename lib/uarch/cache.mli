@@ -8,7 +8,11 @@
 
 type t
 
-val create : Config.cache_geometry -> t
+val create : ?obs:Braid_obs.Sink.t -> ?name:string -> Config.cache_geometry -> t
+(** With a live [obs] sink, registers ["<name>.hits"] / ["<name>.misses"]
+    counters that mirror {!hits} / {!misses} (warm-up fills stay
+    uncounted, as before). *)
+
 val access : t -> int -> bool
 (** [access t addr] probes and updates state; returns hit. Fills on miss. *)
 
@@ -17,7 +21,8 @@ val misses : t -> int
 
 type hierarchy
 
-val create_hierarchy : Config.memory -> hierarchy
+val create_hierarchy : ?obs:Braid_obs.Sink.t -> Config.memory -> hierarchy
+(** Level counters are registered as ["l1i.*"], ["l1d.*"], ["l2.*"]. *)
 
 val instr_latency : hierarchy -> int -> int
 (** Fetch latency for the line containing a byte address: the L1I latency

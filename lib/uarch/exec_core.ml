@@ -1,8 +1,14 @@
+module Obs = Braid_obs
+
 type t = {
   try_dispatch : Machine.slot -> bool;
   cycle : unit -> unit;
   occupancy : unit -> int;
 }
+
+(* every core counts the dispatches it refuses (queue full, no free BEU):
+   the core-side half of the dispatch-stall story *)
+let reject_counter m = Obs.Sink.counter (Machine.obs_sink m) "core.dispatch_rejects"
 
 let issuable m (s : Machine.slot) =
   Machine.reg_ready s
@@ -13,10 +19,14 @@ let issuable m (s : Machine.slot) =
 
 let in_order m =
   let cfg = Machine.cfg m in
+  let rejects = reject_counter m in
   let q : Machine.slot Ring.t = Ring.create ~capacity:cfg.Config.cluster_entries in
   let width = cfg.Config.clusters * cfg.Config.fus_per_cluster in
   let try_dispatch s =
-    if Ring.is_full q then false
+    if Ring.is_full q then begin
+      Obs.Counters.incr rejects;
+      false
+    end
     else begin
       Ring.push q s;
       true
@@ -41,6 +51,7 @@ let in_order m =
 
 let dep_steer m =
   let cfg = Machine.cfg m in
+  let rejects = reject_counter m in
   let fifos =
     Array.init cfg.Config.clusters (fun _ ->
         Ring.create ~capacity:cfg.Config.cluster_entries)
@@ -66,7 +77,9 @@ let dep_steer m =
     | Some f ->
         Ring.push f s;
         true
-    | None -> false
+    | None ->
+        Obs.Counters.incr rejects;
+        false
   in
   let cycle () =
     Array.iter
@@ -91,6 +104,7 @@ let dep_steer m =
 
 let ooo m =
   let cfg = Machine.cfg m in
+  let rejects = reject_counter m in
   (* each scheduler is an unordered window; selection is oldest-first *)
   let scheds =
     Array.init cfg.Config.clusters (fun _ ->
@@ -102,7 +116,10 @@ let ooo m =
        paper's distributed 32-entry schedulers *)
     let n = Array.length scheds in
     let rec go k =
-      if k = n then false
+      if k = n then begin
+        Obs.Counters.incr rejects;
+        false
+      end
       else
         let f = scheds.((!rr + k) mod n) in
         if Ring.is_full f then go (k + 1)
@@ -151,6 +168,7 @@ type beu = {
 
 let braid m =
   let cfg = Machine.cfg m in
+  let rejects = reject_counter m in
   let beus =
     Array.init cfg.Config.clusters (fun _ ->
         { fifo = Ring.create ~capacity:cfg.Config.cluster_entries; outstanding = [] })
@@ -177,7 +195,9 @@ let braid m =
           s.Machine.beu <- i;
           Ring.push beus.(i).fifo s;
           true
-      | None -> false
+      | None ->
+          Obs.Counters.incr rejects;
+          false
     end
     else
       match !target with
@@ -185,7 +205,9 @@ let braid m =
           s.Machine.beu <- i;
           Ring.push beus.(i).fifo s;
           true
-      | Some _ | None -> false
+      | Some _ | None ->
+          Obs.Counters.incr rejects;
+          false
   in
   (* §5.2 clustering: external values produced in another cluster of BEUs
      arrive [inter_cluster_latency] cycles later *)

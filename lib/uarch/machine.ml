@@ -1,3 +1,5 @@
+module Obs = Braid_obs
+
 type slot = {
   ev : Trace.event;
   mutable dispatched : bool;
@@ -74,6 +76,18 @@ type t = {
   mutable int_rf_reads : int;
   mutable int_rf_writes : int;
   mutable bypass_values : int;
+  (* observability: registered handles on a live sink, dummies (dead
+     stores, no branches) on the disabled one *)
+  obs : Obs.Sink.t;
+  oc_dispatch : Obs.Counters.counter;
+  oc_issue : Obs.Counters.counter;
+  oc_commit : Obs.Counters.counter;
+  oc_ext_alloc : Obs.Counters.counter;
+  oc_ext_early : Obs.Counters.counter;
+  oc_ext_commit_rel : Obs.Counters.counter;
+  oc_ext_stall : Obs.Counters.counter;
+  oc_bypass_use : Obs.Counters.counter;
+  oc_bypass_ovf : Obs.Counters.counter;
 }
 
 let build_children (trace : Trace.t) =
@@ -95,7 +109,7 @@ let build_last_ext_reader children =
         (-1) kids)
     children
 
-let create cfg trace =
+let create ?(obs = Obs.Sink.disabled) cfg trace =
   let events = trace.Trace.events in
   let slots =
     Array.map
@@ -123,8 +137,8 @@ let create cfg trace =
     slots;
     children;
     last_ext_reader = build_last_ext_reader children;
-    hier = Cache.create_hierarchy cfg.Config.mem;
-    pred = Predictor.create cfg;
+    hier = Cache.create_hierarchy ~obs cfg.Config.mem;
+    pred = Predictor.create ~obs cfg;
     now = -1;
     wake = Hashtbl.create 4096;
     reg_free_at = Hashtbl.create 1024;
@@ -148,9 +162,20 @@ let create cfg trace =
     int_rf_reads = 0;
     int_rf_writes = 0;
     bypass_values = 0;
+    obs;
+    oc_dispatch = Obs.Sink.counter obs "dispatch.instrs";
+    oc_issue = Obs.Sink.counter obs "issue.instrs";
+    oc_commit = Obs.Sink.counter obs "commit.instrs";
+    oc_ext_alloc = Obs.Sink.counter obs "extfile.allocs";
+    oc_ext_early = Obs.Sink.counter obs "extfile.early_releases";
+    oc_ext_commit_rel = Obs.Sink.counter obs "extfile.commit_releases";
+    oc_ext_stall = Obs.Sink.counter obs "extfile.dispatch_stalls";
+    oc_bypass_use = Obs.Sink.counter obs "bypass.uses";
+    oc_bypass_ovf = Obs.Sink.counter obs "bypass.overflows";
   }
 
 let cfg t = t.cfg
+let obs_sink t = t.obs
 let num_slots t = Array.length t.slots
 let slot t i = t.slots.(i)
 let now t = t.now
@@ -176,7 +201,9 @@ let begin_cycle t =
           let s = t.slots.(u) in
           if not s.ext_entry_freed then begin
             s.ext_entry_freed <- true;
-            t.free_regs <- t.free_regs + 1
+            t.free_regs <- t.free_regs + 1;
+            (* released before commit: the braid dead-value path *)
+            Obs.Counters.incr t.oc_ext_early
           end)
         uids;
       Hashtbl.remove t.reg_free_at t.now
@@ -240,6 +267,18 @@ let do_issue t s =
   s.issued <- true;
   s.issue_cycle <- t.now;
   s.complete_cycle <- complete;
+  Obs.Counters.incr t.oc_issue;
+  (match Obs.Sink.tracer t.obs with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.record tr
+        (Obs.Tracer.Exec
+           { uid = s.ev.Trace.uid; track = s.beu; start = t.now; dur = lat });
+      (* a load that went past the L1D is a miss fill in flight *)
+      if s.ev.Trace.is_load && lat > t.cfg.Config.mem.Config.l1d.Config.latency then
+        Obs.Tracer.record tr
+          (Obs.Tracer.Span
+             { name = "L1D miss"; cat = "cache"; track = s.beu; start = t.now; dur = lat }));
   if s.ev.Trace.writes_int then begin
     s.int_visible <- complete;
     t.int_rf_writes <- t.int_rf_writes + 1
@@ -248,7 +287,14 @@ let do_issue t s =
     let bypassed = Rc.try_take t.bypass complete 1 in
     let wb = Rc.take_first_free t.write_ports complete 1 in
     t.ext_rf_writes <- t.ext_rf_writes + 1;
-    if bypassed then t.bypass_values <- t.bypass_values + 1;
+    if bypassed then begin
+      t.bypass_values <- t.bypass_values + 1;
+      Obs.Counters.incr t.oc_bypass_use
+    end
+    else
+      (* all bypass slots of the completion cycle taken: the value must
+         wait for a write port and reach consumers through the file *)
+      Obs.Counters.incr t.oc_bypass_ovf;
     s.ext_visible <- (if bypassed then complete else wb + 1)
   end;
   List.iter
@@ -324,7 +370,10 @@ let can_dispatch t s =
        || t.inflight_mem < t.cfg.Config.lsq_entries)
     && t.dispatched_count - t.committed_count < t.cfg.Config.inflight
   in
-  if not reg_ok then t.stall_regs <- t.stall_regs + 1;
+  if not reg_ok then begin
+    t.stall_regs <- t.stall_regs + 1;
+    Obs.Counters.incr t.oc_ext_stall
+  end;
   ok
 
 let note_dispatch t s =
@@ -341,16 +390,37 @@ let note_dispatch t s =
   if e.Trace.is_cond_branch && t.cfg.Config.max_unresolved_branches > 0 then
     t.unresolved_branches <- t.unresolved_branches + 1;
   s.dispatched <- true;
-  t.dispatched_count <- t.dispatched_count + 1
+  t.dispatched_count <- t.dispatched_count + 1;
+  Obs.Counters.incr t.oc_dispatch;
+  if e.Trace.writes_ext then Obs.Counters.incr t.oc_ext_alloc;
+  match Obs.Sink.tracer t.obs with
+  | None -> ()
+  | Some tr ->
+      Obs.Tracer.record tr
+        (Obs.Tracer.Stage
+           { cycle = t.now; uid = e.Trace.uid; stage = Obs.Tracer.Dispatch; track = s.beu })
 
 let commit_stage t =
   let budget = ref t.cfg.Config.commit_width in
   let continue_ = ref true in
+  let tr = Obs.Sink.tracer t.obs in
   while !continue_ && !budget > 0 && t.commit_idx < Array.length t.slots do
     let s = t.slots.(t.commit_idx) in
     if is_complete t s then begin
       s.completed <- true;
       s.committed <- true;
+      Obs.Counters.incr t.oc_commit;
+      (match tr with
+      | None -> ()
+      | Some tr ->
+          Obs.Tracer.record tr
+            (Obs.Tracer.Stage
+               {
+                 cycle = t.now;
+                 uid = s.ev.Trace.uid;
+                 stage = Obs.Tracer.Commit;
+                 track = s.beu;
+               }));
       (* stores drain to the data cache at commit *)
       if s.ev.Trace.is_store && not t.cfg.Config.mem.Config.perfect_dcache then
         ignore (Cache.data_latency t.hier s.ev.Trace.addr);
@@ -358,7 +428,8 @@ let commit_stage t =
          dead-value path already released it *)
       if s.ev.Trace.writes_ext && not s.ext_entry_freed then begin
         s.ext_entry_freed <- true;
-        t.free_regs <- t.free_regs + 1
+        t.free_regs <- t.free_regs + 1;
+        Obs.Counters.incr t.oc_ext_commit_rel
       end;
       if s.ev.Trace.is_load || s.ev.Trace.is_store then
         t.inflight_mem <- t.inflight_mem - 1;
@@ -407,6 +478,15 @@ let dispatch_block_reason t (s : slot) =
   else if t.dispatched_count - t.committed_count >= t.cfg.Config.inflight then
     Block_inflight
   else Block_none
+
+let dispatch_block_name = function
+  | Block_none -> "none"
+  | Block_alloc -> "alloc-width"
+  | Block_rename -> "rename-width"
+  | Block_regs -> "ext-regs"
+  | Block_checkpoint -> "checkpoint"
+  | Block_lsq -> "lsq"
+  | Block_inflight -> "inflight"
 
 type activity = {
   ext_rf_reads : int;

@@ -38,9 +38,22 @@ type mem_status =
 
 type t
 
-val create : Config.t -> Trace.t -> t
+val create : ?obs:Braid_obs.Sink.t -> Config.t -> Trace.t -> t
+(** With a live [obs] sink, the machine registers counters for dispatch /
+    issue / commit instruction flow, external-file allocations,
+    early (dead-value) and commit releases, register-shortage dispatch
+    stalls, bypass uses and overflows, and the cache and predictor
+    counters of the structures it creates; when a tracer is attached it
+    additionally records per-instruction dispatch/commit stage crossings,
+    issue-to-completion execution spans (with BEU track) and L1D-miss
+    fills. With the default disabled sink every hook is a dead store or a
+    [None] match — timing results are identical either way. *)
 
 val cfg : t -> Config.t
+
+val obs_sink : t -> Braid_obs.Sink.t
+(** The sink the machine was created with (for the execution cores). *)
+
 val num_slots : t -> int
 val slot : t -> int -> slot
 
@@ -104,6 +117,10 @@ type dispatch_block =
 val dispatch_block_reason : t -> slot -> dispatch_block
 (** Why [can_dispatch] would refuse this slot right now — for the stall
     breakdown diagnostics. *)
+
+val dispatch_block_name : dispatch_block -> string
+(** Short stable label ("alloc-width", "ext-regs", ...) for stall-reason
+    annotations in traces. *)
 
 type activity = {
   ext_rf_reads : int;  (** external register file read accesses *)

@@ -1,3 +1,5 @@
+module Obs = Braid_obs
+
 type stalls = {
   fetch_redirect : int;  (** cycles fetch waited on a mispredicted branch *)
   fetch_icache : int;  (** cycles fetch waited on an I-cache fill *)
@@ -30,10 +32,10 @@ type redirect = {
   wrong_path : (int * int) option;  (** (block, offset) fetch runs down *)
 }
 
-let run ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
+let run ?(obs = Obs.Sink.disabled) ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
   let n = Array.length trace.Trace.events in
   if n = 0 then invalid_arg "Pipeline.run: empty trace";
-  let m = Machine.create cfg trace in
+  let m = Machine.create ~obs cfg trace in
   (* Warm-up: the measured window is a steady-state snapshot of a much
      longer run (MinneSPEC), so code lines are warm in L1I/L2 and the
      initial data image is warm in L2. *)
@@ -63,6 +65,25 @@ let run ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
   let stall_redirect = ref 0 and stall_icache = ref 0 in
   let stall_core = ref 0 and stall_frontend = ref 0 in
   let occupancy_sum = ref 0 in
+  (* observability: registered handles on a live sink, dummies otherwise;
+     the tracer (if any) is attached before the run starts *)
+  let c_fetch = Obs.Sink.counter obs "fetch.instrs" in
+  let c_stall_redirect = Obs.Sink.counter obs "stall.fetch_redirect" in
+  let c_stall_icache = Obs.Sink.counter obs "stall.fetch_icache" in
+  let c_stall_core = Obs.Sink.counter obs "stall.dispatch_core" in
+  let c_stall_frontend = Obs.Sink.counter obs "stall.dispatch_frontend" in
+  let h_occupancy =
+    Obs.Sink.histogram obs "core.occupancy"
+      ~bounds:[| 0; 2; 4; 8; 16; 32; 64; 128; 256 |]
+  in
+  let tracer = Obs.Sink.tracer obs in
+  let record_stall reason =
+    match tracer with
+    | None -> ()
+    | Some tr ->
+        Obs.Tracer.record tr
+          (Obs.Tracer.Stall { cycle = Machine.now m; track = -1; reason })
+  in
   (* finite BTB: direct-mapped table of transfer pcs *)
   let btb =
     if cfg.Config.btb_entries > 0 then Some (Array.make cfg.Config.btb_entries (-1))
@@ -128,7 +149,9 @@ let run ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
               cfg.Config.name now (Machine.committed_count m) n));
     Machine.commit_stage m;
     core.Exec_core.cycle ();
-    occupancy_sum := !occupancy_sum + core.Exec_core.occupancy ();
+    let occupancy = core.Exec_core.occupancy () in
+    occupancy_sum := !occupancy_sum + occupancy;
+    if Obs.Sink.enabled obs then Obs.Counters.observe h_occupancy occupancy;
     (* dispatch *)
     let continue_dispatch = ref true in
     while !continue_dispatch && not (Ring.is_empty fetchq) do
@@ -140,10 +163,15 @@ let run ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
         end
         else begin
           incr stall_core;
+          Obs.Counters.incr c_stall_core;
+          record_stall "core-full";
           continue_dispatch := false
         end
       else begin
         incr stall_frontend;
+        Obs.Counters.incr c_stall_frontend;
+        if tracer <> None then
+          record_stall (Machine.dispatch_block_name (Machine.dispatch_block_reason m s));
         continue_dispatch := false
       end
     done;
@@ -151,6 +179,8 @@ let run ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
     (match !blocked with
     | Some r ->
         incr stall_redirect;
+        Obs.Counters.incr c_stall_redirect;
+        record_stall "redirect";
         (if cfg.Config.model_wrong_path_fetch then
            match r.wrong_path with
            | Some loc ->
@@ -159,7 +189,12 @@ let run ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
         let s = Machine.slot m r.uid in
         if s.Machine.issued && now >= s.Machine.complete_cycle + r.penalty then
           blocked := None
-    | None -> if now < !icache_ready then incr stall_icache);
+    | None ->
+        if now < !icache_ready then begin
+          incr stall_icache;
+          Obs.Counters.incr c_stall_icache;
+          record_stall "icache"
+        end);
     (* fetch *)
     if !blocked = None && now >= !icache_ready then begin
       let fetched = ref 0 and branches = ref 0 in
@@ -178,6 +213,12 @@ let run ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
           last_line := line;
           if lat > cfg.Config.mem.Config.l1i.Config.latency then begin
             icache_ready := now + lat;
+            (match tracer with
+            | None -> ()
+            | Some tr ->
+                Obs.Tracer.record tr
+                  (Obs.Tracer.Span
+                     { name = "L1I miss"; cat = "cache"; track = -1; start = now; dur = lat }));
             stop := true
           end
         end;
@@ -188,6 +229,13 @@ let run ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
           else begin
             Ring.push fetchq (Machine.slot m e.Trace.uid);
             incr fetched;
+            Obs.Counters.incr c_fetch;
+            (match tracer with
+            | None -> ()
+            | Some tr ->
+                Obs.Tracer.record tr
+                  (Obs.Tracer.Stage
+                     { cycle = now; uid = e.Trace.uid; stage = Obs.Tracer.Fetch; track = -1 }));
             if is_branch then incr branches;
             (* a taken transfer missing in the BTB costs a fetch bubble *)
             if is_branch && e.Trace.taken && not (btb_hit e.Trace.pc) then

@@ -37,11 +37,17 @@ exception Deadlock of string
 (** Raised when no forward progress happens for an implausibly long time —
     a simulator bug, surfaced loudly rather than silently looping. *)
 
-val run : ?warm_data:int list -> Config.t -> Trace.t -> result
+val run : ?obs:Braid_obs.Sink.t -> ?warm_data:int list -> Config.t -> Trace.t -> result
 (** [warm_data] lists byte addresses of the program's initial data image;
     their lines are pre-filled into the L2 (and all code lines into
     L1I/L2) so the measured window behaves like a steady-state snapshot
-    rather than a cold start. *)
+    rather than a cold start.
+
+    With a live [obs] sink the run registers fetch/stall counters and a
+    core-occupancy histogram on top of the machine's own counters
+    ({!Machine.create}); attach a tracer to the sink before calling to
+    additionally capture per-cycle stage, stall and cache-miss events.
+    The default disabled sink costs nothing and changes no results. *)
 
 val speedup : result -> result -> float
 (** [speedup base other] = cycles(base) / cycles(other): how much faster

@@ -8,7 +8,10 @@
 
 type t
 
-val create : Config.t -> t
+val create : ?obs:Braid_obs.Sink.t -> Config.t -> t
+(** With a live [obs] sink, registers ["predictor.lookups"] /
+    ["predictor.mispredicts"] counters mirroring {!lookups} /
+    {!mispredicts}. *)
 
 val predict_and_train : t -> pc:int -> taken:bool -> bool
 (** Returns whether the prediction matched the actual outcome, and trains

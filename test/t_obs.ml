@@ -1,0 +1,234 @@
+(* Observability subsystem tests: counter accumulation through a real
+   pipeline run, histogram bucketing, the tracer's bounded ring, the
+   Chrome trace_event export (parsed back with the same Json module the
+   CLI uses to self-validate), the zero-cost disabled path, and the
+   reconciliation of cache hit/miss counters against latency charges. *)
+
+module C = Braid_core
+module U = Braid_uarch
+module Obs = Braid_obs
+
+(* one braided benchmark trace, shared across tests *)
+let scale = 1000
+
+let prepared =
+  lazy
+    (let profile = Braid_workload.Spec.find "gzip" in
+     let program, init_mem = Braid_workload.Spec.generate profile ~seed:1 ~scale in
+     let braided = (C.Transform.run program).C.Transform.program in
+     let out = Emulator.run ~max_steps:(50 * scale) ~init_mem braided in
+     (Option.get out.Emulator.trace, List.map fst init_mem))
+
+let run_braid ~obs =
+  let trace, warm_data = Lazy.force prepared in
+  U.Pipeline.run ~obs ~warm_data U.Config.braid_8wide trace
+
+let count obs name =
+  match Obs.Counters.find (Obs.Sink.counters obs) name with
+  | Some (Obs.Counters.Count n) -> n
+  | Some _ -> Alcotest.failf "%s is a histogram" name
+  | None -> Alcotest.failf "counter %s not registered" name
+
+(* --- counters accumulate across a run ---------------------------------- *)
+
+let test_counters_accumulate () =
+  let obs = Obs.Sink.create () in
+  let r = run_braid ~obs in
+  Alcotest.(check int) "commit.instrs = instructions" r.U.Pipeline.instructions
+    (count obs "commit.instrs");
+  Alcotest.(check int) "dispatch = commit" (count obs "commit.instrs")
+    (count obs "dispatch.instrs");
+  Alcotest.(check int) "issue = commit" (count obs "commit.instrs")
+    (count obs "issue.instrs");
+  Alcotest.(check bool) "fetch >= commit" true
+    (count obs "fetch.instrs" >= count obs "commit.instrs");
+  Alcotest.(check int) "predictor.lookups mirrors result"
+    r.U.Pipeline.branch_lookups
+    (count obs "predictor.lookups");
+  Alcotest.(check int) "predictor.mispredicts mirrors result"
+    r.U.Pipeline.branch_mispredicts
+    (count obs "predictor.mispredicts");
+  Alcotest.(check int) "l1d.misses mirrors result" r.U.Pipeline.l1d_misses
+    (count obs "l1d.misses");
+  Alcotest.(check int) "extfile.dispatch_stalls mirrors result"
+    r.U.Pipeline.dispatch_stall_regs
+    (count obs "extfile.dispatch_stalls");
+  (* every allocated external entry is released exactly once: early
+     (dead-value) or at commit *)
+  Alcotest.(check int) "allocs = early + commit releases"
+    (count obs "extfile.allocs")
+    (count obs "extfile.early_releases" + count obs "extfile.commit_releases");
+  (* occupancy histogram observed once per cycle *)
+  (match Obs.Counters.find (Obs.Sink.counters obs) "core.occupancy" with
+  | Some (Obs.Counters.Hist { observations; _ }) ->
+      Alcotest.(check int) "one occupancy sample per cycle"
+        (r.U.Pipeline.cycles + 1) observations
+  | _ -> Alcotest.fail "core.occupancy histogram not registered")
+
+(* --- histogram bucketing ------------------------------------------------ *)
+
+let test_histogram_buckets () =
+  let reg = Obs.Counters.create () in
+  let h = Obs.Counters.histogram reg "h" ~bounds:[| 0; 2; 4 |] in
+  List.iter (Obs.Counters.observe h) [ 0; 1; 2; 3; 4; 5; 100 ];
+  (match Obs.Counters.find reg "h" with
+  | Some (Obs.Counters.Hist { bounds; counts; observations; sum }) ->
+      Alcotest.(check (array int)) "bounds kept" [| 0; 2; 4 |] bounds;
+      Alcotest.(check (array int)) "bucket counts (incl. overflow)"
+        [| 1; 2; 2; 2 |] counts;
+      Alcotest.(check int) "observations" 7 observations;
+      Alcotest.(check int) "sum" 115 sum
+  | _ -> Alcotest.fail "histogram not found");
+  (* re-registration with identical bounds shares the handle *)
+  let h' = Obs.Counters.histogram reg "h" ~bounds:[| 0; 2; 4 |] in
+  Obs.Counters.observe h' 1;
+  (match Obs.Counters.find reg "h" with
+  | Some (Obs.Counters.Hist { observations; _ }) ->
+      Alcotest.(check int) "shared handle" 8 observations
+  | _ -> Alcotest.fail "histogram not found");
+  Alcotest.check_raises "different bounds rejected"
+    (Invalid_argument "Counters.histogram h: re-registered with different bounds")
+    (fun () -> ignore (Obs.Counters.histogram reg "h" ~bounds:[| 1; 3 |]))
+
+(* --- tracer ring buffer ------------------------------------------------- *)
+
+let stall c = Obs.Tracer.Stall { cycle = c; track = -1; reason = "t" }
+
+let test_ring_drops_oldest () =
+  let tr = Obs.Tracer.create ~capacity:4 () in
+  for c = 0 to 5 do
+    Obs.Tracer.record tr (stall c)
+  done;
+  Alcotest.(check int) "length capped" 4 (Obs.Tracer.length tr);
+  Alcotest.(check int) "dropped counted" 2 (Obs.Tracer.dropped tr);
+  let cycles =
+    List.map
+      (function Obs.Tracer.Stall { cycle; _ } -> cycle | _ -> -1)
+      (Obs.Tracer.events tr)
+  in
+  Alcotest.(check (list int)) "oldest dropped, oldest-first order" [ 2; 3; 4; 5 ]
+    cycles;
+  Obs.Tracer.clear tr;
+  Alcotest.(check int) "clear empties" 0 (Obs.Tracer.length tr)
+
+(* --- Chrome export round-trips through the Json parser ------------------ *)
+
+let test_chrome_roundtrip () =
+  let obs = Obs.Sink.create () in
+  let tr = Obs.Tracer.create () in
+  Obs.Sink.attach_tracer obs tr;
+  ignore (run_braid ~obs);
+  let doc = Obs.Chrome.export tr in
+  let j = Obs.Json.parse_exn doc in
+  let events =
+    match Obs.Json.member "traceEvents" j with
+    | Some (Obs.Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "events non-empty" true (events <> []);
+  let thread_names =
+    List.filter_map
+      (fun e ->
+        match (Obs.Json.member "ph" e, Obs.Json.member "args" e) with
+        | Some (Obs.Json.Str "M"), Some args -> (
+            match Obs.Json.member "name" args with
+            | Some (Obs.Json.Str n) -> Some n
+            | _ -> None)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check bool) "at least one BEU track" true
+    (List.exists
+       (fun n -> String.length n >= 3 && String.sub n 0 3 = "BEU")
+       thread_names);
+  Alcotest.(check bool) "a stall carries its reason" true
+    (List.exists
+       (fun e ->
+         match Obs.Json.member "args" e with
+         | Some args -> Obs.Json.member "reason" args <> None
+         | None -> false)
+       events);
+  (* the compact printer round-trips what it parsed *)
+  Alcotest.(check bool) "print/parse round-trip" true
+    (Obs.Json.parse_exn (Obs.Json.to_string j) = j)
+
+(* --- disabled path records nothing and changes nothing ------------------ *)
+
+let test_disabled_records_nothing () =
+  let tr = Obs.Tracer.create () in
+  Obs.Sink.attach_tracer Obs.Sink.disabled tr;
+  Alcotest.(check bool) "no tracer on disabled sink" true
+    (Obs.Sink.tracer Obs.Sink.disabled = None);
+  let r_plain = run_braid ~obs:Obs.Sink.disabled in
+  Alcotest.(check int) "disabled tracer saw nothing" 0 (Obs.Tracer.length tr);
+  Alcotest.(check int) "disabled registry stays empty" 0
+    (List.length (Obs.Counters.snapshot (Obs.Sink.counters Obs.Sink.disabled)));
+  (* observability does not perturb the simulation *)
+  let obs = Obs.Sink.create () in
+  Obs.Sink.attach_tracer obs (Obs.Tracer.create ());
+  let r_obs = run_braid ~obs in
+  Alcotest.(check int) "identical cycle count" r_plain.U.Pipeline.cycles
+    r_obs.U.Pipeline.cycles;
+  Alcotest.(check int) "identical l1d misses" r_plain.U.Pipeline.l1d_misses
+    r_obs.U.Pipeline.l1d_misses
+
+(* --- cache counters reconcile with latency charges ---------------------- *)
+
+let small_l1 = { U.Config.size_bytes = 256; ways = 2; line_bytes = 64; latency = 1 }
+
+let mem_cfg =
+  {
+    U.Config.l1i = small_l1;
+    l1d = small_l1;
+    l2 = { U.Config.size_bytes = 4096; ways = 4; line_bytes = 64; latency = 6 };
+    memory_latency = 100;
+    perfect_icache = false;
+    perfect_dcache = false;
+  }
+
+let test_cache_reconcile () =
+  let obs = Obs.Sink.create () in
+  let h = U.Cache.create_hierarchy ~obs mem_cfg in
+  (* 2-way, 64B lines, 2 sets: 0, 128 and 256 all map to set 0.
+     0 M, 0 H, 128 M, 0 H, 256 M (evicts LRU 128), 128 M (evicts LRU 0),
+     0 M — true LRU gives exactly 2 hits / 5 misses; FIFO would differ. *)
+  let seq = [ 0; 0; 128; 0; 256; 128; 0 ] in
+  let hits = ref 0 and misses = ref 0 in
+  List.iter
+    (fun addr ->
+      let lat = U.Cache.instr_latency h addr in
+      if lat = small_l1.U.Config.latency then incr hits else incr misses)
+    seq;
+  Alcotest.(check (pair int int)) "latency-derived L1I hit/miss" (2, 5)
+    (!hits, !misses);
+  Alcotest.(check (pair int int)) "Cache.l1i_stats agrees" (2, 5)
+    (U.Cache.l1i_stats h);
+  Alcotest.(check int) "l1i.hits counter agrees" 2 (count obs "l1i.hits");
+  Alcotest.(check int) "l1i.misses counter agrees" 5 (count obs "l1i.misses");
+  (* same reconciliation on the data side *)
+  let d_hits = ref 0 and d_misses = ref 0 in
+  List.iter
+    (fun addr ->
+      let lat = U.Cache.data_latency h addr in
+      if lat = small_l1.U.Config.latency then incr d_hits else incr d_misses)
+    [ 64; 64; 192; 64 ];
+  Alcotest.(check (pair int int)) "latency-derived L1D hit/miss" (2, 2)
+    (!d_hits, !d_misses);
+  Alcotest.(check int) "l1d.hits counter agrees" !d_hits (count obs "l1d.hits");
+  Alcotest.(check int) "l1d.misses counter agrees" !d_misses
+    (count obs "l1d.misses");
+  (* warm-up fills stay uncounted *)
+  U.Cache.warm_instr h 512;
+  Alcotest.(check int) "warm_instr uncounted" 5 (count obs "l1i.misses")
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "counters accumulate" `Quick test_counters_accumulate;
+      Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+      Alcotest.test_case "ring drops oldest" `Quick test_ring_drops_oldest;
+      Alcotest.test_case "chrome roundtrip" `Quick test_chrome_roundtrip;
+      Alcotest.test_case "disabled records nothing" `Quick
+        test_disabled_records_nothing;
+      Alcotest.test_case "cache counters reconcile" `Quick test_cache_reconcile;
+    ] )

@@ -12,6 +12,7 @@ let () =
       T_braid.suite;
       T_transform.suite;
       T_uarch.suite;
+      T_obs.suite;
       T_statspass.suite;
       T_extensions.suite;
       T_properties.suite;
