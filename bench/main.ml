@@ -12,6 +12,7 @@ module E = Braid_sim.Experiments
 module S = Braid_sim.Suite
 module Runner = Braid_sim.Runner
 module Report = Braid_sim.Report
+module Perf = Braid_sim.Perf
 
 let list_experiments () =
   print_endline "Experiments (paper tables and figures):";
@@ -60,6 +61,42 @@ let run_experiments ~scale ~jobs ~json only =
         exit 1)
     json
 
+(* Simulator-throughput mode: time repeated timing-model runs on a fixed
+   benchmark subset per core model and write the BENCH_*.json trajectory
+   point (see Braid_sim.Perf). *)
+let run_perf ~scale ~reps ~out ~baseline ~benches =
+  let benches = if benches = [] then Perf.default_benches else benches in
+  (match
+     List.filter
+       (fun b ->
+         match Braid_workload.Spec.find b with
+         | _ -> false
+         | exception Not_found -> true)
+       benches
+   with
+  | [] -> ()
+  | unknown ->
+      Printf.eprintf "bench: unknown benchmark(s) %s; see `braidsim list`\n"
+        (String.concat ", " unknown);
+      exit 1);
+  let baseline =
+    Option.map
+      (fun file ->
+        try Perf.load_baseline file
+        with Sys_error msg | Failure msg ->
+          Printf.eprintf "bench: cannot load baseline: %s\n" msg;
+          exit 1)
+      baseline
+  in
+  let ctx = S.create_ctx () in
+  let entries = Perf.measure ctx ~scale ~reps ~benches in
+  print_string (Perf.render entries);
+  (try Perf.write_json ?baseline ~file:out ~scale ~reps entries
+   with Sys_error msg ->
+     Printf.eprintf "bench: cannot write %s: %s\n" out msg;
+     exit 1);
+  if out <> "-" then Printf.eprintf "(wrote %s)\n%!" out
+
 (* Bechamel timing of each experiment's computational kernel at a small,
    fixed scale: how long regenerating that table/figure costs. Each run gets
    a fresh memoisation context so the cost measured is the real one. *)
@@ -75,7 +112,30 @@ let run_bechamel () =
                ignore (E.run ctx ~scale e))))
       E.all
   in
-  let test = Test.make_grouped ~name:"experiments" tests in
+  (* micro-kernels of the hot-path utilities behind the timing model *)
+  let util_tests =
+    [
+      Test.make ~name:"util/calq-wheel"
+        (Staged.stage (fun () ->
+             let q = Braid_util.Calq.create ~horizon:512 in
+             for c = 0 to 20_000 do
+               Braid_util.Calq.add q (c + 3) c;
+               Braid_util.Calq.add q (c + 400) c;
+               Braid_util.Calq.drain q c ignore
+             done));
+      Test.make ~name:"util/paged-mem"
+        (Staged.stage (fun () ->
+             let m = Braid_util.Paged_mem.create () in
+             for i = 0 to 20_000 do
+               let addr = (i * 8) land 0xFFFF8 in
+               Braid_util.Paged_mem.store m addr (Int64.of_int i);
+               ignore (Braid_util.Paged_mem.load m addr)
+             done));
+    ]
+  in
+  let test =
+    Test.make_grouped ~name:"experiments" (tests @ util_tests)
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -115,6 +175,39 @@ let bechamel_arg =
   let doc = "Time each experiment kernel with Bechamel instead of printing results." in
   Cmdliner.Arg.(value & flag & info [ "bechamel" ] ~doc)
 
+let perf_arg =
+  let doc =
+    "Simulator-throughput mode: time --reps repeated timing-model runs of a \
+     fixed benchmark subset on each core model and write simulated cycles \
+     per second to --out (the BENCH_*.json trajectory format)."
+  in
+  Cmdliner.Arg.(value & flag & info [ "perf" ] ~doc)
+
+let reps_arg =
+  let doc = "Timed repetitions per (benchmark, core) in --perf mode." in
+  Cmdliner.Arg.(value & opt int 5 & info [ "reps" ] ~docv:"N" ~doc)
+
+let out_arg =
+  let doc = "Output file for --perf mode (- for stdout)." in
+  Cmdliner.Arg.(
+    value & opt string "BENCH_sim.json" & info [ "out" ] ~docv:"FILE" ~doc)
+
+let baseline_arg =
+  let doc =
+    "A previous --perf output to compare against: each entry of the new \
+     file gains a speedup_vs_baseline ratio (new / old simulated \
+     cycles per second)."
+  in
+  Cmdliner.Arg.(
+    value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let benches_arg =
+  let doc =
+    "Comma-separated benchmark names for --perf mode (default: a fixed \
+     6-benchmark subset)."
+  in
+  Cmdliner.Arg.(value & opt (list string) [] & info [ "benches" ] ~docv:"NAMES" ~doc)
+
 (* --jobs must be a positive integer; 0/negative is a usage error *)
 let positive_int : int Cmdliner.Arg.conv =
   let parse s =
@@ -140,10 +233,11 @@ let json_arg =
   let doc = "Serialize typed results and per-job telemetry to $(docv) (- for stdout)." in
   Cmdliner.Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let main scale quick only list bechamel jobs json =
+let main scale quick only list bechamel perf reps out baseline benches jobs json =
   let scale = if quick then 4000 else scale in
   if list then list_experiments ()
   else if bechamel then run_bechamel ()
+  else if perf then run_perf ~scale ~reps ~out ~baseline ~benches
   else run_experiments ~scale ~jobs ~json only
 
 let () =
@@ -154,6 +248,7 @@ let () =
   let term =
     Cmdliner.Term.(
       const main $ scale_arg $ quick_arg $ only_arg $ list_arg $ bechamel_arg
+      $ perf_arg $ reps_arg $ out_arg $ baseline_arg $ benches_arg
       $ jobs_arg $ json_arg)
   in
   exit (Cmdliner.Cmd.eval (Cmdliner.Cmd.v info term))

@@ -4,8 +4,9 @@ type state = {
   ext_int : int64 array;
   ext_fp : int64 array;
   intern : int64 array;
-  virt : (Reg.cls * int, int64) Hashtbl.t;
-  mem : (int, int64) Hashtbl.t;
+  mutable virt_int : int64 array;  (* grown on demand; unwritten = 0 *)
+  mutable virt_fp : int64 array;
+  mem : Braid_util.Paged_mem.t;
 }
 
 type outcome = {
@@ -21,9 +22,19 @@ let create_state () =
     ext_int = Array.make Reg.num_ext_per_class 0L;
     ext_fp = Array.make Reg.num_ext_per_class 0L;
     intern = Array.make Reg.num_internal 0L;
-    virt = Hashtbl.create 256;
-    mem = Hashtbl.create 4096;
+    virt_int = Array.make 256 0L;
+    virt_fp = Array.make 256 0L;
+    mem = Braid_util.Paged_mem.create ();
   }
+
+let grown a idx =
+  let n = Array.length a in
+  if idx < n then a
+  else begin
+    let a' = Array.make (max (2 * n) (idx + 1)) 0L in
+    Array.blit a 0 a' 0 n;
+    a'
+  end
 
 let read_reg st (r : Reg.t) =
   if Reg.is_zero r then 0L
@@ -32,10 +43,10 @@ let read_reg st (r : Reg.t) =
     | Reg.Ext, Reg.Cint -> st.ext_int.(r.idx)
     | Reg.Ext, Reg.Cfp -> st.ext_fp.(r.idx)
     | Reg.Intern, _ -> st.intern.(r.idx)
-    | Reg.Virt, _ -> (
-        match Hashtbl.find_opt st.virt (r.cls, r.idx) with
-        | Some v -> v
-        | None -> 0L)
+    | Reg.Virt, Reg.Cint ->
+        if r.idx < Array.length st.virt_int then st.virt_int.(r.idx) else 0L
+    | Reg.Virt, Reg.Cfp ->
+        if r.idx < Array.length st.virt_fp then st.virt_fp.(r.idx) else 0L
 
 let write_reg st (r : Reg.t) v =
   if Reg.is_zero r then ()
@@ -44,10 +55,14 @@ let write_reg st (r : Reg.t) v =
     | Reg.Ext, Reg.Cint -> st.ext_int.(r.idx) <- v
     | Reg.Ext, Reg.Cfp -> st.ext_fp.(r.idx) <- v
     | Reg.Intern, _ -> st.intern.(r.idx) <- v
-    | Reg.Virt, _ -> Hashtbl.replace st.virt (r.cls, r.idx) v
+    | Reg.Virt, Reg.Cint ->
+        st.virt_int <- grown st.virt_int r.idx;
+        st.virt_int.(r.idx) <- v
+    | Reg.Virt, Reg.Cfp ->
+        st.virt_fp <- grown st.virt_fp r.idx;
+        st.virt_fp.(r.idx) <- v
 
-let read_mem_word st addr =
-  match Hashtbl.find_opt st.mem addr with Some v -> v | None -> 0L
+let read_mem_word st addr = Braid_util.Paged_mem.load st.mem addr
 
 let check_aligned addr =
   if addr land 7 <> 0 then failwith (Printf.sprintf "unaligned access: %#x" addr);
@@ -94,7 +109,7 @@ let exec_op st (ins : Instr.t) : exec_result =
   | Op.Store (s, base, off, _) ->
       let addr = Int64.to_int (r base) + off in
       check_aligned addr;
-      Hashtbl.replace st.mem addr (r s);
+      Braid_util.Paged_mem.store st.mem addr (r s);
       { no_effect with mem_addr = addr; was_store = true }
   | Op.Branch (c, reg, l) ->
       if Op.eval_cond c (r reg) then { no_effect with transfer = Some l }
@@ -102,24 +117,33 @@ let exec_op st (ins : Instr.t) : exec_result =
   | Op.Jump l -> { no_effect with transfer = Some l }
   | Op.Halt -> { no_effect with halt = true }
 
+(* Dense slot per register for the writer table: externals by [ext_id],
+   then internals, then virtuals (two classes interleaved). *)
+let num_fixed_slots = Reg.num_ext_ids + Reg.num_internal
+
+let reg_slot (r : Reg.t) =
+  match r.Reg.space with
+  | Reg.Ext -> Reg.ext_id r
+  | Reg.Intern -> Reg.num_ext_ids + r.Reg.idx
+  | Reg.Virt ->
+      num_fixed_slots + (2 * r.Reg.idx)
+      + (match r.Reg.cls with Reg.Cint -> 0 | Reg.Cfp -> 1)
+
 let run ?(max_steps = 1_000_000) ?(trace = true) ?(init_mem = []) program =
   let st = create_state () in
   List.iter
     (fun (addr, v) ->
       check_aligned addr;
-      Hashtbl.replace st.mem addr v)
+      Braid_util.Paged_mem.store st.mem addr v)
     init_mem;
-  let bases =
-    let n = Program.num_blocks program in
-    let a = Array.make n 0 in
-    for i = 1 to n - 1 do
-      a.(i) <-
-        a.(i - 1) + Array.length program.Program.blocks.(i - 1).Program.instrs
-    done;
-    a
-  in
+  let bases = Program.base_table program in
   let pc_of blk off = 4 * (bases.(blk) + off) in
-  let last_writer : (Reg.t, int) Hashtbl.t = Hashtbl.create 128 in
+  (* last writer uid per register slot; -1 = no dynamic writer yet *)
+  let last_writer =
+    Array.make
+      (num_fixed_slots + (2 * (Program.max_virt_index program + 1)))
+      (-1)
+  in
   let events = ref [] in
   let uid = ref 0 in
   let store_count = ref 0 in
@@ -170,9 +194,9 @@ let run ?(max_steps = 1_000_000) ?(trace = true) ?(init_mem = []) program =
             (fun (reg : Reg.t) ->
               if Reg.is_zero reg then None
               else
-                Option.map
-                  (fun uid -> (uid, reg.Reg.space = Reg.Intern))
-                  (Hashtbl.find_opt last_writer reg))
+                let w = last_writer.(reg_slot reg) in
+                if w < 0 then None
+                else Some (w, reg.Reg.space = Reg.Intern))
             (Instr.uses ins)
         in
         let deps = List.sort_uniq compare deps in
@@ -219,7 +243,10 @@ let run ?(max_steps = 1_000_000) ?(trace = true) ?(init_mem = []) program =
           }
         in
         events := ev :: !events;
-        List.iter (fun (reg, _) -> Hashtbl.replace last_writer reg !uid) written
+        List.iter
+          (fun ((reg : Reg.t), _) ->
+            if not (Reg.is_zero reg) then last_writer.(reg_slot reg) <- !uid)
+          written
       end;
       incr uid;
       match next_loc with
@@ -238,6 +265,8 @@ let run ?(max_steps = 1_000_000) ?(trace = true) ?(init_mem = []) program =
           Trace.events = Array.of_list (List.rev !events);
           stop = !stop;
           program;
+          warm_lines = None;
+          tables = None;
         }
     else None
   in
@@ -257,11 +286,9 @@ let read_ext st (r : Reg.t) =
 let read_mem st addr = read_mem_word st addr
 
 let memory_image st =
-  Hashtbl.fold
-    (fun addr v acc ->
-      if addr < spill_base && not (Int64.equal v 0L) then (addr, v) :: acc
-      else acc)
-    st.mem []
+  Braid_util.Paged_mem.fold_nonzero
+    (fun acc addr v -> if addr < spill_base then (addr, v) :: acc else acc)
+    [] st.mem
   |> List.sort compare
 
 let memory_fingerprint st =

@@ -7,6 +7,10 @@ type block = {
 type t = {
   blocks : block array;
   entry : int;
+  mutable base_cache : int array option;
+      (* lazily computed block_base table; blocks are immutable after
+         [make], so filling it is idempotent (and hence benign if two
+         domains race on the first call) *)
 }
 
 let validate blocks entry =
@@ -48,26 +52,33 @@ let validate blocks entry =
 let make blocks ~entry =
   let blocks = Array.of_list blocks in
   validate blocks entry;
-  { blocks; entry }
+  { blocks; entry; base_cache = None }
 
 let num_blocks t = Array.length t.blocks
 
 let num_static_instrs t =
   Array.fold_left (fun acc b -> acc + Array.length b.instrs) 0 t.blocks
 
-let block_base t b =
-  let base = ref 0 in
-  for i = 0 to b - 1 do
-    base := !base + Array.length t.blocks.(i).instrs
-  done;
-  !base
+let base_table t =
+  match t.base_cache with
+  | Some a -> a
+  | None ->
+      let n = Array.length t.blocks in
+      let a = Array.make n 0 in
+      for i = 1 to n - 1 do
+        a.(i) <- a.(i - 1) + Array.length t.blocks.(i - 1).instrs
+      done;
+      t.base_cache <- Some a;
+      a
+
+let block_base t b = (base_table t).(b)
 
 let pc_of t ~block_id ~offset = 4 * (block_base t block_id + offset)
 
 let map_blocks f t =
   let blocks = Array.map f t.blocks in
   validate blocks t.entry;
-  { blocks; entry = t.entry }
+  { blocks; entry = t.entry; base_cache = None }
 
 let iter_instrs f t =
   Array.iter (fun b -> Array.iteri (fun off ins -> f b off ins) b.instrs) t.blocks

@@ -14,6 +14,9 @@ type block = {
 type t = {
   blocks : block array;
   entry : int;
+  mutable base_cache : int array option;
+      (** internal: memoised {!block_base} table; use {!make} and never
+          touch this field directly *)
 }
 
 val make : block list -> entry:int -> t
@@ -27,7 +30,12 @@ val num_static_instrs : t -> int
 
 val block_base : t -> int -> int
 (** [block_base t b] is the global index of the first instruction of block
-    [b]; instruction addresses are [4 * (block_base + offset)]. *)
+    [b]; instruction addresses are [4 * (block_base + offset)]. O(1) after
+    the first call — the table is memoised on the program. *)
+
+val base_table : t -> int array
+(** The whole memoised [block_base] table (index = block id). Do not
+    mutate. *)
 
 val pc_of : t -> block_id:int -> offset:int -> int
 (** Byte address of an instruction, for the I-cache and predictor. *)

@@ -37,13 +37,45 @@ type event = {
 
 type stop_reason = Halted | Steps_exhausted
 
+(** Static, trace-derived dependence tables, shared by every timing run
+    over one trace (all arrays are read-only for consumers). *)
+type dep_tables = {
+  dep_count : int array;  (** register producers per uid *)
+  child_off : int array;
+      (** CSR offsets: the consumers of producer [p] are
+          [child_uid.(child_off.(p)) .. child_uid.(child_off.(p+1)-1)] *)
+  child_uid : int array;
+  child_via : Bytes.t;  (** ['\001'] = braid-internal register edge *)
+  last_ext_reader : int array;
+      (** highest consumer uid reading the value externally, -1 = none *)
+  conflict_store : int array;
+      (** for a load: uid of the youngest older store to the same
+          address, -1 = none (LSQ disambiguation is static in a trace) *)
+}
+
 type t = {
   events : event array;
   stop : stop_reason;
   program : Program.t;
+  mutable warm_lines : int array option;
+      (** memoised {!warm_lines} result; construct with [None] *)
+  mutable tables : dep_tables option;
+      (** memoised {!dep_tables} result; construct with [None] *)
 }
 
 val length : t -> int
+
+val warm_lines : t -> int array
+(** Distinct 64-byte instruction-line addresses in first-touch order,
+    computed once and memoised (the trace is immutable): repeated timing
+    runs over one trace — the perf harness — warm their caches without
+    re-deduplicating the event stream. *)
+
+val dep_tables : t -> dep_tables
+(** The static dependence structure of the trace, computed once and
+    memoised. Timing models treat every array as read-only, so repeated
+    runs (the perf harness) share one copy instead of rebuilding the CSR
+    graph and disambiguation table per run. *)
 
 val num_branches : t -> int
 (** Conditional branches only. *)

@@ -1,0 +1,185 @@
+module Spec = Braid_workload.Spec
+module U = Braid_uarch
+
+(* Simulator-throughput harness behind `bench --perf`: times N repeated
+   timing-model runs of a fixed benchmark subset on each core model and
+   reports simulated cycles per wall-clock second. The trace is prepared
+   once (generation, compilation and emulation are excluded from the timed
+   region), so the numbers isolate the cycle-level hot path this repo keeps
+   optimising — BENCH_sim.json files are its trajectory across PRs. *)
+
+type entry = {
+  bench : string;
+  core : string;
+  instructions : int;
+  cycles : int;
+  reps : int;
+  wall_s : float;  (* total for all [reps] runs *)
+}
+
+let sim_cycles_per_s e =
+  if e.wall_s <= 0.0 then 0.0
+  else float_of_int e.cycles *. float_of_int e.reps /. e.wall_s
+
+let sim_instrs_per_s e =
+  if e.wall_s <= 0.0 then 0.0
+  else float_of_int e.instructions *. float_of_int e.reps /. e.wall_s
+
+(* Three int + three fp stand-ins spanning the simulator's behaviours:
+   pointer chasing with far misses (mcf), hashing (gzip), branchy search
+   (crafty), wide stencils (swim), gathers/reductions (art) and the deepest
+   FP chains (mgrid). *)
+let default_benches = [ "gzip"; "mcf"; "crafty"; "swim"; "art"; "mgrid" ]
+
+let cores =
+  [
+    ("in-order", U.Config.in_order_8wide, `Conv);
+    ("ooo", U.Config.ooo_8wide, `Conv);
+    ("braid", U.Config.braid_8wide, `Braid);
+  ]
+
+let measure ctx ~scale ~reps ~benches =
+  if reps <= 0 then invalid_arg "Perf.measure: reps must be positive";
+  List.concat_map
+    (fun name ->
+      let pr = Spec.find name in
+      let p = Suite.prepare ctx ~scale pr in
+      List.map
+        (fun (core, cfg, binary) ->
+          let trace =
+            match binary with
+            | `Conv -> p.Suite.conv_trace
+            | `Braid -> p.Suite.braid_trace
+          in
+          let run () =
+            U.Pipeline.run ~warm_data:p.Suite.warm_data cfg trace
+          in
+          (* one untimed warm-up run faults in code and sizes the heap *)
+          let r = run () in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to reps do
+            ignore (run ())
+          done;
+          let wall_s = Unix.gettimeofday () -. t0 in
+          {
+            bench = name;
+            core;
+            instructions = r.U.Pipeline.instructions;
+            cycles = r.U.Pipeline.cycles;
+            reps;
+            wall_s;
+          })
+        cores)
+    benches
+
+(* --- BENCH_*.json --- *)
+
+let schema = "braidsim-perf/1"
+
+(* Baseline lookup from a previous BENCH_*.json, parsed with the in-tree
+   minimal JSON parser: (bench, core) -> sim_cycles_per_s. *)
+type baseline = (string * string, float) Hashtbl.t
+
+let load_baseline file : baseline =
+  let ic = open_in file in
+  let doc =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Braid_obs.Json.parse doc with
+  | Error msg -> failwith (Printf.sprintf "%s: not valid JSON: %s" file msg)
+  | Ok j -> (
+      let module J = Braid_obs.Json in
+      let tbl = Hashtbl.create 32 in
+      let field name = function
+        | J.Obj fields -> List.assoc_opt name fields
+        | _ -> None
+      in
+      let str = function Some (J.Str s) -> Some s | _ -> None in
+      let num = function Some (J.Num x) -> Some x | _ -> None in
+      match field "entries" j with
+      | Some (J.Arr entries) ->
+          List.iter
+            (fun e ->
+              match
+                ( str (field "bench" e),
+                  str (field "core" e),
+                  num (field "sim_cycles_per_s" e) )
+              with
+              | Some b, Some c, Some v -> Hashtbl.replace tbl (b, c) v
+              | _ -> ())
+            entries;
+          tbl
+      | _ -> failwith (Printf.sprintf "%s: missing \"entries\" array" file))
+
+let json_of_entry ?baseline e =
+  let speedup =
+    match baseline with
+    | None -> []
+    | Some tbl -> (
+        match Hashtbl.find_opt tbl (e.bench, e.core) with
+        | Some prev when prev > 0.0 ->
+            [ ("speedup_vs_baseline", Report.json_float (sim_cycles_per_s e /. prev)) ]
+        | Some _ | None -> [])
+  in
+  Report.json_obj
+    ([
+       ("bench", Report.json_string e.bench);
+       ("core", Report.json_string e.core);
+       ("instructions", string_of_int e.instructions);
+       ("cycles", string_of_int e.cycles);
+       ("reps", string_of_int e.reps);
+       ("wall_s", Report.json_float e.wall_s);
+       ("sim_cycles_per_s", Report.json_float (sim_cycles_per_s e));
+       ("sim_instrs_per_s", Report.json_float (sim_instrs_per_s e));
+     ]
+    @ speedup)
+
+let to_json ?baseline ~scale ~reps entries =
+  let total_wall =
+    List.fold_left (fun acc e -> acc +. e.wall_s) 0.0 entries
+  in
+  let total_cycles =
+    List.fold_left
+      (fun acc e -> acc +. (float_of_int e.cycles *. float_of_int e.reps))
+      0.0 entries
+  in
+  Report.json_obj
+    [
+      ("schema", Report.json_string schema);
+      ("scale", string_of_int scale);
+      ("reps", string_of_int reps);
+      ("entries", Report.json_list (json_of_entry ?baseline) entries);
+      ( "totals",
+        Report.json_obj
+          [
+            ("wall_s", Report.json_float total_wall);
+            ( "sim_cycles_per_s",
+              Report.json_float
+                (if total_wall <= 0.0 then 0.0 else total_cycles /. total_wall)
+            );
+          ] );
+    ]
+  ^ "\n"
+
+let write_json ?baseline ~file ~scale ~reps entries =
+  let doc = to_json ?baseline ~scale ~reps entries in
+  if file = "-" then print_string doc
+  else begin
+    let oc = open_out file in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)
+  end
+
+let render entries =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-10s %-9s %11s %9s %9s %14s\n" "bench" "core" "cycles"
+       "reps" "wall_s" "sim-cycles/s");
+  List.iter
+    (fun e ->
+      Buffer.add_string b
+        (Printf.sprintf "%-10s %-9s %11d %9d %9.3f %14.0f\n" e.bench e.core
+           e.cycles e.reps e.wall_s (sim_cycles_per_s e)))
+    entries;
+  Buffer.contents b

@@ -1,0 +1,52 @@
+(** Simulator-throughput harness (`bench --perf`).
+
+    Times [reps] repeated timing-model runs ({!Braid_uarch.Pipeline.run})
+    of a fixed benchmark subset on each of the three core models
+    (in-order / ooo / braid) and reports simulated cycles per wall-clock
+    second. Preparation (workload generation, compilation, emulation) is
+    memoised outside the timed region, so the numbers isolate the
+    cycle-level simulation hot path.
+
+    Results serialize to the BENCH_*.json trajectory format: re-run the
+    harness in a new tree and pass the old file as [baseline] to get
+    per-entry ["speedup_vs_baseline"] ratios. *)
+
+type entry = {
+  bench : string;
+  core : string;  (** "in-order" | "ooo" | "braid" *)
+  instructions : int;
+  cycles : int;  (** simulated cycles of one run *)
+  reps : int;
+  wall_s : float;  (** wall-clock total for all [reps] timed runs *)
+}
+
+val sim_cycles_per_s : entry -> float
+val sim_instrs_per_s : entry -> float
+
+val default_benches : string list
+(** Six stand-ins spanning the simulator's behaviours (3 int + 3 fp). *)
+
+val measure :
+  Suite.ctx -> scale:int -> reps:int -> benches:string list -> entry list
+(** One entry per (benchmark, core model), in benchmark-major order. Each
+    measurement performs one untimed warm-up run, then [reps] timed runs.
+    Raises [Not_found] on an unknown benchmark name and [Invalid_argument]
+    when [reps <= 0]. *)
+
+type baseline
+
+val load_baseline : string -> baseline
+(** Parse a previous BENCH_*.json (with {!Braid_obs.Json}); fails on
+    malformed documents. *)
+
+val to_json : ?baseline:baseline -> scale:int -> reps:int -> entry list -> string
+(** The BENCH_*.json document: schema tag, parameters, per-entry rows
+    (cycles, wall-clock, simulated cycles/s and, when a [baseline] is
+    given, ["speedup_vs_baseline"]), and aggregate totals. *)
+
+val write_json :
+  ?baseline:baseline -> file:string -> scale:int -> reps:int -> entry list -> unit
+(** [to_json] written to [file]; ["-"] writes to stdout. *)
+
+val render : entry list -> string
+(** Plain-text table of the same rows, for the terminal. *)

@@ -165,6 +165,7 @@ let json_of_telemetry (t : Runner.telemetry) =
     [
       ("job", json_string t.Runner.job_label);
       ("wall_s", json_float t.Runner.wall_s);
+      ("wall_ms", json_float (1000.0 *. t.Runner.wall_s));
       ("domain", string_of_int t.Runner.domain);
     ]
 

@@ -43,3 +43,17 @@ val write_json :
   (Experiments.result * Runner.stats option) list ->
   unit
 (** [to_json] written to [file]; ["-"] writes to stdout. *)
+
+(** {2 JSON building blocks}
+
+    The hand-rolled serializer helpers, shared with the other JSON
+    documents this tree writes (the {!Perf} BENCH_*.json files). *)
+
+val json_string : string -> string
+(** Quoted and escaped. *)
+
+val json_float : float -> string
+(** NaN/infinity become [null]; integral values print as [x.0]. *)
+
+val json_list : ('a -> string) -> 'a list -> string
+val json_obj : (string * string) list -> string

@@ -5,8 +5,8 @@ type t = {
   ways : int;
   line_bits : int;
   latency : int;
-  tags : int array array;  (* [set].[way], -1 = invalid *)
-  stamps : int array array;  (* LRU timestamps *)
+  tags : int array;  (* flat [set * ways + way], -1 = invalid *)
+  stamps : int array;  (* LRU timestamps, same layout *)
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -27,8 +27,8 @@ let create ?(obs = Obs.Sink.disabled) ?(name = "cache") (g : Config.cache_geomet
     ways = g.Config.ways;
     line_bits = log2 g.Config.line_bytes;
     latency = g.Config.latency;
-    tags = Array.make_matrix sets g.Config.ways (-1);
-    stamps = Array.make_matrix sets g.Config.ways 0;
+    tags = Array.make (sets * g.Config.ways) (-1);
+    stamps = Array.make (sets * g.Config.ways) 0;
     tick = 0;
     hits = 0;
     misses = 0;
@@ -41,12 +41,13 @@ let access_gen ~count t addr =
   let set = line mod t.sets in
   let tag = line / t.sets in
   t.tick <- t.tick + 1;
+  let base = set * t.ways in
   let way = ref (-1) in
-  for w = 0 to t.ways - 1 do
-    if t.tags.(set).(w) = tag then way := w
+  for w = base to base + t.ways - 1 do
+    if t.tags.(w) = tag then way := w
   done;
   if !way >= 0 then begin
-    t.stamps.(set).(!way) <- t.tick;
+    t.stamps.(!way) <- t.tick;
     if count then begin
       t.hits <- t.hits + 1;
       Obs.Counters.incr t.c_hits
@@ -59,12 +60,12 @@ let access_gen ~count t addr =
       Obs.Counters.incr t.c_misses
     end;
     (* evict LRU *)
-    let victim = ref 0 in
-    for w = 1 to t.ways - 1 do
-      if t.stamps.(set).(w) < t.stamps.(set).(!victim) then victim := w
+    let victim = ref base in
+    for w = base + 1 to base + t.ways - 1 do
+      if t.stamps.(w) < t.stamps.(!victim) then victim := w
     done;
-    t.tags.(set).(!victim) <- tag;
-    t.stamps.(set).(!victim) <- t.tick;
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- t.tick;
     false
   end
 

@@ -1,7 +1,7 @@
 module Obs = Braid_obs
 
 type t = {
-  try_dispatch : Machine.slot -> bool;
+  try_dispatch : int -> bool;
   cycle : unit -> unit;
   occupancy : unit -> int;
 }
@@ -10,25 +10,25 @@ type t = {
    the core-side half of the dispatch-stall story *)
 let reject_counter m = Obs.Sink.counter (Machine.obs_sink m) "core.dispatch_rejects"
 
-let issuable m (s : Machine.slot) =
-  Machine.reg_ready s
-  && Machine.mem_ready m s <> Machine.Mem_blocked
-  && Machine.can_issue_ports m s
+let issuable m u =
+  Machine.reg_ready m u
+  && Machine.mem_ready m u <> Machine.Mem_blocked
+  && Machine.can_issue_ports m u
 
 (* ------------------------------------------------------------------ *)
 
 let in_order m =
   let cfg = Machine.cfg m in
   let rejects = reject_counter m in
-  let q : Machine.slot Ring.t = Ring.create ~capacity:cfg.Config.cluster_entries in
+  let q : int Ring.t = Ring.create ~dummy:(-1) ~capacity:cfg.Config.cluster_entries in
   let width = cfg.Config.clusters * cfg.Config.fus_per_cluster in
-  let try_dispatch s =
+  let try_dispatch u =
     if Ring.is_full q then begin
       Obs.Counters.incr rejects;
       false
     end
     else begin
-      Ring.push q s;
+      Ring.push q u;
       true
     end
   in
@@ -36,10 +36,10 @@ let in_order m =
     let issued = ref 0 in
     let blocked = ref false in
     while (not !blocked) && !issued < width && not (Ring.is_empty q) do
-      let s = Ring.peek q in
-      if issuable m s then begin
+      let u = Ring.peek q in
+      if issuable m u then begin
         ignore (Ring.pop q);
-        Machine.do_issue m s;
+        Machine.do_issue m u;
         incr issued
       end
       else blocked := true
@@ -54,19 +54,19 @@ let dep_steer m =
   let rejects = reject_counter m in
   let fifos =
     Array.init cfg.Config.clusters (fun _ ->
-        Ring.create ~capacity:cfg.Config.cluster_entries)
+        Ring.create ~dummy:(-1) ~capacity:cfg.Config.cluster_entries)
   in
-  let producer_uids (s : Machine.slot) =
-    Array.to_list (Array.map fst s.Machine.ev.Trace.deps)
+  let producer_uids u =
+    Array.to_list (Array.map fst (Machine.event m u).Trace.deps)
   in
-  let try_dispatch s =
-    let deps = producer_uids s in
+  let try_dispatch u =
+    let deps = producer_uids u in
     let tail_matches f =
       (not (Ring.is_empty f))
       && (not (Ring.is_full f))
       &&
       let tail = Ring.get f (Ring.length f - 1) in
-      List.mem tail.Machine.ev.Trace.uid deps
+      List.mem tail deps
     in
     let target =
       match Array.find_opt tail_matches fifos with
@@ -75,7 +75,7 @@ let dep_steer m =
     in
     match target with
     | Some f ->
-        Ring.push f s;
+        Ring.push f u;
         true
     | None ->
         Obs.Counters.incr rejects;
@@ -87,10 +87,10 @@ let dep_steer m =
         let budget = ref cfg.Config.fus_per_cluster in
         let blocked = ref false in
         while (not !blocked) && !budget > 0 && not (Ring.is_empty f) do
-          let s = Ring.peek f in
-          if issuable m s then begin
+          let u = Ring.peek f in
+          if issuable m u then begin
             ignore (Ring.pop f);
-            Machine.do_issue m s;
+            Machine.do_issue m u;
             decr budget
           end
           else blocked := true
@@ -108,10 +108,10 @@ let ooo m =
   (* each scheduler is an unordered window; selection is oldest-first *)
   let scheds =
     Array.init cfg.Config.clusters (fun _ ->
-        Ring.create ~capacity:cfg.Config.cluster_entries)
+        Ring.create ~dummy:(-1) ~capacity:cfg.Config.cluster_entries)
   in
   let rr = ref 0 in
-  let try_dispatch s =
+  let try_dispatch u =
     (* round-robin over schedulers with space: distributes load like the
        paper's distributed 32-entry schedulers *)
     let n = Array.length scheds in
@@ -121,40 +121,52 @@ let ooo m =
         false
       end
       else
-        let f = scheds.((!rr + k) mod n) in
+        let idx = !rr + k in
+        let idx = if idx >= n then idx - n else idx in
+        let f = scheds.(idx) in
         if Ring.is_full f then go (k + 1)
         else begin
-          Ring.push f s;
-          rr := (!rr + k + 1) mod n;
+          Ring.push f u;
+          Machine.note_resident m u idx;
+          rr := (if idx + 1 >= n then 0 else idx + 1);
           true
         end
     in
     go 0
   in
+  let nclust = Array.length scheds in
+  let fus = cfg.Config.fus_per_cluster in
   let cycle () =
-    Array.iter
-      (fun f ->
-        let budget = ref cfg.Config.fus_per_cluster in
-        let continue_ = ref true in
-        while !continue_ && !budget > 0 do
-          (* oldest ready entry anywhere in the window *)
-          let best = ref (-1) in
-          let best_uid = ref max_int in
-          Ring.iteri
-            (fun i s ->
-              if s.Machine.ev.Trace.uid < !best_uid && issuable m s then begin
-                best := i;
-                best_uid := s.Machine.ev.Trace.uid
-              end)
-            f;
-          if !best >= 0 then begin
-            let s = Ring.remove_at f !best in
-            Machine.do_issue m s;
+    (* Oldest-ready-first selection in a single pass: entries sit in
+       dispatch (age) order, and nothing becomes newly issuable within a
+       cycle — wakeups land at [begin_cycle] and issuing only consumes
+       ports — so an entry found not issuable need not be reconsidered
+       after later issues this cycle. The machine's [ready_in] count
+       bounds the scan: once every register-ready entry has been examined
+       (issued or found blocked on memory / ports), the window tail
+       cannot issue and the scan stops. *)
+    for ci = 0 to nclust - 1 do
+      let f = scheds.(ci) in
+      let budget = ref fus in
+      let ready_left = ref (Machine.ready_in m ci) in
+      let i = ref 0 in
+      while !budget > 0 && !ready_left > 0 && !i < Ring.length f do
+        let u = Ring.get f !i in
+        if Machine.reg_ready m u then begin
+          decr ready_left;
+          if
+            Machine.mem_ready m u <> Machine.Mem_blocked
+            && Machine.can_issue_ports m u
+          then begin
+            ignore (Ring.remove_at f !i);
+            Machine.do_issue m u;
             decr budget
           end
-          else continue_ := false
-        done)
-      scheds
+          else incr i
+        end
+        else incr i
+      done
+    done
   in
   let occupancy () = Array.fold_left (fun acc f -> acc + Ring.length f) 0 scheds in
   { try_dispatch; cycle; occupancy }
@@ -162,8 +174,8 @@ let ooo m =
 (* ------------------------------------------------------------------ *)
 
 type beu = {
-  fifo : Machine.slot Ring.t;
-  mutable outstanding : Machine.slot list;  (* issued, not yet complete *)
+  fifo : int Ring.t;
+  mutable outstanding : int list;  (* issued, not yet complete *)
 }
 
 let braid m =
@@ -171,29 +183,29 @@ let braid m =
   let rejects = reject_counter m in
   let beus =
     Array.init cfg.Config.clusters (fun _ ->
-        { fifo = Ring.create ~capacity:cfg.Config.cluster_entries; outstanding = [] })
+        { fifo = Ring.create ~dummy:(-1) ~capacity:cfg.Config.cluster_entries; outstanding = [] })
   in
   (* BEU currently receiving the in-flight braid from dispatch *)
   let target = ref None in
   let prune b =
     b.outstanding <-
-      List.filter (fun s -> not (Machine.is_complete_slot m s)) b.outstanding
+      List.filter (fun u -> not (Machine.is_complete m u)) b.outstanding
   in
   (* A BEU is processing a braid while instructions of it remain in the
      FIFO awaiting issue; once drained onto the FUs the unit can accept
      the next braid (issued instructions keep their results flowing
      through the bypass/external paths). *)
   let free b = Ring.is_empty b.fifo in
-  let try_dispatch s =
-    if s.Machine.ev.Trace.braid_start then begin
+  let try_dispatch u =
+    if (Machine.event m u).Trace.braid_start then begin
       (* close the previous braid; claim a free BEU *)
       let chosen = ref None in
       Array.iteri (fun i b -> if !chosen = None && free b then chosen := Some i) beus;
       match !chosen with
       | Some i ->
           target := Some i;
-          s.Machine.beu <- i;
-          Ring.push beus.(i).fifo s;
+          Machine.set_beu m u i;
+          Ring.push beus.(i).fifo u;
           true
       | None ->
           Obs.Counters.incr rejects;
@@ -202,8 +214,8 @@ let braid m =
     else
       match !target with
       | Some i when not (Ring.is_full beus.(i).fifo) ->
-          s.Machine.beu <- i;
-          Ring.push beus.(i).fifo s;
+          Machine.set_beu m u i;
+          Ring.push beus.(i).fifo u;
           true
       | Some _ | None ->
           Obs.Counters.incr rejects;
@@ -215,47 +227,44 @@ let braid m =
     if cfg.Config.beu_cluster_size <= 0 then 0
     else b / cfg.Config.beu_cluster_size
   in
-  let cluster_ready s =
+  let cluster_ready u =
     cfg.Config.beu_cluster_size <= 0
     || Array.for_all
          (fun (p, via) ->
            via
            ||
-           let ps = Machine.slot m p in
-           ps.Machine.beu < 0
-           || cluster_of ps.Machine.beu = cluster_of s.Machine.beu
+           let pb = Machine.beu m p in
+           pb < 0
+           || cluster_of pb = cluster_of (Machine.beu m u)
            || Machine.now m
-              >= ps.Machine.ext_visible + cfg.Config.inter_cluster_latency)
-         s.Machine.ev.Trace.deps
+              >= Machine.ext_visible m p + cfg.Config.inter_cluster_latency)
+         (Machine.event m u).Trace.deps
   in
   let cycle () =
     Array.iter
       (fun b ->
         prune b;
+        (* Single pass over the head window (the whole queue for the
+           rejected §5.1 out-of-order BEU variant): as in the ooo core,
+           nothing becomes newly issuable within a cycle, so entries
+           skipped as not issuable stay skipped while later entries —
+           including those sliding into the window as issues shorten the
+           queue — are still considered. *)
         let budget = ref cfg.Config.fus_per_cluster in
-        let progress = ref true in
-        while !progress && !budget > 0 do
-          progress := false;
-          (* §5.1: the rejected out-of-order BEU scheduler selects over the
-             whole queue instead of the head window *)
-          let window =
-            if cfg.Config.beu_out_of_order then Ring.length b.fifo
-            else min cfg.Config.sched_window (Ring.length b.fifo)
-          in
-          let found = ref (-1) in
-          let i = ref 0 in
-          while !found < 0 && !i < window do
-            let s = Ring.get b.fifo !i in
-            if issuable m s && cluster_ready s then found := !i;
-            incr i
-          done;
-          if !found >= 0 then begin
-            let s = Ring.remove_at b.fifo !found in
-            Machine.do_issue m s;
-            b.outstanding <- s :: b.outstanding;
-            decr budget;
-            progress := true
+        let window () =
+          if cfg.Config.beu_out_of_order then Ring.length b.fifo
+          else min cfg.Config.sched_window (Ring.length b.fifo)
+        in
+        let i = ref 0 in
+        while !budget > 0 && !i < window () do
+          let u = Ring.get b.fifo !i in
+          if issuable m u && cluster_ready u then begin
+            ignore (Ring.remove_at b.fifo !i);
+            Machine.do_issue m u;
+            b.outstanding <- u :: b.outstanding;
+            decr budget
           end
+          else incr i
         done)
       beus
   in

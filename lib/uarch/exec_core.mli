@@ -19,9 +19,10 @@
       inside the BEU. *)
 
 type t = {
-  try_dispatch : Machine.slot -> bool;
-      (** Space/steering check; inserts on success. The pipeline calls
-          this only after {!Machine.can_dispatch} passed. *)
+  try_dispatch : int -> bool;
+      (** Space/steering check for an instruction uid; inserts on
+          success. The pipeline calls this only after
+          {!Machine.can_dispatch} passed. *)
   cycle : unit -> unit;  (** Select and issue for the current cycle. *)
   occupancy : unit -> int;  (** Instructions resident in the core. *)
 }

@@ -1,30 +1,98 @@
 module Obs = Braid_obs
 
-type slot = {
-  ev : Trace.event;
-  mutable dispatched : bool;
-  mutable issued : bool;
-  mutable completed : bool;
-  mutable committed : bool;
-  mutable ready_deps : int;
-  mutable issue_cycle : int;
-  mutable complete_cycle : int;
-  mutable ext_visible : int;
-  mutable int_visible : int;
-  mutable ext_entry_freed : bool;
-  mutable beu : int;  (* BEU index for braid-core slots, -1 otherwise *)
-}
-
 type mem_status = Mem_blocked | Mem_forward | Mem_cache
 
-(* Per-cycle bounded resource (ports, bypass slots). *)
-module Rc = struct
-  type t = { tbl : (int, int) Hashtbl.t; limit : int }
+(* Per-cycle bounded resource (ports, bypass slots).
 
-  let create limit = { tbl = Hashtbl.create 1024; limit }
-  let used t c = match Hashtbl.find_opt t.tbl c with Some u -> u | None -> 0
+   A circular window of usage counters stamped with the cycle they count
+   for: slot [c land mask] is valid for cycle [c] iff [stamp = c]. The
+   machine publishes its clock via [set_now] each cycle, which is what
+   makes reclamation exact — a slot whose stamp is in the past is dead and
+   claimable, while a collision between two live (>= now) cycles doubles
+   the window instead of merging their counts. Write-port scans
+   ([take_first_free]) can probe arbitrarily far past the nominal horizon
+   when a port is saturated, so no fixed window is safe without the
+   stamp/now discipline. Steady-state operation allocates nothing. *)
+module Rc = struct
+  type t = {
+    limit : int;
+    mutable usage : int array;
+    mutable stamp : int array;  (* cycle each slot counts for; -1 = never *)
+    mutable mask : int;  (* window size - 1; size is a power of two *)
+    mutable now : int;  (* machine clock; stamps < now are dead *)
+  }
+
+  let initial_slots = 1024
+
+  let create limit =
+    {
+      limit;
+      usage = Array.make initial_slots 0;
+      stamp = Array.make initial_slots (-1);
+      mask = initial_slots - 1;
+      now = 0;
+    }
+
+  let set_now t c = t.now <- c
+
+  (* Grow until every live cycle has its own slot (one doubling suffices
+     whenever the live span fits the doubled window, which it always does
+     for latency-bounded schedules; the loop is a correctness backstop). *)
+  let grow t =
+    let live = ref [] in
+    Array.iteri
+      (fun i s -> if s >= t.now then live := (s, t.usage.(i)) :: !live)
+      t.stamp;
+    let rec fit size =
+      let usage = Array.make size 0 in
+      let stamp = Array.make size (-1) in
+      let mask = size - 1 in
+      let ok =
+        List.for_all
+          (fun (c, u) ->
+            let i = c land mask in
+            if stamp.(i) = -1 then begin
+              stamp.(i) <- c;
+              usage.(i) <- u;
+              true
+            end
+            else false)
+          !live
+      in
+      if ok then begin
+        t.usage <- usage;
+        t.stamp <- stamp;
+        t.mask <- mask
+      end
+      else fit (2 * size)
+    in
+    fit (2 * (t.mask + 1))
+
+  (* The slot counting for cycle [c], claiming a dead one if needed.
+     Only [take] calls this; reads must stay side-effect free. *)
+  let rec slot_of t c =
+    let i = c land t.mask in
+    let s = t.stamp.(i) in
+    if s = c then i
+    else if s < t.now then begin
+      t.stamp.(i) <- c;
+      t.usage.(i) <- 0;
+      i
+    end
+    else begin
+      grow t;
+      slot_of t c
+    end
+
+  let used t c =
+    let i = c land t.mask in
+    if t.stamp.(i) = c then t.usage.(i) else 0
+
   let available t c n = used t c + n <= t.limit
-  let take t c n = Hashtbl.replace t.tbl c (used t c + n)
+
+  let take t c n =
+    let i = slot_of t c in
+    t.usage.(i) <- t.usage.(i) + n
 
   let try_take t c n =
     if available t c n then begin
@@ -34,24 +102,59 @@ module Rc = struct
     else false
 
   let take_first_free t c n =
+    if n > t.limit then
+      invalid_arg
+        (Printf.sprintf "Rc.take_first_free: request %d exceeds limit %d" n
+           t.limit);
     let rec go c = if available t c n then c else go (c + 1) in
     let c' = go c in
     take t c' n;
     c'
 end
 
+(* Per-instruction in-flight state lives in parallel arrays indexed by uid
+   (struct-of-arrays): creating a machine allocates a handful of flat
+   arrays instead of one record per event, and the schedulers' per-cycle
+   scans walk contiguous ints. [complete_cycle]/[issue_cycle] double as
+   the issued flag (max_int = not issued). *)
 type t = {
   cfg : Config.t;
   trace : Trace.t;
-  slots : slot array;
-  children : (int * bool) list array;
+  events : Trace.event array;
+  ready_deps : int array;  (* producers not yet visible *)
+  issue_cycle : int array;  (* max_int = not issued *)
+  complete_cycle : int array;
+  ext_visible : int array;  (* cycle from which consumers can read *)
+  int_visible : int array;
+  beu : int array;  (* BEU index for braid-core slots, -1 otherwise *)
+  ext_entry_freed : Bytes.t;  (* '\001' = external-file entry released *)
+  (* dependence graph in CSR form: children of p are
+     [child_uid.(child_off.(p)) .. child_uid.(child_off.(p+1) - 1)] *)
+  child_off : int array;
+  child_uid : int array;
+  child_via : Bytes.t;  (* '\001' = internal-register edge *)
   last_ext_reader : int array;  (* -1 = none; braid dead-value release *)
+  (* scheduler residency: [home.(u)] is the core cluster holding a
+     dispatched, not-yet-issued uid (-1 = none); [ready_in.(c)] counts
+     resident entries of cluster [c] whose registers are ready. The wake
+     drain and [do_issue] keep the counts current so cores can skip
+     clusters (and window tails) with no register-ready work. *)
+  home : int array;
+  ready_in : int array;
   hier : Cache.hierarchy;
   pred : Predictor.t;
+  (* config scalars lifted out of the nested record for the hot paths *)
+  alloc_width : int;
+  src_width : int;
+  dst_width : int;
+  max_unresolved : int;
+  lsq_limit : int;
+  inflight_limit : int;
+  is_braid : bool;
   mutable now : int;
-  (* wakeup and release buckets *)
-  wake : (int, int list) Hashtbl.t;
-  reg_free_at : (int, int list) Hashtbl.t;  (* cycle -> writer uids *)
+  (* wakeup and release calendars (payload = consumer/writer uid) *)
+  wake : Calq.t;
+  reg_free_at : Calq.t;
   (* resources *)
   read_ports : Rc.t;
   write_ports : Rc.t;
@@ -66,10 +169,15 @@ type t = {
   mutable committed_count : int;
   mutable commit_idx : int;
   mutable inflight_mem : int;
-  mutable stores : slot list;  (* in-flight stores, oldest first (reversed) *)
+  (* [conflict_store.(u)] for a load: uid of the youngest older store to
+     the same address (-1 = none), fixed by the trace. Since dispatch and
+     commit are both in uid order, the load's disambiguation status needs
+     no in-flight store set: the conflicting store is in flight exactly
+     while [commit_idx] has not passed it. *)
+  conflict_store : int array;
   mutable stall_regs : int;
   mutable unresolved_branches : int;
-  branch_resolve_at : (int, int) Hashtbl.t;  (* cycle -> count *)
+  branch_resolve_at : Calq.t;  (* one entry per branch at its resolve cycle *)
   (* activity counters for the complexity/energy model (§5.1) *)
   mutable ext_rf_reads : int;
   mutable ext_rf_writes : int;
@@ -79,6 +187,7 @@ type t = {
   (* observability: registered handles on a live sink, dummies (dead
      stores, no branches) on the disabled one *)
   obs : Obs.Sink.t;
+  trc : Obs.Tracer.t option;  (* cached: consulted on every issue *)
   oc_dispatch : Obs.Counters.counter;
   oc_issue : Obs.Counters.counter;
   oc_commit : Obs.Counters.counter;
@@ -90,58 +199,46 @@ type t = {
   oc_bypass_ovf : Obs.Counters.counter;
 }
 
-let build_children (trace : Trace.t) =
-  let n = Array.length trace.Trace.events in
-  let children = Array.make n [] in
-  Array.iter
-    (fun (e : Trace.event) ->
-      Array.iter
-        (fun (p, via) -> children.(p) <- (e.Trace.uid, via) :: children.(p))
-        e.Trace.deps)
-    trace.Trace.events;
-  children
-
-let build_last_ext_reader children =
-  Array.map
-    (fun kids ->
-      List.fold_left
-        (fun acc (c, via) -> if via then acc else max acc c)
-        (-1) kids)
-    children
-
 let create ?(obs = Obs.Sink.disabled) cfg trace =
   let events = trace.Trace.events in
-  let slots =
-    Array.map
-      (fun (e : Trace.event) ->
-        {
-          ev = e;
-          dispatched = false;
-          issued = false;
-          completed = false;
-          committed = false;
-          ready_deps = Array.length e.Trace.deps;
-          issue_cycle = max_int;
-          complete_cycle = max_int;
-          ext_visible = max_int;
-          int_visible = max_int;
-          ext_entry_freed = false;
-          beu = -1;
-        })
-      events
-  in
-  let children = build_children trace in
+  let n = Array.length events in
+  (* the static dependence structure (CSR children, last external
+     readers, store disambiguation) is memoised on the trace: repeated
+     runs — the perf harness — share one copy; only the per-run mutable
+     counts are copied fresh *)
+  let tb = Trace.dep_tables trace in
   {
     cfg;
     trace;
-    slots;
-    children;
-    last_ext_reader = build_last_ext_reader children;
+    events;
+    ready_deps = Array.copy tb.Trace.dep_count;
+    issue_cycle = Array.make n max_int;
+    complete_cycle = Array.make n max_int;
+    ext_visible = Array.make n max_int;
+    int_visible = Array.make n max_int;
+    beu = Array.make n (-1);
+    ext_entry_freed = Bytes.make n '\000';
+    child_off = tb.Trace.child_off;
+    child_uid = tb.Trace.child_uid;
+    child_via = tb.Trace.child_via;
+    last_ext_reader = tb.Trace.last_ext_reader;
+    home = Array.make n (-1);
+    ready_in = Array.make (max 1 cfg.Config.clusters) 0;
     hier = Cache.create_hierarchy ~obs cfg.Config.mem;
     pred = Predictor.create ~obs cfg;
+    alloc_width = cfg.Config.alloc_width;
+    src_width = cfg.Config.rename_src_width;
+    dst_width = cfg.Config.rename_dst_width;
+    max_unresolved = cfg.Config.max_unresolved_branches;
+    lsq_limit = cfg.Config.lsq_entries;
+    inflight_limit = cfg.Config.inflight;
+    is_braid = cfg.Config.kind = Config.Braid_exec;
     now = -1;
-    wake = Hashtbl.create 4096;
-    reg_free_at = Hashtbl.create 1024;
+    (* the horizon only needs to cover the longest completion latency
+       (memory fill, ~400 cycles); an undersized wheel grows, it does not
+       miscount *)
+    wake = Calq.create ~horizon:1024;
+    reg_free_at = Calq.create ~horizon:1024;
     read_ports = Rc.create cfg.Config.rf_read_ports;
     write_ports = Rc.create cfg.Config.rf_write_ports;
     bypass = Rc.create cfg.Config.bypass_per_cycle;
@@ -153,16 +250,17 @@ let create ?(obs = Obs.Sink.disabled) cfg trace =
     committed_count = 0;
     commit_idx = 0;
     inflight_mem = 0;
-    stores = [];
+    conflict_store = tb.Trace.conflict_store;
     stall_regs = 0;
     unresolved_branches = 0;
-    branch_resolve_at = Hashtbl.create 64;
+    branch_resolve_at = Calq.create ~horizon:1024;
     ext_rf_reads = 0;
     ext_rf_writes = 0;
     int_rf_reads = 0;
     int_rf_writes = 0;
     bypass_values = 0;
     obs;
+    trc = Obs.Sink.tracer obs;
     oc_dispatch = Obs.Sink.counter obs "dispatch.instrs";
     oc_issue = Obs.Sink.counter obs "issue.instrs";
     oc_commit = Obs.Sink.counter obs "commit.instrs";
@@ -176,114 +274,112 @@ let create ?(obs = Obs.Sink.disabled) cfg trace =
 
 let cfg t = t.cfg
 let obs_sink t = t.obs
-let num_slots t = Array.length t.slots
-let slot t i = t.slots.(i)
+let num_slots t = Array.length t.events
+let event t u = t.events.(u)
 let now t = t.now
 let hierarchy t = t.hier
 let predictor t = t.pred
 let stall_dispatch_regs t = t.stall_regs
 
+let issued t u = t.issue_cycle.(u) <> max_int
+let complete_cycle t u = t.complete_cycle.(u)
+let ext_visible t u = t.ext_visible.(u)
+let beu t u = t.beu.(u)
+let set_beu t u i = t.beu.(u) <- i
+
 let begin_cycle t =
   t.now <- t.now + 1;
-  (match Hashtbl.find_opt t.wake t.now with
-  | Some uids ->
-      List.iter
-        (fun u ->
-          let s = t.slots.(u) in
-          s.ready_deps <- s.ready_deps - 1)
-        uids;
-      Hashtbl.remove t.wake t.now
-  | None -> ());
-  (match Hashtbl.find_opt t.reg_free_at t.now with
-  | Some uids ->
-      List.iter
-        (fun u ->
-          let s = t.slots.(u) in
-          if not s.ext_entry_freed then begin
-            s.ext_entry_freed <- true;
-            t.free_regs <- t.free_regs + 1;
-            (* released before commit: the braid dead-value path *)
-            Obs.Counters.incr t.oc_ext_early
-          end)
-        uids;
-      Hashtbl.remove t.reg_free_at t.now
-  | None -> ());
-  (match Hashtbl.find_opt t.branch_resolve_at t.now with
-  | Some k ->
-      t.unresolved_branches <- t.unresolved_branches - k;
-      Hashtbl.remove t.branch_resolve_at t.now
-  | None -> ());
-  t.alloc_left <- t.cfg.Config.alloc_width;
-  t.src_left <- t.cfg.Config.rename_src_width;
-  t.dst_left <- t.cfg.Config.rename_dst_width
+  (* publish the clock to the per-cycle resources: it is what lets them
+     reclaim stale counter slots exactly *)
+  Rc.set_now t.read_ports t.now;
+  Rc.set_now t.write_ports t.now;
+  Rc.set_now t.bypass t.now;
+  Calq.drain t.wake t.now (fun u ->
+      let d = t.ready_deps.(u) - 1 in
+      t.ready_deps.(u) <- d;
+      if d = 0 && t.home.(u) >= 0 then
+        t.ready_in.(t.home.(u)) <- t.ready_in.(t.home.(u)) + 1);
+  Calq.drain t.reg_free_at t.now (fun u ->
+      if Bytes.get t.ext_entry_freed u = '\000' then begin
+        Bytes.set t.ext_entry_freed u '\001';
+        t.free_regs <- t.free_regs + 1;
+        (* released before commit: the braid dead-value path *)
+        Obs.Counters.incr t.oc_ext_early
+      end);
+  Calq.drain t.branch_resolve_at t.now (fun _ ->
+      t.unresolved_branches <- t.unresolved_branches - 1);
+  t.alloc_left <- t.alloc_width;
+  t.src_left <- t.src_width;
+  t.dst_left <- t.dst_width
 
-let reg_ready s = s.ready_deps = 0
+let reg_ready t u = t.ready_deps.(u) = 0
 
-let is_complete t s = s.issued && s.complete_cycle <= t.now
-let is_complete_slot = is_complete
+let note_resident t u c =
+  t.home.(u) <- c;
+  if t.ready_deps.(u) = 0 then t.ready_in.(c) <- t.ready_in.(c) + 1
 
-let mem_ready t s =
-  if not s.ev.Trace.is_load then Mem_cache
-  else begin
-    let uid = s.ev.Trace.uid in
-    let addr = s.ev.Trace.addr in
-    (* Store addresses are known from dispatch (the LSQ disambiguates
-       perfectly; all cores share this): only older in-flight stores to the
-       same address matter. [stores] is newest-first, so the first match is
-       the youngest older conflicting store. *)
-    let rec go = function
-      | [] -> Mem_cache
-      | (st : slot) :: rest ->
-          if st.ev.Trace.uid >= uid then go rest
-          else if st.ev.Trace.addr = addr then
-            if is_complete t st then Mem_forward else Mem_blocked
-          else go rest
-    in
-    go t.stores
-  end
+let ready_in t c = t.ready_in.(c)
 
-let can_issue_ports t s =
-  Rc.available t.read_ports t.now s.ev.Trace.ext_src_reads
+(* [complete_cycle] is max_int until issue, so the comparison alone
+   implies "issued and past its completion cycle" *)
+let is_complete t u = t.complete_cycle.(u) <= t.now
 
-let schedule_wake t cycle uid =
-  let cur = match Hashtbl.find_opt t.wake cycle with Some l -> l | None -> [] in
-  Hashtbl.replace t.wake cycle (uid :: cur)
+(* Store addresses are known from dispatch (the LSQ disambiguates
+   perfectly; all cores share this): only the youngest older store to the
+   same address matters, and it is static in the trace. It is still in
+   flight — not yet drained to the cache — exactly while [commit_idx]
+   hasn't passed it (commit is in uid order, and once it has committed,
+   every older same-address store has too, so no conflict remains). *)
+let mem_ready t u =
+  let su = t.conflict_store.(u) in
+  if su < 0 || su < t.commit_idx then Mem_cache
+  else if is_complete t su then Mem_forward
+  else Mem_blocked
 
-let do_issue t s =
-  assert (not s.issued);
-  assert (reg_ready s);
-  Rc.take t.read_ports t.now s.ev.Trace.ext_src_reads;
-  t.ext_rf_reads <- t.ext_rf_reads + s.ev.Trace.ext_src_reads;
-  t.int_rf_reads <- t.int_rf_reads + s.ev.Trace.int_src_reads;
+let can_issue_ports t u =
+  Rc.available t.read_ports t.now t.events.(u).Trace.ext_src_reads
+
+let schedule_wake t cycle uid = Calq.add t.wake cycle uid
+
+let do_issue t u =
+  assert (not (issued t u));
+  assert (reg_ready t u);
+  (* leaving the scheduler: registers were ready, so it was counted *)
+  (if t.home.(u) >= 0 then begin
+     t.ready_in.(t.home.(u)) <- t.ready_in.(t.home.(u)) - 1;
+     t.home.(u) <- -1
+   end);
+  let e = t.events.(u) in
+  Rc.take t.read_ports t.now e.Trace.ext_src_reads;
+  t.ext_rf_reads <- t.ext_rf_reads + e.Trace.ext_src_reads;
+  t.int_rf_reads <- t.int_rf_reads + e.Trace.int_src_reads;
   let lat =
-    if s.ev.Trace.is_load then
-      match mem_ready t s with
+    if e.Trace.is_load then
+      match mem_ready t u with
       | Mem_forward -> 1
-      | Mem_cache -> Cache.data_latency t.hier s.ev.Trace.addr
+      | Mem_cache -> Cache.data_latency t.hier e.Trace.addr
       | Mem_blocked -> assert false
-    else s.ev.Trace.latency
+    else e.Trace.latency
   in
   let complete = t.now + lat in
-  s.issued <- true;
-  s.issue_cycle <- t.now;
-  s.complete_cycle <- complete;
+  t.issue_cycle.(u) <- t.now;
+  t.complete_cycle.(u) <- complete;
   Obs.Counters.incr t.oc_issue;
-  (match Obs.Sink.tracer t.obs with
+  (match t.trc with
   | None -> ()
   | Some tr ->
       Obs.Tracer.record tr
-        (Obs.Tracer.Exec
-           { uid = s.ev.Trace.uid; track = s.beu; start = t.now; dur = lat });
+        (Obs.Tracer.Exec { uid = u; track = t.beu.(u); start = t.now; dur = lat });
       (* a load that went past the L1D is a miss fill in flight *)
-      if s.ev.Trace.is_load && lat > t.cfg.Config.mem.Config.l1d.Config.latency then
+      if e.Trace.is_load && lat > t.cfg.Config.mem.Config.l1d.Config.latency then
         Obs.Tracer.record tr
           (Obs.Tracer.Span
-             { name = "L1D miss"; cat = "cache"; track = s.beu; start = t.now; dur = lat }));
-  if s.ev.Trace.writes_int then begin
-    s.int_visible <- complete;
+             { name = "L1D miss"; cat = "cache"; track = t.beu.(u); start = t.now; dur = lat }));
+  if e.Trace.writes_int then begin
+    t.int_visible.(u) <- complete;
     t.int_rf_writes <- t.int_rf_writes + 1
   end;
-  if s.ev.Trace.writes_ext then begin
+  if e.Trace.writes_ext then begin
     let bypassed = Rc.try_take t.bypass complete 1 in
     let wb = Rc.take_first_free t.write_ports complete 1 in
     t.ext_rf_writes <- t.ext_rf_writes + 1;
@@ -295,70 +391,60 @@ let do_issue t s =
       (* all bypass slots of the completion cycle taken: the value must
          wait for a write port and reach consumers through the file *)
       Obs.Counters.incr t.oc_bypass_ovf;
-    s.ext_visible <- (if bypassed then complete else wb + 1)
+    t.ext_visible.(u) <- (if bypassed then complete else wb + 1)
   end;
-  List.iter
-    (fun (c, via) ->
-      let visible = if via then s.int_visible else s.ext_visible in
-      let visible =
-        if visible = max_int then
-          (* consumer reads a register this instruction does not publish
-             (e.g. internal read of an I+E value resolved externally);
-             fall back to the other copy *)
-          min s.int_visible s.ext_visible
-        else visible
-      in
-      let visible = if visible = max_int then complete else visible in
-      schedule_wake t (max visible (t.now + 1)) c)
-    t.children.(s.ev.Trace.uid);
-  (* branch resolution releases its checkpoint *)
-  if s.ev.Trace.is_cond_branch && t.cfg.Config.max_unresolved_branches > 0 then begin
-    let c = max (complete + 1) (t.now + 1) in
-    let cur =
-      match Hashtbl.find_opt t.branch_resolve_at c with Some k -> k | None -> 0
+  for k = t.child_off.(u) to t.child_off.(u + 1) - 1 do
+    let c = t.child_uid.(k) in
+    let via = Bytes.get t.child_via k <> '\000' in
+    let visible = if via then t.int_visible.(u) else t.ext_visible.(u) in
+    let visible =
+      if visible = max_int then
+        (* consumer reads a register this instruction does not publish
+           (e.g. internal read of an I+E value resolved externally);
+           fall back to the other copy *)
+        min t.int_visible.(u) t.ext_visible.(u)
+      else visible
     in
-    Hashtbl.replace t.branch_resolve_at c (cur + 1)
-  end;
+    let visible = if visible = max_int then complete else visible in
+    schedule_wake t (max visible (t.now + 1)) c
+  done;
+  (* branch resolution releases its checkpoint *)
+  if e.Trace.is_cond_branch && t.max_unresolved > 0 then
+    Calq.add t.branch_resolve_at (max (complete + 1) (t.now + 1)) u;
   (* Braid dead-value early release: the in-flight external entry of a
      producer frees once the producer has completed and its last external
      reader (compiler liveness bits) has issued. Commit is the fallback
      release, so this only shortens residency. *)
-  match t.cfg.Config.kind with
-  | Config.Braid_exec ->
-      let maybe_release p_uid =
-        let p = t.slots.(p_uid) in
-        if p.ev.Trace.writes_ext && p.issued && not p.ext_entry_freed then begin
-          let r = t.last_ext_reader.(p_uid) in
+  if t.is_braid then begin
+      let maybe_release p =
+        if
+          t.events.(p).Trace.writes_ext
+          && issued t p
+          && Bytes.get t.ext_entry_freed p = '\000'
+        then begin
+          let r = t.last_ext_reader.(p) in
           let release_at =
-            if r < 0 then Some (p.complete_cycle + 1)
-            else
-              let rs = t.slots.(r) in
-              if rs.issued then Some (max p.complete_cycle rs.issue_cycle + 1)
-              else None
+            if r < 0 then Some (t.complete_cycle.(p) + 1)
+            else if issued t r then
+              Some (max t.complete_cycle.(p) t.issue_cycle.(r) + 1)
+            else None
           in
           match release_at with
-          | Some c ->
-              let c = max c (t.now + 1) in
-              let cur =
-                match Hashtbl.find_opt t.reg_free_at c with
-                | Some l -> l
-                | None -> []
-              in
-              Hashtbl.replace t.reg_free_at c (p_uid :: cur)
+          | Some c -> Calq.add t.reg_free_at (max c (t.now + 1)) p
           | None -> ()
         end
       in
-      maybe_release s.ev.Trace.uid;
-      Array.iter (fun (p, via) -> if not via then maybe_release p) s.ev.Trace.deps
-  | Config.In_order | Config.Dep_steer | Config.Ooo -> ()
+      maybe_release u;
+      Array.iter (fun (p, via) -> if not via then maybe_release p) e.Trace.deps
+  end
 
-let can_dispatch t s =
-  let e = s.ev in
+let can_dispatch t u =
+  let e = t.events.(u) in
   let reg_ok = (not e.Trace.writes_ext) || t.free_regs >= 1 in
   let checkpoint_ok =
-    t.cfg.Config.max_unresolved_branches = 0
+    t.max_unresolved = 0
     || (not e.Trace.is_cond_branch)
-    || t.unresolved_branches < t.cfg.Config.max_unresolved_branches
+    || t.unresolved_branches < t.max_unresolved
   in
   let ok =
     t.alloc_left >= 1
@@ -367,8 +453,8 @@ let can_dispatch t s =
     && reg_ok
     && checkpoint_ok
     && ((not (e.Trace.is_load || e.Trace.is_store))
-       || t.inflight_mem < t.cfg.Config.lsq_entries)
-    && t.dispatched_count - t.committed_count < t.cfg.Config.inflight
+       || t.inflight_mem < t.lsq_limit)
+    && t.dispatched_count - t.committed_count < t.inflight_limit
   in
   if not reg_ok then begin
     t.stall_regs <- t.stall_regs + 1;
@@ -376,8 +462,8 @@ let can_dispatch t s =
   end;
   ok
 
-let note_dispatch t s =
-  let e = s.ev in
+let note_dispatch t u =
+  let e = t.events.(u) in
   t.alloc_left <- t.alloc_left - 1;
   t.src_left <- t.src_left - e.Trace.ext_src_reads;
   if e.Trace.writes_ext then begin
@@ -386,55 +472,45 @@ let note_dispatch t s =
   end;
   if e.Trace.is_load || e.Trace.is_store then
     t.inflight_mem <- t.inflight_mem + 1;
-  if e.Trace.is_store then t.stores <- s :: t.stores;
-  if e.Trace.is_cond_branch && t.cfg.Config.max_unresolved_branches > 0 then
+  if e.Trace.is_cond_branch && t.max_unresolved > 0 then
     t.unresolved_branches <- t.unresolved_branches + 1;
-  s.dispatched <- true;
   t.dispatched_count <- t.dispatched_count + 1;
   Obs.Counters.incr t.oc_dispatch;
   if e.Trace.writes_ext then Obs.Counters.incr t.oc_ext_alloc;
-  match Obs.Sink.tracer t.obs with
+  match t.trc with
   | None -> ()
   | Some tr ->
       Obs.Tracer.record tr
         (Obs.Tracer.Stage
-           { cycle = t.now; uid = e.Trace.uid; stage = Obs.Tracer.Dispatch; track = s.beu })
+           { cycle = t.now; uid = u; stage = Obs.Tracer.Dispatch; track = t.beu.(u) })
 
 let commit_stage t =
   let budget = ref t.cfg.Config.commit_width in
   let continue_ = ref true in
-  let tr = Obs.Sink.tracer t.obs in
-  while !continue_ && !budget > 0 && t.commit_idx < Array.length t.slots do
-    let s = t.slots.(t.commit_idx) in
-    if is_complete t s then begin
-      s.completed <- true;
-      s.committed <- true;
+  let tr = t.trc in
+  while !continue_ && !budget > 0 && t.commit_idx < Array.length t.events do
+    let u = t.commit_idx in
+    if is_complete t u then begin
+      let e = t.events.(u) in
       Obs.Counters.incr t.oc_commit;
       (match tr with
       | None -> ()
       | Some tr ->
           Obs.Tracer.record tr
             (Obs.Tracer.Stage
-               {
-                 cycle = t.now;
-                 uid = s.ev.Trace.uid;
-                 stage = Obs.Tracer.Commit;
-                 track = s.beu;
-               }));
+               { cycle = t.now; uid = u; stage = Obs.Tracer.Commit; track = t.beu.(u) }));
       (* stores drain to the data cache at commit *)
-      if s.ev.Trace.is_store && not t.cfg.Config.mem.Config.perfect_dcache then
-        ignore (Cache.data_latency t.hier s.ev.Trace.addr);
+      if e.Trace.is_store && not t.cfg.Config.mem.Config.perfect_dcache then
+        ignore (Cache.data_latency t.hier e.Trace.addr);
       (* release the rename/in-flight entry at commit unless the braid
          dead-value path already released it *)
-      if s.ev.Trace.writes_ext && not s.ext_entry_freed then begin
-        s.ext_entry_freed <- true;
+      if e.Trace.writes_ext && Bytes.get t.ext_entry_freed u = '\000' then begin
+        Bytes.set t.ext_entry_freed u '\001';
         t.free_regs <- t.free_regs + 1;
         Obs.Counters.incr t.oc_ext_commit_rel
       end;
-      if s.ev.Trace.is_load || s.ev.Trace.is_store then
+      if e.Trace.is_load || e.Trace.is_store then
         t.inflight_mem <- t.inflight_mem - 1;
-      if s.ev.Trace.is_store then
-        t.stores <- List.filter (fun (st : slot) -> st != s) t.stores;
       t.committed_count <- t.committed_count + 1;
       t.commit_idx <- t.commit_idx + 1;
       decr budget
@@ -442,7 +518,7 @@ let commit_stage t =
     else continue_ := false
   done
 
-let all_committed t = t.commit_idx >= Array.length t.slots
+let all_committed t = t.commit_idx >= Array.length t.events
 let committed_count t = t.committed_count
 
 type dispatch_block =
@@ -454,8 +530,8 @@ type dispatch_block =
   | Block_lsq
   | Block_inflight
 
-let dispatch_block_reason t (s : slot) =
-  let e = s.ev in
+let dispatch_block_reason t u =
+  let e = t.events.(u) in
   if t.alloc_left < 1 then Block_alloc
   else if t.src_left < e.Trace.ext_src_reads
           || (e.Trace.writes_ext && t.dst_left < 1) then Block_rename

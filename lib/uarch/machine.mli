@@ -7,6 +7,12 @@
     flows through {!do_issue} here, so port, bypass, latency and memory
     semantics are identical across paradigms.
 
+    In-flight instructions are identified by their trace [uid]; their
+    mutable state lives in flat parallel arrays inside the machine
+    (struct-of-arrays), so creating a machine allocates a handful of
+    arrays rather than one record per event and the per-cycle scheduler
+    scans touch contiguous memory.
+
     The external register file is modeled as an in-flight value buffer
     (rename free list): an entry is allocated at dispatch for each
     external-writing instruction and released at commit. The braid core
@@ -16,25 +22,39 @@
     the paper's 8-entry external file keep up with a 256-entry one
     (Fig 6). *)
 
-type slot = {
-  ev : Trace.event;
-  mutable dispatched : bool;
-  mutable issued : bool;
-  mutable completed : bool;
-  mutable committed : bool;
-  mutable ready_deps : int;  (** producers not yet visible *)
-  mutable issue_cycle : int;
-  mutable complete_cycle : int;
-  mutable ext_visible : int;  (** cycle from which consumers can read *)
-  mutable int_visible : int;
-  mutable ext_entry_freed : bool;  (** external-file entry released *)
-  mutable beu : int;  (** BEU index (braid core), -1 otherwise *)
-}
-
 type mem_status =
   | Mem_blocked  (** an older store's address is still unknown *)
   | Mem_forward  (** youngest older same-address store forwards *)
   | Mem_cache  (** no conflict: access the data cache *)
+
+(** Per-cycle bounded resource (register-file ports, bypass slots): a
+    circular window of usage counters stamped with the cycle they count
+    for. Exposed for unit tests; the machine wires [set_now] to its own
+    clock every {!begin_cycle}. *)
+module Rc : sig
+  type t
+
+  val create : int -> t
+  (** [create limit] — at most [limit] units per cycle. *)
+
+  val set_now : t -> int -> unit
+  (** Publish the current cycle; counter slots stamped earlier become
+      reclaimable. The clock must never move backwards. *)
+
+  val used : t -> int -> int
+  val available : t -> int -> int -> bool
+
+  val take : t -> int -> int -> unit
+  (** Unchecked reservation (the caller verified [available]). *)
+
+  val try_take : t -> int -> int -> bool
+  (** Reserve if available; never raises, even with a zero limit. *)
+
+  val take_first_free : t -> int -> int -> int
+  (** [take_first_free t c n] reserves [n] units at the first cycle
+      [>= c] with room and returns that cycle. Raises [Invalid_argument]
+      when [n] exceeds the limit (no cycle could ever satisfy it). *)
+end
 
 type t
 
@@ -55,39 +75,65 @@ val obs_sink : t -> Braid_obs.Sink.t
 (** The sink the machine was created with (for the execution cores). *)
 
 val num_slots : t -> int
-val slot : t -> int -> slot
+(** Number of trace events; uids range over [0 .. num_slots - 1]. *)
+
+val event : t -> int -> Trace.event
+(** The trace event with this uid. *)
 
 val now : t -> int
 val begin_cycle : t -> unit
 (** Advances the clock, applies due wakeups, resets per-cycle dispatch
     budgets. Call once per cycle before any stage. *)
 
-val reg_ready : slot -> bool
+val reg_ready : t -> int -> bool
 (** All register producers visible. *)
 
-val is_complete_slot : t -> slot -> bool
+val note_resident : t -> int -> int -> unit
+(** [note_resident m u c] records that the execution core placed [u] in
+    its scheduling cluster [c]. The machine then maintains {!ready_in}
+    for that cluster; {!do_issue} clears the residency. *)
+
+val ready_in : t -> int -> int
+(** Resident, not-yet-issued instructions of cluster [c] whose registers
+    are ready ({!reg_ready}). Lets a core's select loop skip clusters —
+    and window tails — that cannot issue this cycle. *)
+
+val is_complete : t -> int -> bool
 (** Issued and past its completion cycle. *)
 
-val mem_ready : t -> slot -> mem_status
+val issued : t -> int -> bool
+val complete_cycle : t -> int -> int
+(** [max_int] until the instruction issues. *)
+
+val ext_visible : t -> int -> int
+(** Cycle from which consumers can read the external result; [max_int]
+    until scheduled (for the braid core's inter-cluster check). *)
+
+val beu : t -> int -> int
+(** BEU index assigned at dispatch (braid core), -1 otherwise. *)
+
+val set_beu : t -> int -> int -> unit
+
+val mem_ready : t -> int -> mem_status
 (** Load ordering status; non-loads are always [Mem_cache]. Pure check —
     no cache state is touched. *)
 
-val can_issue_ports : t -> slot -> bool
+val can_issue_ports : t -> int -> bool
 (** Enough external register file read ports remain this cycle. *)
 
-val do_issue : t -> slot -> unit
+val do_issue : t -> int -> unit
 (** Commits the issue at the current cycle: consumes read ports, computes
     the completion time (FU latency; cache or forwarding for loads),
     schedules writeback (write port), bypass, and consumer wakeups. The
     caller must have checked [reg_ready], [mem_ready <> Mem_blocked] and
     [can_issue_ports]. *)
 
-val can_dispatch : t -> slot -> bool
+val can_dispatch : t -> int -> bool
 (** Front-end resource check at the current cycle: allocate width, rename
     source/destination bandwidth, external register availability, LSQ
     space, in-flight bound. *)
 
-val note_dispatch : t -> slot -> unit
+val note_dispatch : t -> int -> unit
 (** Consumes the dispatch resources checked by [can_dispatch]. *)
 
 val commit_stage : t -> unit
@@ -114,9 +160,9 @@ type dispatch_block =
   | Block_lsq
   | Block_inflight
 
-val dispatch_block_reason : t -> slot -> dispatch_block
-(** Why [can_dispatch] would refuse this slot right now — for the stall
-    breakdown diagnostics. *)
+val dispatch_block_reason : t -> int -> dispatch_block
+(** Why [can_dispatch] would refuse this instruction right now — for the
+    stall breakdown diagnostics. *)
 
 val dispatch_block_name : dispatch_block -> string
 (** Short stable label ("alloc-width", "ext-regs", ...) for stall-reason

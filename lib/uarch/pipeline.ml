@@ -40,18 +40,10 @@ let run ?(obs = Obs.Sink.disabled) ?(warm_data = []) (cfg : Config.t) (trace : T
      longer run (MinneSPEC), so code lines are warm in L1I/L2 and the
      initial data image is warm in L2. *)
   let h = Machine.hierarchy m in
-  let seen = Hashtbl.create 256 in
-  Array.iter
-    (fun (e : Trace.event) ->
-      let line = e.Trace.pc land lnot 63 in
-      if not (Hashtbl.mem seen line) then begin
-        Hashtbl.add seen line ();
-        Cache.warm_instr h line
-      end)
-    trace.Trace.events;
+  Array.iter (fun line -> Cache.warm_instr h line) (Trace.warm_lines trace);
   List.iter (fun addr -> Cache.warm_l2 h addr) warm_data;
   let core = Exec_core.create m in
-  let fetchq : Machine.slot Ring.t = Ring.create ~capacity:cfg.Config.fetch_buffer in
+  let fetchq : int Ring.t = Ring.create ~dummy:(-1) ~capacity:cfg.Config.fetch_buffer in
   let fetch_idx = ref 0 in
   let blocked : redirect option ref = ref None in
   let icache_ready = ref 0 in
@@ -155,10 +147,10 @@ let run ?(obs = Obs.Sink.disabled) ?(warm_data = []) (cfg : Config.t) (trace : T
     (* dispatch *)
     let continue_dispatch = ref true in
     while !continue_dispatch && not (Ring.is_empty fetchq) do
-      let s = Ring.peek fetchq in
-      if Machine.can_dispatch m s then
-        if core.Exec_core.try_dispatch s then begin
-          Machine.note_dispatch m s;
+      let u = Ring.peek fetchq in
+      if Machine.can_dispatch m u then
+        if core.Exec_core.try_dispatch u then begin
+          Machine.note_dispatch m u;
           ignore (Ring.pop fetchq)
         end
         else begin
@@ -171,7 +163,7 @@ let run ?(obs = Obs.Sink.disabled) ?(warm_data = []) (cfg : Config.t) (trace : T
         incr stall_frontend;
         Obs.Counters.incr c_stall_frontend;
         if tracer <> None then
-          record_stall (Machine.dispatch_block_name (Machine.dispatch_block_reason m s));
+          record_stall (Machine.dispatch_block_name (Machine.dispatch_block_reason m u));
         continue_dispatch := false
       end
     done;
@@ -186,9 +178,10 @@ let run ?(obs = Obs.Sink.disabled) ?(warm_data = []) (cfg : Config.t) (trace : T
            | Some loc ->
                blocked := Some { r with wrong_path = advance_wrong_path loc }
            | None -> ());
-        let s = Machine.slot m r.uid in
-        if s.Machine.issued && now >= s.Machine.complete_cycle + r.penalty then
-          blocked := None
+        if
+          Machine.issued m r.uid
+          && now >= Machine.complete_cycle m r.uid + r.penalty
+        then blocked := None
     | None ->
         if now < !icache_ready then begin
           incr stall_icache;
@@ -227,7 +220,7 @@ let run ?(obs = Obs.Sink.disabled) ?(warm_data = []) (cfg : Config.t) (trace : T
           if is_branch && !branches >= cfg.Config.max_branches_per_cycle then
             stop := true
           else begin
-            Ring.push fetchq (Machine.slot m e.Trace.uid);
+            Ring.push fetchq e.Trace.uid;
             incr fetched;
             Obs.Counters.incr c_fetch;
             (match tracer with

@@ -1,0 +1,41 @@
+(** Calendar queue: int events scheduled on absolute cycles.
+
+    A power-of-two wheel of growable int buckets indexed by
+    [cycle mod wheel size]. Designed for cycle-level simulators that
+    schedule a bounded distance into the future and drain every cycle in
+    order: each bucket holds the events of at most one live cycle, and a
+    collision between two distinct live cycles doubles the wheel (the
+    steady state allocates nothing — bucket capacity is retained across
+    drains).
+
+    Unlike a [Hashtbl]-bucketed schedule, adding and draining never box
+    keys, never hash, and never cons. *)
+
+type t
+
+val create : horizon:int -> t
+(** A wheel of at least [horizon] slots (rounded up to a power of two).
+    [horizon] should cover the maximum scheduling distance (longest
+    latency); an undersized wheel only costs growth, not correctness.
+    Raises [Invalid_argument] when [horizon <= 0]. *)
+
+val add : t -> int -> int -> unit
+(** [add t cycle v] schedules the event [v] for [cycle]. Raises
+    [Invalid_argument] on a negative cycle. *)
+
+val drain : t -> int -> (int -> unit) -> unit
+(** [drain t cycle f] applies [f] to every event scheduled for exactly
+    [cycle] (in insertion order) and empties that bucket. Events of other
+    cycles are untouched. [f] may [add] events for later cycles, but must
+    not add for the cycle being drained. *)
+
+val horizon : t -> int
+(** Current wheel size (slots). *)
+
+val length : t -> int
+(** Scheduled events across all cycles. *)
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Forget all scheduled events; keeps the wheel and bucket storage. *)

@@ -1,0 +1,72 @@
+(* Paged sparse memory: 4 KiB pages (512 x int64 words) in a small table,
+   with a one-entry page cache in front. The emulator's access stream is
+   strongly page-local (stencils, streams, hash tables), so the common
+   load/store touches no hash and allocates nothing; a page is materialised
+   on its first store. *)
+
+let page_bytes = 4096
+let words_per_page = page_bytes / 8
+
+type t = {
+  pages : (int, int64 array) Hashtbl.t;
+  mutable last_idx : int;  (* page number of [last]; -1 = no cached page *)
+  mutable last : int64 array;
+}
+
+let no_page : int64 array = [||]
+
+let create () = { pages = Hashtbl.create 64; last_idx = -1; last = no_page }
+
+let page_of_addr addr = addr lsr 12
+let word_of_addr addr = (addr lsr 3) land (words_per_page - 1)
+
+let check_addr addr =
+  if addr < 0 then invalid_arg "Paged_mem: negative address";
+  if addr land 7 <> 0 then invalid_arg "Paged_mem: unaligned address"
+
+let find t idx =
+  if t.last_idx = idx then t.last
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+        t.last_idx <- idx;
+        t.last <- p;
+        p
+    | None -> no_page
+
+let load t addr =
+  check_addr addr;
+  let p = find t (page_of_addr addr) in
+  if p == no_page then 0L else p.(word_of_addr addr)
+
+let store t addr v =
+  check_addr addr;
+  let idx = page_of_addr addr in
+  let p = find t idx in
+  let p =
+    if p != no_page then p
+    else begin
+      let fresh = Array.make words_per_page 0L in
+      Hashtbl.add t.pages idx fresh;
+      t.last_idx <- idx;
+      t.last <- fresh;
+      fresh
+    end
+  in
+  p.(word_of_addr addr) <- v
+
+let iter_nonzero f t =
+  Hashtbl.iter
+    (fun idx p ->
+      let base = idx * page_bytes in
+      Array.iteri
+        (fun w v -> if not (Int64.equal v 0L) then f (base + (8 * w)) v)
+        p)
+    t.pages
+
+let fold_nonzero f acc t =
+  let acc = ref acc in
+  iter_nonzero (fun addr v -> acc := f !acc addr v) t;
+  !acc
+
+let pages t = Hashtbl.length t.pages

@@ -1,0 +1,25 @@
+(** Sparse word-addressed memory backed by 4 KiB pages.
+
+    Addresses are non-negative, 8-byte-aligned byte addresses; each holds
+    one [int64] word (0 when never written). Pages (512 words) materialise
+    on first store and live in a small table behind a one-entry page
+    cache, so page-local access streams neither hash nor allocate. *)
+
+type t
+
+val create : unit -> t
+
+val load : t -> int -> int64
+(** Word at a byte address; [0L] if never written. Raises
+    [Invalid_argument] on negative or unaligned addresses. *)
+
+val store : t -> int -> int64 -> unit
+(** Write the word at a byte address, materialising its page. *)
+
+val iter_nonzero : (int -> int64 -> unit) -> t -> unit
+(** Apply to every word with a non-zero value, in no particular order. *)
+
+val fold_nonzero : ('a -> int -> int64 -> 'a) -> 'a -> t -> 'a
+
+val pages : t -> int
+(** Number of materialised pages. *)

@@ -1,61 +1,65 @@
 type 'a t = {
-  buf : 'a option array;
+  buf : 'a array;
+  dummy : 'a;  (* fills vacated slots so no stale value is retained *)
   mutable head : int;
   mutable len : int;
 }
 
-let create ~capacity =
+let create ~dummy ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { buf = Array.make capacity None; head = 0; len = 0 }
+  { buf = Array.make capacity dummy; dummy; head = 0; len = 0 }
 
 let capacity t = Array.length t.buf
 let length t = t.len
 let is_empty t = t.len = 0
 let is_full t = t.len = Array.length t.buf
 
-let slot t i = (t.head + i) mod Array.length t.buf
+(* [head < capacity] and [i <= capacity], so one conditional subtract
+   replaces the division a [mod] would cost on every access *)
+let slot t i =
+  let s = t.head + i in
+  if s >= Array.length t.buf then s - Array.length t.buf else s
 
 let push t x =
   if is_full t then failwith "Ring.push: full";
-  t.buf.(slot t t.len) <- Some x;
+  t.buf.(slot t t.len) <- x;
   t.len <- t.len + 1
-
-let unwrap = function Some x -> x | None -> assert false
 
 let pop t =
   if is_empty t then failwith "Ring.pop: empty";
-  let x = unwrap t.buf.(t.head) in
-  t.buf.(t.head) <- None;
-  t.head <- (t.head + 1) mod Array.length t.buf;
+  let x = t.buf.(t.head) in
+  t.buf.(t.head) <- t.dummy;
+  let h = t.head + 1 in
+  t.head <- (if h >= Array.length t.buf then 0 else h);
   t.len <- t.len - 1;
   x
 
 let peek t =
   if is_empty t then failwith "Ring.peek: empty";
-  unwrap t.buf.(t.head)
+  t.buf.(t.head)
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Ring.get: index out of range";
-  unwrap t.buf.(slot t i)
+  t.buf.(slot t i)
 
 let remove_at t i =
   if i < 0 || i >= t.len then invalid_arg "Ring.remove_at: index out of range";
-  let x = unwrap t.buf.(slot t i) in
+  let x = t.buf.(slot t i) in
   for j = i to t.len - 2 do
     t.buf.(slot t j) <- t.buf.(slot t (j + 1))
   done;
-  t.buf.(slot t (t.len - 1)) <- None;
+  t.buf.(slot t (t.len - 1)) <- t.dummy;
   t.len <- t.len - 1;
   x
 
 let iter f t =
   for i = 0 to t.len - 1 do
-    f (unwrap t.buf.(slot t i))
+    f t.buf.(slot t i)
   done
 
 let iteri f t =
   for i = 0 to t.len - 1 do
-    f i (unwrap t.buf.(slot t i))
+    f i t.buf.(slot t i)
   done
 
 let fold f acc t =
@@ -64,12 +68,12 @@ let fold f acc t =
   !acc
 
 let exists p t =
-  let rec go i = i < t.len && (p (unwrap t.buf.(slot t i)) || go (i + 1)) in
+  let rec go i = i < t.len && (p t.buf.(slot t i) || go (i + 1)) in
   go 0
 
 let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
 
 let clear t =
-  Array.fill t.buf 0 (Array.length t.buf) None;
+  Array.fill t.buf 0 (Array.length t.buf) t.dummy;
   t.head <- 0;
   t.len <- 0

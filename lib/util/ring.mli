@@ -7,9 +7,12 @@
 
 type 'a t
 
-val create : capacity:int -> 'a t
-(** [create ~capacity] makes an empty ring holding at most [capacity]
-    elements. [capacity] must be positive. *)
+val create : dummy:'a -> capacity:int -> 'a t
+(** [create ~dummy ~capacity] makes an empty ring holding at most
+    [capacity] elements. [capacity] must be positive. [dummy] fills
+    unused slots (the buffer is unboxed — no per-element [option]
+    wrapper — so vacated slots need a placeholder value; it is never
+    returned by any accessor). *)
 
 val capacity : 'a t -> int
 val length : 'a t -> int

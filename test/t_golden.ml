@@ -1,0 +1,61 @@
+(* Golden-number regression: exact instruction counts, cycle counts, and
+   IPC for a cross-section of benchmarks on all three core models, pinned
+   to the timing model's established behaviour. The hot-path work in this
+   repo (calendar queues, flat-array machine state, static disambiguation
+   tables) must never move a single cycle: any diff here is a modeling
+   change, not an optimisation, and needs its own justification. *)
+
+module Suite = Braid_sim.Suite
+module U = Braid_uarch
+
+type core = In_order | Ooo | Braid
+
+let core_name = function In_order -> "in-order" | Ooo -> "ooo" | Braid -> "braid"
+
+(* (bench, core, instructions, cycles) at scale 2000, seed defaults *)
+let golden =
+  [
+    ("gzip", In_order, 3452, 4381);
+    ("gzip", Ooo, 3452, 2593);
+    ("gzip", Braid, 3452, 2532);
+    ("mcf", In_order, 1620, 3304);
+    ("mcf", Ooo, 1620, 1573);
+    ("mcf", Braid, 1620, 1578);
+    ("crafty", In_order, 4254, 4506);
+    ("crafty", Ooo, 4254, 2570);
+    ("crafty", Braid, 4254, 2561);
+    ("swim", In_order, 8984, 15716);
+    ("swim", Ooo, 8984, 1585);
+    ("swim", Braid, 8984, 1998);
+    ("mgrid", In_order, 4574, 7433);
+    ("mgrid", Ooo, 4574, 1093);
+    ("mgrid", Braid, 4574, 1560);
+  ]
+
+let ctx = lazy (Suite.create_ctx ())
+
+let check_one bench core instrs cycles () =
+  let ctx = Lazy.force ctx in
+  let p = Suite.prepare ctx ~scale:2000 (Braid_workload.Spec.find bench) in
+  let r =
+    match core with
+    | In_order -> Suite.run_conv ctx p U.Config.in_order_8wide
+    | Ooo -> Suite.run_conv ctx p U.Config.ooo_8wide
+    | Braid -> Suite.run_braid ctx p U.Config.braid_8wide
+  in
+  Alcotest.(check int) "instructions" instrs r.U.Pipeline.instructions;
+  Alcotest.(check int) "cycles" cycles r.U.Pipeline.cycles;
+  Alcotest.(check (float 1e-12))
+    "ipc"
+    (float_of_int instrs /. float_of_int cycles)
+    r.U.Pipeline.ipc
+
+let suite =
+  ( "golden",
+    List.map
+      (fun (bench, core, instrs, cycles) ->
+        Alcotest.test_case
+          (Printf.sprintf "%s/%s" bench (core_name core))
+          `Slow
+          (check_one bench core instrs cycles))
+      golden )

@@ -1,7 +1,7 @@
 (* Tests for Braid_util.Ring (bounded FIFO) and Bitvec. *)
 
 let test_fifo_order () =
-  let r = Ring.create ~capacity:4 in
+  let r = Ring.create ~dummy:0 ~capacity:4 in
   Ring.push r 1;
   Ring.push r 2;
   Ring.push r 3;
@@ -13,7 +13,7 @@ let test_fifo_order () =
   Alcotest.(check bool) "empty" true (Ring.is_empty r)
 
 let test_capacity () =
-  let r = Ring.create ~capacity:2 in
+  let r = Ring.create ~dummy:0 ~capacity:2 in
   Ring.push r 1;
   Ring.push r 2;
   Alcotest.(check bool) "full" true (Ring.is_full r);
@@ -21,14 +21,14 @@ let test_capacity () =
       Ring.push r 3)
 
 let test_empty_errors () =
-  let r : int Ring.t = Ring.create ~capacity:2 in
+  let r : int Ring.t = Ring.create ~dummy:0 ~capacity:2 in
   Alcotest.check_raises "pop empty" (Failure "Ring.pop: empty") (fun () ->
       ignore (Ring.pop r));
   Alcotest.check_raises "peek empty" (Failure "Ring.peek: empty") (fun () ->
       ignore (Ring.peek r))
 
 let test_get_and_peek () =
-  let r = Ring.create ~capacity:8 in
+  let r = Ring.create ~dummy:0 ~capacity:8 in
   List.iter (Ring.push r) [ 10; 20; 30 ];
   Alcotest.(check int) "peek" 10 (Ring.peek r);
   Alcotest.(check int) "get 0" 10 (Ring.get r 0);
@@ -37,7 +37,7 @@ let test_get_and_peek () =
     (fun () -> ignore (Ring.get r 3))
 
 let test_remove_at () =
-  let r = Ring.create ~capacity:8 in
+  let r = Ring.create ~dummy:0 ~capacity:8 in
   List.iter (Ring.push r) [ 1; 2; 3; 4 ];
   Alcotest.(check int) "remove middle" 2 (Ring.remove_at r 1);
   Alcotest.(check (list int)) "remaining order" [ 1; 3; 4 ] (Ring.to_list r);
@@ -45,7 +45,7 @@ let test_remove_at () =
   Alcotest.(check (list int)) "remaining" [ 3; 4 ] (Ring.to_list r)
 
 let test_wraparound () =
-  let r = Ring.create ~capacity:3 in
+  let r = Ring.create ~dummy:0 ~capacity:3 in
   (* cycle through to force head wrap *)
   for i = 1 to 10 do
     Ring.push r i;
@@ -55,7 +55,7 @@ let test_wraparound () =
   Alcotest.(check (list int)) "wrapped contents" [ 100; 200 ] (Ring.to_list r)
 
 let test_iter_fold () =
-  let r = Ring.create ~capacity:8 in
+  let r = Ring.create ~dummy:0 ~capacity:8 in
   List.iter (Ring.push r) [ 1; 2; 3 ];
   Alcotest.(check int) "fold sum" 6 (Ring.fold ( + ) 0 r);
   let acc = ref [] in
@@ -66,7 +66,7 @@ let test_iter_fold () =
   Alcotest.(check bool) "not exists" false (Ring.exists (fun x -> x = 9) r)
 
 let test_clear () =
-  let r = Ring.create ~capacity:4 in
+  let r = Ring.create ~dummy:0 ~capacity:4 in
   List.iter (Ring.push r) [ 1; 2 ];
   Ring.clear r;
   Alcotest.(check bool) "cleared" true (Ring.is_empty r);
@@ -79,7 +79,7 @@ let qcheck_model =
     QCheck.(small_list (oneof [ Gen.map (fun n -> `Push n) Gen.small_int |> make; Gen.return `Pop |> make ]))
   in
   QCheck.Test.make ~name:"ring matches list-queue model" ~count:300 ops (fun ops ->
-      let r = Ring.create ~capacity:8 in
+      let r = Ring.create ~dummy:0 ~capacity:8 in
       let model = ref [] in
       List.for_all
         (fun op ->

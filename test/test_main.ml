@@ -19,4 +19,6 @@ let () =
       T_timing.suite;
       T_roundtrip.suite;
       T_runner.suite;
+      T_calq.suite;
+      T_golden.suite;
     ]
