@@ -13,6 +13,7 @@ module S = Braid_sim.Suite
 module Runner = Braid_sim.Runner
 module Report = Braid_sim.Report
 module Perf = Braid_sim.Perf
+module Cli = Braid_cli.Cli_common
 
 let list_experiments () =
   print_endline "Experiments (paper tables and figures):";
@@ -65,20 +66,8 @@ let run_experiments ~scale ~jobs ~json only =
    benchmark subset per core model and write the BENCH_*.json trajectory
    point (see Braid_sim.Perf). *)
 let run_perf ~scale ~reps ~out ~baseline ~benches =
+  (* names were already validated by Cli_common.bench_name_conv *)
   let benches = if benches = [] then Perf.default_benches else benches in
-  (match
-     List.filter
-       (fun b ->
-         match Braid_workload.Spec.find b with
-         | _ -> false
-         | exception Not_found -> true)
-       benches
-   with
-  | [] -> ()
-  | unknown ->
-      Printf.eprintf "bench: unknown benchmark(s) %s; see `braidsim list`\n"
-        (String.concat ", " unknown);
-      exit 1);
   let baseline =
     Option.map
       (fun file ->
@@ -155,9 +144,7 @@ let run_bechamel () =
 
 (* --- command line --- *)
 
-let scale_arg =
-  let doc = "Target dynamic instruction count of each benchmark run." in
-  Cmdliner.Arg.(value & opt int S.default_scale & info [ "scale" ] ~docv:"N" ~doc)
+let scale_arg = Cli.scale_arg ~default:S.default_scale
 
 let quick_arg =
   let doc = "Shorthand for --scale 4000." in
@@ -206,28 +193,10 @@ let benches_arg =
     "Comma-separated benchmark names for --perf mode (default: a fixed \
      6-benchmark subset)."
   in
-  Cmdliner.Arg.(value & opt (list string) [] & info [ "benches" ] ~docv:"NAMES" ~doc)
-
-(* --jobs must be a positive integer; 0/negative is a usage error *)
-let positive_int : int Cmdliner.Arg.conv =
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n > 0 -> Ok n
-    | Some _ -> Error (`Msg (Printf.sprintf "%s is not a positive integer" s))
-    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
-  in
-  Cmdliner.Arg.conv ~docv:"N" (parse, Format.pp_print_int)
-
-let jobs_arg =
-  let doc =
-    "Simulation jobs to run in parallel (one domain each); must be positive. \
-     1 runs serially on the calling domain; the default is \
-     Domain.recommended_domain_count. Output is identical for every value."
-  in
   Cmdliner.Arg.(
-    value
-    & opt positive_int (Runner.default_jobs ())
-    & info [ "jobs" ] ~docv:"N" ~doc)
+    value & opt (list Cli.bench_name_conv) [] & info [ "benches" ] ~docv:"NAMES" ~doc)
+
+let jobs_arg = Cli.jobs_arg ~default:(Runner.default_jobs ())
 
 let json_arg =
   let doc = "Serialize typed results and per-job telemetry to $(docv) (- for stdout)." in

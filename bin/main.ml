@@ -1,65 +1,22 @@
 (* braidsim: command-line front end for the braid reproduction.
 
-   Subcommands: list, stats, inspect, run, trace, experiment. *)
+   Subcommands: list, stats, inspect, run, trace, experiment, sweep. *)
 
 open Braid_isa
 module C = Braid_core
 module U = Braid_uarch
 module W = Braid_workload
 module Obs = Braid_obs
+module Cli = Braid_cli.Cli_common
+module Dse = Braid_dse
 
-let scale_arg =
-  let doc = "Target dynamic instruction count of the run." in
-  Cmdliner.Arg.(value & opt int 12_000 & info [ "scale" ] ~docv:"N" ~doc)
-
-let seed_arg =
-  let doc = "Workload generation seed." in
-  Cmdliner.Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
-
-(* benchmark names resolve at the command line, so a typo is a usage
-   error (non-zero exit, valid names listed) instead of an exception *)
-let bench_conv : W.Spec.profile Cmdliner.Arg.conv =
-  let parse s =
-    match W.Spec.find s with
-    | p -> Ok p
-    | exception Not_found ->
-        Error
-          (`Msg
-             (Printf.sprintf "unknown benchmark %S; valid names:\n%s" s
-                (String.concat "\n"
-                   (List.map
-                      (fun (p : W.Spec.profile) -> p.W.Spec.name)
-                      W.Spec.all))))
-  in
-  let print fmt (p : W.Spec.profile) =
-    Format.pp_print_string fmt p.W.Spec.name
-  in
-  Cmdliner.Arg.conv ~docv:"BENCH" (parse, print)
-
-let bench_arg =
-  let doc = "Benchmark name (one of the 26 SPEC CPU2000 stand-ins)." in
-  Cmdliner.Arg.(
-    required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH" ~doc)
-
-(* --jobs must be a positive integer; 0/negative is a usage error *)
-let positive_int : int Cmdliner.Arg.conv =
-  let parse s =
-    match int_of_string_opt s with
-    | Some n when n > 0 -> Ok n
-    | Some _ -> Error (`Msg (Printf.sprintf "%s is not a positive integer" s))
-    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
-  in
-  Cmdliner.Arg.conv ~docv:"N" (parse, Format.pp_print_int)
-
-let core_arg =
-  let cores =
-    [ ("in-order", `Io); ("dep-steer", `Dep); ("ooo", `Ooo); ("braid", `Braid) ]
-  in
-  Cmdliner.Arg.(
-    value
-    & opt (enum cores) `Braid
-    & info [ "core" ] ~docv:"CORE"
-        ~doc:"Execution core: in-order, dep-steer, ooo or braid.")
+(* the one shared CLI vocabulary (lib/cli): core/preset selection built on
+   Config.kind_of_string, benchmark-name validation, --seed/--scale/--jobs *)
+let scale_arg = Cli.scale_arg ~default:12_000
+let seed_arg = Cli.seed_arg
+let bench_arg = Cli.bench_arg
+let positive_int = Cli.positive_int
+let core_arg = Cli.core_arg
 
 let width_arg =
   Cmdliner.Arg.(
@@ -69,12 +26,12 @@ let width_arg =
    and time the resulting trace on the configured machine *)
 let simulate ~(profile : W.Spec.profile) ~seed ~scale ~core ~width ~obs =
   let program, init_mem = W.Spec.generate profile ~seed ~scale in
-  let cfg, binary =
+  let cfg = U.Config.preset_of_kind core in
+  let binary =
     match core with
-    | `Io -> (U.Config.in_order_8wide, (C.Transform.conventional program).C.Extalloc.program)
-    | `Dep -> (U.Config.dep_steer_8wide, (C.Transform.conventional program).C.Extalloc.program)
-    | `Ooo -> (U.Config.ooo_8wide, (C.Transform.conventional program).C.Extalloc.program)
-    | `Braid -> (U.Config.braid_8wide, (C.Transform.run program).C.Transform.program)
+    | U.Config.Braid_exec -> (C.Transform.run program).C.Transform.program
+    | U.Config.In_order | U.Config.Dep_steer | U.Config.Ooo ->
+        (C.Transform.conventional program).C.Extalloc.program
   in
   let cfg = if width = 8 then cfg else U.Config.scale_width cfg width in
   let out = Emulator.run ~max_steps:(50 * scale) ~init_mem binary in
@@ -392,6 +349,143 @@ let experiment_cmd =
       const run $ id_arg $ only_arg $ jobs_arg $ json_arg $ counters_arg
       $ scale_arg)
 
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let axis_conv : Dse.Axis.t Cmdliner.Arg.conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Dse.Axis.of_spec s) in
+    Cmdliner.Arg.conv ~docv:"FIELD=V1,V2,..." (parse, Dse.Axis.pp)
+  in
+  let axes_arg =
+    Cmdliner.Arg.(
+      value
+      & opt_all axis_conv []
+      & info [ "axis" ] ~docv:"FIELD=V1,V2,..."
+          ~doc:
+            "A sweep axis: a sweepable Config field and its values \
+             (repeatable). `braidsim sweep --list-fields` enumerates the \
+             fields.")
+  in
+  let mode_arg =
+    Cmdliner.Arg.(
+      value
+      & opt
+          (enum
+             [ ("cartesian", Dse.Grid.Cartesian);
+               ("one-at-a-time", Dse.Grid.One_at_a_time) ])
+          Dse.Grid.Cartesian
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Grid expansion: $(b,cartesian) (every combination) or \
+             $(b,one-at-a-time) (the preset plus each single-field \
+             deviation, the shape of Figs 5-12).")
+  in
+  let benches_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (list Cli.bench_name_conv) []
+      & info [ "benches" ] ~docv:"NAMES"
+          ~doc:"Comma-separated benchmark subset (default: all 26).")
+  in
+  let cache_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed result cache: every simulation lands in \
+             $(docv) and is reused by any later sweep that reaches the \
+             same (config, trace) point, so interrupted sweeps resume \
+             with zero recomputation.")
+  in
+  let resume_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume an interrupted sweep from --cache-dir (reusing cached \
+             results is also the default whenever --cache-dir is given; \
+             this flag only asserts the intent and errors without a cache \
+             directory).")
+  in
+  let json_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the braidsim-sweep/1 document to $(docv) (- for stdout).")
+  in
+  let list_fields_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "list-fields" ] ~doc:"List the sweepable config fields and exit.")
+  in
+  let run preset axes mode benches cache resume json list_fields seed scale jobs
+      =
+    if list_fields then
+      List.iter print_endline U.Config.sweepable_fields
+    else begin
+      if resume && cache = None then begin
+        Printf.eprintf "braidsim: --resume requires --cache-dir\n";
+        exit 1
+      end;
+      let cache =
+        Option.map
+          (fun d ->
+            match Dse.Cache.open_dir d with
+            | Ok c -> c
+            | Error msg ->
+                Printf.eprintf "braidsim: %s\n" msg;
+                exit 1)
+          cache
+      in
+      let benches =
+        match benches with
+        | [] -> W.Spec.all
+        | names -> List.map W.Spec.find names
+      in
+      match Dse.Grid.expand ~base:preset ~mode axes with
+      | Error msg ->
+          Printf.eprintf "braidsim: invalid sweep grid: %s\n" msg;
+          exit 1
+      | Ok points ->
+          let ctx = Braid_sim.Suite.create_ctx () in
+          let obs = Obs.Sink.create () in
+          let outcome =
+            Dse.Sweep.run ~obs ?cache ~ctx ~jobs ~seed ~scale ~benches points
+          in
+          (* --json - claims stdout for the document; keep it valid JSON *)
+          if json <> Some "-" then print_string (Dse.Frontier.render outcome);
+          Option.iter
+            (fun file ->
+              let doc =
+                Dse.Frontier.to_json ~preset ~mode ~axes ~seed ~scale outcome
+              in
+              if file = "-" then print_string doc
+              else
+                try
+                  let oc = open_out file in
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () -> output_string oc doc)
+                with Sys_error msg ->
+                  Printf.eprintf "braidsim: cannot write JSON: %s\n" msg;
+                  exit 1)
+            json
+    end
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "sweep"
+       ~doc:
+         "Design-space exploration: expand a preset and typed axes into a \
+          validated configuration grid, simulate every (config, benchmark) \
+          point across the domain pool with a persistent result cache, and \
+          report the IPC-vs-complexity Pareto frontier.")
+    Cmdliner.Term.(
+      const run $ Cli.preset_arg $ axes_arg $ mode_arg $ benches_arg
+      $ cache_arg $ resume_arg $ json_arg $ list_fields_arg $ seed_arg
+      $ scale_arg $ Cli.jobs_arg ~default:1)
+
 (* --- disasm --- *)
 
 let disasm_cmd =
@@ -448,4 +542,4 @@ let () =
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.group info
           [ list_cmd; stats_cmd; inspect_cmd; run_cmd; trace_cmd;
-            experiment_cmd; disasm_cmd; complexity_cmd ]))
+            experiment_cmd; sweep_cmd; disasm_cmd; complexity_cmd ]))

@@ -1,0 +1,94 @@
+module Config = Braid_uarch.Config
+module Spec = Braid_workload.Spec
+
+let core_kind_conv : Config.core_kind Cmdliner.Arg.conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Config.kind_of_string s) in
+  let print fmt k = Format.pp_print_string fmt (Config.kind_to_string k) in
+  Cmdliner.Arg.conv ~docv:"CORE" (parse, print)
+
+let core_names =
+  String.concat ", "
+    (List.map (fun c -> Config.kind_to_string c.Config.kind) Config.presets)
+
+let core_arg =
+  Cmdliner.Arg.(
+    value
+    & opt core_kind_conv Config.Braid_exec
+    & info [ "core" ] ~docv:"CORE"
+        ~doc:(Printf.sprintf "Execution core: %s." core_names))
+
+let preset_conv : Config.t Cmdliner.Arg.conv =
+  let parse s =
+    Result.map Config.preset_of_kind
+      (Result.map_error (fun m -> `Msg m) (Config.kind_of_string s))
+  in
+  let print fmt (c : Config.t) =
+    Format.pp_print_string fmt (Config.kind_to_string c.Config.kind)
+  in
+  Cmdliner.Arg.conv ~docv:"PRESET" (parse, print)
+
+let preset_arg =
+  Cmdliner.Arg.(
+    value
+    & opt preset_conv Config.braid_8wide
+    & info [ "preset" ] ~docv:"PRESET"
+        ~doc:
+          (Printf.sprintf "Base machine preset (Table 4): %s." core_names))
+
+let seed_arg =
+  let doc = "Workload generation seed." in
+  Cmdliner.Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg ~default =
+  let doc = "Target dynamic instruction count of each benchmark run." in
+  Cmdliner.Arg.(value & opt int default & info [ "scale" ] ~docv:"N" ~doc)
+
+let positive_int : int Cmdliner.Arg.conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%s is not a positive integer" s))
+    | None -> Error (`Msg (Printf.sprintf "invalid value %S, expected an integer" s))
+  in
+  Cmdliner.Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let jobs_arg ~default =
+  let doc =
+    "Simulation jobs to run in parallel (one domain each); must be \
+     positive. 1 runs serially on the calling domain. Output is identical \
+     for every value."
+  in
+  Cmdliner.Arg.(value & opt positive_int default & info [ "jobs" ] ~docv:"N" ~doc)
+
+let valid_bench_names () =
+  String.concat "\n" (List.map (fun (p : Spec.profile) -> p.Spec.name) Spec.all)
+
+let bench_conv : Spec.profile Cmdliner.Arg.conv =
+  let parse s =
+    match Spec.find s with
+    | p -> Ok p
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown benchmark %S; valid names:\n%s" s
+                (valid_bench_names ())))
+  in
+  let print fmt (p : Spec.profile) = Format.pp_print_string fmt p.Spec.name in
+  Cmdliner.Arg.conv ~docv:"BENCH" (parse, print)
+
+let bench_arg =
+  let doc = "Benchmark name (one of the 26 SPEC CPU2000 stand-ins)." in
+  Cmdliner.Arg.(
+    required & pos 0 (some bench_conv) None & info [] ~docv:"BENCH" ~doc)
+
+let bench_name_conv : string Cmdliner.Arg.conv =
+  let parse s =
+    match Spec.find s with
+    | (_ : Spec.profile) -> Ok s
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown benchmark %S; valid names:\n%s" s
+                (valid_bench_names ())))
+  in
+  Cmdliner.Arg.conv ~docv:"BENCH" (parse, Format.pp_print_string)

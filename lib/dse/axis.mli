@@ -1,0 +1,23 @@
+(** A typed sweep axis: one {!Braid_uarch.Config} field and the values it
+    takes across the design space. Values are the canonical strings the
+    {!Braid_uarch.Config.override} primitive parses, so an axis can
+    address any sweepable field — integer widths, booleans, the predictor,
+    even the core kind. *)
+
+type t = private { field : string; values : string list }
+
+val make : field:string -> string list -> (t, string) result
+(** Rejects unknown fields (listing the sweepable ones), empty value
+    lists and duplicate values. Value parseability is checked per grid
+    point at expansion time ({!Grid.expand}). *)
+
+val ints : field:string -> int list -> (t, string) result
+val bools : field:string -> bool list -> (t, string) result
+
+val of_spec : string -> (t, string) result
+(** Parses the CLI form ["ext_regs=4,8,16,32"]. *)
+
+val to_spec : t -> string
+(** Inverse of {!of_spec}. *)
+
+val pp : Format.formatter -> t -> unit

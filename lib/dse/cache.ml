@@ -1,0 +1,120 @@
+module Json = Braid_obs.Json
+
+let schema = "braidsim-sweep-cache/1"
+
+type t = { dir : string }
+
+type key = {
+  config_digest : string;
+  bench : string;
+  seed : int;
+  scale : int;
+  binary : string;
+  ext_usable : int;
+}
+
+type entry = { cycles : int; instructions : int }
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "/" || dir = "." || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let open_dir dir =
+  match
+    mkdir_p dir;
+    Sys.is_directory dir
+  with
+  | true -> Ok { dir }
+  | false -> Error (Printf.sprintf "cache dir %s exists and is not a directory" dir)
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot open cache dir: %s" msg)
+
+let dir t = t.dir
+
+let key_id k =
+  (* content address of the whole job identity: the config digest already
+     folds in every machine parameter, the rest pins the trace *)
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            schema; k.config_digest; k.bench; string_of_int k.seed;
+            string_of_int k.scale; k.binary; string_of_int k.ext_usable;
+          ]))
+
+(* <dir>/<first two hex chars>/<full id>.json *)
+let path t k =
+  let id = key_id k in
+  Filename.concat (Filename.concat t.dir (String.sub id 0 2)) (id ^ ".json")
+
+let entry_to_json k e =
+  Printf.sprintf
+    "{%s:%s,%s:%s,%s:%s,%s:%d,%s:%d,%s:%s,%s:%d,%s:%d,%s:%d}\n"
+    (Json.escape_string "schema") (Json.escape_string schema)
+    (Json.escape_string "config_digest") (Json.escape_string k.config_digest)
+    (Json.escape_string "bench") (Json.escape_string k.bench)
+    (Json.escape_string "seed") k.seed
+    (Json.escape_string "scale") k.scale
+    (Json.escape_string "binary") (Json.escape_string k.binary)
+    (Json.escape_string "ext_usable") k.ext_usable
+    (Json.escape_string "cycles") e.cycles
+    (Json.escape_string "instructions") e.instructions
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A hit must re-prove its identity: the filename is a hash, so a digest
+   collision or a foreign/corrupt file degrades to a miss, never to a
+   wrong result. *)
+let find t k =
+  let p = path t k in
+  if not (Sys.file_exists p) then None
+  else
+    match Json.parse (read_file p) with
+    | Error _ -> None
+    | exception Sys_error _ -> None
+    | Ok doc ->
+        let str name =
+          match Json.member name doc with Some (Json.Str s) -> Some s | _ -> None
+        in
+        let int name =
+          match Json.member name doc with
+          | Some (Json.Num f) when Float.is_integer f -> Some (int_of_float f)
+          | _ -> None
+        in
+        let matches =
+          str "schema" = Some schema
+          && str "config_digest" = Some k.config_digest
+          && str "bench" = Some k.bench
+          && int "seed" = Some k.seed
+          && int "scale" = Some k.scale
+          && str "binary" = Some k.binary
+          && int "ext_usable" = Some k.ext_usable
+        in
+        if not matches then None
+        else
+          match (int "cycles", int "instructions") with
+          | Some cycles, Some instructions when cycles > 0 ->
+              Some { cycles; instructions }
+          | _ -> None
+
+let store t k e =
+  let p = path t k in
+  mkdir_p (Filename.dirname p);
+  (* write-then-rename: concurrent writers of the same key (two grid
+     points naming one machine) both produce identical content, and a
+     reader never observes a torn file *)
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" p (Hashtbl.hash (Domain.self ())) (Random.bits ())
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (entry_to_json k e));
+  Sys.rename tmp p

@@ -1,0 +1,39 @@
+(** Content-addressed on-disk cache of sweep simulation results.
+
+    One JSON file per (configuration × trace) job, addressed by a digest
+    of {!Braid_uarch.Config.digest} plus the trace identity (benchmark,
+    seed, scale, binary flavour, compile-time external register budget).
+    Layout: [<dir>/<id[0..1]>/<id>.json] with a
+    ["braidsim-sweep-cache/1"] schema recording both the full key and the
+    result, so a hit is verified against the key it claims to answer —
+    corrupt or foreign files degrade to misses. Writes go through a
+    temp-file rename, making concurrent sweeps over one directory safe.
+
+    Interrupted sweeps therefore resume with zero recomputation, and a
+    repeat of a completed sweep is pure cache reads. *)
+
+type t
+
+type key = {
+  config_digest : string;  (** {!Braid_uarch.Config.digest} of the point *)
+  bench : string;
+  seed : int;
+  scale : int;
+  binary : string;  (** ["braid"] or ["conv"] *)
+  ext_usable : int;  (** compile-time external register budget *)
+}
+
+type entry = { cycles : int; instructions : int }
+
+val open_dir : string -> (t, string) result
+(** Creates the directory (and parents) if needed. *)
+
+val dir : t -> string
+val path : t -> key -> string
+
+val find : t -> key -> entry option
+(** [None] on absence, parse failure, schema/key mismatch or a
+    non-positive cycle count. *)
+
+val store : t -> key -> entry -> unit
+(** Atomic (write + rename). Raises [Sys_error] on I/O failure. *)

@@ -1,0 +1,97 @@
+module Config = Braid_uarch.Config
+module Report = Braid_sim.Report
+
+let schema = "braidsim-sweep/1"
+
+(* Pareto dominance over (maximise mean IPC, minimise complexity). *)
+let pareto (results : Sweep.point_result list) =
+  List.map
+    (fun (p : Sweep.point_result) ->
+      let dominated =
+        List.exists
+          (fun (q : Sweep.point_result) ->
+            q.Sweep.mean_ipc >= p.Sweep.mean_ipc
+            && q.Sweep.complexity <= p.Sweep.complexity
+            && (q.Sweep.mean_ipc > p.Sweep.mean_ipc
+               || q.Sweep.complexity < p.Sweep.complexity))
+          results
+      in
+      (p, not dominated))
+    results
+
+let render (o : Sweep.outcome) =
+  let flagged = pareto o.Sweep.results in
+  let rows =
+    List.map
+      (fun ((p : Sweep.point_result), optimal) ->
+        [
+          p.Sweep.point.Grid.label;
+          Printf.sprintf "%.0f" p.Sweep.complexity;
+          Printf.sprintf "%.3f" p.Sweep.mean_ipc;
+          (if optimal then "*" else "");
+        ])
+      flagged
+  in
+  let table =
+    Render.table ~header:[ "point"; "complexity"; "mean IPC"; "pareto" ] ~rows
+  in
+  let optimal = List.length (List.filter snd flagged) in
+  Printf.sprintf
+    "Design-space frontier: %d points, %d Pareto-optimal (IPC vs complexity)\n%s%d simulated, %d cache hits\n"
+    (List.length o.Sweep.results)
+    optimal table o.Sweep.stats.Sweep.simulated o.Sweep.stats.Sweep.cache_hits
+
+let json_of_run (r : Sweep.run) =
+  Report.json_obj
+    [
+      ("bench", Report.json_string r.Sweep.bench);
+      ("cycles", string_of_int r.Sweep.cycles);
+      ("instructions", string_of_int r.Sweep.instructions);
+      ("ipc", Report.json_float r.Sweep.ipc);
+      ("cached", if r.Sweep.from_cache then "true" else "false");
+    ]
+
+let json_of_point ((p : Sweep.point_result), optimal) =
+  Report.json_obj
+    [
+      ("name", Report.json_string p.Sweep.point.Grid.config.Config.name);
+      ("label", Report.json_string p.Sweep.point.Grid.label);
+      ( "bindings",
+        Report.json_obj
+          (List.map
+             (fun (f, v) -> (f, Report.json_string v))
+             p.Sweep.point.Grid.bindings) );
+      ("digest", Report.json_string p.Sweep.digest);
+      ("complexity", Report.json_float p.Sweep.complexity);
+      ("mean_ipc", Report.json_float p.Sweep.mean_ipc);
+      ("pareto", if optimal then "true" else "false");
+      ("runs", Report.json_list json_of_run p.Sweep.runs);
+    ]
+
+let to_json ~(preset : Config.t) ~mode ~axes ~seed ~scale (o : Sweep.outcome) =
+  Report.json_obj
+    [
+      ("schema", Report.json_string schema);
+      ("preset", Report.json_string preset.Config.name);
+      ("preset_digest", Report.json_string (Config.digest preset));
+      ("mode", Report.json_string (Grid.mode_to_string mode));
+      ( "axes",
+        Report.json_list
+          (fun (a : Axis.t) ->
+            Report.json_obj
+              [
+                ("field", Report.json_string a.Axis.field);
+                ("values", Report.json_list Report.json_string a.Axis.values);
+              ])
+          axes );
+      ("seed", string_of_int seed);
+      ("scale", string_of_int scale);
+      ( "stats",
+        Report.json_obj
+          [
+            ("simulated", string_of_int o.Sweep.stats.Sweep.simulated);
+            ("cache_hits", string_of_int o.Sweep.stats.Sweep.cache_hits);
+          ] );
+      ("points", Report.json_list json_of_point (pareto o.Sweep.results));
+    ]
+  ^ "\n"

@@ -1,0 +1,24 @@
+(** The complexity-effectiveness frontier: sweep results joined against
+    the {!Braid_uarch.Complexity} static cost model — the paper's central
+    claim (braid hardware sits between in-order cost and out-of-order
+    performance) made explorable. *)
+
+val pareto : Sweep.point_result list -> (Sweep.point_result * bool) list
+(** Flags each point Pareto-optimal over (maximise mean IPC, minimise
+    complexity index), input order preserved. *)
+
+val render : Sweep.outcome -> string
+(** Text frontier table (point, complexity, mean IPC, [*] for
+    Pareto-optimal) plus the simulated / cache-hit totals. *)
+
+val to_json :
+  preset:Braid_uarch.Config.t ->
+  mode:Grid.mode ->
+  axes:Axis.t list ->
+  seed:int ->
+  scale:int ->
+  Sweep.outcome ->
+  string
+(** The ["braidsim-sweep/1"] document: sweep identity (preset + digest,
+    mode, axes, seed, scale), stats, and per-point results with
+    per-benchmark cycles/instructions/IPC and cache provenance. *)

@@ -1,0 +1,84 @@
+module Config = Braid_uarch.Config
+
+type mode = Cartesian | One_at_a_time
+
+let mode_to_string = function
+  | Cartesian -> "cartesian"
+  | One_at_a_time -> "one-at-a-time"
+
+type point = {
+  label : string;
+  bindings : (string * string) list;
+  config : Config.t;
+}
+
+let max_points = 100_000
+
+let label_of = function
+  | [] -> "base"
+  | bindings ->
+      String.concat ","
+        (List.map (fun (f, v) -> Printf.sprintf "%s=%s" f v) bindings)
+
+(* Override then validate: a point that parses but describes a nonsense
+   machine (zero clusters, window wider than its queue, ...) fails the
+   whole expansion before any simulation is scheduled. *)
+let point_of ~(base : Config.t) bindings =
+  let label = label_of bindings in
+  let name =
+    match bindings with
+    | [] -> base.Config.name
+    | _ -> Printf.sprintf "%s+%s" base.Config.name label
+  in
+  match Config.override base bindings with
+  | Error msg -> Error (Printf.sprintf "point %s: %s" label msg)
+  | Ok c -> (
+      match Config.validate { c with Config.name } with
+      | Error msg -> Error (Printf.sprintf "point %s: invalid config: %s" label msg)
+      | Ok config -> Ok { label; bindings; config })
+
+let cartesian axes =
+  List.fold_left
+    (fun acc (a : Axis.t) ->
+      List.concat_map
+        (fun bindings ->
+          List.map (fun v -> bindings @ [ (a.Axis.field, v) ]) a.Axis.values)
+        acc)
+    [ [] ] axes
+
+let one_at_a_time axes =
+  [] :: List.concat_map
+          (fun (a : Axis.t) ->
+            List.map (fun v -> [ (a.Axis.field, v) ]) a.Axis.values)
+          axes
+
+let expand ~base ~mode axes =
+  let fields = List.map (fun (a : Axis.t) -> a.Axis.field) axes in
+  if List.length (List.sort_uniq String.compare fields) <> List.length fields
+  then Error "duplicate axis field"
+  else
+    let size =
+      match mode with
+      | Cartesian ->
+          List.fold_left
+            (fun n (a : Axis.t) -> n * List.length a.Axis.values)
+            1 axes
+      | One_at_a_time ->
+          1 + List.fold_left (fun n (a : Axis.t) -> n + List.length a.Axis.values) 0 axes
+    in
+    if size > max_points then
+      Error
+        (Printf.sprintf "grid of %d points exceeds the %d-point limit" size
+           max_points)
+    else
+      let binding_sets =
+        match mode with
+        | Cartesian -> cartesian axes
+        | One_at_a_time -> one_at_a_time axes
+      in
+      List.fold_left
+        (fun acc bindings ->
+          Result.bind acc (fun points ->
+              Result.map (fun p -> p :: points) (point_of ~base bindings)))
+        (Ok []) binding_sets
+      |> Result.map List.rev

@@ -1,0 +1,29 @@
+(** Expansion of a preset plus axes into a grid of named, validated
+    configuration points. *)
+
+type mode =
+  | Cartesian  (** every combination of axis values *)
+  | One_at_a_time
+      (** the base point plus each single-axis deviation — the shape of
+          the paper's Figs 5-12 sensitivity studies *)
+
+val mode_to_string : mode -> string
+
+type point = {
+  label : string;  (** ["ext_regs=4,sched_window=2"], or ["base"] *)
+  bindings : (string * string) list;  (** the applied overrides, axis order *)
+  config : Braid_uarch.Config.t;
+      (** base overridden by [bindings], renamed ["<base>+<label>"] so the
+          simulation memoiser distinguishes points *)
+}
+
+val expand :
+  base:Braid_uarch.Config.t ->
+  mode:mode ->
+  Axis.t list ->
+  (point list, string) result
+(** Expands (first axis outermost), applying {!Braid_uarch.Config.override}
+    and {!Braid_uarch.Config.validate} to every point: any invalid point
+    fails the whole grid before a single simulation is scheduled. Also
+    rejects duplicate axis fields and grids beyond 100k points. With no
+    axes the grid is the validated base preset alone. *)

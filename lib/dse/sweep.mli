@@ -1,0 +1,47 @@
+(** Execution of a sweep grid: every (configuration point × benchmark)
+    job fans out across the {!Braid_sim.Runner} domain pool, consulting
+    (and filling) an optional on-disk {!Cache} so repeated or resumed
+    sweeps skip simulation entirely. Results are deterministic and
+    independent of [jobs]. *)
+
+type run = {
+  bench : string;
+  cycles : int;
+  instructions : int;
+  ipc : float;
+      (** recomputed as instructions / cycles, so cached and fresh
+          results are bit-identical *)
+  from_cache : bool;
+}
+
+type point_result = {
+  point : Grid.point;
+  digest : string;  (** {!Braid_uarch.Config.digest} of the point *)
+  complexity : float;
+      (** {!Braid_uarch.Complexity} total static index of the point *)
+  mean_ipc : float;  (** plain mean over the swept benchmarks *)
+  runs : run list;  (** one per benchmark, in the order given *)
+}
+
+type stats = { simulated : int; cache_hits : int }
+
+type outcome = { results : point_result list; stats : stats }
+
+val ext_usable_of : Braid_uarch.Config.t -> int
+(** Compile-time external register budget a sweep job compiles with:
+    [min ext_regs usable_per_class] on a braid core (the hardware cannot
+    hold more — Fig 6's methodology), the full budget otherwise. *)
+
+val run :
+  ?obs:Braid_obs.Sink.t ->
+  ?cache:Cache.t ->
+  ctx:Braid_sim.Suite.ctx ->
+  jobs:int ->
+  seed:int ->
+  scale:int ->
+  benches:Braid_workload.Spec.profile list ->
+  Grid.point list ->
+  outcome
+(** With a live [obs] sink the totals land in the ["dse.simulations"] and
+    ["dse.cache_hits"] counters — the hook the cache tests (and CI) use to
+    prove a warm re-run performs zero pipeline runs. *)

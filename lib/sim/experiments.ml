@@ -35,6 +35,18 @@ type t = {
 }
 
 let named name cfg = { cfg with U.Config.name }
+
+(* Configuration variants go through the first-class override API —
+   anonymous record-update literals on Config.t are deprecated in
+   experiment code, so every variant stays inside the sweepable-field
+   vocabulary `braidsim sweep` exposes. The field names are static, so a
+   failure is a programming error, not an input error. *)
+let variant cfg name kvs =
+  match U.Config.override cfg kvs with
+  | Ok c -> named name c
+  | Error msg -> invalid_arg ("Experiments.variant: " ^ msg)
+
+let ikv field v = (field, string_of_int v)
 let is_fp (pr : Spec.profile) = pr.Spec.cls = Spec.Fp_bench
 let metric m_label value = { m_label; value }
 
@@ -283,8 +295,9 @@ let fig5 =
       let p = Suite.prepare ctx ~scale pr in
       let run n =
         Suite.run_conv ctx p
-          (named (Printf.sprintf "ooo-regs-%d" n)
-             { U.Config.ooo_8wide with U.Config.ext_regs = n })
+          (variant U.Config.ooo_8wide
+             (Printf.sprintf "ooo-regs-%d" n)
+             [ ikv "ext_regs" n ])
       in
       let base = run 256 in
       Array.of_list (List.map (fun n -> U.Pipeline.speedup base (run n)) counts))
@@ -308,8 +321,9 @@ let fig6 =
             ~ext_usable:(min n C.Extalloc.usable_per_class) pr
         in
         Suite.run_braid ctx p
-          (named (Printf.sprintf "braid-extregs-%d" n)
-             { U.Config.braid_8wide with U.Config.ext_regs = n })
+          (variant U.Config.braid_8wide
+             (Printf.sprintf "braid-extregs-%d" n)
+             [ ikv "ext_regs" n ])
       in
       let base = run 256 in
       Array.of_list
@@ -335,8 +349,9 @@ let fig7 =
       let p = Suite.prepare ctx ~scale pr in
       let run (r, w) =
         Suite.run_braid ctx p
-          (named (Printf.sprintf "braid-ports-%d-%d" r w)
-             { U.Config.braid_8wide with U.Config.rf_read_ports = r; rf_write_ports = w })
+          (variant U.Config.braid_8wide
+             (Printf.sprintf "braid-ports-%d-%d" r w)
+             [ ikv "rf_read_ports" r; ikv "rf_write_ports" w ])
       in
       let base = run (16, 8) in
       Array.of_list (List.map (fun pw -> U.Pipeline.speedup base (run pw)) ports))
@@ -357,13 +372,14 @@ let fig8 =
       let p = Suite.prepare ctx ~scale pr in
       let run n =
         Suite.run_braid ctx p
-          (named (Printf.sprintf "braid-bypass-%d" n)
-             { U.Config.braid_8wide with U.Config.bypass_per_cycle = n })
+          (variant U.Config.braid_8wide
+             (Printf.sprintf "braid-bypass-%d" n)
+             [ ikv "bypass_per_cycle" n ])
       in
       let base =
         Suite.run_braid ctx p
-          (named "braid-bypass-full"
-             { U.Config.braid_8wide with U.Config.bypass_per_cycle = 64 })
+          (variant U.Config.braid_8wide "braid-bypass-full"
+             [ ikv "bypass_per_cycle" 64 ])
       in
       Array.of_list (List.map (fun n -> U.Pipeline.speedup base (run n)) paths))
 
@@ -391,8 +407,9 @@ let fig9 =
     ~configs:
       (List.map
          (fun n ->
-           named (Printf.sprintf "braid-beus-%d" n)
-             { U.Config.braid_8wide with U.Config.clusters = n })
+           variant U.Config.braid_8wide
+             (Printf.sprintf "braid-beus-%d" n)
+             [ ikv "clusters" n ])
          counts)
 
 let fig10 =
@@ -404,8 +421,9 @@ let fig10 =
     ~configs:
       (List.map
          (fun n ->
-           named (Printf.sprintf "braid-fifo-%d" n)
-             { U.Config.braid_8wide with U.Config.cluster_entries = n })
+           variant U.Config.braid_8wide
+             (Printf.sprintf "braid-fifo-%d" n)
+             [ ikv "cluster_entries" n ])
          sizes)
 
 let fig11 =
@@ -417,8 +435,9 @@ let fig11 =
     ~configs:
       (List.map
          (fun n ->
-           named (Printf.sprintf "braid-window-%d" n)
-             { U.Config.braid_8wide with U.Config.sched_window = n })
+           variant U.Config.braid_8wide
+             (Printf.sprintf "braid-window-%d" n)
+             [ ikv "sched_window" n ])
          sizes)
 
 let fig12 =
@@ -430,8 +449,9 @@ let fig12 =
     ~configs:
       (List.map
          (fun n ->
-           named (Printf.sprintf "braid-winfu-%d" n)
-             { U.Config.braid_8wide with U.Config.sched_window = n; fus_per_cluster = n })
+           variant U.Config.braid_8wide
+             (Printf.sprintf "braid-winfu-%d" n)
+             [ ikv "sched_window" n; ikv "fus_per_cluster" n ])
          sizes)
 
 (* ---------------------------------------------------------------- *)
@@ -513,13 +533,13 @@ let fig14 =
       let base = Suite.run_braid ctx p U.Config.braid_8wide in
       let a =
         Suite.run_braid ctx p
-          (named "braid-4x2"
-             { U.Config.braid_8wide with U.Config.clusters = 4; fus_per_cluster = 2 })
+          (variant U.Config.braid_8wide "braid-4x2"
+             [ ikv "clusters" 4; ikv "fus_per_cluster" 2 ])
       in
       let b =
         Suite.run_braid ctx p
-          (named "braid-8x1"
-             { U.Config.braid_8wide with U.Config.clusters = 8; fus_per_cluster = 1 })
+          (variant U.Config.braid_8wide "braid-8x1"
+             [ ikv "clusters" 8; ikv "fus_per_cluster" 1 ])
       in
       [| U.Pipeline.speedup base a; U.Pipeline.speedup base b |])
 
@@ -559,8 +579,8 @@ let pipeline_ablation =
       let p = Suite.prepare ctx ~scale pr in
       let deep =
         Suite.run_braid ctx p
-          (named "braid-deep"
-             { U.Config.braid_8wide with U.Config.misprediction_penalty = 23 })
+          (variant U.Config.braid_8wide "braid-deep"
+             [ ikv "misprediction_penalty" 23 ])
       in
       let short = Suite.run_braid ctx p U.Config.braid_8wide in
       [| 1.0; U.Pipeline.speedup deep short |])
@@ -775,8 +795,8 @@ let beu_ooo_ablation =
       let base = Suite.run_braid ctx p U.Config.braid_8wide in
       let oooed =
         Suite.run_braid ctx p
-          (named "braid-ooo-beu"
-             { U.Config.braid_8wide with U.Config.beu_out_of_order = true })
+          (variant U.Config.braid_8wide "braid-ooo-beu"
+             [ ("beu_out_of_order", "true") ])
       in
       [| 1.0; U.Pipeline.speedup base oooed |])
 
@@ -804,12 +824,8 @@ let clustering_ablation =
            (fun (n, size, lat) ->
              let r =
                Suite.run_braid ctx p
-                 (named ("braid-clu-" ^ n)
-                    {
-                      U.Config.braid_8wide with
-                      U.Config.beu_cluster_size = size;
-                      inter_cluster_latency = lat;
-                    })
+                 (variant U.Config.braid_8wide ("braid-clu-" ^ n)
+                    [ ikv "beu_cluster_size" size; ikv "inter_cluster_latency" lat ])
              in
              U.Pipeline.speedup base r)
            variants))
@@ -890,13 +906,15 @@ let checkpoint_ablation =
            (fun n ->
              let ooo =
                Suite.run_conv ctx p
-                 (named (Printf.sprintf "ooo-ckpt-%d" n)
-                    { U.Config.ooo_8wide with U.Config.max_unresolved_branches = n })
+                 (variant U.Config.ooo_8wide
+                    (Printf.sprintf "ooo-ckpt-%d" n)
+                    [ ikv "max_unresolved_branches" n ])
              in
              let braid =
                Suite.run_braid ctx p
-                 (named (Printf.sprintf "braid-ckpt-%d" n)
-                    { U.Config.braid_8wide with U.Config.max_unresolved_branches = n })
+                 (variant U.Config.braid_8wide
+                    (Printf.sprintf "braid-ckpt-%d" n)
+                    [ ikv "max_unresolved_branches" n ])
              in
              [ U.Pipeline.speedup ooo_base ooo; U.Pipeline.speedup braid_base braid ])
            counts))
@@ -924,8 +942,8 @@ let predictor_ablation =
       let perceptron = Suite.run_braid ctx p U.Config.braid_8wide in
       let gshare =
         Suite.run_braid ctx p
-          (named "braid-gshare"
-             { U.Config.braid_8wide with U.Config.predictor = U.Config.Gshare })
+          (variant U.Config.braid_8wide "braid-gshare"
+             [ ("predictor", "gshare") ])
       in
       let mpki (r : U.Pipeline.result) =
         1000.0 *. float_of_int r.U.Pipeline.branch_mispredicts
@@ -980,17 +998,11 @@ let frontend_ablation =
     (fun ctx ~scale pr ->
       let p = Suite.prepare ctx ~scale pr in
       let base = Suite.run_braid ctx p U.Config.braid_8wide in
-      let variant name f =
-        Suite.run_braid ctx p (named name (f U.Config.braid_8wide))
+      let run name kvs =
+        Suite.run_braid ctx p (variant U.Config.braid_8wide name kvs)
       in
-      let wp =
-        variant "braid-wrongpath" (fun c ->
-            { c with U.Config.model_wrong_path_fetch = true })
-      in
-      let btb n =
-        variant (Printf.sprintf "braid-btb%d" n) (fun c ->
-            { c with U.Config.btb_entries = n })
-      in
+      let wp = run "braid-wrongpath" [ ("model_wrong_path_fetch", "true") ] in
+      let btb n = run (Printf.sprintf "braid-btb%d" n) [ ikv "btb_entries" n ] in
       [|
         1.0;
         U.Pipeline.speedup base wp;

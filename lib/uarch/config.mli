@@ -104,3 +104,66 @@ val scale_width : t -> int -> t
 
 val perfect_frontend : t -> t
 (** Perfect branch prediction and perfect caches (Fig 1's machine). *)
+
+(** {2 First-class configuration API}
+
+    Configurations are named, serializable, diffable values: one internal
+    field table drives JSON serialization, the content digest, validation
+    and string-level overrides, so the vocabulary the sweep engine exposes
+    ([--axis ext_regs=4,8,...]) can never drift from the record. *)
+
+val kind_to_string : core_kind -> string
+(** ["in-order"], ["dep-steer"], ["ooo"] or ["braid"] — the one spelling
+    shared by every front end. *)
+
+val kind_of_string : string -> (core_kind, string) result
+(** Inverse of {!kind_to_string} (case-insensitive, trimmed). *)
+
+val predictor_to_string : predictor_kind -> string
+val predictor_of_string : string -> (predictor_kind, string) result
+
+val preset_of_kind : core_kind -> t
+(** The Table 4 preset for each paradigm ([braid_8wide] for [Braid_exec],
+    …). *)
+
+val presets : t list
+(** The four presets, in complexity order (in-order, dep-steer, braid,
+    ooo). *)
+
+val sweepable_fields : string list
+(** Every field {!override} (and hence a sweep axis) can address, in
+    canonical JSON order. Includes the flattened memory-hierarchy fields
+    ([l1d.latency], [memory_latency], …). *)
+
+val get : t -> string -> (string, string) result
+(** [get c field] is the canonical string rendering of one sweepable
+    field's current value. *)
+
+val override : t -> (string * string) list -> (t, string) result
+(** [override c [(field, value); ...]] applies field-name → value
+    overrides left to right; this is the [--axis] parsing primitive.
+    Unknown fields fail with a message listing every sweepable field;
+    unparseable values name the offending field. The result is not
+    implicitly {!validate}d. *)
+
+val to_json : t -> string
+(** Canonical flat JSON object: ["name"] first, then every sweepable field
+    in {!sweepable_fields} order (memory fields flattened as
+    [l1d.size_bytes] etc.). [of_json (to_json c) = Ok c]. *)
+
+val of_json : string -> (t, string) result
+(** Parses {!to_json}'s shape with {!Braid_obs.Json}. Field order is
+    irrelevant; missing, duplicate or unknown fields and malformed values
+    are errors. *)
+
+val digest : t -> string
+(** Stable hex content digest of the canonical JSON with the [name]
+    erased: identically parameterised machines hash alike whatever they
+    are called, and any parameter change alters the digest. Keys the
+    design-space-exploration result cache. *)
+
+val validate : t -> (t, string) result
+(** Rejects nonsense before it can crash (or silently skew) a simulation:
+    non-positive widths/ports/window sizes, zero clusters,
+    [sched_window > cluster_entries], degenerate cache geometries. The
+    error aggregates every violated rule. All {!presets} validate. *)

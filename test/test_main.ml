@@ -21,4 +21,6 @@ let () =
       T_runner.suite;
       T_calq.suite;
       T_golden.suite;
+      T_config.suite;
+      T_dse.suite;
     ]
