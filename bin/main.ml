@@ -509,6 +509,93 @@ let disasm_cmd =
           with the Asm module).")
     Cmdliner.Term.(const run $ bench_arg $ seed_arg $ scale_arg $ braided_arg)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let count_arg =
+    Cmdliner.Arg.(
+      value & opt positive_int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random cases to check.")
+  in
+  let index_arg =
+    Cmdliner.Arg.(
+      value & opt int 0
+      & info [ "index" ] ~docv:"I"
+          ~doc:
+            "First case index. Reproduce a printed failure exactly with \
+             $(b,--seed S --index I --count 1).")
+  in
+  let core_opt_arg =
+    Cmdliner.Arg.(
+      value & opt (some Cli.core_kind_conv) None
+      & info [ "core" ] ~docv:"CORE"
+          ~doc:
+            "Restrict the differential oracle to one core (default: \
+             in-order, ooo and braid).")
+  in
+  let shrink_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:"Greedily reduce each failing case to a minimal fragment list.")
+  in
+  let invariants_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "invariants" ]
+          ~doc:
+            "Also check microarchitectural invariants (commit order, \
+             register-file occupancy, bypass legality, S/T/I/E bits) on \
+             every run.")
+  in
+  let run count seed index core shrink invariants =
+    let module Ck = Braid_check in
+    let cores =
+      match core with None -> Ck.Oracle.default_cores | Some k -> [ k ]
+    in
+    let outcome =
+      Ck.Fuzz.run ~invariants ~shrink ~cores ~first_index:index ~count ~seed ()
+    in
+    let core_names =
+      String.concat "," (List.map U.Config.kind_to_string cores)
+    in
+    if outcome.Ck.Fuzz.failures = [] then
+      Printf.printf
+        "fuzz: %d case(s) on [%s], seed %d: 0 divergences, 0 invariant \
+         violations%s\n"
+        outcome.Ck.Fuzz.tested core_names seed
+        (if invariants then "" else " (monitor off)")
+    else begin
+      Printf.printf "fuzz: %d of %d case(s) FAILED on [%s], seed %d\n"
+        (List.length outcome.Ck.Fuzz.failures)
+        outcome.Ck.Fuzz.tested core_names seed;
+      List.iter
+        (fun (f : Ck.Fuzz.failure) ->
+          Printf.printf "\ncase %s\n%s"
+            (Ck.Gen.describe f.Ck.Fuzz.case)
+            (Ck.Oracle.render f.Ck.Fuzz.report);
+          match f.Ck.Fuzz.shrunk with
+          | None -> ()
+          | Some (reduced, rep) ->
+              Printf.printf "shrunk to %s\n%s"
+                (Ck.Gen.describe reduced)
+                (Ck.Oracle.render rep);
+              let program, _ = Ck.Gen.build reduced in
+              Printf.printf "reproducer (virtual IR):\n%s" (Disasm.program program))
+        outcome.Ck.Fuzz.failures;
+      Stdlib.exit 1
+    end
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random programs through the emulator and \
+          the timing cores, comparing committed state (plus optional \
+          invariant monitoring).")
+    Cmdliner.Term.(
+      const run $ count_arg $ seed_arg $ index_arg $ core_opt_arg $ shrink_arg
+      $ invariants_arg)
+
 (* --- complexity --- *)
 
 let complexity_cmd =
@@ -542,4 +629,4 @@ let () =
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.group info
           [ list_cmd; stats_cmd; inspect_cmd; run_cmd; trace_cmd;
-            experiment_cmd; sweep_cmd; disasm_cmd; complexity_cmd ]))
+            experiment_cmd; sweep_cmd; disasm_cmd; complexity_cmd; fuzz_cmd ]))

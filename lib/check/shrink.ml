@@ -1,0 +1,23 @@
+let shrink ~fails (case : Gen.case) =
+  let current = ref case in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let frags = !current.Gen.fragments in
+    let n = List.length frags in
+    if n > 1 then begin
+      let i = ref 0 in
+      while (not !progress) && !i < n do
+        let candidate =
+          Gen.with_fragments !current
+            (List.filteri (fun j _ -> j <> !i) frags)
+        in
+        if fails candidate then begin
+          current := candidate;
+          progress := true
+        end;
+        incr i
+      done
+    end
+  done;
+  !current

@@ -1,0 +1,12 @@
+(** Greedy block-level shrinker over fuzz cases.
+
+    Repeatedly tries dropping one fragment at a time (front to back),
+    keeping any removal after which [fails] still holds, until no single
+    removal preserves the failure. Because each fragment carries its own
+    seed ({!Gen.fragment}), subsets rebuild deterministically, so the
+    failure being chased is the same failure throughout. Never returns an
+    empty case. *)
+
+val shrink : fails:(Gen.case -> bool) -> Gen.case -> Gen.case
+(** [fails] must hold on the input case; the result is a (possibly
+    identical) sub-case on which [fails] still holds. *)

@@ -117,6 +117,30 @@ let exec_op st (ins : Instr.t) : exec_result =
   | Op.Jump l -> { no_effect with transfer = Some l }
   | Op.Halt -> { no_effect with halt = true }
 
+(* Destination/value pairs of one executed instruction, with the ext_dup
+   duplicate destination (I and E both set) mirrored onto the external
+   copy. Shared between [run] and the oracle-facing [exec_instr]. *)
+let written_of (ins : Instr.t) (res : exec_result) =
+  match ins.Instr.annot.Instr.ext_dup with
+  | None -> res.written
+  | Some dup -> (
+      match res.written with
+      | [ (_, v) ] -> res.written @ [ (dup, v) ]
+      | _ -> res.written)
+
+let init_state ?(init_mem = []) () =
+  let st = create_state () in
+  List.iter
+    (fun (addr, v) ->
+      check_aligned addr;
+      Braid_util.Paged_mem.store st.mem addr v)
+    init_mem;
+  st
+
+let exec_instr st (ins : Instr.t) =
+  let res = exec_op st ins in
+  List.iter (fun (reg, v) -> write_reg st reg v) (written_of ins res)
+
 (* Dense slot per register for the writer table: externals by [ext_id],
    then internals, then virtuals (two classes interleaved). *)
 let num_fixed_slots = Reg.num_ext_ids + Reg.num_internal
@@ -130,12 +154,7 @@ let reg_slot (r : Reg.t) =
       + (match r.Reg.cls with Reg.Cint -> 0 | Reg.Cfp -> 1)
 
 let run ?(max_steps = 1_000_000) ?(trace = true) ?(init_mem = []) program =
-  let st = create_state () in
-  List.iter
-    (fun (addr, v) ->
-      check_aligned addr;
-      Braid_util.Paged_mem.store st.mem addr v)
-    init_mem;
+  let st = init_state ~init_mem () in
   let bases = Program.base_table program in
   let pc_of blk off = 4 * (bases.(blk) + off) in
   (* last writer uid per register slot; -1 = no dynamic writer yet *)
@@ -165,14 +184,7 @@ let run ?(max_steps = 1_000_000) ?(trace = true) ?(init_mem = []) program =
       let ins = b.Program.instrs.(!offset) in
       let res = exec_op st ins in
       if res.was_store then incr store_count;
-      let written =
-        match ins.Instr.annot.Instr.ext_dup with
-        | None -> res.written
-        | Some dup -> (
-            match res.written with
-            | [ (_, v) ] -> res.written @ [ (dup, v) ]
-            | _ -> res.written)
-      in
+      let written = written_of ins res in
       List.iter (fun (reg, v) -> write_reg st reg v) written;
       (* Determine the next dynamic location. *)
       let next_loc =

@@ -38,6 +38,19 @@ val run :
     [faulting], and continue — the microarchitectural exception-mode cost is
     modeled by the timing simulators, not here. *)
 
+val init_state : ?init_mem:(int * int64) list -> unit -> state
+(** A fresh architectural state (all registers zero) with the given data
+    image stored. This is the state [run] starts from; the differential
+    oracle uses it to replay committed instruction streams. *)
+
+val exec_instr : state -> Instr.t -> unit
+(** Applies the architectural effect of one instruction to [state]:
+    register writes (including the [ext_dup] duplicate destination) and
+    memory stores. Control flow and [Halt] are ignored — the caller owns
+    the instruction sequence. Replaying a core's committed stream through
+    this and comparing registers/memory against a sequential {!run} is the
+    differential oracle's register-file check. *)
+
 val read_ext : state -> Reg.t -> int64
 (** Final architectural register value. Raises on non-external registers. *)
 

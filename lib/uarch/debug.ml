@@ -1,0 +1,191 @@
+(* Invariant monitor behind a default-off sink (see debug.mli). The [t =
+   state option] representation keeps the disabled path to a single
+   pattern match per hook, mirroring Obs.Sink. *)
+
+type violation = {
+  invariant : string;
+  cycle : int;
+  uid : int;
+  detail : string;
+}
+
+type state = {
+  cfg : Config.t;
+  invariants : bool;
+  mutable ext_alloc : int;  (* in-flight external-file allocations *)
+  mutable last_commit_uid : int;
+  mutable commit_uid : int array;
+  mutable commit_pc : int array;
+  mutable commits : int;
+  mutable violations_rev : violation list;
+  mutable violation_count : int;
+  live_internal : (int, unit) Hashtbl.t array;
+      (* per-BEU live internal-register indices; empty array for
+         conventional cores (no internal file to track) *)
+}
+
+type t = state option
+
+let max_recorded = 200
+let off = None
+
+let create ?(invariants = true) (cfg : Config.t) =
+  let beus =
+    match cfg.Config.kind with
+    | Config.Braid_exec -> max 1 cfg.Config.clusters
+    | _ -> 0
+  in
+  Some
+    {
+      cfg;
+      invariants;
+      ext_alloc = 0;
+      last_commit_uid = -1;
+      commit_uid = Array.make 1024 0;
+      commit_pc = Array.make 1024 0;
+      commits = 0;
+      violations_rev = [];
+      violation_count = 0;
+      live_internal = Array.init beus (fun _ -> Hashtbl.create 16);
+    }
+
+let enabled = function None -> false | Some _ -> true
+let checking = function None -> false | Some s -> s.invariants
+
+let report t ~invariant ~cycle ~uid detail =
+  match t with
+  | None -> ()
+  | Some s ->
+      s.violation_count <- s.violation_count + 1;
+      if s.violation_count <= max_recorded then
+        s.violations_rev <- { invariant; cycle; uid; detail } :: s.violations_rev
+
+let violations = function None -> [] | Some s -> List.rev s.violations_rev
+let violation_count = function None -> 0 | Some s -> s.violation_count
+let committed = function None -> [||] | Some s -> Array.sub s.commit_uid 0 s.commits
+let committed_pcs = function None -> [||] | Some s -> Array.sub s.commit_pc 0 s.commits
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%s] cycle %d, instr %d: %s" v.invariant v.cycle v.uid
+    v.detail
+
+(* ------------------------------------------------------------------ *)
+(* Hooks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let internal_reads (ins : Instr.t) =
+  List.fold_left
+    (fun n (r : Reg.t) -> if r.Reg.space = Reg.Intern then n + 1 else n)
+    0 (Instr.uses ins)
+
+let on_fetch t ~cycle (e : Trace.event) =
+  match t with
+  | None -> ()
+  | Some s when not s.invariants -> ()
+  | Some s ->
+      let ins = e.Trace.instr in
+      let uid = e.Trace.uid in
+      let bad invariant detail = report t ~invariant ~cycle ~uid detail in
+      if e.Trace.writes_int <> Instr.writes_internal ins then
+        bad "bits.I" "writes_int flag disagrees with the instruction's I bit";
+      if e.Trace.writes_ext <> Instr.writes_external ins then
+        bad "bits.E" "writes_ext flag disagrees with the instruction's E bit";
+      if e.Trace.braid_start <> ins.Instr.annot.Instr.braid_start then
+        bad "bits.S" "braid_start flag disagrees with the instruction's S bit";
+      if e.Trace.ext_src_reads <> Instr.reads_external_count ins then
+        bad "bits.T" "external source count disagrees with the T bits";
+      let int_reads = internal_reads ins in
+      if e.Trace.int_src_reads <> int_reads then
+        bad "bits.T" "internal source count disagrees with the T bits";
+      (match s.cfg.Config.kind with
+      | Config.Braid_exec ->
+          if e.Trace.braid_start && e.Trace.braid_id < 0 then
+            bad "bits.S" "S bit set on an instruction outside any braid"
+      | _ ->
+          if e.Trace.writes_int || int_reads > 0 then
+            bad "bits.internal"
+              "internal register reached a conventional (non-braid) binary")
+
+let on_dispatch t ~cycle ~beu (e : Trace.event) =
+  match t with
+  | None -> ()
+  | Some s ->
+      if e.Trace.writes_ext then begin
+        s.ext_alloc <- s.ext_alloc + 1;
+        if s.invariants && s.ext_alloc > s.cfg.Config.ext_regs then
+          report t ~invariant:"extfile.capacity" ~cycle ~uid:e.Trace.uid
+            (Printf.sprintf
+               "%d in-flight external values exceed the %d-entry file"
+               s.ext_alloc s.cfg.Config.ext_regs)
+      end;
+      (* An S-bit instruction opens a fresh braid on its BEU: every internal
+         value of the previous braid is architecturally dead here. *)
+      if
+        e.Trace.braid_start && beu >= 0
+        && beu < Array.length s.live_internal
+      then Hashtbl.reset s.live_internal.(beu)
+
+let on_ext_release t ~cycle ~uid =
+  match t with
+  | None -> ()
+  | Some s ->
+      s.ext_alloc <- s.ext_alloc - 1;
+      if s.invariants && s.ext_alloc < 0 then
+        report t ~invariant:"extfile.double-release" ~cycle ~uid
+          "more external-file releases than allocations"
+
+let internal_def (ins : Instr.t) =
+  List.find_opt (fun (r : Reg.t) -> r.Reg.space = Reg.Intern) (Instr.defs ins)
+
+let on_issue t ~cycle ~beu ~bypassed (e : Trace.event) =
+  match t with
+  | None -> ()
+  | Some s when not s.invariants -> ()
+  | Some s ->
+      let uid = e.Trace.uid in
+      if bypassed && not e.Trace.writes_ext then
+        report t ~invariant:"bypass.internal" ~cycle ~uid
+          "a value without the E bit rode the bypass network";
+      if e.Trace.writes_int && beu >= 0 && beu < Array.length s.live_internal
+      then
+        match internal_def e.Trace.instr with
+        | None -> ()
+        | Some r ->
+            if r.Reg.idx < 0 || r.Reg.idx >= Reg.num_internal then
+              report t ~invariant:"internal.rf-range" ~cycle ~uid
+                (Printf.sprintf "internal register index %d outside 0..%d"
+                   r.Reg.idx (Reg.num_internal - 1))
+            else begin
+              Hashtbl.replace s.live_internal.(beu) r.Reg.idx ();
+              if Hashtbl.length s.live_internal.(beu) > Reg.num_internal then
+                report t ~invariant:"internal.rf-capacity" ~cycle ~uid
+                  (Printf.sprintf
+                     "%d live internal values on BEU %d exceed the %d-entry \
+                      file"
+                     (Hashtbl.length s.live_internal.(beu))
+                     beu Reg.num_internal)
+            end
+
+let grow_commits s =
+  if s.commits >= Array.length s.commit_uid then begin
+    let n = 2 * Array.length s.commit_uid in
+    let uid' = Array.make n 0 and pc' = Array.make n 0 in
+    Array.blit s.commit_uid 0 uid' 0 s.commits;
+    Array.blit s.commit_pc 0 pc' 0 s.commits;
+    s.commit_uid <- uid';
+    s.commit_pc <- pc'
+  end
+
+let on_commit t ~cycle (e : Trace.event) =
+  match t with
+  | None -> ()
+  | Some s ->
+      if s.invariants && e.Trace.uid <> s.last_commit_uid + 1 then
+        report t ~invariant:"commit.order" ~cycle ~uid:e.Trace.uid
+          (Printf.sprintf "committed uid %d directly after uid %d" e.Trace.uid
+             s.last_commit_uid);
+      s.last_commit_uid <- e.Trace.uid;
+      grow_commits s;
+      s.commit_uid.(s.commits) <- e.Trace.uid;
+      s.commit_pc.(s.commits) <- e.Trace.pc;
+      s.commits <- s.commits + 1

@@ -259,6 +259,18 @@ let braid m =
         while !budget > 0 && !i < window () do
           let u = Ring.get b.fifo !i in
           if issuable m u && cluster_ready u then begin
+            (* monitor: an in-order BEU must never select from beyond the
+               head window of its FIFO *)
+            (if
+               Debug.checking (Machine.debug m)
+               && (not cfg.Config.beu_out_of_order)
+               && !i >= cfg.Config.sched_window
+             then
+               Debug.report (Machine.debug m) ~invariant:"beu.window"
+                 ~cycle:(Machine.now m) ~uid:u
+                 (Printf.sprintf
+                    "issued from FIFO position %d beyond the %d-entry window"
+                    !i cfg.Config.sched_window));
             ignore (Ring.remove_at b.fifo !i);
             Machine.do_issue m u;
             b.outstanding <- u :: b.outstanding;

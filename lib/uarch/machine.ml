@@ -187,6 +187,9 @@ type t = {
   (* observability: registered handles on a live sink, dummies (dead
      stores, no branches) on the disabled one *)
   obs : Obs.Sink.t;
+  (* invariant monitor / commit recorder; Debug.off costs one pattern
+     match per hook and never mutates machine state *)
+  dbg : Debug.t;
   trc : Obs.Tracer.t option;  (* cached: consulted on every issue *)
   oc_dispatch : Obs.Counters.counter;
   oc_issue : Obs.Counters.counter;
@@ -199,7 +202,7 @@ type t = {
   oc_bypass_ovf : Obs.Counters.counter;
 }
 
-let create ?(obs = Obs.Sink.disabled) cfg trace =
+let create ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) cfg trace =
   let events = trace.Trace.events in
   let n = Array.length events in
   (* the static dependence structure (CSR children, last external
@@ -260,6 +263,7 @@ let create ?(obs = Obs.Sink.disabled) cfg trace =
     int_rf_writes = 0;
     bypass_values = 0;
     obs;
+    dbg;
     trc = Obs.Sink.tracer obs;
     oc_dispatch = Obs.Sink.counter obs "dispatch.instrs";
     oc_issue = Obs.Sink.counter obs "issue.instrs";
@@ -274,6 +278,7 @@ let create ?(obs = Obs.Sink.disabled) cfg trace =
 
 let cfg t = t.cfg
 let obs_sink t = t.obs
+let debug t = t.dbg
 let num_slots t = Array.length t.events
 let event t u = t.events.(u)
 let now t = t.now
@@ -304,7 +309,8 @@ let begin_cycle t =
         Bytes.set t.ext_entry_freed u '\001';
         t.free_regs <- t.free_regs + 1;
         (* released before commit: the braid dead-value path *)
-        Obs.Counters.incr t.oc_ext_early
+        Obs.Counters.incr t.oc_ext_early;
+        Debug.on_ext_release t.dbg ~cycle:t.now ~uid:u
       end);
   Calq.drain t.branch_resolve_at t.now (fun _ ->
       t.unresolved_branches <- t.unresolved_branches - 1);
@@ -341,9 +347,54 @@ let can_issue_ports t u =
 
 let schedule_wake t cycle uid = Calq.add t.wake cycle uid
 
+(* Dep-visibility and cross-braid checks at issue time; only reached when
+   the monitor is live with invariant checking on. *)
+let debug_check_issue t u (e : Trace.event) =
+  Array.iter
+    (fun (p, via) ->
+      if not (issued t p) then
+        Debug.report t.dbg ~invariant:"wakeup.premature" ~cycle:t.now ~uid:u
+          (Printf.sprintf "consumes producer %d which has not issued" p)
+      else begin
+        let visible = if via then t.int_visible.(p) else t.ext_visible.(p) in
+        let visible =
+          if visible = max_int then min t.int_visible.(p) t.ext_visible.(p)
+          else visible
+        in
+        let visible =
+          if visible = max_int then t.complete_cycle.(p) else visible
+        in
+        if visible > t.now then
+          Debug.report t.dbg ~invariant:"wakeup.premature" ~cycle:t.now ~uid:u
+            (Printf.sprintf
+               "reads producer %d before its value is visible (cycle %d)" p
+               visible);
+        if via && t.is_braid then begin
+          if t.beu.(p) <> t.beu.(u) then
+            Debug.report t.dbg ~invariant:"internal.cross-beu" ~cycle:t.now
+              ~uid:u
+              (Printf.sprintf "internal value of %d (BEU %d) read on BEU %d" p
+                 t.beu.(p) t.beu.(u));
+          if t.events.(p).Trace.braid_id <> e.Trace.braid_id then
+            Debug.report t.dbg ~invariant:"internal.cross-braid" ~cycle:t.now
+              ~uid:u
+              (Printf.sprintf
+                 "internal value crosses from braid %d (instr %d) to braid %d"
+                 t.events.(p).Trace.braid_id p e.Trace.braid_id)
+        end
+      end)
+    e.Trace.deps
+
 let do_issue t u =
-  assert (not (issued t u));
-  assert (reg_ready t u);
+  if issued t u then
+    invalid_arg
+      (Printf.sprintf "Machine.do_issue: instruction %d already issued (cycle %d)"
+         u t.now);
+  if not (reg_ready t u) then
+    invalid_arg
+      (Printf.sprintf
+         "Machine.do_issue: instruction %d still waits on %d producer(s) (cycle %d)"
+         u t.ready_deps.(u) t.now);
   (* leaving the scheduler: registers were ready, so it was counted *)
   (if t.home.(u) >= 0 then begin
      t.ready_in.(t.home.(u)) <- t.ready_in.(t.home.(u)) - 1;
@@ -358,7 +409,12 @@ let do_issue t u =
       match mem_ready t u with
       | Mem_forward -> 1
       | Mem_cache -> Cache.data_latency t.hier e.Trace.addr
-      | Mem_blocked -> assert false
+      | Mem_blocked ->
+          invalid_arg
+            (Printf.sprintf
+               "Machine.do_issue: load %d issued while blocked on an \
+                unresolved older store (cycle %d)"
+               u t.now)
     else e.Trace.latency
   in
   let complete = t.now + lat in
@@ -379,12 +435,14 @@ let do_issue t u =
     t.int_visible.(u) <- complete;
     t.int_rf_writes <- t.int_rf_writes + 1
   end;
+  let took_bypass = ref false in
   if e.Trace.writes_ext then begin
     let bypassed = Rc.try_take t.bypass complete 1 in
     let wb = Rc.take_first_free t.write_ports complete 1 in
     t.ext_rf_writes <- t.ext_rf_writes + 1;
     if bypassed then begin
       t.bypass_values <- t.bypass_values + 1;
+      took_bypass := true;
       Obs.Counters.incr t.oc_bypass_use
     end
     else
@@ -392,6 +450,10 @@ let do_issue t u =
          wait for a write port and reach consumers through the file *)
       Obs.Counters.incr t.oc_bypass_ovf;
     t.ext_visible.(u) <- (if bypassed then complete else wb + 1)
+  end;
+  if Debug.checking t.dbg then begin
+    debug_check_issue t u e;
+    Debug.on_issue t.dbg ~cycle:t.now ~beu:t.beu.(u) ~bypassed:!took_bypass e
   end;
   for k = t.child_off.(u) to t.child_off.(u + 1) - 1 do
     let c = t.child_uid.(k) in
@@ -477,6 +539,7 @@ let note_dispatch t u =
   t.dispatched_count <- t.dispatched_count + 1;
   Obs.Counters.incr t.oc_dispatch;
   if e.Trace.writes_ext then Obs.Counters.incr t.oc_ext_alloc;
+  Debug.on_dispatch t.dbg ~cycle:t.now ~beu:t.beu.(u) e;
   match t.trc with
   | None -> ()
   | Some tr ->
@@ -493,6 +556,7 @@ let commit_stage t =
     if is_complete t u then begin
       let e = t.events.(u) in
       Obs.Counters.incr t.oc_commit;
+      Debug.on_commit t.dbg ~cycle:t.now e;
       (match tr with
       | None -> ()
       | Some tr ->
@@ -507,7 +571,8 @@ let commit_stage t =
       if e.Trace.writes_ext && Bytes.get t.ext_entry_freed u = '\000' then begin
         Bytes.set t.ext_entry_freed u '\001';
         t.free_regs <- t.free_regs + 1;
-        Obs.Counters.incr t.oc_ext_commit_rel
+        Obs.Counters.incr t.oc_ext_commit_rel;
+        Debug.on_ext_release t.dbg ~cycle:t.now ~uid:u
       end;
       if e.Trace.is_load || e.Trace.is_store then
         t.inflight_mem <- t.inflight_mem - 1;

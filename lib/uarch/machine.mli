@@ -58,7 +58,7 @@ end
 
 type t
 
-val create : ?obs:Braid_obs.Sink.t -> Config.t -> Trace.t -> t
+val create : ?obs:Braid_obs.Sink.t -> ?dbg:Debug.t -> Config.t -> Trace.t -> t
 (** With a live [obs] sink, the machine registers counters for dispatch /
     issue / commit instruction flow, external-file allocations,
     early (dead-value) and commit releases, register-shortage dispatch
@@ -67,12 +67,23 @@ val create : ?obs:Braid_obs.Sink.t -> Config.t -> Trace.t -> t
     additionally records per-instruction dispatch/commit stage crossings,
     issue-to-completion execution spans (with BEU track) and L1D-miss
     fills. With the default disabled sink every hook is a dead store or a
-    [None] match — timing results are identical either way. *)
+    [None] match — timing results are identical either way.
+
+    With a live [dbg] sink ({!Debug.create}) the machine records the
+    committed instruction stream and, when invariant checking is on,
+    verifies external-file occupancy, bypass legality, wakeup timing and
+    cross-braid internal-value isolation on every issue. [Debug.off] (the
+    default) costs one pattern match per hook; the hooks never mutate
+    machine state, so results are byte-identical with the monitor off. *)
 
 val cfg : t -> Config.t
 
 val obs_sink : t -> Braid_obs.Sink.t
 (** The sink the machine was created with (for the execution cores). *)
+
+val debug : t -> Debug.t
+(** The debug sink the machine was created with ({!Debug.off} by
+    default); execution cores use it for their own structural checks. *)
 
 val num_slots : t -> int
 (** Number of trace events; uids range over [0 .. num_slots - 1]. *)
@@ -126,7 +137,8 @@ val do_issue : t -> int -> unit
     the completion time (FU latency; cache or forwarding for loads),
     schedules writeback (write port), bypass, and consumer wakeups. The
     caller must have checked [reg_ready], [mem_ready <> Mem_blocked] and
-    [can_issue_ports]. *)
+    [can_issue_ports]; violating any of these raises [Invalid_argument]
+    with a message naming the instruction uid and the current cycle. *)
 
 val can_dispatch : t -> int -> bool
 (** Front-end resource check at the current cycle: allocate width, rename

@@ -32,10 +32,11 @@ type redirect = {
   wrong_path : (int * int) option;  (** (block, offset) fetch runs down *)
 }
 
-let run ?(obs = Obs.Sink.disabled) ?(warm_data = []) (cfg : Config.t) (trace : Trace.t) =
+let run ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) ?(warm_data = [])
+    (cfg : Config.t) (trace : Trace.t) =
   let n = Array.length trace.Trace.events in
   if n = 0 then invalid_arg "Pipeline.run: empty trace";
-  let m = Machine.create ~obs cfg trace in
+  let m = Machine.create ~obs ~dbg cfg trace in
   (* Warm-up: the measured window is a steady-state snapshot of a much
      longer run (MinneSPEC), so code lines are warm in L1I/L2 and the
      initial data image is warm in L2. *)
@@ -223,6 +224,7 @@ let run ?(obs = Obs.Sink.disabled) ?(warm_data = []) (cfg : Config.t) (trace : T
             Ring.push fetchq e.Trace.uid;
             incr fetched;
             Obs.Counters.incr c_fetch;
+            Debug.on_fetch dbg ~cycle:now e;
             (match tracer with
             | None -> ()
             | Some tr ->

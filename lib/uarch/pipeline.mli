@@ -37,8 +37,18 @@ exception Deadlock of string
 (** Raised when no forward progress happens for an implausibly long time —
     a simulator bug, surfaced loudly rather than silently looping. *)
 
-val run : ?obs:Braid_obs.Sink.t -> ?warm_data:int list -> Config.t -> Trace.t -> result
-(** [warm_data] lists byte addresses of the program's initial data image;
+val run :
+  ?obs:Braid_obs.Sink.t ->
+  ?dbg:Debug.t ->
+  ?warm_data:int list ->
+  Config.t ->
+  Trace.t ->
+  result
+(** [dbg] attaches the microarchitectural invariant monitor / commit
+    recorder ({!Debug.create}); the default {!Debug.off} costs one
+    pattern match per hook and leaves every result byte-identical.
+
+    [warm_data] lists byte addresses of the program's initial data image;
     their lines are pre-filled into the L2 (and all code lines into
     L1I/L2) so the measured window behaves like a steady-state snapshot
     rather than a cold start.

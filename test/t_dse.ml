@@ -271,6 +271,75 @@ let test_frontier () =
         (Braid_obs.Json.member "schema" doc
         = Some (Braid_obs.Json.Str "braidsim-sweep/1"))
 
+(* --- frontier properties over fabricated sweep results --- *)
+
+let mk_point i (complexity, mean_ipc) =
+  {
+    Dse.Sweep.point =
+      {
+        Dse.Grid.label = Printf.sprintf "p%d" i;
+        bindings = [];
+        config = Config.braid_8wide;
+      };
+    digest = Printf.sprintf "d%d" i;
+    complexity;
+    mean_ipc;
+    runs = [];
+  }
+
+let arb_metric_pairs =
+  let open QCheck in
+  let pair_gen =
+    Gen.map
+      (fun (c, i) -> (float_of_int c, float_of_int i /. 8.))
+      Gen.(pair (int_range 1 40) (int_range 1 40))
+  in
+  make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map (fun (c, i) -> Printf.sprintf "(%g,%g)" c i) l))
+    Gen.(list_size (int_range 1 12) pair_gen)
+
+let dominates (q : Dse.Sweep.point_result) (p : Dse.Sweep.point_result) =
+  q.Dse.Sweep.mean_ipc >= p.Dse.Sweep.mean_ipc
+  && q.Dse.Sweep.complexity <= p.Dse.Sweep.complexity
+  && (q.Dse.Sweep.mean_ipc > p.Dse.Sweep.mean_ipc
+     || q.Dse.Sweep.complexity < p.Dse.Sweep.complexity)
+
+let qcheck_pareto_undominated =
+  QCheck.Test.make ~name:"pareto points are undominated" ~count:300
+    arb_metric_pairs (fun pairs ->
+      let results = List.mapi mk_point pairs in
+      List.for_all
+        (fun ((p : Dse.Sweep.point_result), optimal) ->
+          let beaten = List.exists (fun q -> dominates q p) results in
+          if optimal then not beaten else beaten)
+        (Dse.Frontier.pareto results))
+
+let shuffle seed l =
+  let a = Array.of_list l in
+  let rng = Prng.create (Int64.of_int seed) in
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.int_in rng 0 i in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+let qcheck_pareto_order_independent =
+  QCheck.Test.make ~name:"pareto is order-independent" ~count:300
+    QCheck.(pair arb_metric_pairs small_nat)
+    (fun (pairs, seed) ->
+      let results = List.mapi mk_point pairs in
+      let optimal l =
+        Dse.Frontier.pareto l
+        |> List.filter_map (fun ((p : Dse.Sweep.point_result), opt) ->
+               if opt then Some p.Dse.Sweep.point.Dse.Grid.label else None)
+        |> List.sort compare
+      in
+      optimal results = optimal (shuffle seed results))
+
 let suite =
   ( "dse",
     [
@@ -282,4 +351,6 @@ let suite =
       Alcotest.test_case "sweep cache" `Slow test_sweep_cache;
       Alcotest.test_case "fig6 equivalence" `Slow test_fig6_equivalence;
       Alcotest.test_case "frontier" `Quick test_frontier;
+      QCheck_alcotest.to_alcotest qcheck_pareto_undominated;
+      QCheck_alcotest.to_alcotest qcheck_pareto_order_independent;
     ] )

@@ -1,5 +1,5 @@
 (* Golden-number regression: exact instruction counts, cycle counts, and
-   IPC for a cross-section of benchmarks on all three core models, pinned
+   IPC for the full 26-benchmark suite on all three core models, pinned
    to the timing model's established behaviour. The hot-path work in this
    repo (calendar queues, flat-array machine state, static disambiguation
    tables) must never move a single cycle: any diff here is a modeling
@@ -12,31 +12,96 @@ type core = In_order | Ooo | Braid
 
 let core_name = function In_order -> "in-order" | Ooo -> "ooo" | Braid -> "braid"
 
-(* (bench, core, instructions, cycles) at scale 2000, seed defaults *)
+(* every benchmark in Spec.all: (bench, core, instructions, cycles) at
+   scale 1200, seed defaults — harvested from `braidsim run BENCH --core
+   CORE --scale 1200`, which exercises the identical Suite path *)
 let golden =
   [
-    ("gzip", In_order, 3452, 4381);
-    ("gzip", Ooo, 3452, 2593);
-    ("gzip", Braid, 3452, 2532);
-    ("mcf", In_order, 1620, 3304);
-    ("mcf", Ooo, 1620, 1573);
-    ("mcf", Braid, 1620, 1578);
+    ("bzip2", In_order, 3418, 4314);
+    ("bzip2", Ooo, 3418, 2560);
+    ("bzip2", Braid, 3418, 2483);
     ("crafty", In_order, 4254, 4506);
     ("crafty", Ooo, 4254, 2570);
     ("crafty", Braid, 4254, 2561);
-    ("swim", In_order, 8984, 15716);
-    ("swim", Ooo, 8984, 1585);
-    ("swim", Braid, 8984, 1998);
+    ("eon", In_order, 1885, 2406);
+    ("eon", Ooo, 1885, 933);
+    ("eon", Braid, 1885, 923);
+    ("gap", In_order, 3412, 4536);
+    ("gap", Ooo, 3412, 2822);
+    ("gap", Braid, 3412, 2757);
+    ("gcc", In_order, 2619, 3035);
+    ("gcc", Ooo, 2619, 1857);
+    ("gcc", Braid, 2619, 1771);
+    ("gzip", In_order, 3309, 4177);
+    ("gzip", Ooo, 3309, 2568);
+    ("gzip", Braid, 3309, 2490);
+    ("mcf", In_order, 975, 2023);
+    ("mcf", Ooo, 975, 951);
+    ("mcf", Braid, 975, 995);
+    ("parser", In_order, 2203, 2882);
+    ("parser", Ooo, 2203, 1622);
+    ("parser", Braid, 2203, 1721);
+    ("perlbmk", In_order, 3304, 4326);
+    ("perlbmk", Ooo, 3304, 2692);
+    ("perlbmk", Braid, 3304, 2614);
+    ("twolf", In_order, 2398, 2707);
+    ("twolf", Ooo, 2398, 1104);
+    ("twolf", Braid, 2398, 1174);
+    ("vortex", In_order, 3642, 4668);
+    ("vortex", Ooo, 3642, 2513);
+    ("vortex", Braid, 3642, 2468);
+    ("vpr", In_order, 2334, 2641);
+    ("vpr", Ooo, 2334, 1240);
+    ("vpr", Braid, 2334, 1304);
+    ("ammp", In_order, 4647, 9500);
+    ("ammp", Ooo, 4647, 1183);
+    ("ammp", Braid, 4647, 1488);
+    ("applu", In_order, 4393, 7449);
+    ("applu", Ooo, 4393, 1030);
+    ("applu", Braid, 4393, 1283);
+    ("apsi", In_order, 4721, 7697);
+    ("apsi", Ooo, 4721, 1334);
+    ("apsi", Braid, 4721, 1537);
+    ("art", In_order, 11739, 17395);
+    ("art", Ooo, 11739, 2827);
+    ("art", Braid, 11739, 3924);
+    ("equake", In_order, 3740, 5652);
+    ("equake", Ooo, 3740, 901);
+    ("equake", Braid, 3740, 1253);
+    ("facerec", In_order, 6902, 10182);
+    ("facerec", Ooo, 6902, 1976);
+    ("facerec", Braid, 6902, 2644);
+    ("fma3d", In_order, 4124, 8682);
+    ("fma3d", Ooo, 4124, 1085);
+    ("fma3d", Braid, 4124, 1510);
+    ("galgel", In_order, 3677, 5530);
+    ("galgel", Ooo, 3677, 1082);
+    ("galgel", Braid, 3677, 1363);
+    ("lucas", In_order, 3279, 6083);
+    ("lucas", Ooo, 3279, 698);
+    ("lucas", Braid, 3279, 1178);
+    ("mesa", In_order, 3867, 5284);
+    ("mesa", Ooo, 3867, 1163);
+    ("mesa", Braid, 3867, 1334);
     ("mgrid", In_order, 4574, 7433);
     ("mgrid", Ooo, 4574, 1093);
     ("mgrid", Braid, 4574, 1560);
+    ("sixtrack", In_order, 3376, 6476);
+    ("sixtrack", Ooo, 3376, 1020);
+    ("sixtrack", Braid, 3376, 1227);
+    ("swim", In_order, 8984, 15716);
+    ("swim", Ooo, 8984, 1585);
+    ("swim", Braid, 8984, 1998);
+    ("wupwise", In_order, 4982, 7686);
+    ("wupwise", Ooo, 4982, 1464);
+    ("wupwise", Braid, 4982, 1844);
   ]
 
 let ctx = lazy (Suite.create_ctx ())
 
 let check_one bench core instrs cycles () =
   let ctx = Lazy.force ctx in
-  let p = Suite.prepare ctx ~scale:2000 (Braid_workload.Spec.find bench) in
+  let p = Suite.prepare ctx ~scale:1200 (Braid_workload.Spec.find bench) in
   let r =
     match core with
     | In_order -> Suite.run_conv ctx p U.Config.in_order_8wide
@@ -50,12 +115,24 @@ let check_one bench core instrs cycles () =
     (float_of_int instrs /. float_of_int cycles)
     r.U.Pipeline.ipc
 
+let test_covers_all_benchmarks () =
+  (* the table above must track Spec.all: a new benchmark needs golden rows *)
+  let named = List.map (fun (b, _, _, _) -> b) golden in
+  List.iter
+    (fun (s : Braid_workload.Spec.profile) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "golden rows for %s on all three cores" s.Braid_workload.Spec.name)
+        true
+        (List.length (List.filter (String.equal s.Braid_workload.Spec.name) named) = 3))
+    Braid_workload.Spec.all
+
 let suite =
   ( "golden",
-    List.map
-      (fun (bench, core, instrs, cycles) ->
-        Alcotest.test_case
-          (Printf.sprintf "%s/%s" bench (core_name core))
-          `Slow
-          (check_one bench core instrs cycles))
-      golden )
+    Alcotest.test_case "covers every benchmark" `Quick test_covers_all_benchmarks
+    :: List.map
+         (fun (bench, core, instrs, cycles) ->
+           Alcotest.test_case
+             (Printf.sprintf "%s/%s" bench (core_name core))
+             `Slow
+             (check_one bench core instrs cycles))
+         golden )

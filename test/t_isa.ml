@@ -191,6 +191,22 @@ let qcheck_encode_roundtrip =
       in
       strip ins = strip decoded)
 
+let qcheck_disasm_roundtrip =
+  QCheck.Test.make ~name:"disasm/parse round trip" ~count:2000 arb_instr
+    (fun ins ->
+      let parsed = Asm.parse_instr (Disasm.instr ins) in
+      (* regions and braid ids do not travel through the textual form *)
+      let strip (i : Instr.t) =
+        let op =
+          match i.Instr.op with
+          | Op.Load (d, b, off, _) -> Op.Load (d, b, off, Op.region_unknown)
+          | Op.Store (s, b, off, _) -> Op.Store (s, b, off, Op.region_unknown)
+          | op -> op
+        in
+        { Instr.op; annot = { i.Instr.annot with Instr.braid_id = -1 } }
+      in
+      strip ins = strip parsed)
+
 let test_encode_virtual_rejected () =
   let ins = Instr.make (Op.Ibin (Op.Add, Reg.virt Reg.Cint 0, r1, r2)) in
   Alcotest.(check bool) "raises Unencodable" true
@@ -232,6 +248,7 @@ let suite =
       Alcotest.test_case "ext_dup rejects internal" `Quick test_instr_ext_dup_rejects_internal;
       Alcotest.test_case "braid annot" `Quick test_instr_braid_annot;
       QCheck_alcotest.to_alcotest qcheck_encode_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_disasm_roundtrip;
       Alcotest.test_case "encode rejects virtual" `Quick test_encode_virtual_rejected;
       Alcotest.test_case "encode imm overflow" `Quick test_encode_imm_overflow;
       Alcotest.test_case "encode S bit" `Quick test_encode_s_bit;

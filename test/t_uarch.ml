@@ -251,6 +251,94 @@ let qcheck_all_cores_all_benchmarks =
         [ U.Config.in_order_8wide; U.Config.dep_steer_8wide; U.Config.ooo_8wide ]
       && (U.Pipeline.run ~warm_data:warm U.Config.braid_8wide braid_t).U.Pipeline.cycles > 0)
 
+(* --- do_issue precondition guards --- *)
+
+let tiny_program () =
+  fst (Braid_workload.Build.finish (Braid_workload.Build.create ()))
+
+let mk_event ?(deps = [||]) ?(addr = -1) ?(is_load = false) ?(is_store = false)
+    ~uid instr =
+  {
+    Trace.uid;
+    pc = 4 * uid;
+    block_id = 0;
+    offset = uid;
+    instr;
+    deps;
+    addr;
+    is_load;
+    is_store;
+    is_cond_branch = false;
+    is_jump = false;
+    taken = false;
+    next_pc = 4 * (uid + 1);
+    latency = 1;
+    writes_ext = Instr.writes_external instr;
+    writes_int = Instr.writes_internal instr;
+    ext_src_reads = Instr.reads_external_count instr;
+    int_src_reads = 0;
+    braid_id = -1;
+    braid_start = false;
+    faulting = false;
+  }
+
+let trace_of_events events =
+  {
+    Trace.events;
+    stop = Trace.Halted;
+    program = tiny_program ();
+    warm_lines = None;
+    tables = None;
+  }
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let expect_invalid name f needle =
+  match f () with
+  | () -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument msg ->
+      if not (contains msg needle) then
+        Alcotest.failf "%s: message %S does not mention %S" name msg needle
+
+let test_do_issue_guards () =
+  let store =
+    Instr.make (Op.Store (Reg.ext Reg.Cint 0, Reg.zero, 0, Op.region_unknown))
+  in
+  let load =
+    Instr.make (Op.Load (Reg.ext Reg.Cint 1, Reg.zero, 0, Op.region_unknown))
+  in
+  (* issuing the same instruction twice *)
+  let t =
+    trace_of_events
+      [| mk_event ~uid:0 ~is_store:true ~addr:0 store;
+         mk_event ~uid:1 ~is_load:true ~addr:64 load |]
+  in
+  let m = U.Machine.create U.Config.in_order_8wide t in
+  U.Machine.begin_cycle m;
+  U.Machine.do_issue m 0;
+  expect_invalid "double issue" (fun () -> U.Machine.do_issue m 0) "already issued";
+  (* issuing with unready producers *)
+  let t =
+    trace_of_events
+      [| mk_event ~uid:0 ~is_store:true ~addr:0 store;
+         mk_event ~uid:1 ~deps:[| (0, false) |] ~is_load:true ~addr:64 load |]
+  in
+  let m = U.Machine.create U.Config.in_order_8wide t in
+  U.Machine.begin_cycle m;
+  expect_invalid "unready producers" (fun () -> U.Machine.do_issue m 1) "waits on";
+  (* issuing a load while an older same-address store is unresolved *)
+  let t =
+    trace_of_events
+      [| mk_event ~uid:0 ~is_store:true ~addr:0 store;
+         mk_event ~uid:1 ~is_load:true ~addr:0 load |]
+  in
+  let m = U.Machine.create U.Config.in_order_8wide t in
+  U.Machine.begin_cycle m;
+  expect_invalid "memory-blocked load" (fun () -> U.Machine.do_issue m 1) "blocked"
+
 let suite =
   ( "uarch",
     [
@@ -273,5 +361,6 @@ let suite =
       Alcotest.test_case "branch stats" `Quick test_branch_stats_populated;
       Alcotest.test_case "fault serialises" `Quick test_fault_serializes;
       Alcotest.test_case "speedup helper" `Quick test_speedup_helper;
+      Alcotest.test_case "do_issue guards" `Quick test_do_issue_guards;
       QCheck_alcotest.to_alcotest qcheck_all_cores_all_benchmarks;
     ] )

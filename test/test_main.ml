@@ -23,4 +23,5 @@ let () =
       T_golden.suite;
       T_config.suite;
       T_dse.suite;
+      T_check.suite;
     ]
