@@ -20,16 +20,8 @@ let list_experiments () =
   List.iter (fun (e : E.t) -> Printf.printf "  %s\n" e.E.id) E.all
 
 let selected only =
-  match only with
-  | [] -> E.all
-  | ids ->
-      List.map
-        (fun id ->
-          try E.find id
-          with Not_found ->
-            Printf.eprintf "unknown experiment id %s\n" id;
-            exit 1)
-        ids
+  (* ids were already validated by Cli_common.experiment_id_conv *)
+  match only with [] -> E.all | ids -> List.map E.find ids
 
 let run_experiments ~scale ~jobs ~json only =
   let ctx = S.create_ctx () in
@@ -150,9 +142,7 @@ let quick_arg =
   let doc = "Shorthand for --scale 4000." in
   Cmdliner.Arg.(value & flag & info [ "quick" ] ~doc)
 
-let only_arg =
-  let doc = "Comma-separated experiment ids to run (default: all)." in
-  Cmdliner.Arg.(value & opt (list string) [] & info [ "only" ] ~docv:"IDS" ~doc)
+let only_arg = Cli.only_arg
 
 let list_arg =
   let doc = "List experiment ids and exit." in
@@ -170,9 +160,7 @@ let perf_arg =
   in
   Cmdliner.Arg.(value & flag & info [ "perf" ] ~doc)
 
-let reps_arg =
-  let doc = "Timed repetitions per (benchmark, core) in --perf mode." in
-  Cmdliner.Arg.(value & opt int 5 & info [ "reps" ] ~docv:"N" ~doc)
+let reps_arg = Cli.reps_arg ~default:5
 
 let out_arg =
   let doc = "Output file for --perf mode (- for stdout)." in
@@ -199,8 +187,8 @@ let benches_arg =
 let jobs_arg = Cli.jobs_arg ~default:(Runner.default_jobs ())
 
 let json_arg =
-  let doc = "Serialize typed results and per-job telemetry to $(docv) (- for stdout)." in
-  Cmdliner.Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  Cli.json_file_arg
+    ~doc:"Serialize typed results and per-job telemetry to $(docv) (- for stdout)."
 
 let main scale quick only list bechamel perf reps out baseline benches jobs json =
   let scale = if quick then 4000 else scale in

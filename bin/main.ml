@@ -1,43 +1,24 @@
 (* braidsim: command-line front end for the braid reproduction.
 
-   Subcommands: list, stats, inspect, run, trace, experiment, sweep. *)
+   Subcommands: list, stats, inspect, run, trace, experiment, sweep,
+   disasm, complexity, fuzz, serve, client.
+
+   Every simulation subcommand builds a typed Braid_api.Request.t (see
+   bin/ops.ml) and either executes it in-process (the one-shot path) or
+   ships it to a `braidsim serve` daemon (`braidsim client ...`). Both
+   paths run the same Braid_api.Exec engine and the same Ops.deliver
+   renderer, so their output is byte-identical by construction. *)
 
 open Braid_isa
 module C = Braid_core
 module U = Braid_uarch
 module W = Braid_workload
-module Obs = Braid_obs
 module Cli = Braid_cli.Cli_common
-module Dse = Braid_dse
+module Api = Braid_api
 
-(* the one shared CLI vocabulary (lib/cli): core/preset selection built on
-   Config.kind_of_string, benchmark-name validation, --seed/--scale/--jobs *)
-let scale_arg = Cli.scale_arg ~default:12_000
+let scale_arg = Ops.scale_arg
 let seed_arg = Cli.seed_arg
 let bench_arg = Cli.bench_arg
-let positive_int = Cli.positive_int
-let core_arg = Cli.core_arg
-
-let width_arg =
-  Cmdliner.Arg.(
-    value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Issue width (4, 8 or 16).")
-
-(* shared by run and trace: generate, compile for the chosen core, emulate,
-   and time the resulting trace on the configured machine *)
-let simulate ~(profile : W.Spec.profile) ~seed ~scale ~core ~width ~obs =
-  let program, init_mem = W.Spec.generate profile ~seed ~scale in
-  let cfg = U.Config.preset_of_kind core in
-  let binary =
-    match core with
-    | U.Config.Braid_exec -> (C.Transform.run program).C.Transform.program
-    | U.Config.In_order | U.Config.Dep_steer | U.Config.Ooo ->
-        (C.Transform.conventional program).C.Extalloc.program
-  in
-  let cfg = if width = 8 then cfg else U.Config.scale_width cfg width in
-  let out = Emulator.run ~max_steps:(50 * scale) ~init_mem binary in
-  let trace = Option.get out.Emulator.trace in
-  let r = U.Pipeline.run ~obs ~warm_data:(List.map fst init_mem) cfg trace in
-  (r, trace)
 
 (* --- list --- *)
 
@@ -108,384 +89,6 @@ let inspect_cmd =
     (Cmdliner.Cmd.info "inspect" ~doc:"Disassemble one block braid by braid (Fig 2 view).")
     Cmdliner.Term.(const run $ bench_arg $ seed_arg $ scale_arg $ block_arg)
 
-(* --- run --- *)
-
-let run_cmd =
-  let run (profile : W.Spec.profile) seed scale core width =
-    let r, _ =
-      simulate ~profile ~seed ~scale ~core ~width ~obs:Obs.Sink.disabled
-    in
-    Printf.printf "%s on %s\n" profile.W.Spec.name r.U.Pipeline.config_name;
-    Printf.printf "  instructions        %d\n" r.U.Pipeline.instructions;
-    Printf.printf "  cycles              %d\n" r.U.Pipeline.cycles;
-    Printf.printf "  IPC                 %.3f\n" r.U.Pipeline.ipc;
-    Printf.printf "  branch mispredicts  %d / %d lookups\n" r.U.Pipeline.branch_mispredicts
-      r.U.Pipeline.branch_lookups;
-    Printf.printf "  L1I/L1D/L2 misses   %d / %d / %d\n" r.U.Pipeline.l1i_misses
-      r.U.Pipeline.l1d_misses r.U.Pipeline.l2_misses;
-    Printf.printf "  reg dispatch stalls %d\n" r.U.Pipeline.dispatch_stall_regs;
-    Printf.printf "  stalls (cycles)     redirect %d, icache %d, core %d, front-end %d\n"
-      r.U.Pipeline.stalls.U.Pipeline.fetch_redirect
-      r.U.Pipeline.stalls.U.Pipeline.fetch_icache
-      r.U.Pipeline.stalls.U.Pipeline.dispatch_core
-      r.U.Pipeline.stalls.U.Pipeline.dispatch_frontend;
-    Printf.printf "  avg core occupancy  %.1f instructions\n" r.U.Pipeline.avg_occupancy;
-    let a = r.U.Pipeline.activity in
-    Printf.printf "  RF accesses         %d external, %d internal; %d bypassed values\n"
-      (a.U.Machine.ext_rf_reads + a.U.Machine.ext_rf_writes)
-      (a.U.Machine.int_rf_reads + a.U.Machine.int_rf_writes)
-      a.U.Machine.bypass_values
-  in
-  Cmdliner.Cmd.v
-    (Cmdliner.Cmd.info "run" ~doc:"Simulate one benchmark on one machine configuration.")
-    Cmdliner.Term.(const run $ bench_arg $ seed_arg $ scale_arg $ core_arg $ width_arg)
-
-(* --- trace --- *)
-
-let trace_cmd =
-  let from_arg =
-    Cmdliner.Arg.(
-      value & opt int 0
-      & info [ "from" ] ~docv:"CYCLE" ~doc:"First cycle of the timeline window.")
-  in
-  let cycles_arg =
-    Cmdliner.Arg.(
-      value & opt int 64
-      & info [ "cycles" ] ~docv:"N" ~doc:"Width of the timeline window in cycles.")
-  in
-  let chrome_arg =
-    Cmdliner.Arg.(
-      value
-      & opt (some string) None
-      & info [ "chrome" ] ~docv:"FILE"
-          ~doc:
-            "Also export the retained events as Chrome trace_event JSON to \
-             $(docv) (load it in chrome://tracing or ui.perfetto.dev). The \
-             document is parsed back before writing; a malformed export is \
-             an error.")
-  in
-  let counters_arg =
-    Cmdliner.Arg.(
-      value & flag
-      & info [ "counters" ]
-          ~doc:"Dump the run's counter registry after the timeline.")
-  in
-  let buffer_arg =
-    Cmdliner.Arg.(
-      value
-      & opt positive_int Obs.Tracer.default_capacity
-      & info [ "buffer" ] ~docv:"N"
-          ~doc:
-            "Tracer ring-buffer capacity (events). When a run overflows it, \
-             the oldest events are dropped and the retained window is the \
-             end of the run.")
-  in
-  let run (profile : W.Spec.profile) seed scale core width from_cycle cycles
-      chrome counters buffer =
-    let obs = Obs.Sink.create () in
-    let tracer = Obs.Tracer.create ~capacity:buffer () in
-    Obs.Sink.attach_tracer obs tracer;
-    let r, trace = simulate ~profile ~seed ~scale ~core ~width ~obs in
-    let events = Obs.Tracer.events tracer in
-    let label uid = Disasm.instr trace.Trace.events.(uid).Trace.instr in
-    let chrome_label uid = Printf.sprintf "%d %s" uid (label uid) in
-    Printf.printf "%s on %s: %d instructions, %d cycles, IPC %.3f\n"
-      profile.W.Spec.name r.U.Pipeline.config_name r.U.Pipeline.instructions
-      r.U.Pipeline.cycles r.U.Pipeline.ipc;
-    Printf.printf "tracer: %d events retained, %d dropped (buffer %d)\n\n"
-      (Obs.Tracer.length tracer)
-      (Obs.Tracer.dropped tracer)
-      (Obs.Tracer.capacity tracer);
-    (match Obs.Timeline.render ~from_cycle ~cycles ~label events with
-    | "" ->
-        Printf.printf
-          "no instruction activity in cycles [%d, %d) — try --from/--cycles \
-           (run length %d cycles)\n"
-          from_cycle (from_cycle + cycles) r.U.Pipeline.cycles
-    | diagram -> print_string diagram);
-    Option.iter
-      (fun file ->
-        let doc = Obs.Chrome.export ~label:chrome_label tracer in
-        (* self-check with the same parser the test suite uses: the CI
-           smoke step relies on a non-zero exit for a malformed export *)
-        (match Obs.Json.parse doc with
-        | Ok _ -> ()
-        | Error msg ->
-            Printf.eprintf "braidsim: internal error: Chrome export is not valid JSON: %s\n" msg;
-            exit 1);
-        (if file = "-" then print_string doc
-         else
-           let oc = open_out file in
-           Fun.protect
-             ~finally:(fun () -> close_out oc)
-             (fun () -> output_string oc doc));
-        let tracks =
-          List.sort_uniq compare (List.map Obs.Tracer.track_of events)
-        in
-        if file <> "-" then
-          Printf.printf "\nwrote %s: %d events on %d tracks (validated)\n" file
-            (List.length events) (List.length tracks))
-      chrome;
-    if counters then begin
-      print_newline ();
-      List.iter
-        (fun (name, v) ->
-          match v with
-          | Obs.Counters.Count n -> Printf.printf "%-26s %d\n" name n
-          | Obs.Counters.Hist { counts; observations; sum; _ } ->
-              Printf.printf "%-26s n=%d sum=%d buckets=[%s]\n" name
-                observations sum
-                (String.concat ";"
-                   (Array.to_list (Array.map string_of_int counts))))
-        (Obs.Counters.snapshot (Obs.Sink.counters obs))
-    end
-  in
-  Cmdliner.Cmd.v
-    (Cmdliner.Cmd.info "trace"
-       ~doc:
-         "Trace one benchmark run: ASCII pipeline timeline (F=fetch \
-          D=dispatch I=issue X=complete C=commit), optional Chrome \
-          trace_event export and counter dump.")
-    Cmdliner.Term.(
-      const run $ bench_arg $ seed_arg $ scale_arg $ core_arg $ width_arg
-      $ from_arg $ cycles_arg $ chrome_arg $ counters_arg $ buffer_arg)
-
-(* --- experiment --- *)
-
-let experiment_cmd =
-  let module E = Braid_sim.Experiments in
-  let id_arg =
-    Cmdliner.Arg.(
-      value
-      & pos 0 (some string) None
-      & info [] ~docv:"ID"
-          ~doc:
-            "Experiment id (e.g. fig13); `braidsim experiment list` to \
-             enumerate. Omitted: run all (or the --only subset).")
-  in
-  let only_arg =
-    Cmdliner.Arg.(
-      value
-      & opt (list string) []
-      & info [ "only" ] ~docv:"IDS" ~doc:"Comma-separated experiment ids to run.")
-  in
-  let jobs_arg =
-    Cmdliner.Arg.(
-      value
-      & opt positive_int 1
-      & info [ "jobs" ] ~docv:"N"
-          ~doc:
-            "Simulation jobs to run in parallel (one domain each); must be \
-             positive. Output is identical for every value.")
-  in
-  let json_arg =
-    Cmdliner.Arg.(
-      value
-      & opt (some string) None
-      & info [ "json" ] ~docv:"FILE"
-          ~doc:"Serialize the typed results and per-job telemetry to $(docv) (- for stdout).")
-  in
-  let counters_arg =
-    Cmdliner.Arg.(
-      value & flag
-      & info [ "counters" ]
-          ~doc:
-            "Append per-benchmark observability counters (one braid 8-wide \
-             run per benchmark) to the report, and a \"counters\" object to \
-             --json output.")
-  in
-  let run id only jobs json counters scale =
-    if id = Some "list" then
-      List.iter (fun (e : E.t) -> print_endline e.E.id) E.all
-    else begin
-      let ids = (match id with Some i -> [ i ] | None -> []) @ only in
-      let exps =
-        match ids with
-        | [] -> E.all
-        | ids ->
-            List.map
-              (fun id ->
-                try E.find id
-                with Not_found ->
-                  Printf.eprintf "unknown experiment %s\n" id;
-                  exit 1)
-              ids
-      in
-      let ctx = Braid_sim.Suite.create_ctx () in
-      let results =
-        Braid_sim.Runner.run_experiments ~ctx ~jobs ~scale exps
-      in
-      let counters =
-        if counters then Some (E.counters_report ctx ~scale) else None
-      in
-      (* --json - claims stdout for the document; keep it valid JSON *)
-      if json <> Some "-" then begin
-        List.iter
-          (fun (r, _) ->
-            print_string (Braid_sim.Report.render_full r);
-            print_newline ())
-          results;
-        Option.iter
-          (fun cs -> print_string (Braid_sim.Report.render_counters cs))
-          counters
-      end;
-      Option.iter
-        (fun file ->
-          try
-            Braid_sim.Report.write_json ?counters ~file ~scale ~jobs
-              (List.map (fun (r, st) -> (r, Some st)) results)
-          with Sys_error msg ->
-            Printf.eprintf "braidsim: cannot write JSON: %s\n" msg;
-            exit 1)
-        json
-    end
-  in
-  Cmdliner.Cmd.v
-    (Cmdliner.Cmd.info "experiment"
-       ~doc:
-         "Run one or more of the paper's tables/figures, optionally in \
-          parallel across domains.")
-    Cmdliner.Term.(
-      const run $ id_arg $ only_arg $ jobs_arg $ json_arg $ counters_arg
-      $ scale_arg)
-
-(* --- sweep --- *)
-
-let sweep_cmd =
-  let axis_conv : Dse.Axis.t Cmdliner.Arg.conv =
-    let parse s = Result.map_error (fun m -> `Msg m) (Dse.Axis.of_spec s) in
-    Cmdliner.Arg.conv ~docv:"FIELD=V1,V2,..." (parse, Dse.Axis.pp)
-  in
-  let axes_arg =
-    Cmdliner.Arg.(
-      value
-      & opt_all axis_conv []
-      & info [ "axis" ] ~docv:"FIELD=V1,V2,..."
-          ~doc:
-            "A sweep axis: a sweepable Config field and its values \
-             (repeatable). `braidsim sweep --list-fields` enumerates the \
-             fields.")
-  in
-  let mode_arg =
-    Cmdliner.Arg.(
-      value
-      & opt
-          (enum
-             [ ("cartesian", Dse.Grid.Cartesian);
-               ("one-at-a-time", Dse.Grid.One_at_a_time) ])
-          Dse.Grid.Cartesian
-      & info [ "mode" ] ~docv:"MODE"
-          ~doc:
-            "Grid expansion: $(b,cartesian) (every combination) or \
-             $(b,one-at-a-time) (the preset plus each single-field \
-             deviation, the shape of Figs 5-12).")
-  in
-  let benches_arg =
-    Cmdliner.Arg.(
-      value
-      & opt (list Cli.bench_name_conv) []
-      & info [ "benches" ] ~docv:"NAMES"
-          ~doc:"Comma-separated benchmark subset (default: all 26).")
-  in
-  let cache_arg =
-    Cmdliner.Arg.(
-      value
-      & opt (some string) None
-      & info [ "cache-dir" ] ~docv:"DIR"
-          ~doc:
-            "Content-addressed result cache: every simulation lands in \
-             $(docv) and is reused by any later sweep that reaches the \
-             same (config, trace) point, so interrupted sweeps resume \
-             with zero recomputation.")
-  in
-  let resume_arg =
-    Cmdliner.Arg.(
-      value & flag
-      & info [ "resume" ]
-          ~doc:
-            "Resume an interrupted sweep from --cache-dir (reusing cached \
-             results is also the default whenever --cache-dir is given; \
-             this flag only asserts the intent and errors without a cache \
-             directory).")
-  in
-  let json_arg =
-    Cmdliner.Arg.(
-      value
-      & opt (some string) None
-      & info [ "json" ] ~docv:"FILE"
-          ~doc:"Write the braidsim-sweep/1 document to $(docv) (- for stdout).")
-  in
-  let list_fields_arg =
-    Cmdliner.Arg.(
-      value & flag
-      & info [ "list-fields" ] ~doc:"List the sweepable config fields and exit.")
-  in
-  let run preset axes mode benches cache resume json list_fields seed scale jobs
-      =
-    if list_fields then
-      List.iter print_endline U.Config.sweepable_fields
-    else begin
-      if resume && cache = None then begin
-        Printf.eprintf "braidsim: --resume requires --cache-dir\n";
-        exit 1
-      end;
-      let cache =
-        Option.map
-          (fun d ->
-            match Dse.Cache.open_dir d with
-            | Ok c -> c
-            | Error msg ->
-                Printf.eprintf "braidsim: %s\n" msg;
-                exit 1)
-          cache
-      in
-      let benches =
-        match benches with
-        | [] -> W.Spec.all
-        | names -> List.map W.Spec.find names
-      in
-      match Dse.Grid.expand ~base:preset ~mode axes with
-      | Error msg ->
-          Printf.eprintf "braidsim: invalid sweep grid: %s\n" msg;
-          exit 1
-      | Ok points ->
-          let ctx = Braid_sim.Suite.create_ctx () in
-          let obs = Obs.Sink.create () in
-          let outcome =
-            Dse.Sweep.run ~obs ?cache ~ctx ~jobs ~seed ~scale ~benches points
-          in
-          (* --json - claims stdout for the document; keep it valid JSON *)
-          if json <> Some "-" then print_string (Dse.Frontier.render outcome);
-          Option.iter
-            (fun file ->
-              let doc =
-                Dse.Frontier.to_json ~preset ~mode ~axes ~seed ~scale outcome
-              in
-              if file = "-" then print_string doc
-              else
-                try
-                  let oc = open_out file in
-                  Fun.protect
-                    ~finally:(fun () -> close_out oc)
-                    (fun () -> output_string oc doc)
-                with Sys_error msg ->
-                  Printf.eprintf "braidsim: cannot write JSON: %s\n" msg;
-                  exit 1)
-            json
-    end
-  in
-  Cmdliner.Cmd.v
-    (Cmdliner.Cmd.info "sweep"
-       ~doc:
-         "Design-space exploration: expand a preset and typed axes into a \
-          validated configuration grid, simulate every (config, benchmark) \
-          point across the domain pool with a persistent result cache, and \
-          report the IPC-vs-complexity Pareto frontier.")
-    Cmdliner.Term.(
-      const run $ Cli.preset_arg $ axes_arg $ mode_arg $ benches_arg
-      $ cache_arg $ resume_arg $ json_arg $ list_fields_arg $ seed_arg
-      $ scale_arg $ Cli.jobs_arg ~default:1)
-
 (* --- disasm --- *)
 
 let disasm_cmd =
@@ -509,93 +112,6 @@ let disasm_cmd =
           with the Asm module).")
     Cmdliner.Term.(const run $ bench_arg $ seed_arg $ scale_arg $ braided_arg)
 
-(* --- fuzz --- *)
-
-let fuzz_cmd =
-  let count_arg =
-    Cmdliner.Arg.(
-      value & opt positive_int 100
-      & info [ "count" ] ~docv:"N" ~doc:"Number of random cases to check.")
-  in
-  let index_arg =
-    Cmdliner.Arg.(
-      value & opt int 0
-      & info [ "index" ] ~docv:"I"
-          ~doc:
-            "First case index. Reproduce a printed failure exactly with \
-             $(b,--seed S --index I --count 1).")
-  in
-  let core_opt_arg =
-    Cmdliner.Arg.(
-      value & opt (some Cli.core_kind_conv) None
-      & info [ "core" ] ~docv:"CORE"
-          ~doc:
-            "Restrict the differential oracle to one core (default: \
-             in-order, ooo and braid).")
-  in
-  let shrink_arg =
-    Cmdliner.Arg.(
-      value & flag
-      & info [ "shrink" ]
-          ~doc:"Greedily reduce each failing case to a minimal fragment list.")
-  in
-  let invariants_arg =
-    Cmdliner.Arg.(
-      value & flag
-      & info [ "invariants" ]
-          ~doc:
-            "Also check microarchitectural invariants (commit order, \
-             register-file occupancy, bypass legality, S/T/I/E bits) on \
-             every run.")
-  in
-  let run count seed index core shrink invariants =
-    let module Ck = Braid_check in
-    let cores =
-      match core with None -> Ck.Oracle.default_cores | Some k -> [ k ]
-    in
-    let outcome =
-      Ck.Fuzz.run ~invariants ~shrink ~cores ~first_index:index ~count ~seed ()
-    in
-    let core_names =
-      String.concat "," (List.map U.Config.kind_to_string cores)
-    in
-    if outcome.Ck.Fuzz.failures = [] then
-      Printf.printf
-        "fuzz: %d case(s) on [%s], seed %d: 0 divergences, 0 invariant \
-         violations%s\n"
-        outcome.Ck.Fuzz.tested core_names seed
-        (if invariants then "" else " (monitor off)")
-    else begin
-      Printf.printf "fuzz: %d of %d case(s) FAILED on [%s], seed %d\n"
-        (List.length outcome.Ck.Fuzz.failures)
-        outcome.Ck.Fuzz.tested core_names seed;
-      List.iter
-        (fun (f : Ck.Fuzz.failure) ->
-          Printf.printf "\ncase %s\n%s"
-            (Ck.Gen.describe f.Ck.Fuzz.case)
-            (Ck.Oracle.render f.Ck.Fuzz.report);
-          match f.Ck.Fuzz.shrunk with
-          | None -> ()
-          | Some (reduced, rep) ->
-              Printf.printf "shrunk to %s\n%s"
-                (Ck.Gen.describe reduced)
-                (Ck.Oracle.render rep);
-              let program, _ = Ck.Gen.build reduced in
-              Printf.printf "reproducer (virtual IR):\n%s" (Disasm.program program))
-        outcome.Ck.Fuzz.failures;
-      Stdlib.exit 1
-    end
-  in
-  Cmdliner.Cmd.v
-    (Cmdliner.Cmd.info "fuzz"
-       ~doc:
-         "Differential fuzzing: random programs through the emulator and \
-          the timing cores, comparing committed state (plus optional \
-          invariant monitoring).")
-    Cmdliner.Term.(
-      const run $ count_arg $ seed_arg $ index_arg $ core_opt_arg $ shrink_arg
-      $ invariants_arg)
-
 (* --- complexity --- *)
 
 let complexity_cmd =
@@ -618,6 +134,199 @@ let complexity_cmd =
        ~doc:"Static complexity indices of the four machines (§5.1).")
     Cmdliner.Term.(const run $ const ())
 
+(* --- the one-shot simulation subcommands --- *)
+
+let one_shot = function
+  | Ops.Immediate f -> f ()
+  | Ops.Call (request, out) -> (
+      match Api.Exec.exec (Api.Exec.one_shot_env ()) request with
+      | Ok payload -> Ops.deliver out payload
+      | Error msg -> Ops.fail msg)
+
+let run_cmd =
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "run" ~doc:"Simulate one benchmark on one machine configuration.")
+    Cmdliner.Term.(const one_shot $ Ops.run_term)
+
+let trace_cmd =
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "trace"
+       ~doc:
+         "Trace one benchmark run: ASCII pipeline timeline (F=fetch \
+          D=dispatch I=issue X=complete C=commit), optional Chrome \
+          trace_event export and counter dump.")
+    Cmdliner.Term.(const one_shot $ Ops.trace_term)
+
+let experiment_cmd =
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "experiment"
+       ~doc:
+         "Run one or more of the paper's tables/figures, optionally in \
+          parallel across domains.")
+    Cmdliner.Term.(const one_shot $ Ops.experiment_term)
+
+let sweep_cmd =
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "sweep"
+       ~doc:
+         "Design-space exploration: expand a preset and typed axes into a \
+          validated configuration grid, simulate every (config, benchmark) \
+          point across the domain pool with a persistent result cache, and \
+          report the IPC-vs-complexity Pareto frontier.")
+    Cmdliner.Term.(const one_shot $ Ops.sweep_term)
+
+let fuzz_cmd =
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random programs through the emulator and \
+          the timing cores, comparing committed state (plus optional \
+          invariant monitoring).")
+    Cmdliner.Term.(const one_shot $ Ops.fuzz_term)
+
+(* --- serve / client --- *)
+
+let socket_arg =
+  Cmdliner.Arg.(
+    value
+    & opt string Ops.default_socket
+    & info [ "socket" ] ~docv:"ADDR"
+        ~doc:
+          "Server endpoint: a Unix socket path, or $(b,host:port) for TCP.")
+
+let parse_addr spec =
+  match Api.Addr.of_spec spec with Ok a -> a | Error m -> Ops.fail m
+
+(* One request over one connection; progress frames go to stderr so
+   stdout stays byte-identical to the one-shot path. *)
+let client_call ~spec ~progress request out =
+  let addr = parse_addr spec in
+  match Api.Client.connect addr with
+  | Error msg -> Ops.fail msg
+  | Ok conn ->
+      let on_progress =
+        if progress then
+          Some
+            (fun ~completed ~total ~label ->
+              Printf.eprintf "[%d/%d] %s\n%!" completed total label)
+        else None
+      in
+      let result = Api.Client.request ?on_progress conn request in
+      Api.Client.close conn;
+      (match result with
+      | Ok payload -> Ops.deliver out payload
+      | Error msg -> Ops.fail msg)
+
+let client_group =
+  let progress_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:"Print per-job progress frames to stderr as they stream in.")
+  in
+  let dispatch spec progress = function
+    | Ops.Immediate f -> f ()
+    | Ops.Call (request, out) -> client_call ~spec ~progress request out
+  in
+  let op name ~doc term =
+    Cmdliner.Cmd.v
+      (Cmdliner.Cmd.info name ~doc)
+      Cmdliner.Term.(const dispatch $ socket_arg $ progress_arg $ term)
+  in
+  let control name ~doc request =
+    Cmdliner.Cmd.v
+      (Cmdliner.Cmd.info name ~doc)
+      Cmdliner.Term.(
+        const (fun spec ->
+            client_call ~spec ~progress:false request Ops.no_output)
+        $ socket_arg)
+  in
+  let cancel_cmd =
+    let id_arg =
+      Cmdliner.Arg.(
+        required
+        & pos 0 (some int) None
+        & info [] ~docv:"ID" ~doc:"Server-assigned request id to withdraw.")
+    in
+    Cmdliner.Cmd.v
+      (Cmdliner.Cmd.info "cancel" ~doc:"Withdraw a still-queued request.")
+      Cmdliner.Term.(
+        const (fun spec id ->
+            client_call ~spec ~progress:false
+              (Api.Request.Cancel { request_id = id })
+              Ops.no_output)
+        $ socket_arg $ id_arg)
+  in
+  Cmdliner.Cmd.group
+    (Cmdliner.Cmd.info "client"
+       ~doc:
+         "Run simulation requests against a braidsim serve daemon. Every \
+          op takes the same arguments as its one-shot counterpart and \
+          prints the same bytes; only the executor differs.")
+    [
+      op "run" ~doc:"Simulate one benchmark on the server." Ops.run_term;
+      op "trace" ~doc:"Trace one benchmark run on the server." Ops.trace_term;
+      op "experiment" ~doc:"Run paper experiments on the server."
+        Ops.experiment_term;
+      op "sweep"
+        ~doc:
+          "Design-space sweep on the server (warm points answer straight \
+           from its cache and memoised traces)."
+        Ops.sweep_term;
+      op "fuzz" ~doc:"Differential fuzzing on the server." Ops.fuzz_term;
+      control "status" ~doc:"Print daemon status and counters."
+        Api.Request.Status;
+      control "shutdown"
+        ~doc:"Gracefully stop the daemon (drains queued requests first)."
+        Api.Request.Shutdown;
+      cancel_cmd;
+    ]
+
+let serve_cmd =
+  let jobs_arg = Cli.jobs_arg ~default:1 in
+  let queue_arg =
+    Cmdliner.Arg.(
+      value
+      & opt Cli.positive_int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound: requests past it are refused, never \
+             silently dropped.")
+  in
+  let status_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "status" ]
+          ~doc:
+            "Do not start a server; query the one at --socket and print \
+             its status (shorthand for `braidsim client status`).")
+  in
+  let run spec jobs queue status =
+    if status then
+      client_call ~spec ~progress:false Api.Request.Status Ops.no_output
+    else
+      let addr = parse_addr spec in
+      match Api.Server.create { Api.Server.addr; jobs; max_queue = queue } with
+      | Error msg -> Ops.fail msg
+      | Ok server ->
+          (* Ctrl-C / TERM drain like a Shutdown request instead of
+             killing in-flight jobs. *)
+          let graceful = Sys.Signal_handle (fun _ -> Api.Server.stop server) in
+          Sys.set_signal Sys.sigint graceful;
+          Sys.set_signal Sys.sigterm graceful;
+          Printf.printf "braidsim serve: listening on %s (jobs %d, queue %d)\n%!"
+            (Api.Addr.to_string addr) jobs queue;
+          Api.Server.run server
+  in
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "serve"
+       ~doc:
+         "Long-lived simulation daemon: accepts braidsim-api/1 requests \
+          from braidsim client over a Unix or TCP socket, multiplexes \
+          them onto one domain pool with per-client fairness, and answers \
+          warm sweep points from its cache without simulating.")
+    Cmdliner.Term.(const run $ socket_arg $ jobs_arg $ queue_arg $ status_arg)
+
 let () =
   let info =
     Cmdliner.Cmd.info "braidsim" ~version:"1.0.0"
@@ -629,4 +338,5 @@ let () =
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.group info
           [ list_cmd; stats_cmd; inspect_cmd; run_cmd; trace_cmd;
-            experiment_cmd; sweep_cmd; disasm_cmd; complexity_cmd; fuzz_cmd ]))
+            experiment_cmd; sweep_cmd; disasm_cmd; complexity_cmd; fuzz_cmd;
+            serve_cmd; client_group ]))

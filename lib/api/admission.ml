@@ -1,0 +1,82 @@
+(* Bounded admission with per-client round-robin fairness.
+
+   One FIFO per client plus a rotation of client ids: [pop] serves the
+   front client's oldest request and moves that client to the back of the
+   rotation, so a client that floods the queue cannot starve the others —
+   between any two requests of one client, every other waiting client is
+   served once. Not thread-safe: the daemon guards it with its state
+   mutex. *)
+
+type 'a t = {
+  max : int;
+  queues : (int, 'a Queue.t) Hashtbl.t;
+  rotation : int Queue.t;  (* clients with pending work, service order *)
+  mutable depth : int;
+}
+
+let create ~max =
+  if max <= 0 then invalid_arg "Admission.create: max must be positive";
+  { max; queues = Hashtbl.create 8; rotation = Queue.create (); depth = 0 }
+
+let depth t = t.depth
+let capacity t = t.max
+
+let push t ~client x =
+  if t.depth >= t.max then false
+  else begin
+    let q =
+      match Hashtbl.find_opt t.queues client with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.add t.queues client q;
+          q
+    in
+    if Queue.is_empty q then Queue.add client t.rotation;
+    Queue.add x q;
+    t.depth <- t.depth + 1;
+    true
+  end
+
+let rec pop t =
+  if Queue.is_empty t.rotation then None
+  else
+    let client = Queue.pop t.rotation in
+    match Hashtbl.find_opt t.queues client with
+    | None -> pop t
+    | Some q when Queue.is_empty q -> pop t
+    | Some q ->
+        let x = Queue.pop q in
+        t.depth <- t.depth - 1;
+        if not (Queue.is_empty q) then Queue.add client t.rotation;
+        Some x
+
+(* Remove the first element matching [p] without disturbing the service
+   order of anything else: rebuild the owning client's FIFO. *)
+let cancel t p =
+  let found = ref None in
+  Hashtbl.iter
+    (fun client q ->
+      if !found = None then begin
+        let keep = Queue.create () in
+        Queue.iter
+          (fun x ->
+            if !found = None && p x then found := Some (client, x)
+            else Queue.add x keep)
+          q;
+        match !found with
+        | Some (c, _) when c = client ->
+            Queue.clear q;
+            Queue.transfer keep q;
+            t.depth <- t.depth - 1;
+            if Queue.is_empty q then begin
+              (* drop the client from the rotation: it has nothing pending *)
+              let rot = Queue.create () in
+              Queue.iter (fun c' -> if c' <> client then Queue.add c' rot) t.rotation;
+              Queue.clear t.rotation;
+              Queue.transfer rot t.rotation
+            end
+        | _ -> ()
+      end)
+    t.queues;
+  Option.map snd !found

@@ -1,0 +1,27 @@
+(** Bounded request admission with per-client round-robin fairness.
+
+    One FIFO per client plus a service rotation: {!pop} always serves the
+    least-recently-served client that has pending work, so no client can
+    starve another no matter how many requests it floods in. The total
+    depth is bounded; {!push} past the bound is refused (the daemon turns
+    that into an admission error, never silent loss).
+
+    Not thread-safe — the daemon guards it with its state mutex. *)
+
+type 'a t
+
+val create : max:int -> 'a t
+(** Raises [Invalid_argument] on a non-positive bound. *)
+
+val push : 'a t -> client:int -> 'a -> bool
+(** [false] when the queue is at capacity (the element is not admitted). *)
+
+val pop : 'a t -> 'a option
+(** Next element in round-robin-across-clients, FIFO-within-client order. *)
+
+val cancel : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the first queued element matching the predicate;
+    service order of everything else is unchanged. *)
+
+val depth : 'a t -> int
+val capacity : 'a t -> int

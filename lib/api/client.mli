@@ -1,0 +1,18 @@
+(** Blocking client for the [braidsim serve] protocol.
+
+    One request in flight per connection: {!request} sends the frame,
+    relays any progress frames to [on_progress], and returns the terminal
+    frame — the payload on [Done], the server's message on [Failed].
+    Protocol-level problems (connection loss, truncated frames, foreign
+    schema versions) also come back as [Error]. *)
+
+type t
+
+val connect : Addr.t -> (t, string) result
+val close : t -> unit
+
+val request :
+  ?on_progress:(completed:int -> total:int -> label:string -> unit) ->
+  t ->
+  Request.t ->
+  (Response.payload, string) result

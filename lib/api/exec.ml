@@ -1,0 +1,347 @@
+module C = Braid_core
+module U = Braid_uarch
+module W = Braid_workload
+module Obs = Braid_obs
+module Sim = Braid_sim
+module Dse = Braid_dse
+module Ck = Braid_check
+module E = Sim.Experiments
+
+type env = {
+  ctx : Sim.Suite.ctx;
+  obs : Obs.Sink.t;
+  max_jobs : int option;
+}
+
+let one_shot_env () =
+  { ctx = Sim.Suite.create_ctx (); obs = Obs.Sink.disabled; max_jobs = None }
+
+let ( let* ) = Result.bind
+
+let effective_jobs env requested =
+  match env.max_jobs with
+  | None -> requested
+  | Some cap -> max 1 (min requested cap)
+
+let find_bench name =
+  match W.Spec.find name with
+  | p -> Ok p
+  | exception Not_found -> Error (Printf.sprintf "unknown benchmark %S" name)
+
+let positive what n =
+  if n > 0 then Ok n else Error (Printf.sprintf "%s must be positive (got %d)" what n)
+
+let check_width w =
+  if List.mem w [ 4; 8; 16 ] then Ok w
+  else Error (Printf.sprintf "width must be 4, 8 or 16 (got %d)" w)
+
+(* Shared by run and trace: generate, compile for the chosen core, emulate,
+   and time the resulting trace on the configured machine. This is the
+   computation the one-shot CLI historically ran inline. *)
+let simulate ~(profile : W.Spec.profile) ~seed ~scale ~core ~width ~obs =
+  let program, init_mem = W.Spec.generate profile ~seed ~scale in
+  let cfg = U.Config.preset_of_kind core in
+  let binary =
+    match core with
+    | U.Config.Braid_exec -> (C.Transform.run program).C.Transform.program
+    | U.Config.In_order | U.Config.Dep_steer | U.Config.Ooo ->
+        (C.Transform.conventional program).C.Extalloc.program
+  in
+  let cfg = if width = 8 then cfg else U.Config.scale_width cfg width in
+  let out = Emulator.run ~max_steps:(50 * scale) ~init_mem binary in
+  let trace = Option.get out.Emulator.trace in
+  let r = U.Pipeline.run ~obs ~warm_data:(List.map fst init_mem) cfg trace in
+  (r, trace)
+
+(* Wire a Runner/Sweep on_done hook to the caller's progress stream. The
+   hook fires on worker domains, so the completion count is atomic; the
+   caller's callback must be domain-safe (the daemon serializes frame
+   writes under a mutex). *)
+let counted_progress progress ~total =
+  match progress with
+  | None -> None
+  | Some f ->
+      let completed = Atomic.make 0 in
+      Some
+        (fun _i label ->
+          let c = Atomic.fetch_and_add completed 1 + 1 in
+          f ~completed:c ~total ~label)
+
+(* --- run --- *)
+
+let exec_run (r : Request.run) =
+  let* profile = find_bench r.Request.r_bench in
+  let* scale = positive "scale" r.Request.r_scale in
+  let* width = check_width r.Request.r_width in
+  let res, _ =
+    simulate ~profile ~seed:r.Request.r_seed ~scale ~core:r.Request.r_core
+      ~width ~obs:Obs.Sink.disabled
+  in
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "%s on %s\n" profile.W.Spec.name res.U.Pipeline.config_name;
+  pf "  instructions        %d\n" res.U.Pipeline.instructions;
+  pf "  cycles              %d\n" res.U.Pipeline.cycles;
+  pf "  IPC                 %.3f\n" res.U.Pipeline.ipc;
+  pf "  branch mispredicts  %d / %d lookups\n" res.U.Pipeline.branch_mispredicts
+    res.U.Pipeline.branch_lookups;
+  pf "  L1I/L1D/L2 misses   %d / %d / %d\n" res.U.Pipeline.l1i_misses
+    res.U.Pipeline.l1d_misses res.U.Pipeline.l2_misses;
+  pf "  reg dispatch stalls %d\n" res.U.Pipeline.dispatch_stall_regs;
+  pf "  stalls (cycles)     redirect %d, icache %d, core %d, front-end %d\n"
+    res.U.Pipeline.stalls.U.Pipeline.fetch_redirect
+    res.U.Pipeline.stalls.U.Pipeline.fetch_icache
+    res.U.Pipeline.stalls.U.Pipeline.dispatch_core
+    res.U.Pipeline.stalls.U.Pipeline.dispatch_frontend;
+  pf "  avg core occupancy  %.1f instructions\n" res.U.Pipeline.avg_occupancy;
+  let a = res.U.Pipeline.activity in
+  pf "  RF accesses         %d external, %d internal; %d bypassed values\n"
+    (a.U.Machine.ext_rf_reads + a.U.Machine.ext_rf_writes)
+    (a.U.Machine.int_rf_reads + a.U.Machine.int_rf_writes)
+    a.U.Machine.bypass_values;
+  Ok (Response.Run_done { text = Buffer.contents b })
+
+(* --- experiment --- *)
+
+let exec_experiment ?progress env (e : Request.experiment) =
+  let* scale = positive "scale" e.Request.e_scale in
+  let* jobs = positive "jobs" e.Request.e_jobs in
+  let* exps =
+    List.fold_left
+      (fun acc id ->
+        let* acc = acc in
+        match E.find id with
+        | exp -> Ok (exp :: acc)
+        | exception Not_found ->
+            Error (Printf.sprintf "unknown experiment %S" id))
+      (Ok []) e.Request.e_ids
+    |> Result.map List.rev
+  in
+  let exps = match exps with [] -> E.all | exps -> exps in
+  let on_done =
+    counted_progress progress ~total:(Sim.Runner.experiment_job_count exps)
+  in
+  let results =
+    Sim.Runner.run_experiments ?on_done ~ctx:env.ctx
+      ~jobs:(effective_jobs env jobs) ~scale exps
+  in
+  let counters =
+    if e.Request.e_counters then Some (E.counters_report env.ctx ~scale)
+    else None
+  in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (r, _) ->
+      Buffer.add_string b (Sim.Report.render_full r);
+      Buffer.add_char b '\n')
+    results;
+  Option.iter
+    (fun cs -> Buffer.add_string b (Sim.Report.render_counters cs))
+    counters;
+  (* The served document is deterministic — per-job wall-clock telemetry
+     is omitted (unlike the bench harness's own --json), so a client and
+     the one-shot CLI produce byte-identical files. The "jobs" field
+     records the *requested* parallelism: output never depends on it. *)
+  let doc =
+    Sim.Report.to_json ?counters ~scale ~jobs
+      (List.map (fun (r, _) -> (r, None)) results)
+  in
+  Ok (Response.Experiment_done { text = Buffer.contents b; doc })
+
+(* --- sweep --- *)
+
+let exec_sweep ?progress env (s : Request.sweep) =
+  let* scale = positive "scale" s.Request.s_scale in
+  let* jobs = positive "jobs" s.Request.s_jobs in
+  let* axes =
+    List.fold_left
+      (fun acc spec ->
+        let* acc = acc in
+        let* a = Dse.Axis.of_spec spec in
+        Ok (a :: acc))
+      (Ok []) s.Request.s_axes
+    |> Result.map List.rev
+  in
+  let* benches =
+    match s.Request.s_benches with
+    | [] -> Ok W.Spec.all
+    | names ->
+        List.fold_left
+          (fun acc n ->
+            let* acc = acc in
+            let* p = find_bench n in
+            Ok (p :: acc))
+          (Ok []) names
+        |> Result.map List.rev
+  in
+  let* cache =
+    match s.Request.s_cache_dir with
+    | None -> Ok None
+    | Some d -> Result.map Option.some (Dse.Cache.open_dir d)
+  in
+  let preset = U.Config.preset_of_kind s.Request.s_preset in
+  let* points =
+    Result.map_error
+      (Printf.sprintf "invalid sweep grid: %s")
+      (Dse.Grid.expand ~base:preset ~mode:s.Request.s_mode axes)
+  in
+  let on_done = counted_progress progress ~total:(Dse.Sweep.job_count ~benches points) in
+  let outcome =
+    Dse.Sweep.run ~obs:env.obs ?cache ?on_done ~ctx:env.ctx
+      ~jobs:(effective_jobs env jobs) ~seed:s.Request.s_seed ~scale ~benches
+      points
+  in
+  let text = Dse.Frontier.render outcome in
+  let doc =
+    Dse.Frontier.to_json ~preset ~mode:s.Request.s_mode ~axes
+      ~seed:s.Request.s_seed ~scale outcome
+  in
+  Ok
+    (Response.Sweep_done
+       {
+         text;
+         doc;
+         simulated = outcome.Dse.Sweep.stats.Dse.Sweep.simulated;
+         cache_hits = outcome.Dse.Sweep.stats.Dse.Sweep.cache_hits;
+       })
+
+(* --- trace --- *)
+
+let exec_trace (t : Request.trace) =
+  let* profile = find_bench t.Request.t_bench in
+  let* scale = positive "scale" t.Request.t_scale in
+  let* width = check_width t.Request.t_width in
+  let* buffer = positive "buffer" t.Request.t_buffer in
+  let obs = Obs.Sink.create () in
+  let tracer = Obs.Tracer.create ~capacity:buffer () in
+  Obs.Sink.attach_tracer obs tracer;
+  let r, trace =
+    simulate ~profile ~seed:t.Request.t_seed ~scale ~core:t.Request.t_core
+      ~width ~obs
+  in
+  let events = Obs.Tracer.events tracer in
+  let label uid = Disasm.instr trace.Trace.events.(uid).Trace.instr in
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "%s on %s: %d instructions, %d cycles, IPC %.3f\n" profile.W.Spec.name
+    r.U.Pipeline.config_name r.U.Pipeline.instructions r.U.Pipeline.cycles
+    r.U.Pipeline.ipc;
+  pf "tracer: %d events retained, %d dropped (buffer %d)\n\n"
+    (Obs.Tracer.length tracer)
+    (Obs.Tracer.dropped tracer)
+    (Obs.Tracer.capacity tracer);
+  let from_cycle = t.Request.t_from and cycles = t.Request.t_cycles in
+  (match Obs.Timeline.render ~from_cycle ~cycles ~label events with
+  | "" ->
+      pf
+        "no instruction activity in cycles [%d, %d) — try --from/--cycles \
+         (run length %d cycles)\n"
+        from_cycle (from_cycle + cycles) r.U.Pipeline.cycles
+  | diagram -> Buffer.add_string b diagram);
+  let* chrome =
+    if not t.Request.t_chrome then Ok None
+    else
+      let chrome_label uid = Printf.sprintf "%d %s" uid (label uid) in
+      let doc = Obs.Chrome.export ~label:chrome_label tracer in
+      (* self-check with the same parser the test suite uses *)
+      match Json.parse doc with
+      | Error msg ->
+          Error
+            (Printf.sprintf "internal error: Chrome export is not valid JSON: %s"
+               msg)
+      | Ok _ ->
+          let tracks =
+            List.sort_uniq compare (List.map Obs.Tracer.track_of events)
+          in
+          Ok
+            (Some
+               {
+                 Response.c_doc = doc;
+                 c_events = List.length events;
+                 c_tracks = List.length tracks;
+               })
+  in
+  let counters_text =
+    if not t.Request.t_counters then None
+    else begin
+      let cb = Buffer.create 1024 in
+      Buffer.add_char cb '\n';
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Obs.Counters.Count n ->
+              Buffer.add_string cb (Printf.sprintf "%-26s %d\n" name n)
+          | Obs.Counters.Hist { counts; observations; sum; _ } ->
+              Buffer.add_string cb
+                (Printf.sprintf "%-26s n=%d sum=%d buckets=[%s]\n" name
+                   observations sum
+                   (String.concat ";"
+                      (Array.to_list (Array.map string_of_int counts)))))
+        (Obs.Counters.snapshot (Obs.Sink.counters obs));
+      Some (Buffer.contents cb)
+    end
+  in
+  Ok (Response.Trace_done { text = Buffer.contents b; counters_text; chrome })
+
+(* --- fuzz --- *)
+
+let exec_fuzz (f : Request.fuzz) =
+  let* count = positive "count" f.Request.f_count in
+  let cores =
+    match f.Request.f_cores with [] -> Ck.Oracle.default_cores | cs -> cs
+  in
+  let outcome =
+    Ck.Fuzz.run ~invariants:f.Request.f_invariants ~shrink:f.Request.f_shrink
+      ~cores ~first_index:f.Request.f_index ~count ~seed:f.Request.f_seed ()
+  in
+  let core_names = String.concat "," (List.map U.Config.kind_to_string cores) in
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let failures = List.length outcome.Ck.Fuzz.failures in
+  if outcome.Ck.Fuzz.failures = [] then
+    pf
+      "fuzz: %d case(s) on [%s], seed %d: 0 divergences, 0 invariant \
+       violations%s\n"
+      outcome.Ck.Fuzz.tested core_names f.Request.f_seed
+      (if f.Request.f_invariants then "" else " (monitor off)")
+  else begin
+    pf "fuzz: %d of %d case(s) FAILED on [%s], seed %d\n" failures
+      outcome.Ck.Fuzz.tested core_names f.Request.f_seed;
+    List.iter
+      (fun (fl : Ck.Fuzz.failure) ->
+        pf "\ncase %s\n%s"
+          (Ck.Gen.describe fl.Ck.Fuzz.case)
+          (Ck.Oracle.render fl.Ck.Fuzz.report);
+        match fl.Ck.Fuzz.shrunk with
+        | None -> ()
+        | Some (reduced, rep) ->
+            pf "shrunk to %s\n%s" (Ck.Gen.describe reduced)
+              (Ck.Oracle.render rep);
+            let program, _ = Ck.Gen.build reduced in
+            pf "reproducer (virtual IR):\n%s" (Disasm.program program))
+      outcome.Ck.Fuzz.failures
+  end;
+  Ok
+    (Response.Fuzz_done
+       { text = Buffer.contents b; tested = outcome.Ck.Fuzz.tested; failures })
+
+(* --- dispatch --- *)
+
+let exec ?progress env request =
+  (* a raising job (or any internal bug) rejects this request only: the
+     daemon's executor loop and every other queued request stay alive *)
+  try
+    match request with
+    | Request.Run r -> exec_run r
+    | Request.Experiment e -> exec_experiment ?progress env e
+    | Request.Sweep s -> exec_sweep ?progress env s
+    | Request.Trace t -> exec_trace t
+    | Request.Fuzz f -> exec_fuzz f
+    | Request.Status | Request.Cancel _ | Request.Shutdown ->
+        Error
+          (Printf.sprintf "op %S is only served by a running daemon"
+             (Request.op_name request))
+  with
+  | Sim.Runner.Job_failed { label; error } ->
+      Error (Printf.sprintf "job %s failed: %s" label (Printexc.to_string error))
+  | e -> Error ("internal error: " ^ Printexc.to_string e)

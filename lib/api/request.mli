@@ -1,0 +1,81 @@
+(** The typed request vocabulary of the [braidsim-api/1] protocol: one
+    variant per served capability. The one-shot CLI, the [braidsim client]
+    subcommand and the daemon dispatcher all build and consume this type,
+    so one-shot and served execution are the same computation by
+    construction.
+
+    The JSON wire form is one object per request:
+    [{"schema":"braidsim-api/1","op":"run",...}]. [of_json] rejects a
+    missing or foreign schema version before looking at anything else —
+    the version-policy contract documented in docs/TUTORIAL.md. *)
+
+module Config = Braid_uarch.Config
+
+val schema : string
+(** ["braidsim-api/1"]. The version suffix bumps on any incompatible
+    change to the request or response vocabulary. *)
+
+type run = {
+  r_bench : string;
+  r_seed : int;
+  r_scale : int;
+  r_core : Config.core_kind;
+  r_width : int;
+}
+
+type experiment = {
+  e_ids : string list;  (** empty: every experiment *)
+  e_scale : int;
+  e_jobs : int;  (** requested parallelism; a server may cap it *)
+  e_counters : bool;
+}
+
+type sweep = {
+  s_preset : Config.core_kind;
+  s_axes : string list;  (** {!Braid_dse.Axis.of_spec} forms *)
+  s_mode : Braid_dse.Grid.mode;
+  s_benches : string list;  (** empty: all 26 *)
+  s_seed : int;
+  s_scale : int;
+  s_jobs : int;
+  s_cache_dir : string option;  (** resolved on the server's filesystem *)
+}
+
+type trace = {
+  t_bench : string;
+  t_seed : int;
+  t_scale : int;
+  t_core : Config.core_kind;
+  t_width : int;
+  t_from : int;
+  t_cycles : int;
+  t_buffer : int;
+  t_chrome : bool;  (** also return the Chrome trace_event document *)
+  t_counters : bool;
+}
+
+type fuzz = {
+  f_count : int;
+  f_seed : int;
+  f_index : int;
+  f_cores : Config.core_kind list;  (** empty: the default oracle trio *)
+  f_invariants : bool;
+  f_shrink : bool;
+}
+
+type t =
+  | Run of run
+  | Experiment of experiment
+  | Sweep of sweep
+  | Trace of trace
+  | Fuzz of fuzz
+  | Status  (** daemon introspection; answered without queueing *)
+  | Cancel of { request_id : int }  (** withdraw a still-queued request *)
+  | Shutdown  (** drain admitted work, then exit *)
+
+val op_name : t -> string
+
+val to_json : t -> string
+val of_json : string -> (t, string) result
+(** Strict inverse of {!to_json}; unknown schema versions, unknown ops and
+    missing or ill-typed fields are all errors naming the offender. *)

@@ -1,0 +1,223 @@
+let schema = Request.schema
+
+type status = {
+  pool_jobs : int;
+  max_queue : int;
+  queue_depth : int;
+  active : (int * string) option;  (** in-flight request id and op *)
+  served : int;
+  failed : int;
+  cancelled : int;
+  counters : (string * int) list;
+}
+
+type chrome = { c_doc : string; c_events : int; c_tracks : int }
+
+type payload =
+  | Run_done of { text : string }
+  | Experiment_done of { text : string; doc : string }
+  | Sweep_done of {
+      text : string;
+      doc : string;
+      simulated : int;
+      cache_hits : int;
+    }
+  | Trace_done of {
+      text : string;
+      counters_text : string option;
+      chrome : chrome option;
+    }
+  | Fuzz_done of { text : string; tested : int; failures : int }
+  | Status_report of status
+  | Cancelled of { cancelled_id : int }
+  | Shutdown_ack
+
+type t =
+  | Done of { id : int; payload : payload }
+  | Progress of { id : int; completed : int; total : int; label : string }
+  | Failed of { id : int; message : string }
+
+(* --- JSON --- *)
+
+let num n = Json.Num (float_of_int n)
+
+let payload_fields = function
+  | Run_done { text } -> [ ("result", Json.Str "run"); ("text", Json.Str text) ]
+  | Experiment_done { text; doc } ->
+      [
+        ("result", Json.Str "experiment"); ("text", Json.Str text);
+        ("doc", Json.Str doc);
+      ]
+  | Sweep_done { text; doc; simulated; cache_hits } ->
+      [
+        ("result", Json.Str "sweep"); ("text", Json.Str text);
+        ("doc", Json.Str doc); ("simulated", num simulated);
+        ("cache_hits", num cache_hits);
+      ]
+  | Trace_done { text; counters_text; chrome } ->
+      [ ("result", Json.Str "trace"); ("text", Json.Str text) ]
+      @ (match counters_text with
+        | None -> []
+        | Some c -> [ ("counters_text", Json.Str c) ])
+      @ (match chrome with
+        | None -> []
+        | Some { c_doc; c_events; c_tracks } ->
+            [
+              ("chrome_doc", Json.Str c_doc); ("chrome_events", num c_events);
+              ("chrome_tracks", num c_tracks);
+            ])
+  | Fuzz_done { text; tested; failures } ->
+      [
+        ("result", Json.Str "fuzz"); ("text", Json.Str text);
+        ("tested", num tested); ("failures", num failures);
+      ]
+  | Status_report s ->
+      [
+        ("result", Json.Str "status"); ("pool_jobs", num s.pool_jobs);
+        ("max_queue", num s.max_queue); ("queue_depth", num s.queue_depth);
+        ("served", num s.served); ("failed", num s.failed);
+        ("cancelled", num s.cancelled);
+        ( "counters",
+          Json.Obj (List.map (fun (k, v) -> (k, num v)) s.counters) );
+      ]
+      @ (match s.active with
+        | None -> []
+        | Some (id, op) ->
+            [ ("active_id", num id); ("active_op", Json.Str op) ])
+  | Cancelled { cancelled_id } ->
+      [ ("result", Json.Str "cancelled"); ("cancelled_id", num cancelled_id) ]
+  | Shutdown_ack -> [ ("result", Json.Str "shutdown") ]
+
+let to_tree t =
+  let head = [ ("schema", Json.Str schema) ] in
+  match t with
+  | Done { id; payload } ->
+      Json.Obj
+        (head
+        @ [ ("type", Json.Str "done"); ("id", num id) ]
+        @ payload_fields payload)
+  | Progress { id; completed; total; label } ->
+      Json.Obj
+        (head
+        @ [
+            ("type", Json.Str "progress"); ("id", num id);
+            ("completed", num completed); ("total", num total);
+            ("label", Json.Str label);
+          ])
+  | Failed { id; message } ->
+      Json.Obj
+        (head
+        @ [
+            ("type", Json.Str "error"); ("id", num id);
+            ("message", Json.Str message);
+          ])
+
+let to_json t = Json.to_string (to_tree t)
+
+let ( let* ) = Result.bind
+
+let field name conv doc =
+  match conv name doc with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let payload_of_tree doc =
+  match Json.str_member "result" doc with
+  | None -> Error "missing \"result\" field"
+  | Some "run" ->
+      let* text = field "text" Json.str_member doc in
+      Ok (Run_done { text })
+  | Some "experiment" ->
+      let* text = field "text" Json.str_member doc in
+      let* doc' = field "doc" Json.str_member doc in
+      Ok (Experiment_done { text; doc = doc' })
+  | Some "sweep" ->
+      let* text = field "text" Json.str_member doc in
+      let* doc' = field "doc" Json.str_member doc in
+      let* simulated = field "simulated" Json.int_member doc in
+      let* cache_hits = field "cache_hits" Json.int_member doc in
+      Ok (Sweep_done { text; doc = doc'; simulated; cache_hits })
+  | Some "trace" ->
+      let* text = field "text" Json.str_member doc in
+      let counters_text = Json.str_member "counters_text" doc in
+      let chrome =
+        match
+          ( Json.str_member "chrome_doc" doc,
+            Json.int_member "chrome_events" doc,
+            Json.int_member "chrome_tracks" doc )
+        with
+        | Some c_doc, Some c_events, Some c_tracks ->
+            Some { c_doc; c_events; c_tracks }
+        | _ -> None
+      in
+      Ok (Trace_done { text; counters_text; chrome })
+  | Some "fuzz" ->
+      let* text = field "text" Json.str_member doc in
+      let* tested = field "tested" Json.int_member doc in
+      let* failures = field "failures" Json.int_member doc in
+      Ok (Fuzz_done { text; tested; failures })
+  | Some "status" ->
+      let* pool_jobs = field "pool_jobs" Json.int_member doc in
+      let* max_queue = field "max_queue" Json.int_member doc in
+      let* queue_depth = field "queue_depth" Json.int_member doc in
+      let* served = field "served" Json.int_member doc in
+      let* failed = field "failed" Json.int_member doc in
+      let* cancelled = field "cancelled" Json.int_member doc in
+      let* counters =
+        match Json.member "counters" doc with
+        | Some (Json.Obj fields) ->
+            List.fold_left
+              (fun acc (k, v) ->
+                let* acc = acc in
+                match v with
+                | Json.Num f when Float.is_integer f ->
+                    Ok ((k, int_of_float f) :: acc)
+                | _ -> Error (Printf.sprintf "ill-typed counter %S" k))
+              (Ok []) fields
+            |> Result.map List.rev
+        | _ -> Error "missing or ill-typed field \"counters\""
+      in
+      let active =
+        match (Json.int_member "active_id" doc, Json.str_member "active_op" doc)
+        with
+        | Some id, Some op -> Some (id, op)
+        | _ -> None
+      in
+      Ok
+        (Status_report
+           { pool_jobs; max_queue; queue_depth; active; served; failed;
+             cancelled; counters })
+  | Some "cancelled" ->
+      let* cancelled_id = field "cancelled_id" Json.int_member doc in
+      Ok (Cancelled { cancelled_id })
+  | Some "shutdown" -> Ok Shutdown_ack
+  | Some r -> Error (Printf.sprintf "unknown result kind %S" r)
+
+let of_tree doc =
+  match Json.str_member "schema" doc with
+  | None -> Error "missing \"schema\" field"
+  | Some v when v <> schema ->
+      Error
+        (Printf.sprintf "unsupported schema %S (this endpoint speaks %s)" v
+           schema)
+  | Some _ -> (
+      let* id = field "id" Json.int_member doc in
+      match Json.str_member "type" doc with
+      | Some "done" ->
+          let* payload = payload_of_tree doc in
+          Ok (Done { id; payload })
+      | Some "progress" ->
+          let* completed = field "completed" Json.int_member doc in
+          let* total = field "total" Json.int_member doc in
+          let* label = field "label" Json.str_member doc in
+          Ok (Progress { id; completed; total; label })
+      | Some "error" ->
+          let* message = field "message" Json.str_member doc in
+          Ok (Failed { id; message })
+      | Some ty -> Error (Printf.sprintf "unknown response type %S" ty)
+      | None -> Error "missing \"type\" field")
+
+let of_json s =
+  match Json.parse s with
+  | Error msg -> Error (Printf.sprintf "malformed response: %s" msg)
+  | Ok doc -> of_tree doc

@@ -1,0 +1,53 @@
+(** The typed response vocabulary of the [braidsim-api/1] protocol.
+
+    A served request is answered by zero or more [Progress] frames
+    followed by exactly one terminal frame ([Done] or [Failed]), all
+    carrying the server-assigned request id. Payloads carry the rendered
+    text (and, where the one-shot CLI would write a document, the full
+    JSON document) so a client delivers byte-identical output to the
+    one-shot path without re-rendering anything. *)
+
+type status = {
+  pool_jobs : int;  (** domain-pool width requests execute with *)
+  max_queue : int;
+  queue_depth : int;  (** admitted, not yet started *)
+  active : (int * string) option;  (** in-flight request id and op *)
+  served : int;  (** terminal [Done] responses sent *)
+  failed : int;
+  cancelled : int;
+  counters : (string * int) list;
+      (** the daemon's {!Braid_obs} counter registry — includes
+          [dse.simulations] / [dse.cache_hits], the cache-hit-rate
+          evidence *)
+}
+
+type chrome = { c_doc : string; c_events : int; c_tracks : int }
+
+type payload =
+  | Run_done of { text : string }
+  | Experiment_done of { text : string; doc : string }
+  | Sweep_done of {
+      text : string;
+      doc : string;  (** the braidsim-sweep/1 document *)
+      simulated : int;
+      cache_hits : int;  (** this request's {!Braid_dse.Sweep.stats} *)
+    }
+  | Trace_done of {
+      text : string;
+      counters_text : string option;
+      chrome : chrome option;
+    }
+  | Fuzz_done of { text : string; tested : int; failures : int }
+  | Status_report of status
+  | Cancelled of { cancelled_id : int }
+  | Shutdown_ack
+
+type t =
+  | Done of { id : int; payload : payload }
+  | Progress of { id : int; completed : int; total : int; label : string }
+  | Failed of { id : int; message : string }
+
+val to_json : t -> string
+val of_json : string -> (t, string) result
+(** Strict inverse of {!to_json}; unknown schema versions and malformed
+    frames are errors naming the offender. *)

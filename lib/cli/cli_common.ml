@@ -92,3 +92,32 @@ let bench_name_conv : string Cmdliner.Arg.conv =
                 (valid_bench_names ())))
   in
   Cmdliner.Arg.conv ~docv:"BENCH" (parse, Format.pp_print_string)
+
+module Exp = Braid_sim.Experiments
+
+let experiment_id_conv : string Cmdliner.Arg.conv =
+  let parse s =
+    match Exp.find s with
+    | (_ : Exp.t) -> Ok s
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown experiment %S; valid ids:\n%s" s
+                (String.concat "\n"
+                   (List.map (fun (e : Exp.t) -> e.Exp.id) Exp.all))))
+  in
+  Cmdliner.Arg.conv ~docv:"ID" (parse, Format.pp_print_string)
+
+let only_arg =
+  let doc = "Comma-separated experiment ids to run (default: all)." in
+  Cmdliner.Arg.(
+    value & opt (list experiment_id_conv) [] & info [ "only" ] ~docv:"IDS" ~doc)
+
+let reps_arg ~default =
+  let doc = "Timed repetitions per (benchmark, core) in --perf mode." in
+  Cmdliner.Arg.(
+    value & opt positive_int default & info [ "reps" ] ~docv:"N" ~doc)
+
+let json_file_arg ~doc =
+  Cmdliner.Arg.(
+    value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)

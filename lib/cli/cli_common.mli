@@ -39,3 +39,18 @@ val bench_arg : Braid_workload.Spec.profile Cmdliner.Term.t
 val bench_name_conv : string Cmdliner.Arg.conv
 (** Like {!bench_conv} but yields the validated name — for
     comma-separated benchmark lists. *)
+
+val experiment_id_conv : string Cmdliner.Arg.conv
+(** Experiment id validated against {!Braid_sim.Experiments}; a typo is a
+    usage error listing the valid ids. *)
+
+val only_arg : string list Cmdliner.Term.t
+(** [--only IDS]: comma-separated, validated experiment ids (default
+    all). *)
+
+val reps_arg : default:int -> int Cmdliner.Term.t
+(** [--reps N] (positive): timed repetitions in perf mode. *)
+
+val json_file_arg : doc:string -> string option Cmdliner.Term.t
+(** [--json FILE] with a caller-supplied description ([-] conventionally
+    means stdout). *)

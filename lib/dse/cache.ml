@@ -1,4 +1,4 @@
-module Json = Braid_obs.Json
+
 
 let schema = "braidsim-sweep-cache/1"
 
@@ -51,17 +51,19 @@ let path t k =
   Filename.concat (Filename.concat t.dir (String.sub id 0 2)) (id ^ ".json")
 
 let entry_to_json k e =
-  Printf.sprintf
-    "{%s:%s,%s:%s,%s:%s,%s:%d,%s:%d,%s:%s,%s:%d,%s:%d,%s:%d}\n"
-    (Json.escape_string "schema") (Json.escape_string schema)
-    (Json.escape_string "config_digest") (Json.escape_string k.config_digest)
-    (Json.escape_string "bench") (Json.escape_string k.bench)
-    (Json.escape_string "seed") k.seed
-    (Json.escape_string "scale") k.scale
-    (Json.escape_string "binary") (Json.escape_string k.binary)
-    (Json.escape_string "ext_usable") k.ext_usable
-    (Json.escape_string "cycles") e.cycles
-    (Json.escape_string "instructions") e.instructions
+  Json.obj_lit
+    [
+      ("schema", Json.escape_string schema);
+      ("config_digest", Json.escape_string k.config_digest);
+      ("bench", Json.escape_string k.bench);
+      ("seed", string_of_int k.seed);
+      ("scale", string_of_int k.scale);
+      ("binary", Json.escape_string k.binary);
+      ("ext_usable", string_of_int k.ext_usable);
+      ("cycles", string_of_int e.cycles);
+      ("instructions", string_of_int e.instructions);
+    ]
+  ^ "\n"
 
 let read_file path =
   let ic = open_in_bin path in
@@ -80,14 +82,8 @@ let find t k =
     | Error _ -> None
     | exception Sys_error _ -> None
     | Ok doc ->
-        let str name =
-          match Json.member name doc with Some (Json.Str s) -> Some s | _ -> None
-        in
-        let int name =
-          match Json.member name doc with
-          | Some (Json.Num f) when Float.is_integer f -> Some (int_of_float f)
-          | _ -> None
-        in
+        let str name = Json.str_member name doc in
+        let int name = Json.int_member name doc in
         let matches =
           str "schema" = Some schema
           && str "config_digest" = Some k.config_digest

@@ -42,56 +42,56 @@ let render (o : Sweep.outcome) =
     optimal table o.Sweep.stats.Sweep.simulated o.Sweep.stats.Sweep.cache_hits
 
 let json_of_run (r : Sweep.run) =
-  Report.json_obj
+  Json.obj_lit
     [
-      ("bench", Report.json_string r.Sweep.bench);
+      ("bench", Json.escape_string r.Sweep.bench);
       ("cycles", string_of_int r.Sweep.cycles);
       ("instructions", string_of_int r.Sweep.instructions);
-      ("ipc", Report.json_float r.Sweep.ipc);
+      ("ipc", Json.float_lit r.Sweep.ipc);
       ("cached", if r.Sweep.from_cache then "true" else "false");
     ]
 
 let json_of_point ((p : Sweep.point_result), optimal) =
-  Report.json_obj
+  Json.obj_lit
     [
-      ("name", Report.json_string p.Sweep.point.Grid.config.Config.name);
-      ("label", Report.json_string p.Sweep.point.Grid.label);
+      ("name", Json.escape_string p.Sweep.point.Grid.config.Config.name);
+      ("label", Json.escape_string p.Sweep.point.Grid.label);
       ( "bindings",
-        Report.json_obj
+        Json.obj_lit
           (List.map
-             (fun (f, v) -> (f, Report.json_string v))
+             (fun (f, v) -> (f, Json.escape_string v))
              p.Sweep.point.Grid.bindings) );
-      ("digest", Report.json_string p.Sweep.digest);
-      ("complexity", Report.json_float p.Sweep.complexity);
-      ("mean_ipc", Report.json_float p.Sweep.mean_ipc);
+      ("digest", Json.escape_string p.Sweep.digest);
+      ("complexity", Json.float_lit p.Sweep.complexity);
+      ("mean_ipc", Json.float_lit p.Sweep.mean_ipc);
       ("pareto", if optimal then "true" else "false");
-      ("runs", Report.json_list json_of_run p.Sweep.runs);
+      ("runs", Json.list_lit json_of_run p.Sweep.runs);
     ]
 
 let to_json ~(preset : Config.t) ~mode ~axes ~seed ~scale (o : Sweep.outcome) =
-  Report.json_obj
+  Json.obj_lit
     [
-      ("schema", Report.json_string schema);
-      ("preset", Report.json_string preset.Config.name);
-      ("preset_digest", Report.json_string (Config.digest preset));
-      ("mode", Report.json_string (Grid.mode_to_string mode));
+      ("schema", Json.escape_string schema);
+      ("preset", Json.escape_string preset.Config.name);
+      ("preset_digest", Json.escape_string (Config.digest preset));
+      ("mode", Json.escape_string (Grid.mode_to_string mode));
       ( "axes",
-        Report.json_list
+        Json.list_lit
           (fun (a : Axis.t) ->
-            Report.json_obj
+            Json.obj_lit
               [
-                ("field", Report.json_string a.Axis.field);
-                ("values", Report.json_list Report.json_string a.Axis.values);
+                ("field", Json.escape_string a.Axis.field);
+                ("values", Json.list_lit Json.escape_string a.Axis.values);
               ])
           axes );
       ("seed", string_of_int seed);
       ("scale", string_of_int scale);
       ( "stats",
-        Report.json_obj
+        Json.obj_lit
           [
             ("simulated", string_of_int o.Sweep.stats.Sweep.simulated);
             ("cache_hits", string_of_int o.Sweep.stats.Sweep.cache_hits);
           ] );
-      ("points", Report.json_list json_of_point (pareto o.Sweep.results));
+      ("points", Json.list_lit json_of_point (pareto o.Sweep.results));
     ]
   ^ "\n"

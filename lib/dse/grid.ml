@@ -6,6 +6,11 @@ let mode_to_string = function
   | Cartesian -> "cartesian"
   | One_at_a_time -> "one-at-a-time"
 
+let mode_of_string = function
+  | "cartesian" -> Ok Cartesian
+  | "one-at-a-time" -> Ok One_at_a_time
+  | s -> Error (Printf.sprintf "unknown sweep mode %S (cartesian, one-at-a-time)" s)
+
 type point = {
   label : string;
   bindings : (string * string) list;

@@ -9,6 +9,9 @@ type mode =
 
 val mode_to_string : mode -> string
 
+val mode_of_string : string -> (mode, string) result
+(** Inverse of {!mode_to_string} — the wire form of the serve API. *)
+
 type point = {
   label : string;  (** ["ext_regs=4,sched_window=2"], or ["base"] *)
   bindings : (string * string) list;  (** the applied overrides, axis order *)

@@ -62,8 +62,10 @@ let simulate ~ctx ~seed ~scale (cfg : Config.t) (pr : Spec.profile) =
     instructions = r.Braid_uarch.Pipeline.instructions;
   }
 
-let run ?(obs = Obs.Sink.disabled) ?cache ~ctx ~jobs ~seed ~scale ~benches points
-    =
+let job_count ~benches points = List.length points * List.length benches
+
+let run ?(obs = Obs.Sink.disabled) ?cache ?on_done ~ctx ~jobs ~seed ~scale
+    ~benches points =
   let work =
     Array.of_list
       (List.concat_map
@@ -85,7 +87,7 @@ let run ?(obs = Obs.Sink.disabled) ?cache ~ctx ~jobs ~seed ~scale ~benches point
              benches)
          points)
   in
-  let out = Runner.map_jobs ~jobs work in
+  let out = Runner.map_jobs ?on_done ~jobs work in
   let nbench = List.length benches in
   let results =
     List.mapi

@@ -32,9 +32,14 @@ val ext_usable_of : Braid_uarch.Config.t -> int
     [min ext_regs usable_per_class] on a braid core (the hardware cannot
     hold more — Fig 6's methodology), the full budget otherwise. *)
 
+val job_count : benches:'a list -> 'b list -> int
+(** Number of (point × benchmark) jobs {!run} will fan out — the progress
+    total for an [on_done] stream. *)
+
 val run :
   ?obs:Braid_obs.Sink.t ->
   ?cache:Cache.t ->
+  ?on_done:(int -> string -> unit) ->
   ctx:Braid_sim.Suite.ctx ->
   jobs:int ->
   seed:int ->
@@ -44,4 +49,6 @@ val run :
   outcome
 (** With a live [obs] sink the totals land in the ["dse.simulations"] and
     ["dse.cache_hits"] counters — the hook the cache tests (and CI) use to
-    prove a warm re-run performs zero pipeline runs. *)
+    prove a warm re-run performs zero pipeline runs. [on_done] streams
+    per-job completion exactly as {!Braid_sim.Runner.try_map_jobs} does
+    (worker-domain context: the callback must be domain-safe). *)

@@ -1,3 +1,5 @@
+module Json = Braid_util.Json
+
 let default_label uid = Printf.sprintf "uid %d" uid
 
 let default_track_name track =

@@ -87,10 +87,10 @@ let load_baseline file : baseline =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  match Braid_obs.Json.parse doc with
+  match Json.parse doc with
   | Error msg -> failwith (Printf.sprintf "%s: not valid JSON: %s" file msg)
   | Ok j -> (
-      let module J = Braid_obs.Json in
+      let module J = Json in
       let tbl = Hashtbl.create 32 in
       let field name = function
         | J.Obj fields -> List.assoc_opt name fields
@@ -120,19 +120,19 @@ let json_of_entry ?baseline e =
     | Some tbl -> (
         match Hashtbl.find_opt tbl (e.bench, e.core) with
         | Some prev when prev > 0.0 ->
-            [ ("speedup_vs_baseline", Report.json_float (sim_cycles_per_s e /. prev)) ]
+            [ ("speedup_vs_baseline", Json.float_lit (sim_cycles_per_s e /. prev)) ]
         | Some _ | None -> [])
   in
-  Report.json_obj
+  Json.obj_lit
     ([
-       ("bench", Report.json_string e.bench);
-       ("core", Report.json_string e.core);
+       ("bench", Json.escape_string e.bench);
+       ("core", Json.escape_string e.core);
        ("instructions", string_of_int e.instructions);
        ("cycles", string_of_int e.cycles);
        ("reps", string_of_int e.reps);
-       ("wall_s", Report.json_float e.wall_s);
-       ("sim_cycles_per_s", Report.json_float (sim_cycles_per_s e));
-       ("sim_instrs_per_s", Report.json_float (sim_instrs_per_s e));
+       ("wall_s", Json.float_lit e.wall_s);
+       ("sim_cycles_per_s", Json.float_lit (sim_cycles_per_s e));
+       ("sim_instrs_per_s", Json.float_lit (sim_instrs_per_s e));
      ]
     @ speedup)
 
@@ -145,18 +145,18 @@ let to_json ?baseline ~scale ~reps entries =
       (fun acc e -> acc +. (float_of_int e.cycles *. float_of_int e.reps))
       0.0 entries
   in
-  Report.json_obj
+  Json.obj_lit
     [
-      ("schema", Report.json_string schema);
+      ("schema", Json.escape_string schema);
       ("scale", string_of_int scale);
       ("reps", string_of_int reps);
-      ("entries", Report.json_list (json_of_entry ?baseline) entries);
+      ("entries", Json.list_lit (json_of_entry ?baseline) entries);
       ( "totals",
-        Report.json_obj
+        Json.obj_lit
           [
-            ("wall_s", Report.json_float total_wall);
+            ("wall_s", Json.float_lit total_wall);
             ( "sim_cycles_per_s",
-              Report.json_float
+              Json.float_lit
                 (if total_wall <= 0.0 then 0.0 else total_cycles /. total_wall)
             );
           ] );

@@ -36,7 +36,7 @@ val measure :
 type baseline
 
 val load_baseline : string -> baseline
-(** Parse a previous BENCH_*.json (with {!Braid_obs.Json}); fails on
+(** Parse a previous BENCH_*.json (with {!Json}); fails on
     malformed documents. *)
 
 val to_json : ?baseline:baseline -> scale:int -> reps:int -> entry list -> string

@@ -105,36 +105,13 @@ let render_counters (counters : Experiments.counters) =
     counters;
   Buffer.contents b
 
-(* --- JSON (hand-rolled: no JSON library in the tree) --- *)
+(* --- JSON (the shared Braid_util.Json emitters; this module only
+   assembles documents) --- *)
 
-let json_string s =
-  let b = Buffer.create (String.length s + 2) in
-  Buffer.add_char b '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"';
-  Buffer.contents b
-
-(* NaN/infinity are not valid JSON — emit null; integral values print
-   without an exponent so the output diffs cleanly *)
-let json_float v =
-  if not (Float.is_finite v) then "null"
-  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
-  else Printf.sprintf "%.9g" v
-
-let json_list f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
-let json_obj fields =
-  "{" ^ String.concat "," (List.map (fun (k, v) -> json_string k ^ ":" ^ v) fields) ^ "}"
+let json_string = Json.escape_string (* local shorthands over the shared emitters *)
+let json_float = Json.float_lit
+let json_list = Json.list_lit
+let json_obj = Json.obj_lit
 
 let json_of_row (r : E.row) =
   json_obj

@@ -42,18 +42,8 @@ val write_json :
   jobs:int ->
   (Experiments.result * Runner.stats option) list ->
   unit
-(** [to_json] written to [file]; ["-"] writes to stdout. *)
+(** [to_json] written to [file]; ["-"] writes to stdout.
 
-(** {2 JSON building blocks}
-
-    The hand-rolled serializer helpers, shared with the other JSON
-    documents this tree writes (the {!Perf} BENCH_*.json files). *)
-
-val json_string : string -> string
-(** Quoted and escaped. *)
-
-val json_float : float -> string
-(** NaN/infinity become [null]; integral values print as [x.0]. *)
-
-val json_list : ('a -> string) -> 'a list -> string
-val json_obj : (string * string) list -> string
+    All serialization goes through the shared {!Braid_util.Json}
+    emitters ([escape_string] / [float_lit] / [list_lit] / [obj_lit]);
+    this module holds no JSON implementation of its own. *)

@@ -4,26 +4,39 @@ exception Job_failed of { label : string; error : exn }
 
 type telemetry = { job_label : string; wall_s : float; domain : int }
 
+type job_error = {
+  e_label : string;
+  error : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+type 'a job_outcome = ('a * telemetry, job_error) result
+
 let default_jobs () = Domain.recommended_domain_count ()
 
-type 'a slot =
-  | Done of 'a * telemetry
-  | Failed of string * exn * Printexc.raw_backtrace
-
-let run_one ~domain (label, f) =
+let run_one ~domain (label, f) : _ job_outcome =
   let t0 = Unix.gettimeofday () in
   match f () with
-  | v -> Done (v, { job_label = label; wall_s = Unix.gettimeofday () -. t0; domain })
+  | v -> Ok (v, { job_label = label; wall_s = Unix.gettimeofday () -. t0; domain })
   | exception error ->
       let bt = Printexc.get_raw_backtrace () in
-      Failed (label, error, bt)
+      Error { e_label = label; error; backtrace = bt }
 
-let map_jobs ~jobs work =
+(* A failing job must reject only itself: the other slots keep running and
+   the pool is left reusable (a long-lived daemon maps one request onto one
+   batch, so a poisoned batch would poison every queued request behind it).
+   [on_done] fires on the worker domain as each slot finishes; callers that
+   stream progress must make the callback domain-safe. *)
+let try_map_jobs ?(on_done = fun _ _ -> ()) ~jobs work =
   let n = Array.length work in
   let pool = max 1 (min jobs n) in
   let slots = Array.make n None in
+  let finish i outcome =
+    slots.(i) <- Some outcome;
+    on_done i (fst work.(i))
+  in
   (if pool <= 1 then
-     Array.iteri (fun i job -> slots.(i) <- Some (run_one ~domain:0 job)) work
+     Array.iteri (fun i job -> finish i (run_one ~domain:0 job)) work
    else
      (* Work-stealing from a shared counter: each index is claimed by exactly
         one domain, so every slot has a single writer. *)
@@ -32,7 +45,7 @@ let map_jobs ~jobs work =
        let rec loop () =
          let i = Atomic.fetch_and_add next 1 in
          if i < n then begin
-           slots.(i) <- Some (run_one ~domain work.(i));
+           finish i (run_one ~domain work.(i));
            loop ()
          end
        in
@@ -40,29 +53,34 @@ let map_jobs ~jobs work =
      in
      let domains = List.init pool (fun d -> Domain.spawn (worker d)) in
      List.iter Domain.join domains);
+  Array.map (function Some o -> o | None -> assert false) slots
+
+let map_jobs ?on_done ~jobs work =
   Array.map
     (function
-      | Some (Done (v, t)) -> (v, t)
-      | Some (Failed (label, error, bt)) ->
-          Printexc.raise_with_backtrace (Job_failed { label; error }) bt
-      | None -> assert false)
-    slots
+      | Ok cell -> cell
+      | Error { e_label; error; backtrace } ->
+          Printexc.raise_with_backtrace
+            (Job_failed { label = e_label; error })
+            backtrace)
+    (try_map_jobs ?on_done ~jobs work)
 
 type stats = { wall_s : float; jobs : telemetry list }
 
-let run_experiments ~ctx ~jobs ~scale exps =
-  let work =
-    Array.of_list
-      (List.concat_map
-         (fun (e : Experiments.t) ->
-           List.map
-             (fun (pr : Spec.profile) ->
-               ( e.Experiments.id ^ "/" ^ pr.Spec.name,
-                 fun () -> e.Experiments.bench_job ctx ~scale pr ))
-             Spec.all)
-         exps)
-  in
-  let out = map_jobs ~jobs work in
+let experiment_work ~ctx ~scale exps =
+  Array.of_list
+    (List.concat_map
+       (fun (e : Experiments.t) ->
+         List.map
+           (fun (pr : Spec.profile) ->
+             ( e.Experiments.id ^ "/" ^ pr.Spec.name,
+               fun () -> e.Experiments.bench_job ctx ~scale pr ))
+           Spec.all)
+       exps)
+
+let run_experiments ?on_done ~ctx ~jobs ~scale exps =
+  let work = experiment_work ~ctx ~scale exps in
+  let out = map_jobs ?on_done ~jobs work in
   let nbench = List.length Spec.all in
   List.mapi
     (fun ei (e : Experiments.t) ->
@@ -74,3 +92,6 @@ let run_experiments ~ctx ~jobs ~scale exps =
       in
       (e.Experiments.assemble ctx ~scale cells, { wall_s; jobs = telemetry }))
     exps
+
+let experiment_job_count exps =
+  List.length exps * List.length Spec.all

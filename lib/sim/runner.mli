@@ -8,13 +8,20 @@
     the pool degrades gracefully to a plain serial loop on the calling
     domain — no domains are spawned.
 
+    A raising job never poisons the batch: {!try_map_jobs} captures the
+    failure in that job's own slot while every other job still runs to
+    completion, and the pool is immediately reusable — the property a
+    long-lived daemon relies on to reject one request without taking the
+    queue down with it. {!map_jobs} keeps the historical raise-on-failure
+    contract on top of it.
+
     Jobs must not depend on shared mutable state except through
     domain-safe structures such as {!Suite.ctx}. *)
 
 exception Job_failed of { label : string; error : exn }
-(** Raised (on the calling domain) when a job raises. If several jobs fail,
-    the one with the lowest input index is reported; its backtrace is the
-    failing job's. *)
+(** Raised (on the calling domain) by {!map_jobs} when a job raises. If
+    several jobs fail, the one with the lowest input index is reported;
+    its backtrace is the failing job's. *)
 
 type telemetry = {
   job_label : string;
@@ -22,15 +29,37 @@ type telemetry = {
   domain : int;  (** pool slot (0 = the calling domain when serial) *)
 }
 
+type job_error = {
+  e_label : string;  (** the failing job's label *)
+  error : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+type 'a job_outcome = ('a * telemetry, job_error) result
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the pool size used when a front
     end passes [--jobs 0]. *)
 
+val try_map_jobs :
+  ?on_done:(int -> string -> unit) ->
+  jobs:int ->
+  (string * (unit -> 'a)) array ->
+  'a job_outcome array
+(** Run every labelled thunk; a job that raises yields [Error] in its own
+    slot and nothing else is affected. [on_done i label] fires as slot [i]
+    finishes (success or failure) — on the worker domain, so the callback
+    must be domain-safe if [jobs > 1]. *)
+
 val map_jobs :
-  jobs:int -> (string * (unit -> 'a)) array -> ('a * telemetry) array
-(** [map_jobs ~jobs work] runs every labelled thunk and returns the results
-    in input order. At most [jobs] domains run concurrently; [jobs <= 1]
-    runs serially on the calling domain. *)
+  ?on_done:(int -> string -> unit) ->
+  jobs:int ->
+  (string * (unit -> 'a)) array ->
+  ('a * telemetry) array
+(** [try_map_jobs] that re-raises the lowest-indexed failure as
+    {!Job_failed} after the whole batch has drained. At most [jobs]
+    domains run concurrently; [jobs <= 1] runs serially on the calling
+    domain. *)
 
 type stats = {
   wall_s : float;  (** summed wall-clock of the experiment's jobs *)
@@ -38,6 +67,7 @@ type stats = {
 }
 
 val run_experiments :
+  ?on_done:(int -> string -> unit) ->
   ctx:Suite.ctx ->
   jobs:int ->
   scale:int ->
@@ -47,3 +77,7 @@ val run_experiments :
     assemble each experiment's typed result. Results are returned in the
     order the experiments were given and are identical for every [jobs]
     value — parallelism only changes wall-clock, never output. *)
+
+val experiment_job_count : Experiments.t list -> int
+(** Size of the job matrix {!run_experiments} will fan out — the progress
+    total for an [on_done] stream. *)

@@ -193,7 +193,7 @@ let perfect_frontend cfg =
 (* digest can never drift apart.                                       *)
 (* ------------------------------------------------------------------ *)
 
-module Json = Braid_obs.Json
+
 
 let kind_to_string = function
   | In_order -> "in-order"

@@ -152,7 +152,7 @@ val to_json : t -> string
     [l1d.size_bytes] etc.). [of_json (to_json c) = Ok c]. *)
 
 val of_json : string -> (t, string) result
-(** Parses {!to_json}'s shape with {!Braid_obs.Json}. Field order is
+(** Parses {!to_json}'s shape with {!Braid_util.Json}. Field order is
     irrelevant; missing, duplicate or unknown fields and malformed values
     are errors. *)
 

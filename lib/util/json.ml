@@ -204,3 +204,34 @@ let rec to_string = function
       ^ String.concat ","
           (List.map (fun (k, v) -> escape_string k ^ ":" ^ to_string v) fields)
       ^ "}"
+
+(* --- string-level emitters ---
+
+   The experiment/perf/sweep documents are built as literal fragments (so
+   integral floats print as "1.0", diffing cleanly across runs) rather
+   than through the tree; these helpers are the single copy of that
+   convention, shared by Report, Perf, Frontier and the DSE cache. *)
+
+let float_lit v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let list_lit f xs = "[" ^ String.concat "," (List.map f xs) ^ "]"
+
+let obj_lit fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> escape_string k ^ ":" ^ v) fields)
+  ^ "}"
+
+(* accessor helpers over the tree, shared by every document reader *)
+
+let str_member key doc =
+  match member key doc with Some (Str s) -> Some s | _ -> None
+
+let int_member key doc =
+  match member key doc with
+  | Some (Num f) when Float.is_integer f && Float.abs f < 1e15 ->
+      Some (int_of_float f)
+  | _ -> None

@@ -3,7 +3,7 @@
    `braidsim sweep --axis`. *)
 
 module Config = Braid_uarch.Config
-module Json = Braid_obs.Json
+
 
 let test_json_roundtrip () =
   List.iter

@@ -264,12 +264,12 @@ let test_frontier () =
     Dse.Frontier.to_json ~preset:Config.braid_8wide
       ~mode:Dse.Grid.One_at_a_time ~axes ~seed:1 ~scale:1200 outcome
   in
-  match Braid_obs.Json.parse json with
+  match Json.parse json with
   | Error msg -> Alcotest.fail ("frontier JSON invalid: " ^ msg)
   | Ok doc ->
       Alcotest.(check bool) "schema stamped" true
-        (Braid_obs.Json.member "schema" doc
-        = Some (Braid_obs.Json.Str "braidsim-sweep/1"))
+        (Json.member "schema" doc
+        = Some (Json.Str "braidsim-sweep/1"))
 
 (* --- frontier properties over fabricated sweep results --- *)
 

@@ -119,20 +119,20 @@ let test_chrome_roundtrip () =
   Obs.Sink.attach_tracer obs tr;
   ignore (run_braid ~obs);
   let doc = Obs.Chrome.export tr in
-  let j = Obs.Json.parse_exn doc in
+  let j = Json.parse_exn doc in
   let events =
-    match Obs.Json.member "traceEvents" j with
-    | Some (Obs.Json.Arr evs) -> evs
+    match Json.member "traceEvents" j with
+    | Some (Json.Arr evs) -> evs
     | _ -> Alcotest.fail "no traceEvents array"
   in
   Alcotest.(check bool) "events non-empty" true (events <> []);
   let thread_names =
     List.filter_map
       (fun e ->
-        match (Obs.Json.member "ph" e, Obs.Json.member "args" e) with
-        | Some (Obs.Json.Str "M"), Some args -> (
-            match Obs.Json.member "name" args with
-            | Some (Obs.Json.Str n) -> Some n
+        match (Json.member "ph" e, Json.member "args" e) with
+        | Some (Json.Str "M"), Some args -> (
+            match Json.member "name" args with
+            | Some (Json.Str n) -> Some n
             | _ -> None)
         | _ -> None)
       events
@@ -144,13 +144,13 @@ let test_chrome_roundtrip () =
   Alcotest.(check bool) "a stall carries its reason" true
     (List.exists
        (fun e ->
-         match Obs.Json.member "args" e with
-         | Some args -> Obs.Json.member "reason" args <> None
+         match Json.member "args" e with
+         | Some args -> Json.member "reason" args <> None
          | None -> false)
        events);
   (* the compact printer round-trips what it parsed *)
   Alcotest.(check bool) "print/parse round-trip" true
-    (Obs.Json.parse_exn (Obs.Json.to_string j) = j)
+    (Json.parse_exn (Json.to_string j) = j)
 
 (* --- disabled path records nothing and changes nothing ------------------ *)
 

@@ -44,6 +44,41 @@ let test_pool_exception () =
   Alcotest.(check string) "parallel propagates the failing job" "job-5"
     (failing_label 4)
 
+(* A raising job rejects only its own slot: every other job in the batch
+   still completes with its result (the pool is not poisoned). This is
+   what lets the daemon turn one bad request into one Failed frame. *)
+let test_pool_failure_isolation () =
+  let work =
+    Array.init 8 (fun i ->
+        ( Printf.sprintf "job-%d" i,
+          fun () -> if i = 2 || i = 5 then failwith "boom" else i * 10 ))
+  in
+  let check ~jobs =
+    let out = R.try_map_jobs ~jobs work in
+    Alcotest.(check int) "every slot has an outcome" 8 (Array.length out);
+    Array.iteri
+      (fun i outcome ->
+        match outcome with
+        | Ok (v, (t : R.telemetry)) ->
+            Alcotest.(check bool) "only healthy slots succeed" true
+              (i <> 2 && i <> 5);
+            Alcotest.(check int) "result in input order" (i * 10) v;
+            Alcotest.(check string) "telemetry label"
+              (Printf.sprintf "job-%d" i) t.R.job_label
+        | Error (e : R.job_error) ->
+            Alcotest.(check bool) "only raising slots fail" true
+              (i = 2 || i = 5);
+            Alcotest.(check string) "failing label"
+              (Printf.sprintf "job-%d" i) e.R.e_label;
+            Alcotest.(check bool) "original exception preserved" true
+              (match e.R.error with
+              | Failure m -> String.equal m "boom"
+              | _ -> false))
+      out
+  in
+  check ~jobs:1;
+  check ~jobs:4
+
 let test_pool_telemetry () =
   let jobs = 3 in
   let work = Array.init 10 (fun i -> (string_of_int i, fun () -> i)) in
@@ -108,6 +143,8 @@ let suite =
     [
       Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
       Alcotest.test_case "pool exception propagation" `Quick test_pool_exception;
+      Alcotest.test_case "pool failure isolation" `Quick
+        test_pool_failure_isolation;
       Alcotest.test_case "pool telemetry" `Quick test_pool_telemetry;
       Alcotest.test_case "jobs determinism" `Slow test_jobs_determinism;
       Alcotest.test_case "shared ctx parallel" `Slow test_shared_ctx_parallel;

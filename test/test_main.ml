@@ -24,4 +24,5 @@ let () =
       T_config.suite;
       T_dse.suite;
       T_check.suite;
+      T_api.suite;
     ]
