@@ -178,11 +178,30 @@ let baseline_arg =
 
 let benches_arg =
   let doc =
-    "Comma-separated benchmark names for --perf mode (default: a fixed \
-     6-benchmark subset)."
+    "Comma-separated benchmark names for --perf mode: workload names or \
+     $(b,rv:FIXTURE) frontend entries (default: a fixed 6-benchmark \
+     subset plus rv:fib and rv:crc32)."
+  in
+  (* bench_name_conv plus the rv: fixture namespace *)
+  let perf_bench_conv : string Cmdliner.Arg.conv =
+    let parse s =
+      if Perf.is_rv s then
+        let fixture = String.sub s 3 (String.length s - 3) in
+        if Braid_rv.Fixtures.find fixture <> None then Ok s
+        else
+          Error
+            (`Msg
+               (Printf.sprintf "unknown rv fixture %S; valid names: %s" fixture
+                  (String.concat ", " Braid_rv.Fixtures.names)))
+      else
+        match Cmdliner.Arg.conv_parser Cli.bench_name_conv s with
+        | Ok (_ : string) -> Ok s
+        | Error _ as e -> e
+    in
+    Cmdliner.Arg.conv ~docv:"BENCH" (parse, Format.pp_print_string)
   in
   Cmdliner.Arg.(
-    value & opt (list Cli.bench_name_conv) [] & info [ "benches" ] ~docv:"NAMES" ~doc)
+    value & opt (list perf_bench_conv) [] & info [ "benches" ] ~docv:"NAMES" ~doc)
 
 let jobs_arg = Cli.jobs_arg ~default:(Runner.default_jobs ())
 

@@ -1,7 +1,7 @@
 (* braidsim: command-line front end for the braid reproduction.
 
    Subcommands: list, stats, inspect, run, trace, experiment, sweep,
-   disasm, complexity, fuzz, serve, client.
+   disasm, complexity, fuzz, rv, serve, client.
 
    Every simulation subcommand builds a typed Braid_api.Request.t (see
    bin/ops.ml) and either executes it in-process (the one-shot path) or
@@ -175,6 +175,15 @@ let sweep_cmd =
           report the IPC-vs-complexity Pareto frontier.")
     Cmdliner.Term.(const one_shot $ Ops.sweep_term)
 
+let rv_cmd =
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "rv"
+       ~doc:
+         "Run a real RV32IM program through the braid pass: decode, \
+          translate to the internal IR, simulate on the timing cores, and \
+          optionally check the frontend differential oracle.")
+    Cmdliner.Term.(const one_shot $ Ops.rv_term)
+
 let fuzz_cmd =
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "fuzz"
@@ -274,6 +283,7 @@ let client_group =
            from its cache and memoised traces)."
         Ops.sweep_term;
       op "fuzz" ~doc:"Differential fuzzing on the server." Ops.fuzz_term;
+      op "rv" ~doc:"Run an RV32IM program on the server." Ops.rv_term;
       control "status" ~doc:"Print daemon status and counters."
         Api.Request.Status;
       control "shutdown"
@@ -339,4 +349,4 @@ let () =
        (Cmdliner.Cmd.group info
           [ list_cmd; stats_cmd; inspect_cmd; run_cmd; trace_cmd;
             experiment_cmd; sweep_cmd; disasm_cmd; complexity_cmd; fuzz_cmd;
-            serve_cmd; client_group ]))
+            rv_cmd; serve_cmd; client_group ]))

@@ -330,6 +330,114 @@ let write_file_or_stdout file doc =
         (fun () -> output_string oc doc)
     with Sys_error msg -> fail (Printf.sprintf "cannot write JSON: %s" msg)
 
+(* --- rv --- *)
+
+let read_binary_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
+
+(* FILE is resolved client-side; only the canonical hex text travels over
+   the wire, so one-shot and served runs see the identical image. *)
+let load_rv_image spec =
+  let prefix = "fixture:" in
+  let plen = String.length prefix in
+  if String.length spec > plen && String.sub spec 0 plen = prefix then
+    let name = String.sub spec plen (String.length spec - plen) in
+    match Braid_rv.Fixtures.image name with
+    | Some img -> Ok img
+    | None ->
+        Error
+          (Printf.sprintf "unknown fixture %S (have: %s)" name
+             (String.concat ", " Braid_rv.Fixtures.names))
+  else
+    match read_binary_file spec with
+    | Error msg -> Error msg
+    | Ok bytes ->
+        let name = Filename.remove_extension (Filename.basename spec) in
+        if Filename.check_suffix spec ".s" || Filename.check_suffix spec ".S"
+        then
+          Result.map_error Braid_rv.Rv_asm.error_to_string
+            (Braid_rv.Rv_asm.parse ~name bytes)
+        else
+          Result.map_error Braid_rv.Image.error_to_string
+            (Braid_rv.Image.of_source ~name bytes)
+
+let rv_term =
+  let file_arg =
+    Cmdliner.Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "An RV32IM program: assembly ($(b,.s)), a braid-rv/1 hex image, \
+             an ELF32 executable or a flat binary (sniffed), or \
+             $(b,fixture:NAME) for a built-in fixture.")
+  in
+  let cores_arg =
+    Cmdliner.Arg.(
+      value
+      & opt_all Cli.core_kind_conv []
+      & info [ "core" ] ~docv:"CORE"
+          ~doc:
+            "Core(s) to time the translated program on (repeatable; \
+             default: in-order, ooo and braid).")
+  in
+  let oracle_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "oracle" ]
+          ~doc:
+            "Also run the frontend differential oracle: the RV reference \
+             emulator against the translated IR, then both compilers and \
+             every core. Exits 1 on divergence.")
+  in
+  let hex_out_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some string) None
+      & info [ "hex-out" ] ~docv:"FILE"
+          ~doc:
+            "Do not simulate; write the loaded image as canonical \
+             braid-rv/1 hex text to $(docv) (- for stdout). This is how \
+             the committed examples/rv/ images are produced.")
+  in
+  let list_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "list-fixtures" ] ~doc:"List the built-in fixtures and exit.")
+  in
+  let make file cores oracle hex_out list_fixtures =
+    if list_fixtures then
+      Immediate (fun () -> List.iter print_endline Braid_rv.Fixtures.names)
+    else
+      match file with
+      | None -> Immediate (fun () -> fail "missing FILE (or fixture:NAME)")
+      | Some spec -> (
+          match load_rv_image spec with
+          | Error msg -> Immediate (fun () -> fail msg)
+          | Ok img -> (
+              match hex_out with
+              | Some out ->
+                  Immediate
+                    (fun () ->
+                      write_file_or_stdout out (Braid_rv.Image.to_hex img))
+              | None ->
+                  Call
+                    ( Api.Request.Rv
+                        {
+                          v_hex = Braid_rv.Image.to_hex img;
+                          v_cores = cores;
+                          v_oracle = oracle;
+                        },
+                      no_output )))
+  in
+  Cmdliner.Term.(
+    const make $ file_arg $ cores_arg $ oracle_arg $ hex_out_arg $ list_arg)
+
 let render_status (st : Api.Response.status) =
   let b = Buffer.create 256 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
@@ -375,6 +483,9 @@ let deliver out (payload : Api.Response.payload) =
   | Api.Response.Fuzz_done { text; failures; _ } ->
       print_string text;
       if failures > 0 then exit 1
+  | Api.Response.Rv_done { text; oracle_ok; _ } ->
+      print_string text;
+      if oracle_ok = Some false then exit 1
   | Api.Response.Status_report st -> print_string (render_status st)
   | Api.Response.Cancelled { cancelled_id } ->
       Printf.printf "cancelled request %d\n" cancelled_id

@@ -5,6 +5,7 @@ module Obs = Braid_obs
 module Sim = Braid_sim
 module Dse = Braid_dse
 module Ck = Braid_check
+module Rv = Braid_rv
 module E = Sim.Experiments
 
 type env = {
@@ -325,6 +326,79 @@ let exec_fuzz (f : Request.fuzz) =
     (Response.Fuzz_done
        { text = Buffer.contents b; tested = outcome.Ck.Fuzz.tested; failures })
 
+(* --- rv --- *)
+
+let exec_rv (v : Request.rv) =
+  let* img =
+    Result.map_error
+      (fun e -> "rv image: " ^ Rv.Image.error_to_string e)
+      (Rv.Image.of_hex v.Request.v_hex)
+  in
+  let* t =
+    Result.map_error
+      (fun e -> "rv translate: " ^ Rv.Translate.error_to_string e)
+      (Rv.Translate.run img)
+  in
+  let cores =
+    match v.Request.v_cores with [] -> Ck.Oracle.default_cores | cs -> cs
+  in
+  let rv = Rv.Emu.run img in
+  let program = t.Rv.Translate.program and init_mem = t.Rv.Translate.init_mem in
+  let ir = Emulator.run ~trace:false ~init_mem program in
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "%s: %d bytes, %d reachable rv instructions -> %d IR instructions\n"
+    img.Rv.Image.name (Rv.Image.size img) t.Rv.Translate.rv_count
+    t.Rv.Translate.ir_count;
+  pf "reference: %s after %d instructions\n"
+    (Rv.Emu.stop_to_string rv.Rv.Emu.stop)
+    rv.Rv.Emu.steps;
+  if rv.Rv.Emu.output <> "" then pf "output: %s\n" (String.escaped rv.Rv.Emu.output);
+  pf "translated: %d IR instructions retired\n" ir.Emulator.dynamic_count;
+  (* Same compile/emulate/simulate chain as [simulate], with the program
+     coming from the RV frontend instead of a workload generator. *)
+  List.iter
+    (fun core ->
+      let cfg = U.Config.preset_of_kind core in
+      let binary =
+        match core with
+        | U.Config.Braid_exec -> (C.Transform.run program).C.Transform.program
+        | U.Config.In_order | U.Config.Dep_steer | U.Config.Ooo ->
+            (C.Transform.conventional program).C.Extalloc.program
+      in
+      let out = Emulator.run ~init_mem binary in
+      let trace = Option.get out.Emulator.trace in
+      let r =
+        U.Pipeline.run ~obs:Obs.Sink.disabled
+          ~warm_data:(List.map fst init_mem) cfg trace
+      in
+      pf "  %-24s %8d cycles, IPC %.3f\n" r.U.Pipeline.config_name
+        r.U.Pipeline.cycles r.U.Pipeline.ipc)
+    cores;
+  let* oracle_ok =
+    if not v.Request.v_oracle then Ok None
+    else
+      match Ck.Rv_oracle.check ~cores img with
+      | Error e -> Error ("rv oracle: " ^ Rv.Translate.error_to_string e)
+      | Ok rep ->
+          let agree = Ck.Rv_oracle.ok rep in
+          if agree then
+            pf "oracle: ok — reference, translated and all cores agree\n"
+          else Buffer.add_string b (Ck.Rv_oracle.render rep);
+          Ok (Some agree)
+  in
+  Ok
+    (Response.Rv_done
+       {
+         text = Buffer.contents b;
+         output = rv.Rv.Emu.output;
+         exit_code =
+           (match rv.Rv.Emu.stop with Rv.Emu.Exited c -> Some c | _ -> None);
+         rv_dynamic = rv.Rv.Emu.steps;
+         ir_dynamic = ir.Emulator.dynamic_count;
+         oracle_ok;
+       })
+
 (* --- dispatch --- *)
 
 let exec ?progress env request =
@@ -337,6 +411,7 @@ let exec ?progress env request =
     | Request.Sweep s -> exec_sweep ?progress env s
     | Request.Trace t -> exec_trace t
     | Request.Fuzz f -> exec_fuzz f
+    | Request.Rv v -> exec_rv v
     | Request.Status | Request.Cancel _ | Request.Shutdown ->
         Error
           (Printf.sprintf "op %S is only served by a running daemon"

@@ -50,12 +50,19 @@ type fuzz = {
   f_shrink : bool;
 }
 
+type rv = {
+  v_hex : string;  (** braid-rv/1 hex text of the image *)
+  v_cores : Config.core_kind list;  (** empty: the default oracle trio *)
+  v_oracle : bool;
+}
+
 type t =
   | Run of run
   | Experiment of experiment
   | Sweep of sweep
   | Trace of trace
   | Fuzz of fuzz
+  | Rv of rv
   | Status
   | Cancel of { request_id : int }
   | Shutdown
@@ -66,6 +73,7 @@ let op_name = function
   | Sweep _ -> "sweep"
   | Trace _ -> "trace"
   | Fuzz _ -> "fuzz"
+  | Rv _ -> "rv"
   | Status -> "status"
   | Cancel _ -> "cancel"
   | Shutdown -> "shutdown"
@@ -116,6 +124,12 @@ let to_tree t =
           ("cores", Json.Arr (List.map (fun k -> core k) f.f_cores));
           ("invariants", Json.Bool f.f_invariants);
           ("shrink", Json.Bool f.f_shrink);
+        ]
+    | Rv v ->
+        [
+          ("hex", Json.Str v.v_hex);
+          ("cores", Json.Arr (List.map (fun k -> core k) v.v_cores));
+          ("oracle", Json.Bool v.v_oracle);
         ]
     | Status | Shutdown -> []
     | Cancel { request_id } -> [ ("id", num request_id) ]
@@ -222,6 +236,20 @@ let of_tree doc =
           let* f_invariants = field "invariants" bool_member doc in
           let* f_shrink = field "shrink" bool_member doc in
           Ok (Fuzz { f_count; f_seed; f_index; f_cores; f_invariants; f_shrink })
+      | Some "rv" ->
+          let* v_hex = field "hex" Json.str_member doc in
+          let* names = field "cores" str_list_member doc in
+          let* v_cores =
+            List.fold_left
+              (fun acc n ->
+                let* acc = acc in
+                let* k = Config.kind_of_string n in
+                Ok (k :: acc))
+              (Ok []) names
+            |> Result.map List.rev
+          in
+          let* v_oracle = field "oracle" bool_member doc in
+          Ok (Rv { v_hex; v_cores; v_oracle })
       | Some "status" -> Ok Status
       | Some "cancel" ->
           let* request_id = field "id" Json.int_member doc in

@@ -63,12 +63,22 @@ type fuzz = {
   f_shrink : bool;
 }
 
+type rv = {
+  v_hex : string;
+      (** the image in {!Braid_rv.Image.to_hex} form — text-safe on the
+          wire, and identical for a fixture no matter which side
+          assembled it *)
+  v_cores : Config.core_kind list;  (** empty: the default oracle trio *)
+  v_oracle : bool;  (** also run the frontend differential oracle *)
+}
+
 type t =
   | Run of run
   | Experiment of experiment
   | Sweep of sweep
   | Trace of trace
   | Fuzz of fuzz
+  | Rv of rv
   | Status  (** daemon introspection; answered without queueing *)
   | Cancel of { request_id : int }  (** withdraw a still-queued request *)
   | Shutdown  (** drain admitted work, then exit *)

@@ -28,6 +28,14 @@ type payload =
       chrome : chrome option;
     }
   | Fuzz_done of { text : string; tested : int; failures : int }
+  | Rv_done of {
+      text : string;
+      output : string;
+      exit_code : int option;
+      rv_dynamic : int;
+      ir_dynamic : int;
+      oracle_ok : bool option;  (** [None]: oracle not requested *)
+    }
   | Status_report of status
   | Cancelled of { cancelled_id : int }
   | Shutdown_ack
@@ -71,6 +79,18 @@ let payload_fields = function
         ("result", Json.Str "fuzz"); ("text", Json.Str text);
         ("tested", num tested); ("failures", num failures);
       ]
+  | Rv_done { text; output; exit_code; rv_dynamic; ir_dynamic; oracle_ok } ->
+      [
+        ("result", Json.Str "rv"); ("text", Json.Str text);
+        ("output", Json.Str output); ("rv_dynamic", num rv_dynamic);
+        ("ir_dynamic", num ir_dynamic);
+      ]
+      @ (match exit_code with
+        | None -> []
+        | Some c -> [ ("exit_code", num c) ])
+      @ (match oracle_ok with
+        | None -> []
+        | Some b -> [ ("oracle_ok", Json.Bool b) ])
   | Status_report s ->
       [
         ("result", Json.Str "status"); ("pool_jobs", num s.pool_jobs);
@@ -156,6 +176,18 @@ let payload_of_tree doc =
       let* tested = field "tested" Json.int_member doc in
       let* failures = field "failures" Json.int_member doc in
       Ok (Fuzz_done { text; tested; failures })
+  | Some "rv" ->
+      let* text = field "text" Json.str_member doc in
+      let* output = field "output" Json.str_member doc in
+      let* rv_dynamic = field "rv_dynamic" Json.int_member doc in
+      let* ir_dynamic = field "ir_dynamic" Json.int_member doc in
+      let exit_code = Json.int_member "exit_code" doc in
+      let oracle_ok =
+        match Json.member "oracle_ok" doc with
+        | Some (Json.Bool b) -> Some b
+        | _ -> None
+      in
+      Ok (Rv_done { text; output; exit_code; rv_dynamic; ir_dynamic; oracle_ok })
   | Some "status" ->
       let* pool_jobs = field "pool_jobs" Json.int_member doc in
       let* max_queue = field "max_queue" Json.int_member doc in

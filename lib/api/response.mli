@@ -38,6 +38,14 @@ type payload =
       chrome : chrome option;
     }
   | Fuzz_done of { text : string; tested : int; failures : int }
+  | Rv_done of {
+      text : string;
+      output : string;  (** the reference run's HTIF putchar stream *)
+      exit_code : int option;
+      rv_dynamic : int;
+      ir_dynamic : int;
+      oracle_ok : bool option;  (** [None]: oracle not requested *)
+    }
   | Status_report of status
   | Cancelled of { cancelled_id : int }
   | Shutdown_ack

@@ -179,3 +179,98 @@ let kind_name = function
 let describe case =
   Printf.sprintf "seed=%d index=%d [%s]" case.seed case.index
     (String.concat " " (List.map (fun f -> kind_name f.kind) case.fragments))
+
+(* --- RV mode --------------------------------------------------------- *)
+(* Random legal RV32IM words for the frontend self-check: decode must
+   invert encode exactly, and the translator must lower or reject every
+   word with a typed error — never raise. *)
+
+module Rv = Braid_rv
+
+let rv_insn rng : Rv.Insn.t =
+  let open Rv.Insn in
+  let reg () = Prng.int rng 32 in
+  let imm12 () = Prng.int_in rng (-2048) 2047 in
+  let alus = [| Add; Sub; Sll; Slt; Sltu; Xor; Srl; Sra; Or; And |] in
+  let alui_ops = [| Add; Sll; Slt; Sltu; Xor; Srl; Sra; Or; And |] in
+  let muldivs = [| Mul; Mulh; Mulhsu; Mulhu; Div; Divu; Rem; Remu |] in
+  let bconds = [| Beq; Bne; Blt; Bge; Bltu; Bgeu |] in
+  let load_w = [| B; H; W; Bu; Hu |] in
+  let store_w = [| B; H; W |] in
+  match Prng.int rng 13 with
+  | 0 -> Lui (reg (), Prng.int rng (1 lsl 20))
+  | 1 -> Auipc (reg (), Prng.int rng (1 lsl 20))
+  | 2 -> Jal (reg (), 2 * Prng.int_in rng (-(1 lsl 19)) ((1 lsl 19) - 1))
+  | 3 -> Jalr (reg (), reg (), imm12 ())
+  | 4 ->
+      Branch (Prng.pick rng bconds, reg (), reg (), 2 * Prng.int_in rng (-2048) 2047)
+  | 5 -> Load (Prng.pick rng load_w, reg (), reg (), imm12 ())
+  | 6 -> Store (Prng.pick rng store_w, reg (), reg (), imm12 ())
+  | 7 ->
+      let op = Prng.pick rng alui_ops in
+      let imm = match op with Sll | Srl | Sra -> Prng.int rng 32 | _ -> imm12 () in
+      Alui (op, reg (), reg (), imm)
+  | 8 -> Alu (Prng.pick rng alus, reg (), reg (), reg ())
+  | 9 -> Muldiv (Prng.pick rng muldivs, reg (), reg (), reg ())
+  | 10 -> Fence
+  | 11 -> Ecall
+  | _ -> Ebreak
+
+let rv_word rng = Rv.Insn.encode (rv_insn rng)
+
+let rv_selfcheck ~seed ~count =
+  let violations = ref [] in
+  let add s = violations := s :: !violations in
+  let ecall = Rv.Insn.encode Rv.Insn.Ecall in
+  let word_bytes w =
+    let b = Bytes.create 8 in
+    Bytes.set_int32_le b 0 (Int32.of_int w);
+    Bytes.set_int32_le b 4 (Int32.of_int ecall);
+    Bytes.to_string b
+  in
+  let check_translate i tag w =
+    (* A two-word image: the word under test, then an ecall so a lowered
+       fall-through has somewhere clean to halt. *)
+    match Rv.Image.of_flat ~name:"gen" (word_bytes w) with
+    | Error _ -> () (* typed rejection is acceptable *)
+    | Ok img -> (
+        match Rv.Translate.run img with
+        | Ok _ | Error _ -> ()
+        | exception exn ->
+            add
+              (Printf.sprintf "case %d: translate raised on %s word 0x%08x: %s" i
+                 tag w (Printexc.to_string exn)))
+  in
+  for i = 0 to count - 1 do
+    let rng = Prng.of_string (Printf.sprintf "braid-rv-gen-%d-%d" seed i) in
+    let insn = rv_insn rng in
+    let w = Rv.Insn.encode insn in
+    (match Rv.Insn.decode w with
+    | Ok insn' ->
+        if insn' <> insn then
+          add
+            (Printf.sprintf "case %d: decode(encode %s) = %s" i
+               (Rv.Insn.to_string insn) (Rv.Insn.to_string insn'))
+        else if Rv.Insn.encode insn' <> w then
+          add
+            (Printf.sprintf "case %d: re-encode of %s is 0x%08x, want 0x%08x" i
+               (Rv.Insn.to_string insn')
+               (Rv.Insn.encode insn')
+               w)
+    | Error e ->
+        add
+          (Printf.sprintf "case %d: legal word 0x%08x (%s) rejected: %s" i w
+             (Rv.Insn.to_string insn) (Rv.Insn.error_to_string e))
+    | exception exn ->
+        add (Printf.sprintf "case %d: decode raised: %s" i (Printexc.to_string exn)));
+    check_translate i "legal" w;
+    let rw = Prng.int rng 0x10000 lor (Prng.int rng 0x10000 lsl 16) in
+    (match Rv.Insn.decode rw with
+    | Ok _ | Error _ -> ()
+    | exception exn ->
+        add
+          (Printf.sprintf "case %d: decode raised on random word 0x%08x: %s" i rw
+             (Printexc.to_string exn)));
+    check_translate i "random" rw
+  done;
+  List.rev !violations

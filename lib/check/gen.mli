@@ -50,3 +50,21 @@ val kind_name : kind -> string
 val describe : case -> string
 (** e.g. ["seed=42 index=7 [kernel:hash-mix alias-pair]"] — everything
     needed to reproduce the case. *)
+
+(** {1 RV mode}
+
+    Random legal RV32IM words feeding the frontend self-check. *)
+
+val rv_insn : Prng.t -> Braid_rv.Insn.t
+(** A random well-formed instruction: registers in 0–31, immediates,
+    shift amounts, and branch/jump offsets within their fields. *)
+
+val rv_word : Prng.t -> int
+(** [Braid_rv.Insn.encode (rv_insn rng)]. *)
+
+val rv_selfcheck : seed:int -> count:int -> string list
+(** [count] derived cases. Each asserts that a legal word decodes back
+    to exactly the instruction that produced it (and re-encodes to the
+    same word), and that the translator lowers-or-rejects both that word
+    and a uniformly random word with a typed error — never an
+    exception. Returns violation descriptions; empty means pass. *)

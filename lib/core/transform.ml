@@ -130,6 +130,7 @@ let rewrite_block ~max_internal ~live_out ~braid_base (b : Program.block) =
         Instr.braid_id = braid_base + a.Braid.ids.(t);
         braid_start = false (* recomputed by the fix-up pass *);
         ext_dup;
+        origin = ins.Instr.annot.Instr.origin;
       }
     in
     { Instr.op; annot }

@@ -74,7 +74,8 @@ let parse_mem line s =
 (* --- mnemonic tables -------------------------------------------------- *)
 
 let ibin_table =
-  [ ("addq", Op.Add); ("subq", Op.Sub); ("mulq", Op.Mul); ("and", Op.And);
+  [ ("addq", Op.Add); ("subq", Op.Sub); ("mulq", Op.Mul);
+    ("divq", Op.Div); ("remq", Op.Rem); ("and", Op.And);
     ("bis", Op.Or); ("xor", Op.Xor); ("andnot", Op.Andnot); ("sll", Op.Shl);
     ("srl", Op.Shr); ("cmpeq", Op.Cmpeq); ("cmplt", Op.Cmplt); ("cmple", Op.Cmple) ]
 

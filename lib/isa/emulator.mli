@@ -54,6 +54,11 @@ val exec_instr : state -> Instr.t -> unit
 val read_ext : state -> Reg.t -> int64
 (** Final architectural register value. Raises on non-external registers. *)
 
+val read_reg : state -> Reg.t -> int64
+(** Final value of any register (virtual, external or internal; zero reads
+    0). Virtual reads are what the RV frontend's differential oracle
+    compares against the reference emulator's architectural registers. *)
+
 val read_mem : state -> int -> int64
 (** Final memory word at a byte address (0 if never written). *)
 

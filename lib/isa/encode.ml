@@ -5,16 +5,16 @@ let imm_max = (1 lsl (imm_bits - 1)) - 1
 let imm_min = -(1 lsl (imm_bits - 1))
 
 let ibin_code = function
-  | Op.Add -> 0 | Op.Sub -> 1 | Op.Mul -> 2
-  | Op.And -> 3 | Op.Or -> 4 | Op.Xor -> 5 | Op.Andnot -> 6
-  | Op.Shl -> 7 | Op.Shr -> 8
-  | Op.Cmpeq -> 9 | Op.Cmplt -> 10 | Op.Cmple -> 11
+  | Op.Add -> 0 | Op.Sub -> 1 | Op.Mul -> 2 | Op.Div -> 3 | Op.Rem -> 4
+  | Op.And -> 5 | Op.Or -> 6 | Op.Xor -> 7 | Op.Andnot -> 8
+  | Op.Shl -> 9 | Op.Shr -> 10
+  | Op.Cmpeq -> 11 | Op.Cmplt -> 12 | Op.Cmple -> 13
 
 let ibin_of_code = function
-  | 0 -> Op.Add | 1 -> Op.Sub | 2 -> Op.Mul
-  | 3 -> Op.And | 4 -> Op.Or | 5 -> Op.Xor | 6 -> Op.Andnot
-  | 7 -> Op.Shl | 8 -> Op.Shr
-  | 9 -> Op.Cmpeq | 10 -> Op.Cmplt | 11 -> Op.Cmple
+  | 0 -> Op.Add | 1 -> Op.Sub | 2 -> Op.Mul | 3 -> Op.Div | 4 -> Op.Rem
+  | 5 -> Op.And | 6 -> Op.Or | 7 -> Op.Xor | 8 -> Op.Andnot
+  | 9 -> Op.Shl | 10 -> Op.Shr
+  | 11 -> Op.Cmpeq | 12 -> Op.Cmplt | 13 -> Op.Cmple
   | n -> raise (Unencodable (Printf.sprintf "bad ibin code %d" n))
 
 let fbin_code = function
@@ -37,22 +37,22 @@ let cond_of_code = function
   | 0 -> Op.Eq | 1 -> Op.Ne | 2 -> Op.Lt | 3 -> Op.Ge | 4 -> Op.Le | 5 -> Op.Gt
   | n -> raise (Unencodable (Printf.sprintf "bad cond code %d" n))
 
-(* Opcode space: 0 nop; 1..12 ibin; 13..24 ibini; 25 movi; 26..30 fbin;
-   31..33 funary; 34..39 cmov; 40 load; 41 store; 42..47 branch; 48 jump;
-   49 halt. *)
+(* Opcode space: 0 nop; 1..14 ibin; 15..28 ibini; 29 movi; 30..34 fbin;
+   35..37 funary; 38..43 cmov; 44 load; 45 store; 46..51 branch; 52 jump;
+   53 halt. *)
 let opcode = function
   | Op.Nop -> 0
   | Op.Ibin (o, _, _, _) -> 1 + ibin_code o
-  | Op.Ibini (o, _, _, _) -> 13 + ibin_code o
-  | Op.Movi _ -> 25
-  | Op.Fbin (o, _, _, _) -> 26 + fbin_code o
-  | Op.Funary (o, _, _) -> 31 + funary_code o
-  | Op.Cmov (c, _, _, _) -> 34 + cond_code c
-  | Op.Load _ -> 40
-  | Op.Store _ -> 41
-  | Op.Branch (c, _, _) -> 42 + cond_code c
-  | Op.Jump _ -> 48
-  | Op.Halt -> 49
+  | Op.Ibini (o, _, _, _) -> 15 + ibin_code o
+  | Op.Movi _ -> 29
+  | Op.Fbin (o, _, _, _) -> 30 + fbin_code o
+  | Op.Funary (o, _, _) -> 35 + funary_code o
+  | Op.Cmov (c, _, _, _) -> 38 + cond_code c
+  | Op.Load _ -> 44
+  | Op.Store _ -> 45
+  | Op.Branch (c, _, _) -> 46 + cond_code c
+  | Op.Jump _ -> 52
+  | Op.Halt -> 53
 
 (* External register field: class bit (bit 5) + index. *)
 let ext_reg_field (r : Reg.t) =
@@ -169,17 +169,17 @@ let decode w =
   let src2 () = src_of_field t2 s2 in
   let op =
     if opc = 0 then Op.Nop
-    else if opc >= 1 && opc <= 12 then Op.Ibin (ibin_of_code (opc - 1), dest (), src1 (), src2 ())
-    else if opc >= 13 && opc <= 24 then Op.Ibini (ibin_of_code (opc - 13), dest (), src1 (), imm)
-    else if opc = 25 then Op.Movi (dest (), Int64.of_int imm)
-    else if opc >= 26 && opc <= 30 then Op.Fbin (fbin_of_code (opc - 26), dest (), src1 (), src2 ())
-    else if opc >= 31 && opc <= 33 then Op.Funary (funary_of_code (opc - 31), dest (), src1 ())
-    else if opc >= 34 && opc <= 39 then Op.Cmov (cond_of_code (opc - 34), dest (), src1 (), src2 ())
-    else if opc = 40 then Op.Load (dest (), src1 (), imm, Op.region_unknown)
-    else if opc = 41 then Op.Store (src1 (), src2 (), imm, Op.region_unknown)
-    else if opc >= 42 && opc <= 47 then Op.Branch (cond_of_code (opc - 42), src1 (), imm)
-    else if opc = 48 then Op.Jump imm
-    else if opc = 49 then Op.Halt
+    else if opc >= 1 && opc <= 14 then Op.Ibin (ibin_of_code (opc - 1), dest (), src1 (), src2 ())
+    else if opc >= 15 && opc <= 28 then Op.Ibini (ibin_of_code (opc - 15), dest (), src1 (), imm)
+    else if opc = 29 then Op.Movi (dest (), Int64.of_int imm)
+    else if opc >= 30 && opc <= 34 then Op.Fbin (fbin_of_code (opc - 30), dest (), src1 (), src2 ())
+    else if opc >= 35 && opc <= 37 then Op.Funary (funary_of_code (opc - 35), dest (), src1 ())
+    else if opc >= 38 && opc <= 43 then Op.Cmov (cond_of_code (opc - 38), dest (), src1 (), src2 ())
+    else if opc = 44 then Op.Load (dest (), src1 (), imm, Op.region_unknown)
+    else if opc = 45 then Op.Store (src1 (), src2 (), imm, Op.region_unknown)
+    else if opc >= 46 && opc <= 51 then Op.Branch (cond_of_code (opc - 46), src1 (), imm)
+    else if opc = 52 then Op.Jump imm
+    else if opc = 53 then Op.Halt
     else raise (Unencodable (Printf.sprintf "bad opcode %d" opc))
   in
   let ins = Instr.make op in

@@ -2,12 +2,15 @@ type annot = {
   braid_id : int;
   braid_start : bool;
   ext_dup : Reg.t option;
+  origin : string option;
 }
 
 type t = { op : Op.t; annot : annot }
 
-let no_annot = { braid_id = -1; braid_start = false; ext_dup = None }
+let no_annot = { braid_id = -1; braid_start = false; ext_dup = None; origin = None }
 let make op = { op; annot = no_annot }
+
+let with_origin t s = { t with annot = { t.annot with origin = Some s } }
 
 let with_braid t ~id ~start =
   { t with annot = { t.annot with braid_id = id; braid_start = start } }
@@ -70,4 +73,9 @@ let pp fmt t =
   in
   let s = if t.annot.braid_start then "S " else "  " in
   let bid = if t.annot.braid_id >= 0 then Printf.sprintf " ;b%d" t.annot.braid_id else "" in
-  Format.fprintf fmt "%s%s%s%s" s body dup bid
+  let org =
+    match t.annot.origin with
+    | None -> ""
+    | Some o -> Printf.sprintf " ;<%s>" o
+  in
+  Format.fprintf fmt "%s%s%s%s%s" s body dup bid org

@@ -14,6 +14,10 @@ type annot = {
   ext_dup : Reg.t option;
       (** secondary external destination when the primary destination is an
           internal register but the value is also external (I and E set) *)
+  origin : string option;
+      (** provenance note for translated code (e.g. the originating RV32IM
+          pc and mnemonic); printed as a trailing comment by [pp] and the
+          disassembler, never encoded *)
 }
 
 type t = { op : Op.t; annot : annot }
@@ -26,6 +30,9 @@ val make : Op.t -> t
 
 val with_braid : t -> id:int -> start:bool -> t
 val with_ext_dup : t -> Reg.t -> t
+
+val with_origin : t -> string -> t
+(** Attaches a provenance comment (see [annot.origin]). *)
 
 val defs : t -> Reg.t list
 (** Operation destinations plus the duplicate external destination. *)

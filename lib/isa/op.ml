@@ -1,5 +1,5 @@
 type ibin =
-  | Add | Sub | Mul
+  | Add | Sub | Mul | Div | Rem
   | And | Or | Xor | Andnot
   | Shl | Shr
   | Cmpeq | Cmplt | Cmple
@@ -66,6 +66,7 @@ let is_fp = function Fbin _ | Funary _ -> true | _ -> false
 let latency = function
   | Nop | Movi _ | Jump _ | Halt -> 1
   | Ibin (Mul, _, _, _) | Ibini (Mul, _, _, _) -> 3
+  | Ibin ((Div | Rem), _, _, _) | Ibini ((Div | Rem), _, _, _) -> 12
   | Ibin _ | Ibini _ | Cmov _ | Branch _ -> 1
   | Fbin (Fdiv, _, _, _) -> 12
   | Fbin _ -> 4
@@ -81,6 +82,8 @@ let eval_ibin o a b =
   | Add -> Int64.add a b
   | Sub -> Int64.sub a b
   | Mul -> Int64.mul a b
+  | Div -> if Int64.equal b 0L then -1L else Int64.div a b
+  | Rem -> if Int64.equal b 0L then a else Int64.rem a b
   | And -> Int64.logand a b
   | Or -> Int64.logor a b
   | Xor -> Int64.logxor a b
@@ -116,6 +119,7 @@ let eval_cond c v =
 
 let ibin_name = function
   | Add -> "addq" | Sub -> "subq" | Mul -> "mulq"
+  | Div -> "divq" | Rem -> "remq"
   | And -> "and" | Or -> "bis" | Xor -> "xor" | Andnot -> "andnot"
   | Shl -> "sll" | Shr -> "srl"
   | Cmpeq -> "cmpeq" | Cmplt -> "cmplt" | Cmple -> "cmple"

@@ -13,10 +13,14 @@
     [region_unknown] may alias anything. *)
 
 type ibin =
-  | Add | Sub | Mul
+  | Add | Sub | Mul | Div | Rem
   | And | Or | Xor | Andnot
   | Shl | Shr
   | Cmpeq | Cmplt | Cmple
+(** [Div]/[Rem] are signed truncating divide/remainder with the RISC-V
+    fault-free convention: division by zero yields quotient -1 and
+    remainder = dividend (no trap). Both occupy the long-latency integer
+    class alongside [Mul]. *)
 
 type fbin = Fadd | Fsub | Fmul | Fdiv | Fcmplt
 

@@ -1,0 +1,337 @@
+(* Committed RV32IM fixture programs. The assembly here is the source of
+   truth; the checked-in examples/rv/NAME.hex files are its assembled
+   form, and the test suite asserts they stay in sync. Each fixture ends
+   in an [ecall] with its checksum in a0, so the reference emulator and
+   every translated execution halt at the same architectural point. *)
+
+let fib =
+  {|# Iterative Fibonacci: fib(0..20) tabulated, fib(20) in a0.
+    .entry _start
+_start:
+    li   a0, 20
+    li   t0, 0
+    li   t1, 1
+    la   t3, table
+    sw   t0, 0(t3)
+    sw   t1, 4(t3)
+    li   t2, 2
+loop:
+    bgt  t2, a0, done
+    add  t4, t0, t1
+    mv   t0, t1
+    mv   t1, t4
+    slli t5, t2, 2
+    add  t5, t5, t3
+    sw   t4, 0(t5)
+    addi t2, t2, 1
+    j    loop
+done:
+    mv   a0, t1
+    ecall
+table:
+    .space 128
+|}
+
+let memcpy =
+  {|# Byte-wise copy of 61 bytes (odd count exercises sub-word traffic),
+# then a byte checksum of the destination.
+    .entry _start
+_start:
+    la   a0, dst
+    la   a1, src
+    li   a2, 61
+copy:
+    beqz a2, check
+    lbu  t0, 0(a1)
+    sb   t0, 0(a0)
+    addi a1, a1, 1
+    addi a0, a0, 1
+    addi a2, a2, -1
+    j    copy
+check:
+    la   a0, dst
+    li   a1, 61
+    li   a2, 0
+sum:
+    beqz a1, done
+    lbu  t0, 0(a0)
+    add  a2, a2, t0
+    addi a0, a0, 1
+    addi a1, a1, -1
+    j    sum
+done:
+    mv   a0, a2
+    ecall
+src:
+    .word 0x64636261, 0x68676665, 0x6c6b6a69, 0x706f6e6d
+    .word 0x74737271, 0x78777675, 0x42417a79, 0x46454443
+    .word 0x4a494847, 0x4e4d4c4b, 0x5251504f, 0x56555453
+    .word 0x5a595857, 0x33323130, 0x37363534, 0x00003938
+dst:
+    .space 64
+|}
+
+let sieve =
+  {|# Sieve of Eratosthenes below 100; prime count (25) in a0.
+    .entry _start
+_start:
+    li   t0, 100
+    la   t1, flags
+    li   t2, 2
+    li   a0, 0
+outer:
+    bge  t2, t0, donec
+    slli t3, t2, 2
+    add  t3, t3, t1
+    lw   t4, 0(t3)
+    bnez t4, next
+    addi a0, a0, 1
+    mul  t5, t2, t2
+mark:
+    bge  t5, t0, next
+    slli t6, t5, 2
+    add  t6, t6, t1
+    li   s0, 1
+    sw   s0, 0(t6)
+    add  t5, t5, t2
+    j    mark
+next:
+    addi t2, t2, 1
+    j    outer
+donec:
+    ecall
+flags:
+    .space 400
+|}
+
+let dot =
+  {|# Signed dot product of two 12-element vectors; result stored and in a0.
+    .entry _start
+_start:
+    la   t0, xs
+    la   t1, ys
+    li   t2, 12
+    li   a0, 0
+loop:
+    beqz t2, done
+    lw   t3, 0(t0)
+    lw   t4, 0(t1)
+    mul  t5, t3, t4
+    add  a0, a0, t5
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    j    loop
+done:
+    la   t6, out
+    sw   a0, 0(t6)
+    ecall
+xs:
+    .word 1, -2, 3, -4, 5, -6, 7, -8, 9, -10, 11, -12
+ys:
+    .word 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1
+out:
+    .space 4
+|}
+
+let qsort =
+  {|# Recursive quicksort of 12 words (stack frames, call/ret through
+# jalr and the translator's dispatcher); position-weighted checksum in a0.
+    .entry _start
+_start:
+    li   sp, 0x8000
+    la   a0, arr
+    la   a1, arr_end
+    addi a1, a1, -4
+    call qsort
+    la   t0, arr
+    la   t1, arr_end
+    li   a0, 0
+    li   t2, 1
+ck:
+    bgeu t0, t1, done
+    lw   t3, 0(t0)
+    mul  t3, t3, t2
+    add  a0, a0, t3
+    addi t2, t2, 1
+    addi t0, t0, 4
+    j    ck
+done:
+    ecall
+qsort:
+    bgeu a0, a1, qret
+    addi sp, sp, -16
+    sw   ra, 0(sp)
+    sw   s0, 4(sp)
+    sw   s1, 8(sp)
+    sw   s2, 12(sp)
+    mv   s0, a0
+    mv   s1, a1
+    lw   t0, 0(s1)
+    mv   s2, s0
+    mv   t2, s0
+part:
+    bgeu t2, s1, partdone
+    lw   t3, 0(t2)
+    bge  t3, t0, noswap
+    lw   t4, 0(s2)
+    sw   t3, 0(s2)
+    sw   t4, 0(t2)
+    addi s2, s2, 4
+noswap:
+    addi t2, t2, 4
+    j    part
+partdone:
+    lw   t4, 0(s2)
+    sw   t0, 0(s2)
+    sw   t4, 0(s1)
+    mv   a0, s0
+    addi a1, s2, -4
+    call qsort
+    addi a0, s2, 4
+    mv   a1, s1
+    call qsort
+    lw   ra, 0(sp)
+    lw   s0, 4(sp)
+    lw   s1, 8(sp)
+    lw   s2, 12(sp)
+    addi sp, sp, 16
+qret:
+    ret
+arr:
+    .word 9, -3, 77, 0, 14, -28, 5, 5, 1000, -999, 42, 7
+arr_end:
+    .space 4
+|}
+
+let crc32 =
+  {|# Bitwise CRC-32 (polynomial 0xEDB88320) over 24 bytes; stored and in a0.
+    .entry _start
+_start:
+    la   a1, msg
+    li   a2, 24
+    li   a0, -1
+next:
+    beqz a2, fin
+    lbu  t0, 0(a1)
+    xor  a0, a0, t0
+    li   t1, 8
+bit:
+    beqz t1, bdone
+    andi t2, a0, 1
+    srli a0, a0, 1
+    beqz t2, nx
+    li   t3, 0xEDB88320
+    xor  a0, a0, t3
+nx:
+    addi t1, t1, -1
+    j    bit
+bdone:
+    addi a1, a1, 1
+    addi a2, a2, -1
+    j    next
+fin:
+    not  a0, a0
+    la   t4, out
+    sw   a0, 0(t4)
+    ecall
+msg:
+    .word 0x64696172, 0x6d69732d, 0x76207372, 0x69726576
+    .word 0x65687420, 0x6f772062, 0x646c726f
+out:
+    .space 4
+|}
+
+let hello =
+  {|# HTIF-style putchar: each byte goes to tohost as (char << 8) | 2.
+    .entry _start
+_start:
+    la   a1, msg
+    li   a2, 14
+    li   t1, 0xF000
+put:
+    beqz a2, fin
+    lbu  t0, 0(a1)
+    slli t0, t0, 8
+    ori  t0, t0, 2
+    sw   t0, 0(t1)
+    addi a1, a1, 1
+    addi a2, a2, -1
+    j    put
+fin:
+    li   a0, 0
+    ecall
+msg:
+    .word 0x6c6c6568, 0x62202c6f, 0x64696172, 0x00002173
+|}
+
+let divmix =
+  {|# M-extension edge cases: INT_MIN/-1 overflow, divide by zero, the
+# unsigned variants, and the three mulh flavours, all stored to memory.
+    .entry _start
+_start:
+    la   s0, out
+    li   t0, -2147483648
+    li   t1, -1
+    div  t2, t0, t1
+    sw   t2, 0(s0)
+    rem  t3, t0, t1
+    sw   t3, 4(s0)
+    li   t1, 0
+    div  t2, t0, t1
+    sw   t2, 8(s0)
+    rem  t3, t0, t1
+    sw   t3, 12(s0)
+    li   t0, 97
+    li   t1, 7
+    divu t2, t0, t1
+    remu t3, t0, t1
+    sw   t2, 16(s0)
+    sw   t3, 20(s0)
+    li   t0, -50
+    li   t1, 7
+    div  t2, t0, t1
+    rem  t3, t0, t1
+    sw   t2, 24(s0)
+    sw   t3, 28(s0)
+    li   t0, -2
+    li   t1, 3
+    mulh t2, t0, t1
+    mulhu t3, t0, t1
+    mulhsu t4, t0, t1
+    sw   t2, 32(s0)
+    sw   t3, 36(s0)
+    sw   t4, 40(s0)
+    li   t0, -6
+    li   t1, -5
+    divu t2, t0, t1
+    remu t3, t0, t1
+    sw   t2, 44(s0)
+    sw   t3, 48(s0)
+    sltu a0, t1, t0
+    slti a1, t0, -3
+    add  a0, a0, a1
+    ecall
+out:
+    .space 64
+|}
+
+let all =
+  [ ("fib", fib); ("memcpy", memcpy); ("sieve", sieve); ("dot", dot);
+    ("qsort", qsort); ("crc32", crc32); ("hello", hello); ("divmix", divmix) ]
+
+let find name = List.assoc_opt name all
+
+let names = List.map fst all
+
+let image name =
+  match find name with
+  | None -> None
+  | Some src -> (
+      match Rv_asm.parse ~name src with
+      | Ok img -> Some img
+      | Error e ->
+          (* A fixture that does not assemble is a build defect, not an
+             input error. *)
+          invalid_arg
+            (Printf.sprintf "fixture %s: %s" name (Rv_asm.error_to_string e)))

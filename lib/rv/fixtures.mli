@@ -1,0 +1,16 @@
+(** Committed RV32IM fixture programs.
+
+    The assembly text here is the source of truth; the checked-in
+    [examples/rv/NAME.hex] images are its assembled form (the test suite
+    keeps them in sync). All fixtures exit through [ecall] with a
+    checksum in a0. *)
+
+val all : (string * string) list
+(** (name, assembly source), in canonical order. *)
+
+val names : string list
+val find : string -> string option
+
+val image : string -> Image.t option
+(** Assembled image; [None] for unknown names. Raises [Invalid_argument]
+    only if a committed fixture fails to assemble (a build defect). *)

@@ -1,0 +1,283 @@
+type t = { name : string; base : int; entry : int; bytes : string }
+
+type error =
+  | Truncated of string
+  | Bad_magic of string
+  | Bad_entry of { entry : int; reason : string }
+  | Misaligned of { what : string; value : int }
+  | Oversized of int
+  | Malformed of { line : int; reason : string }
+
+let error_to_string = function
+  | Truncated what -> Printf.sprintf "truncated image: %s" what
+  | Bad_magic what -> Printf.sprintf "bad magic: %s" what
+  | Bad_entry { entry; reason } ->
+      Printf.sprintf "bad entry point 0x%x: %s" entry reason
+  | Misaligned { what; value } ->
+      Printf.sprintf "misaligned %s 0x%x: must be 4-byte aligned" what value
+  | Oversized n ->
+      Printf.sprintf "image of %d bytes exceeds the %d-byte bound" n
+        (1 lsl 20)
+  | Malformed { line; reason } ->
+      Printf.sprintf "malformed hex image, line %d: %s" line reason
+
+let max_bytes = 1 lsl 20
+
+(* Keep every byte address below 0x1000_0000 so the translated IR address
+   (2x the RV address) stays clear of the emulator's spill region. *)
+let max_addr = 0x1000_0000
+
+let ( let* ) = Result.bind
+
+let validate ~name ~base ~entry bytes =
+  let len = String.length bytes in
+  if len = 0 then Error (Truncated "empty image")
+  else if len > max_bytes then Error (Oversized len)
+  else if base < 0 || base + len > max_addr then
+    Error (Bad_entry { entry = base; reason = "image base out of address range" })
+  else if base land 3 <> 0 then Error (Misaligned { what = "base"; value = base })
+  else if entry land 3 <> 0 then
+    Error (Misaligned { what = "entry pc"; value = entry })
+  else if entry < base || entry >= base + len then
+    Error (Bad_entry { entry; reason = "outside the loaded image" })
+  else
+    (* Pad to a whole number of words so [word] never reads off the end. *)
+    let pad = (4 - (len land 3)) land 3 in
+    Ok { name; base; entry; bytes = bytes ^ String.make pad '\000' }
+
+let of_flat ?(name = "flat") ?(base = 0) ?entry bytes =
+  let entry = Option.value entry ~default:base in
+  validate ~name ~base ~entry bytes
+
+(* --- minimal ELF32 ---------------------------------------------------- *)
+
+let u16 s off = Char.code s.[off] lor (Char.code s.[off + 1] lsl 8)
+
+let u32 s off =
+  u16 s off lor (u16 s (off + 2) lsl 16)
+
+let of_elf ?(name = "elf") data =
+  let len = String.length data in
+  let* () = if len >= 52 then Ok () else Error (Truncated "ELF header") in
+  let* () =
+    if String.sub data 0 4 = "\x7fELF" then Ok ()
+    else Error (Bad_magic "not an ELF file")
+  in
+  let* () =
+    if Char.code data.[4] = 1 then Ok ()
+    else Error (Bad_magic "not ELFCLASS32")
+  in
+  let* () =
+    if Char.code data.[5] = 1 then Ok ()
+    else Error (Bad_magic "not little-endian")
+  in
+  let* () =
+    if u16 data 18 = 243 then Ok ()
+    else Error (Bad_magic "machine is not RISC-V (EM_RISCV = 243)")
+  in
+  let entry = u32 data 24 in
+  let phoff = u32 data 28 in
+  let phentsize = u16 data 42 in
+  let phnum = u16 data 44 in
+  let* () =
+    if phnum > 0 && phentsize >= 32 then Ok ()
+    else Error (Truncated "no program headers")
+  in
+  let* () =
+    if phoff + (phnum * phentsize) <= len then Ok ()
+    else Error (Truncated "program header table")
+  in
+  let segs = ref [] in
+  let* () =
+    let rec scan i =
+      if i >= phnum then Ok ()
+      else
+        let ph = phoff + (i * phentsize) in
+        if u32 data ph <> 1 (* PT_LOAD *) then scan (i + 1)
+        else
+          let p_offset = u32 data (ph + 4) in
+          let p_vaddr = u32 data (ph + 8) in
+          let p_filesz = u32 data (ph + 16) in
+          let p_memsz = u32 data (ph + 20) in
+          if p_offset + p_filesz > len then Error (Truncated "PT_LOAD segment")
+          else if p_memsz > max_bytes then Error (Oversized p_memsz)
+          else begin
+            segs := (p_vaddr, p_offset, p_filesz, p_memsz) :: !segs;
+            scan (i + 1)
+          end
+    in
+    scan 0
+  in
+  let* () =
+    if !segs <> [] then Ok () else Error (Truncated "no PT_LOAD segment")
+  in
+  let lo =
+    List.fold_left (fun a (v, _, _, _) -> min a v) max_int !segs land lnot 3
+  in
+  let hi = List.fold_left (fun a (v, _, _, m) -> max a (v + m)) 0 !segs in
+  let* () =
+    if hi - lo <= max_bytes then Ok () else Error (Oversized (hi - lo))
+  in
+  let buf = Bytes.make (hi - lo) '\000' in
+  List.iter
+    (fun (v, off, filesz, _) ->
+      Bytes.blit_string data off buf (v - lo) filesz)
+    !segs;
+  validate ~name ~base:lo ~entry (Bytes.to_string buf)
+
+(* --- braid-rv/1 hex text ---------------------------------------------- *)
+
+let magic = "braid-rv/1"
+
+let of_hex ?name text =
+  let lines = String.split_on_char '\n' text in
+  let* first, rest =
+    match lines with
+    | first :: rest -> Ok (first, rest)
+    | [] -> Error (Bad_magic "empty file")
+  in
+  let* hname =
+    match String.split_on_char ' ' (String.trim first) with
+    | m :: rest when m = magic ->
+        Ok (match List.filter (( <> ) "") rest with n :: _ -> n | [] -> "hex")
+    | _ -> Error (Bad_magic (Printf.sprintf "first line must be %S" magic))
+  in
+  let name = Option.value name ~default:hname in
+  let buf = Buffer.create 256 in
+  let base = ref 0 and entry = ref None and cursor = ref None in
+  let put_word lineno v =
+    let c = match !cursor with None -> !base | Some c -> c in
+    let off = c - !base in
+    if off < 0 then
+      Error (Malformed { line = lineno; reason = "@at before image base" })
+    else if off > max_bytes then Error (Oversized off)
+    else begin
+      while Buffer.length buf < off do Buffer.add_char buf '\000' done;
+      if Buffer.length buf > off then
+        Error
+          (Malformed { line = lineno; reason = "words overlap earlier data" })
+      else begin
+        Buffer.add_char buf (Char.chr (v land 0xFF));
+        Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+        Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+        Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+        cursor := Some (c + 4);
+        Ok ()
+      end
+    end
+  in
+  let parse_int lineno s =
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Ok v
+    | _ ->
+        Error (Malformed { line = lineno; reason = "expected an address: " ^ s })
+  in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | line :: rest ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let toks =
+          String.split_on_char ' ' (String.trim line)
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (( <> ) "")
+        in
+        let* () =
+          match toks with
+          | [] -> Ok ()
+          | [ "@base"; v ] ->
+              if Buffer.length buf > 0 then
+                Error
+                  (Malformed { line = lineno; reason = "@base after data" })
+              else
+                let* v = parse_int lineno v in
+                base := v;
+                Ok ()
+          | [ "@entry"; v ] ->
+              let* v = parse_int lineno v in
+              entry := Some v;
+              Ok ()
+          | [ "@at"; v ] ->
+              let* v = parse_int lineno v in
+              cursor := Some v;
+              Ok ()
+          | toks ->
+              let rec words = function
+                | [] -> Ok ()
+                | t :: ts ->
+                    if String.length t = 8 then
+                      match int_of_string_opt ("0x" ^ t) with
+                      | Some v ->
+                          let* () = put_word lineno v in
+                          words ts
+                      | None ->
+                          Error
+                            (Malformed
+                               { line = lineno; reason = "bad hex word " ^ t })
+                    else
+                      Error
+                        (Malformed
+                           {
+                             line = lineno;
+                             reason = "expected an 8-digit hex word, got " ^ t;
+                           })
+              in
+              words toks
+        in
+        go (lineno + 1) rest
+  in
+  let* () = go 2 rest in
+  let entry = Option.value !entry ~default:!base in
+  validate ~name ~base:!base ~entry (Buffer.contents buf)
+
+let to_hex t =
+  let b = Buffer.create (String.length t.bytes * 3) in
+  Buffer.add_string b (Printf.sprintf "%s %s\n" magic t.name);
+  Buffer.add_string b (Printf.sprintf "@base 0x%x\n" t.base);
+  Buffer.add_string b (Printf.sprintf "@entry 0x%x\n" t.entry);
+  let words = String.length t.bytes / 4 in
+  for i = 0 to words - 1 do
+    let v =
+      Char.code t.bytes.[4 * i]
+      lor (Char.code t.bytes.[(4 * i) + 1] lsl 8)
+      lor (Char.code t.bytes.[(4 * i) + 2] lsl 16)
+      lor (Char.code t.bytes.[(4 * i) + 3] lsl 24)
+    in
+    Buffer.add_string b (Printf.sprintf "%08x" v);
+    Buffer.add_char b (if i mod 8 = 7 then '\n' else ' ')
+  done;
+  let s = Buffer.contents b in
+  if String.length s > 0 && s.[String.length s - 1] <> '\n' then s ^ "\n"
+  else s
+
+let of_source ?name data =
+  if String.length data >= 4 && String.sub data 0 4 = "\x7fELF" then
+    of_elf ?name data
+  else if
+    String.length data >= String.length magic
+    && String.sub data 0 (String.length magic) = magic
+  then of_hex ?name data
+  else of_flat ?name data
+
+let size t = String.length t.bytes
+let in_range t addr = addr >= t.base && addr < t.base + String.length t.bytes
+
+let word t addr =
+  if addr land 3 <> 0 then invalid_arg "Image.word: unaligned address";
+  if not (in_range t addr) then 0
+  else
+    let o = addr - t.base in
+    Char.code t.bytes.[o]
+    lor (Char.code t.bytes.[o + 1] lsl 8)
+    lor (Char.code t.bytes.[o + 2] lsl 16)
+    lor (Char.code t.bytes.[o + 3] lsl 24)
+
+let iter_words f t =
+  let words = String.length t.bytes / 4 in
+  for i = 0 to words - 1 do
+    let addr = t.base + (4 * i) in
+    f addr (word t addr)
+  done

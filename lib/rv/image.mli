@@ -1,0 +1,53 @@
+(** Loaded RV32 program images.
+
+    An image is one contiguous little-endian byte range plus an entry pc.
+    Three front ends produce it: raw flat binaries, a minimal ELF32
+    parser (class 32, little-endian, EM_RISCV, PT_LOAD segments only),
+    and the ["braid-rv/1"] hex text format used for committed fixtures
+    and for carrying programs over the serve API. Every loader returns a
+    typed error — mirroring {!Braid_api.Wire}'s rejection style — rather
+    than raising: truncated input, bad magic, out-of-image or misaligned
+    entry, and an oversize bound ({!max_bytes}). *)
+
+type t = private { name : string; base : int; entry : int; bytes : string }
+(** [bytes] is padded to a whole number of 32-bit words; [base] and
+    [entry] are 4-byte aligned, with [entry] inside the image. *)
+
+type error =
+  | Truncated of string
+  | Bad_magic of string
+  | Bad_entry of { entry : int; reason : string }
+  | Misaligned of { what : string; value : int }
+  | Oversized of int
+  | Malformed of { line : int; reason : string }  (** hex-text syntax error *)
+
+val error_to_string : error -> string
+
+val max_bytes : int
+(** Image size bound (1 MiB). *)
+
+val max_addr : int
+(** Exclusive upper bound on byte addresses (0x1000_0000): keeps the
+    translated IR addresses, which are doubled, below the IR emulator's
+    spill region. *)
+
+val of_flat : ?name:string -> ?base:int -> ?entry:int -> string -> (t, error) result
+(** [base] defaults to 0, [entry] to [base]. *)
+
+val of_elf : ?name:string -> string -> (t, error) result
+val of_hex : ?name:string -> string -> (t, error) result
+
+val of_source : ?name:string -> string -> (t, error) result
+(** Sniffs the format: ELF magic, ["braid-rv/1"] magic, else flat. *)
+
+val to_hex : t -> string
+(** Canonical hex-text serialisation; [of_hex (to_hex t)] reproduces [t]. *)
+
+val size : t -> int
+val in_range : t -> int -> bool
+val word : t -> int -> int
+(** 32-bit word at a 4-byte-aligned address; 0 outside the image. Raises
+    [Invalid_argument] on unaligned addresses (callers align first). *)
+
+val iter_words : (int -> int -> unit) -> t -> unit
+(** Every word of the image, in address order, including zeros. *)

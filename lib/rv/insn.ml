@@ -1,0 +1,266 @@
+(* Words are 32-bit RV encodings carried in native ints, range
+   [0, 0xFFFF_FFFF]. *)
+
+type alu = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+type muldiv = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+type bcond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+type width = B | H | W | Bu | Hu
+
+type t =
+  | Lui of int * int
+  | Auipc of int * int
+  | Jal of int * int
+  | Jalr of int * int * int
+  | Branch of bcond * int * int * int
+  | Load of width * int * int * int
+  | Store of width * int * int * int
+  | Alui of alu * int * int * int
+  | Alu of alu * int * int * int
+  | Muldiv of muldiv * int * int * int
+  | Fence
+  | Ecall
+  | Ebreak
+
+type error =
+  | Compressed of int
+  | Illegal of { word : int; reason : string }
+
+let error_to_string = function
+  | Compressed w ->
+      Printf.sprintf
+        "compressed (RVC) encoding 0x%04x: the frontend is RV32IM only; \
+         rebuild without the C extension"
+        (w land 0xFFFF)
+  | Illegal { word; reason } ->
+      Printf.sprintf "illegal instruction 0x%08x: %s" word reason
+
+let mask32 v = v land 0xFFFFFFFF
+
+(* Sign-extend the low [bits] of [v]. *)
+let sext v bits =
+  let m = 1 lsl (bits - 1) in
+  ((v land ((1 lsl bits) - 1)) lxor m) - m
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | Sll -> "sll" | Slt -> "slt" | Sltu -> "sltu"
+  | Xor -> "xor" | Srl -> "srl" | Sra -> "sra" | Or -> "or" | And -> "and"
+
+let muldiv_name = function
+  | Mul -> "mul" | Mulh -> "mulh" | Mulhsu -> "mulhsu" | Mulhu -> "mulhu"
+  | Div -> "div" | Divu -> "divu" | Rem -> "rem" | Remu -> "remu"
+
+let bcond_name = function
+  | Beq -> "beq" | Bne -> "bne" | Blt -> "blt" | Bge -> "bge"
+  | Bltu -> "bltu" | Bgeu -> "bgeu"
+
+let load_name = function
+  | B -> "lb" | H -> "lh" | W -> "lw" | Bu -> "lbu" | Hu -> "lhu"
+
+let store_name = function
+  | B -> "sb" | H -> "sh" | W -> "sw" | Bu | Hu -> assert false
+
+let x n = "x" ^ string_of_int n
+
+let to_string = function
+  | Lui (rd, imm) -> Printf.sprintf "lui %s, 0x%x" (x rd) imm
+  | Auipc (rd, imm) -> Printf.sprintf "auipc %s, 0x%x" (x rd) imm
+  | Jal (rd, off) -> Printf.sprintf "jal %s, %d" (x rd) off
+  | Jalr (rd, rs1, imm) -> Printf.sprintf "jalr %s, %s, %d" (x rd) (x rs1) imm
+  | Branch (c, rs1, rs2, off) ->
+      Printf.sprintf "%s %s, %s, %d" (bcond_name c) (x rs1) (x rs2) off
+  | Load (w, rd, rs1, imm) ->
+      Printf.sprintf "%s %s, %d(%s)" (load_name w) (x rd) imm (x rs1)
+  | Store (w, rs2, rs1, imm) ->
+      Printf.sprintf "%s %s, %d(%s)" (store_name w) (x rs2) imm (x rs1)
+  | Alui (o, rd, rs1, imm) ->
+      let suffix = match o with Sll | Srl | Sra -> "" | _ -> "i" in
+      Printf.sprintf "%s%s %s, %s, %d" (alu_name o) suffix (x rd) (x rs1) imm
+  | Alu (o, rd, rs1, rs2) ->
+      Printf.sprintf "%s %s, %s, %s" (alu_name o) (x rd) (x rs1) (x rs2)
+  | Muldiv (o, rd, rs1, rs2) ->
+      Printf.sprintf "%s %s, %s, %s" (muldiv_name o) (x rd) (x rs1) (x rs2)
+  | Fence -> "fence"
+  | Ecall -> "ecall"
+  | Ebreak -> "ebreak"
+
+(* --- decode ----------------------------------------------------------- *)
+
+let decode word =
+  let w = mask32 word in
+  if w land 3 <> 3 then Error (Compressed w)
+  else begin
+    let opcode = w land 0x7F in
+    let rd = (w lsr 7) land 31 in
+    let funct3 = (w lsr 12) land 7 in
+    let rs1 = (w lsr 15) land 31 in
+    let rs2 = (w lsr 20) land 31 in
+    let funct7 = (w lsr 25) land 0x7F in
+    let imm_i = sext (w lsr 20) 12 in
+    let imm_s = sext (((w lsr 25) lsl 5) lor rd) 12 in
+    let imm_b =
+      sext
+        (((w lsr 31) lsl 12)
+        lor (((w lsr 7) land 1) lsl 11)
+        lor (((w lsr 25) land 0x3F) lsl 5)
+        lor (((w lsr 8) land 0xF) lsl 1))
+        13
+    in
+    let imm_u = (w lsr 12) land 0xFFFFF in
+    let imm_j =
+      sext
+        (((w lsr 31) lsl 20)
+        lor (((w lsr 12) land 0xFF) lsl 12)
+        lor (((w lsr 20) land 1) lsl 11)
+        lor (((w lsr 21) land 0x3FF) lsl 1))
+        21
+    in
+    let illegal reason = Error (Illegal { word = w; reason }) in
+    match opcode with
+    | 0x37 -> Ok (Lui (rd, imm_u))
+    | 0x17 -> Ok (Auipc (rd, imm_u))
+    | 0x6F -> Ok (Jal (rd, imm_j))
+    | 0x67 ->
+        if funct3 = 0 then Ok (Jalr (rd, rs1, imm_i))
+        else illegal "jalr funct3 must be 0"
+    | 0x63 -> (
+        let branch c = Ok (Branch (c, rs1, rs2, imm_b)) in
+        match funct3 with
+        | 0 -> branch Beq
+        | 1 -> branch Bne
+        | 4 -> branch Blt
+        | 5 -> branch Bge
+        | 6 -> branch Bltu
+        | 7 -> branch Bgeu
+        | _ -> illegal "reserved branch funct3")
+    | 0x03 -> (
+        let load wd = Ok (Load (wd, rd, rs1, imm_i)) in
+        match funct3 with
+        | 0 -> load B
+        | 1 -> load H
+        | 2 -> load W
+        | 4 -> load Bu
+        | 5 -> load Hu
+        | _ -> illegal "reserved load funct3")
+    | 0x23 -> (
+        let store wd = Ok (Store (wd, rs2, rs1, imm_s)) in
+        match funct3 with
+        | 0 -> store B
+        | 1 -> store H
+        | 2 -> store W
+        | _ -> illegal "reserved store funct3")
+    | 0x13 -> (
+        match funct3 with
+        | 0 -> Ok (Alui (Add, rd, rs1, imm_i))
+        | 2 -> Ok (Alui (Slt, rd, rs1, imm_i))
+        | 3 -> Ok (Alui (Sltu, rd, rs1, imm_i))
+        | 4 -> Ok (Alui (Xor, rd, rs1, imm_i))
+        | 6 -> Ok (Alui (Or, rd, rs1, imm_i))
+        | 7 -> Ok (Alui (And, rd, rs1, imm_i))
+        | 1 ->
+            if funct7 = 0 then Ok (Alui (Sll, rd, rs1, rs2))
+            else illegal "slli funct7 must be 0"
+        | 5 ->
+            if funct7 = 0 then Ok (Alui (Srl, rd, rs1, rs2))
+            else if funct7 = 0x20 then Ok (Alui (Sra, rd, rs1, rs2))
+            else illegal "srli/srai funct7"
+        | _ -> assert false)
+    | 0x33 -> (
+        if funct7 = 1 then
+          let md o = Ok (Muldiv (o, rd, rs1, rs2)) in
+          match funct3 with
+          | 0 -> md Mul | 1 -> md Mulh | 2 -> md Mulhsu | 3 -> md Mulhu
+          | 4 -> md Div | 5 -> md Divu | 6 -> md Rem | 7 -> md Remu
+          | _ -> assert false
+        else
+          let r o = Ok (Alu (o, rd, rs1, rs2)) in
+          match (funct7, funct3) with
+          | 0, 0 -> r Add
+          | 0x20, 0 -> r Sub
+          | 0, 1 -> r Sll
+          | 0, 2 -> r Slt
+          | 0, 3 -> r Sltu
+          | 0, 4 -> r Xor
+          | 0, 5 -> r Srl
+          | 0x20, 5 -> r Sra
+          | 0, 6 -> r Or
+          | 0, 7 -> r And
+          | _ -> illegal "reserved op funct7")
+    | 0x0F ->
+        (* fence / fence.i: both order nothing in a sequential model. *)
+        if funct3 <= 1 then Ok Fence else illegal "reserved misc-mem funct3"
+    | 0x73 ->
+        if w = 0x00000073 then Ok Ecall
+        else if w = 0x00100073 then Ok Ebreak
+        else illegal "SYSTEM encoding outside ecall/ebreak (CSRs unsupported)"
+    | _ -> illegal "unknown major opcode"
+  end
+
+(* --- encode ----------------------------------------------------------- *)
+
+let enc_r funct7 rs2 rs1 funct3 rd opcode =
+  (funct7 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let enc_i imm rs1 funct3 rd opcode =
+  ((imm land 0xFFF) lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (rd lsl 7) lor opcode
+
+let enc_s imm rs2 rs1 funct3 opcode =
+  let imm = imm land 0xFFF in
+  ((imm lsr 5) lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor ((imm land 0x1F) lsl 7) lor opcode
+
+let enc_b off rs2 rs1 funct3 =
+  let imm = off land 0x1FFF in
+  (((imm lsr 12) land 1) lsl 31)
+  lor (((imm lsr 5) land 0x3F) lsl 25)
+  lor (rs2 lsl 20) lor (rs1 lsl 15) lor (funct3 lsl 12)
+  lor (((imm lsr 1) land 0xF) lsl 8)
+  lor (((imm lsr 11) land 1) lsl 7)
+  lor 0x63
+
+let enc_u imm20 rd opcode = ((imm20 land 0xFFFFF) lsl 12) lor (rd lsl 7) lor opcode
+
+let enc_j off rd =
+  let imm = off land 0x1FFFFF in
+  (((imm lsr 20) land 1) lsl 31)
+  lor (((imm lsr 1) land 0x3FF) lsl 21)
+  lor (((imm lsr 11) land 1) lsl 20)
+  lor (((imm lsr 12) land 0xFF) lsl 12)
+  lor (rd lsl 7) lor 0x6F
+
+let alu_funct3 = function
+  | Add | Sub -> 0 | Sll -> 1 | Slt -> 2 | Sltu -> 3 | Xor -> 4
+  | Srl | Sra -> 5 | Or -> 6 | And -> 7
+
+let muldiv_funct3 = function
+  | Mul -> 0 | Mulh -> 1 | Mulhsu -> 2 | Mulhu -> 3
+  | Div -> 4 | Divu -> 5 | Rem -> 6 | Remu -> 7
+
+let bcond_funct3 = function
+  | Beq -> 0 | Bne -> 1 | Blt -> 4 | Bge -> 5 | Bltu -> 6 | Bgeu -> 7
+
+let load_funct3 = function B -> 0 | H -> 1 | W -> 2 | Bu -> 4 | Hu -> 5
+let store_funct3 = function B -> 0 | H -> 1 | W -> 2 | Bu | Hu -> assert false
+
+let encode = function
+  | Lui (rd, imm) -> enc_u imm rd 0x37
+  | Auipc (rd, imm) -> enc_u imm rd 0x17
+  | Jal (rd, off) -> enc_j off rd
+  | Jalr (rd, rs1, imm) -> enc_i imm rs1 0 rd 0x67
+  | Branch (c, rs1, rs2, off) -> enc_b off rs2 rs1 (bcond_funct3 c)
+  | Load (w, rd, rs1, imm) -> enc_i imm rs1 (load_funct3 w) rd 0x03
+  | Store (w, rs2, rs1, imm) -> enc_s imm rs2 rs1 (store_funct3 w) 0x23
+  | Alui (o, rd, rs1, imm) -> (
+      match o with
+      | Sll -> enc_r 0 (imm land 31) rs1 1 rd 0x13
+      | Srl -> enc_r 0 (imm land 31) rs1 5 rd 0x13
+      | Sra -> enc_r 0x20 (imm land 31) rs1 5 rd 0x13
+      | _ -> enc_i imm rs1 (alu_funct3 o) rd 0x13)
+  | Alu (o, rd, rs1, rs2) ->
+      let funct7 = match o with Sub | Sra -> 0x20 | _ -> 0 in
+      enc_r funct7 rs2 rs1 (alu_funct3 o) rd 0x33
+  | Muldiv (o, rd, rs1, rs2) -> enc_r 1 rs2 rs1 (muldiv_funct3 o) rd 0x33
+  | Fence -> 0x0FF0000F
+  | Ecall -> 0x00000073
+  | Ebreak -> 0x00100073

@@ -1,0 +1,52 @@
+(** RV32IM instruction decoding and encoding.
+
+    Covers every RV32I base-integer encoding plus the M extension.
+    Compressed (RVC) halfwords are rejected with a dedicated error, CSR
+    accesses and other SYSTEM encodings beyond [ecall]/[ebreak] with a
+    reasoned [Illegal]. Words are 32-bit values carried in native ints
+    (range [0, 0xFFFF_FFFF]); [decode] is total — it never raises. *)
+
+type alu = Add | Sub | Sll | Slt | Sltu | Xor | Srl | Sra | Or | And
+type muldiv = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+type bcond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type width = B | H | W | Bu | Hu
+(** Load widths; stores use [B]/[H]/[W] only. *)
+
+type t =
+  | Lui of int * int  (** rd, raw 20-bit immediate *)
+  | Auipc of int * int  (** rd, raw 20-bit immediate *)
+  | Jal of int * int  (** rd, signed byte offset *)
+  | Jalr of int * int * int  (** rd, rs1, signed 12-bit immediate *)
+  | Branch of bcond * int * int * int  (** rs1, rs2, signed byte offset *)
+  | Load of width * int * int * int  (** rd, rs1, signed immediate *)
+  | Store of width * int * int * int  (** rs2, rs1, signed immediate *)
+  | Alui of alu * int * int * int
+      (** rd, rs1, immediate; for [Sll]/[Srl]/[Sra] the immediate is the
+          shift amount (0–31); [Sub] never appears in immediate form *)
+  | Alu of alu * int * int * int  (** rd, rs1, rs2 *)
+  | Muldiv of muldiv * int * int * int  (** rd, rs1, rs2 *)
+  | Fence  (** fence / fence.i: a no-op in a sequential memory model *)
+  | Ecall
+  | Ebreak
+
+type error =
+  | Compressed of int  (** a 16-bit RVC encoding (low two bits not 11) *)
+  | Illegal of { word : int; reason : string }
+
+val error_to_string : error -> string
+
+val decode : int -> (t, error) result
+val encode : t -> int
+(** [decode (encode i)] is [Ok i] for every well-formed [i] (register
+    numbers in 0–31, immediates within their fields, branch/jump offsets
+    even); [encode] masks fields to their widths. *)
+
+val to_string : t -> string
+(** Standard assembly mnemonic with xN register names, e.g.
+    ["addi x5, x5, -1"]. *)
+
+val sext : int -> int -> int
+(** [sext v bits]: sign-extend the low [bits] of [v]. *)
+
+val mask32 : int -> int

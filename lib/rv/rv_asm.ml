@@ -1,0 +1,350 @@
+(* Two-pass assembler for RV32IM, mirroring lib/isa/asm.ml's style:
+   mnemonic tables, typed parse errors carrying the line number, and a
+   small directive set. Pseudo-instruction sizes are fixed in pass one
+   ([li] from its literal, [la]/[call] always their worst case) so label
+   addresses are known before encoding. *)
+
+type error = { line : int; msg : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.msg
+
+exception Fail of error
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Fail { line; msg })) fmt
+
+let registers =
+  let abi =
+    [ ("zero", 0); ("ra", 1); ("sp", 2); ("gp", 3); ("tp", 4); ("t0", 5);
+      ("t1", 6); ("t2", 7); ("s0", 8); ("fp", 8); ("s1", 9); ("a0", 10);
+      ("a1", 11); ("a2", 12); ("a3", 13); ("a4", 14); ("a5", 15); ("a6", 16);
+      ("a7", 17); ("s2", 18); ("s3", 19); ("s4", 20); ("s5", 21); ("s6", 22);
+      ("s7", 23); ("s8", 24); ("s9", 25); ("s10", 26); ("s11", 27);
+      ("t3", 28); ("t4", 29); ("t5", 30); ("t6", 31) ]
+  in
+  let xs = List.init 32 (fun i -> ("x" ^ string_of_int i, i)) in
+  xs @ abi
+
+let reg line s =
+  match List.assoc_opt s registers with
+  | Some r -> r
+  | None -> fail line "unknown register %s" s
+
+let alu_rrr =
+  [ ("add", Insn.Add); ("sub", Insn.Sub); ("sll", Insn.Sll); ("slt", Insn.Slt);
+    ("sltu", Insn.Sltu); ("xor", Insn.Xor); ("srl", Insn.Srl);
+    ("sra", Insn.Sra); ("or", Insn.Or); ("and", Insn.And) ]
+
+let alu_rri =
+  [ ("addi", Insn.Add); ("slti", Insn.Slt); ("sltiu", Insn.Sltu);
+    ("xori", Insn.Xor); ("ori", Insn.Or); ("andi", Insn.And);
+    ("slli", Insn.Sll); ("srli", Insn.Srl); ("srai", Insn.Sra) ]
+
+let muldiv =
+  [ ("mul", Insn.Mul); ("mulh", Insn.Mulh); ("mulhsu", Insn.Mulhsu);
+    ("mulhu", Insn.Mulhu); ("div", Insn.Div); ("divu", Insn.Divu);
+    ("rem", Insn.Rem); ("remu", Insn.Remu) ]
+
+let branches =
+  [ ("beq", Insn.Beq); ("bne", Insn.Bne); ("blt", Insn.Blt);
+    ("bge", Insn.Bge); ("bltu", Insn.Bltu); ("bgeu", Insn.Bgeu) ]
+
+let loads =
+  [ ("lb", Insn.B); ("lh", Insn.H); ("lw", Insn.W); ("lbu", Insn.Bu);
+    ("lhu", Insn.Hu) ]
+
+let stores = [ ("sb", Insn.B); ("sh", Insn.H); ("sw", Insn.W) ]
+
+(* One source line, split into label / statement. *)
+type stmt =
+  | Ins of string * string list  (* mnemonic, comma-split operands *)
+  | Word of int list
+  | Space of int
+  | Entry of string
+
+type item = { line : int; addr : int; stmt : stmt }
+
+let tokenize line s =
+  let s =
+    match String.index_opt s '#' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  let s = String.trim s in
+  if s = "" then (None, None)
+  else
+    let label, rest =
+      match String.index_opt s ':' with
+      | Some i
+        when String.for_all
+               (fun c ->
+                 (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+                 || (c >= '0' && c <= '9') || c = '_' || c = '.')
+               (String.sub s 0 i) ->
+          ( Some (String.sub s 0 i),
+            String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+      | _ -> (None, s)
+    in
+    if rest = "" then (label, None)
+    else
+      let mnem, ops =
+        match String.index_opt rest ' ' with
+        | None -> (rest, "")
+        | Some i ->
+            ( String.sub rest 0 i,
+              String.trim (String.sub rest (i + 1) (String.length rest - i - 1))
+            )
+      in
+      let ops =
+        if ops = "" then []
+        else
+          String.split_on_char ',' ops |> List.map String.trim
+          |> List.filter (( <> ) "")
+      in
+      if mnem = "" then fail line "empty statement" else (label, Some (mnem, ops))
+
+let int_lit line s =
+  let s, neg =
+    if String.length s > 0 && s.[0] = '-' then
+      (String.sub s 1 (String.length s - 1), true)
+    else (s, false)
+  in
+  match int_of_string_opt s with
+  | Some v -> if neg then -v else v
+  | None -> fail line "expected an integer, got %s" s
+
+(* Number of 32-bit words a statement assembles to. *)
+let stmt_words line (mnem : string) (ops : string list) =
+  match mnem with
+  | "li" -> (
+      match ops with
+      | [ _; imm ] ->
+          let v = int_lit line imm in
+          if v >= -2048 && v < 2048 then 1 else 2
+      | _ -> fail line "li takes rd, imm")
+  | "la" -> 2
+  | _ -> 1
+
+let parse ?(name = "asm") text =
+  try
+    let lines = String.split_on_char '\n' text in
+    (* Pass 1: addresses and labels. *)
+    let labels : (string, int) Hashtbl.t = Hashtbl.create 32 in
+    let items = ref [] in
+    let addr = ref 0 in
+    List.iteri
+      (fun i line_text ->
+        let line = i + 1 in
+        let label, st = tokenize line line_text in
+        Option.iter
+          (fun l ->
+            if Hashtbl.mem labels l then fail line "duplicate label %s" l;
+            Hashtbl.replace labels l !addr)
+          label;
+        match st with
+        | None -> ()
+        | Some (".word", ops) ->
+            let vals = List.map (int_lit line) ops in
+            if vals = [] then fail line ".word needs at least one value";
+            items := { line; addr = !addr; stmt = Word vals } :: !items;
+            addr := !addr + (4 * List.length vals)
+        | Some (".space", [ n ]) ->
+            let n = int_lit line n in
+            if n <= 0 || n land 3 <> 0 then
+              fail line ".space wants a positive multiple of 4";
+            items := { line; addr = !addr; stmt = Space n } :: !items;
+            addr := !addr + n
+        | Some (".entry", [ l ]) ->
+            items := { line; addr = !addr; stmt = Entry l } :: !items
+        | Some (".globl", _) | Some (".global", _) | Some (".text", _)
+        | Some (".data", _) -> ()
+        | Some (d, _) when String.length d > 0 && d.[0] = '.' ->
+            fail line "unknown directive %s" d
+        | Some (mnem, ops) ->
+            items := { line; addr = !addr; stmt = Ins (mnem, ops) } :: !items;
+            addr := !addr + (4 * stmt_words line mnem ops))
+      lines;
+    let items = List.rev !items in
+    let total = !addr in
+    if total = 0 then fail 1 "no code or data";
+    let lookup line l =
+      match Hashtbl.find_opt labels l with
+      | Some a -> a
+      | None -> fail line "undefined label %s" l
+    in
+    let value line s =
+      (* A label or an integer literal. *)
+      match Hashtbl.find_opt labels s with
+      | Some a -> a
+      | None -> int_lit line s
+    in
+    (* Pass 2: encode. *)
+    let buf = Buffer.create (total + 16) in
+    let word v =
+      Buffer.add_char buf (Char.chr (v land 0xFF));
+      Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+      Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+      Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+    in
+    let ins i = word (Insn.encode i) in
+    let entry = ref None in
+    let check_imm12 line v =
+      if v < -2048 || v >= 2048 then fail line "immediate %d out of 12 bits" v;
+      v
+    in
+    let check_shamt line v =
+      if v < 0 || v > 31 then fail line "shift amount %d out of range" v;
+      v
+    in
+    let branch_off line pc target =
+      let off = target - pc in
+      if off < -4096 || off >= 4096 || off land 1 <> 0 then
+        fail line "branch offset %d out of range" off;
+      off
+    in
+    let jal_off line pc target =
+      let off = target - pc in
+      if off < -(1 lsl 20) || off >= 1 lsl 20 || off land 1 <> 0 then
+        fail line "jump offset %d out of range" off;
+      off
+    in
+    let li_words rd v =
+      if v >= -2048 && v < 2048 then [ Insn.Alui (Insn.Add, rd, 0, v) ]
+      else begin
+        let v32 = Insn.mask32 v in
+        let lo = Insn.sext v32 12 in
+        let hi = ((v32 - lo) lsr 12) land 0xFFFFF in
+        (* always two words, matching the size fixed in pass one *)
+        [ Insn.Lui (rd, hi); Insn.Alui (Insn.Add, rd, rd, lo) ]
+      end
+    in
+    List.iter
+      (fun { line; addr = pc; stmt } ->
+        match stmt with
+        | Word vs -> List.iter (fun v -> word (Insn.mask32 v)) vs
+        | Space n -> for _ = 1 to n / 4 do word 0 done
+        | Entry l -> entry := Some (lookup line l)
+        | Ins (mnem, ops) -> (
+            let r = reg line in
+            let rrr f = match ops with
+              | [ a; b; c ] -> f (r a) (r b) (r c)
+              | _ -> fail line "%s takes rd, rs1, rs2" mnem
+            in
+            let mem_operand s =
+              (* off(base) *)
+              match String.index_opt s '(' with
+              | Some i when s.[String.length s - 1] = ')' ->
+                  let off = String.trim (String.sub s 0 i) in
+                  let base = String.sub s (i + 1) (String.length s - i - 2) in
+                  let off = if off = "" then 0 else int_lit line off in
+                  (check_imm12 line off, r (String.trim base))
+              | _ -> fail line "expected off(base), got %s" s
+            in
+            match (mnem, ops) with
+            | _ when List.mem_assoc mnem alu_rrr ->
+                rrr (fun rd rs1 rs2 ->
+                    ins (Insn.Alu (List.assoc mnem alu_rrr, rd, rs1, rs2)))
+            | _ when List.mem_assoc mnem muldiv ->
+                rrr (fun rd rs1 rs2 ->
+                    ins (Insn.Muldiv (List.assoc mnem muldiv, rd, rs1, rs2)))
+            | _ when List.mem_assoc mnem alu_rri -> (
+                match ops with
+                | [ a; b; c ] ->
+                    let o = List.assoc mnem alu_rri in
+                    let v = int_lit line c in
+                    let v =
+                      match o with
+                      | Insn.Sll | Insn.Srl | Insn.Sra -> check_shamt line v
+                      | _ -> check_imm12 line v
+                    in
+                    ins (Insn.Alui (o, r a, r b, v))
+                | _ -> fail line "%s takes rd, rs1, imm" mnem)
+            | _ when List.mem_assoc mnem branches -> (
+                match ops with
+                | [ a; b; t ] ->
+                    let off = branch_off line pc (value line t) in
+                    ins (Insn.Branch (List.assoc mnem branches, r a, r b, off))
+                | _ -> fail line "%s takes rs1, rs2, target" mnem)
+            | _ when List.mem_assoc mnem loads -> (
+                match ops with
+                | [ a; m ] ->
+                    let off, base = mem_operand m in
+                    ins (Insn.Load (List.assoc mnem loads, r a, base, off))
+                | _ -> fail line "%s takes rd, off(base)" mnem)
+            | _ when List.mem_assoc mnem stores -> (
+                match ops with
+                | [ a; m ] ->
+                    let off, base = mem_operand m in
+                    ins (Insn.Store (List.assoc mnem stores, r a, base, off))
+                | _ -> fail line "%s takes rs2, off(base)" mnem)
+            | "lui", [ a; v ] ->
+                let v = int_lit line v in
+                if v < 0 || v > 0xFFFFF then fail line "lui immediate out of 20 bits";
+                ins (Insn.Lui (r a, v))
+            | "auipc", [ a; v ] ->
+                let v = int_lit line v in
+                if v < 0 || v > 0xFFFFF then
+                  fail line "auipc immediate out of 20 bits";
+                ins (Insn.Auipc (r a, v))
+            | "jal", [ a; t ] ->
+                ins (Insn.Jal (r a, jal_off line pc (value line t)))
+            | "jal", [ t ] -> ins (Insn.Jal (1, jal_off line pc (value line t)))
+            | "jalr", [ a; b; v ] ->
+                ins (Insn.Jalr (r a, r b, check_imm12 line (int_lit line v)))
+            | "jalr", [ b ] -> ins (Insn.Jalr (1, r b, 0))
+            | "li", [ a; v ] -> List.iter ins (li_words (r a) (int_lit line v))
+            | "la", [ a; l ] ->
+                let v = Insn.mask32 (lookup line l) in
+                let lo = Insn.sext v 12 in
+                let hi = ((v - lo) lsr 12) land 0xFFFFF in
+                ins (Insn.Lui (r a, hi));
+                ins (Insn.Alui (Insn.Add, r a, r a, lo))
+            | "mv", [ a; b ] -> ins (Insn.Alui (Insn.Add, r a, r b, 0))
+            | "not", [ a; b ] -> ins (Insn.Alui (Insn.Xor, r a, r b, -1))
+            | "neg", [ a; b ] -> ins (Insn.Alu (Insn.Sub, r a, 0, r b))
+            | "nop", [] -> ins (Insn.Alui (Insn.Add, 0, 0, 0))
+            | "seqz", [ a; b ] -> ins (Insn.Alui (Insn.Sltu, r a, r b, 1))
+            | "snez", [ a; b ] -> ins (Insn.Alu (Insn.Sltu, r a, 0, r b))
+            | "sltz", [ a; b ] -> ins (Insn.Alu (Insn.Slt, r a, r b, 0))
+            | "sgtz", [ a; b ] -> ins (Insn.Alu (Insn.Slt, r a, 0, r b))
+            | "beqz", [ a; t ] ->
+                ins (Insn.Branch (Insn.Beq, r a, 0, branch_off line pc (value line t)))
+            | "bnez", [ a; t ] ->
+                ins (Insn.Branch (Insn.Bne, r a, 0, branch_off line pc (value line t)))
+            | "bltz", [ a; t ] ->
+                ins (Insn.Branch (Insn.Blt, r a, 0, branch_off line pc (value line t)))
+            | "bgez", [ a; t ] ->
+                ins (Insn.Branch (Insn.Bge, r a, 0, branch_off line pc (value line t)))
+            | "blez", [ a; t ] ->
+                ins (Insn.Branch (Insn.Bge, 0, r a, branch_off line pc (value line t)))
+            | "bgtz", [ a; t ] ->
+                ins (Insn.Branch (Insn.Blt, 0, r a, branch_off line pc (value line t)))
+            | "ble", [ a; b; t ] ->
+                ins (Insn.Branch (Insn.Bge, r b, r a, branch_off line pc (value line t)))
+            | "bgt", [ a; b; t ] ->
+                ins (Insn.Branch (Insn.Blt, r b, r a, branch_off line pc (value line t)))
+            | "bleu", [ a; b; t ] ->
+                ins (Insn.Branch (Insn.Bgeu, r b, r a, branch_off line pc (value line t)))
+            | "bgtu", [ a; b; t ] ->
+                ins (Insn.Branch (Insn.Bltu, r b, r a, branch_off line pc (value line t)))
+            | "j", [ t ] -> ins (Insn.Jal (0, jal_off line pc (value line t)))
+            | "jr", [ b ] -> ins (Insn.Jalr (0, r b, 0))
+            | "ret", [] -> ins (Insn.Jalr (0, 1, 0))
+            | "call", [ t ] -> (
+                (* fixed one-word pseudo: jal ra, target *)
+                ins (Insn.Jal (1, jal_off line pc (value line t))))
+            | "ecall", [] -> ins Insn.Ecall
+            | "ebreak", [] -> ins Insn.Ebreak
+            | "fence", _ -> ins Insn.Fence
+            | _ -> fail line "unknown instruction %s with %d operands" mnem
+                     (List.length ops)))
+      items;
+    let entry =
+      match !entry with
+      | Some e -> e
+      | None -> (
+          match Hashtbl.find_opt labels "_start" with Some e -> e | None -> 0)
+    in
+    Image.of_flat ~name ~base:0 ~entry (Buffer.contents buf)
+    |> Result.map_error (fun e ->
+           { line = 0; msg = Image.error_to_string e })
+  with Fail e -> Error e

@@ -1,0 +1,22 @@
+(** A small RV32IM assembler, the committed-fixture front end.
+
+    Mirrors {!Braid_isa.Asm}: mnemonic tables, typed line-numbered parse
+    errors, two passes (addresses and labels, then encoding). Supports
+    every RV32IM mnemonic, the usual pseudo-instructions ([li], [la],
+    [mv], [not], [neg], [nop], [seqz]/[snez]/[sltz]/[sgtz], the [b*z]
+    and swapped-operand branches, [j], [jr], [ret], [call]), ABI and xN
+    register names, labels, and the [.word], [.space], [.entry]
+    directives ([.globl]/[.text]/[.data] are accepted and ignored).
+    Pseudo-instruction sizes are fixed in pass one so label addresses
+    are exact: [li] is one or two words depending on its literal,
+    [la]/[call] a fixed two/one.
+
+    The image is based at 0; entry is [.entry label], else the [_start]
+    label, else 0. *)
+
+type error = { line : int; msg : string }
+
+val error_to_string : error -> string
+
+val parse : ?name:string -> string -> (Image.t, error) result
+(** Never raises; every malformed line is a typed error. *)

@@ -1,0 +1,508 @@
+(* Lowering decisions, in brief:
+
+   - RV architectural register xN lives in virtual integer register N
+     (x0 is the IR zero register), so the standard two-pass allocator
+     assigns the external file exactly as it does for synthetic
+     workloads. Virtual 32 holds indirect-jump targets, virtual 33 the
+     constant 0x8000_0000; lowering temporaries start at 34 and are
+     reused per instruction.
+   - Register values are kept as the sign-extended 64-bit image of the
+     32-bit RV value; every def that can leave that form is
+     re-normalised (zext + xor/sub 0x8000_0000).
+   - IR byte address = 2x the RV byte address, so 4-aligned RV words
+     land on the IR's 8-aligned 64-bit words, each holding the
+     zero-extended 32-bit memory word. Sub-word accesses merge within
+     the containing word.
+   - jal/branch targets become block labels. jalr routes through a
+     dispatcher chain comparing the target pc against every block
+     leader (function entries and return points are all leaders);
+     an unmatched target halts.
+   - ecall/ebreak halt (HTIF-style: exit code in a0); fence is a nop. *)
+
+type error =
+  | Decode of { pc : int; err : Insn.error }
+  | Bad_target of { pc : int; target : int; reason : string }
+
+let error_to_string = function
+  | Decode { pc; err } ->
+      Printf.sprintf "at pc 0x%x: %s" pc (Insn.error_to_string err)
+  | Bad_target { pc; target; reason } ->
+      Printf.sprintf "at pc 0x%x: control target 0x%x %s" pc target reason
+
+type t = {
+  program : Program.t;
+  init_mem : (int * int64) list;
+  rv_count : int;
+  ir_count : int;
+  leaders : (int * int) list;
+}
+
+let reg_of_x n = if n = 0 then Reg.zero else Reg.virt Reg.Cint n
+let jt_reg = Reg.virt Reg.Cint 32
+let sign_reg = Reg.virt Reg.Cint 33
+let first_temp = 34
+
+let ir_addr_of a = 2 * a
+
+exception Reject of error
+
+let check_target ~pc target img =
+  if target land 3 <> 0 then
+    raise (Reject (Bad_target { pc; target; reason = "is not 4-byte aligned" }));
+  if not (Image.in_range img target) then
+    raise (Reject (Bad_target { pc; target; reason = "falls outside the image" }))
+
+(* Successor pcs of one decoded instruction: (fallthrough, control targets). *)
+let successors pc (i : Insn.t) =
+  match i with
+  | Insn.Branch (_, _, _, off) -> (Some (pc + 4), [ pc + off ])
+  (* A link-writing jump is a call: its continuation pc+4 is reachable
+     (through a later indirect jump) and must be a leader. With rd=x0
+     (j / jr / ret) nothing records pc+4, so it may well be data. *)
+  | Insn.Jal (rd, off) ->
+      (None, (pc + off) :: (if rd <> 0 then [ pc + 4 ] else []))
+  | Insn.Jalr (rd, _, _) -> (None, if rd <> 0 then [ pc + 4 ] else [])
+  | Insn.Ecall | Insn.Ebreak -> (None, [])
+  | _ -> (Some (pc + 4), [])
+
+let decode_reachable img =
+  let decoded : (int, Insn.t) Hashtbl.t = Hashtbl.create 256 in
+  let leaders : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let mark_leader pc = Hashtbl.replace leaders pc () in
+  mark_leader img.Image.entry;
+  let work = Queue.create () in
+  Queue.add img.Image.entry work;
+  while not (Queue.is_empty work) do
+    let pc = Queue.pop work in
+    if not (Hashtbl.mem decoded pc) then begin
+      check_target ~pc pc img;
+      match Insn.decode (Image.word img pc) with
+      | Error err -> raise (Reject (Decode { pc; err }))
+      | Ok i ->
+          Hashtbl.replace decoded pc i;
+          let fall, targets = successors pc i in
+          List.iter
+            (fun t ->
+              check_target ~pc t img;
+              mark_leader t;
+              Queue.add t work)
+            targets;
+          (match i with
+          | Insn.Branch _ -> mark_leader (pc + 4)
+          | _ -> ());
+          Option.iter (fun t -> Queue.add t work) fall
+    end
+  done;
+  (decoded, leaders)
+
+(* --- per-block emission ----------------------------------------------- *)
+
+type emitter = {
+  buf : Instr.t list ref;
+  mutable temp : int;
+  mutable origin : string option;
+}
+
+let fresh e =
+  let r = Reg.virt Reg.Cint e.temp in
+  e.temp <- e.temp + 1;
+  r
+
+let emit e op =
+  let ins = Instr.make op in
+  let ins =
+    match e.origin with None -> ins | Some o -> Instr.with_origin ins o
+  in
+  e.buf := ins :: !(e.buf)
+
+(* d := zero-extended low 32 bits of s. *)
+let zext e d s =
+  emit e (Op.Ibini (Op.Shl, d, s, 32));
+  emit e (Op.Ibini (Op.Shr, d, d, 32))
+
+(* d := sign-extended low 32 bits of s (via the resident 0x8000_0000). *)
+let sext32 e d s =
+  zext e d s;
+  emit e (Op.Ibin (Op.Xor, d, d, sign_reg));
+  emit e (Op.Ibin (Op.Sub, d, d, sign_reg))
+
+let mov e d s = emit e (Op.Ibini (Op.Add, d, s, 0))
+
+(* Materialise a constant. Movi literals are bounded by the binary
+   encoding's 31-bit immediate field, so 32-bit-sized values are built in
+   two steps to keep translated programs encodable. *)
+let const e d v =
+  if v >= -0x4000_0000 && v < 0x4000_0000 then
+    emit e (Op.Movi (d, Int64.of_int v))
+  else begin
+    emit e (Op.Movi (d, Int64.of_int (v asr 12)));
+    emit e (Op.Ibini (Op.Shl, d, d, 12));
+    if v land 0xFFF <> 0 then emit e (Op.Ibini (Op.Add, d, d, v land 0xFFF))
+  end
+
+let s32_of v = Insn.sext v 32
+
+(* Effective address (zero-extended u32) of a load/store into a temp. *)
+let eff_addr e a imm =
+  let t = fresh e in
+  emit e (Op.Ibini (Op.Add, t, a, imm));
+  zext e t t;
+  t
+
+let region = Op.region_unknown
+
+let lower_load e (w : Insn.width) d a imm =
+  let ea = eff_addr e a imm in
+  match w with
+  | Insn.W ->
+      let addr = fresh e in
+      emit e (Op.Ibini (Op.Shl, addr, ea, 1));
+      let v = fresh e in
+      emit e (Op.Load (v, addr, 0, region));
+      sext32 e d v
+  | _ ->
+      let addr = fresh e in
+      emit e (Op.Ibini (Op.Andnot, addr, ea, 3));
+      emit e (Op.Ibini (Op.Shl, addr, addr, 1));
+      let v = fresh e in
+      emit e (Op.Load (v, addr, 0, region));
+      let sh = fresh e in
+      let sub_mask = match w with Insn.H | Insn.Hu -> 2 | _ -> 3 in
+      emit e (Op.Ibini (Op.And, sh, ea, sub_mask));
+      emit e (Op.Ibini (Op.Shl, sh, sh, 3));
+      emit e (Op.Ibin (Op.Shr, v, v, sh));
+      (match w with
+      | Insn.Bu -> emit e (Op.Ibini (Op.And, d, v, 0xFF))
+      | Insn.Hu -> emit e (Op.Ibini (Op.And, d, v, 0xFFFF))
+      | Insn.B ->
+          emit e (Op.Ibini (Op.And, v, v, 0xFF));
+          emit e (Op.Ibini (Op.Xor, v, v, 0x80));
+          emit e (Op.Ibini (Op.Sub, d, v, 0x80))
+      | Insn.H ->
+          emit e (Op.Ibini (Op.And, v, v, 0xFFFF));
+          emit e (Op.Ibini (Op.Xor, v, v, 0x8000));
+          emit e (Op.Ibini (Op.Sub, d, v, 0x8000))
+      | Insn.W -> assert false)
+
+let lower_store e (w : Insn.width) src a imm =
+  let ea = eff_addr e a imm in
+  match w with
+  | Insn.W ->
+      let addr = fresh e in
+      emit e (Op.Ibini (Op.Shl, addr, ea, 1));
+      let v = fresh e in
+      zext e v src;
+      emit e (Op.Store (v, addr, 0, region))
+  | _ ->
+      let addr = fresh e in
+      emit e (Op.Ibini (Op.Andnot, addr, ea, 3));
+      emit e (Op.Ibini (Op.Shl, addr, addr, 1));
+      let old = fresh e in
+      emit e (Op.Load (old, addr, 0, region));
+      let sh = fresh e in
+      let bits, sub_mask =
+        match w with Insn.H | Insn.Hu -> (0xFFFF, 2) | _ -> (0xFF, 3)
+      in
+      emit e (Op.Ibini (Op.And, sh, ea, sub_mask));
+      emit e (Op.Ibini (Op.Shl, sh, sh, 3));
+      let mask = fresh e in
+      const e mask bits;
+      emit e (Op.Ibin (Op.Shl, mask, mask, sh));
+      emit e (Op.Ibin (Op.Andnot, old, old, mask));
+      let v = fresh e in
+      emit e (Op.Ibini (Op.And, v, src, bits));
+      emit e (Op.Ibin (Op.Shl, v, v, sh));
+      emit e (Op.Ibin (Op.Or, old, old, v));
+      emit e (Op.Store (old, addr, 0, region))
+
+let lower_alu e (o : Insn.alu) d a b =
+  match o with
+  | Insn.Add | Insn.Sub ->
+      let t = fresh e in
+      emit e (Op.Ibin ((if o = Insn.Add then Op.Add else Op.Sub), t, a, b));
+      sext32 e d t
+  | Insn.Xor -> emit e (Op.Ibin (Op.Xor, d, a, b))
+  | Insn.Or -> emit e (Op.Ibin (Op.Or, d, a, b))
+  | Insn.And -> emit e (Op.Ibin (Op.And, d, a, b))
+  | Insn.Slt -> emit e (Op.Ibin (Op.Cmplt, d, a, b))
+  | Insn.Sltu ->
+      let ta = fresh e and tb = fresh e in
+      zext e ta a;
+      zext e tb b;
+      emit e (Op.Ibin (Op.Cmplt, d, ta, tb))
+  | Insn.Sll ->
+      let sh = fresh e and t = fresh e in
+      emit e (Op.Ibini (Op.And, sh, b, 31));
+      emit e (Op.Ibin (Op.Shl, t, a, sh));
+      sext32 e d t
+  | Insn.Srl ->
+      let ta = fresh e and sh = fresh e and t = fresh e in
+      zext e ta a;
+      emit e (Op.Ibini (Op.And, sh, b, 31));
+      emit e (Op.Ibin (Op.Shr, t, ta, sh));
+      sext32 e d t
+  | Insn.Sra ->
+      (* Logical shift of the sign-extended 64-bit image: the upper 32
+         bits are copies of bit 31, so the low 32 bits of the result are
+         exactly the arithmetic 32-bit shift. *)
+      let sh = fresh e and t = fresh e in
+      emit e (Op.Ibini (Op.And, sh, b, 31));
+      emit e (Op.Ibin (Op.Shr, t, a, sh));
+      sext32 e d t
+
+let lower_alui e (o : Insn.alu) d a imm =
+  match o with
+  | Insn.Add ->
+      let t = fresh e in
+      emit e (Op.Ibini (Op.Add, t, a, imm));
+      sext32 e d t
+  | Insn.Xor -> emit e (Op.Ibini (Op.Xor, d, a, imm))
+  | Insn.Or -> emit e (Op.Ibini (Op.Or, d, a, imm))
+  | Insn.And -> emit e (Op.Ibini (Op.And, d, a, imm))
+  | Insn.Slt -> emit e (Op.Ibini (Op.Cmplt, d, a, imm))
+  | Insn.Sltu ->
+      let ta = fresh e and ti = fresh e in
+      zext e ta a;
+      const e ti (Insn.mask32 imm);
+      emit e (Op.Ibin (Op.Cmplt, d, ta, ti))
+  | Insn.Sll ->
+      if imm = 0 then mov e d a
+      else begin
+        let t = fresh e in
+        emit e (Op.Ibini (Op.Shl, t, a, imm));
+        sext32 e d t
+      end
+  | Insn.Srl ->
+      if imm = 0 then mov e d a
+      else begin
+        (* Result of a nonzero logical shift of a u32 is below 2^31:
+           already in sign-extended form. *)
+        let t = fresh e in
+        zext e t a;
+        emit e (Op.Ibini (Op.Shr, d, t, imm))
+      end
+  | Insn.Sra ->
+      if imm = 0 then mov e d a
+      else begin
+        let t = fresh e in
+        emit e (Op.Ibini (Op.Shr, t, a, imm));
+        sext32 e d t
+      end
+  | Insn.Sub -> assert false
+
+let lower_muldiv e (o : Insn.muldiv) d a b =
+  let binop op =
+    let t = fresh e in
+    emit e (Op.Ibin (op, t, a, b));
+    sext32 e d t
+  in
+  let high signed_a =
+    let t = fresh e in
+    let ta =
+      if signed_a then a
+      else begin
+        let ta = fresh e in
+        zext e ta a;
+        ta
+      end
+    in
+    let tb = fresh e in
+    zext e tb b;
+    emit e (Op.Ibin (Op.Mul, t, ta, tb));
+    emit e (Op.Ibini (Op.Shr, t, t, 32));
+    sext32 e d t
+  in
+  let unsigned op =
+    let ta = fresh e and tb = fresh e and t = fresh e in
+    zext e ta a;
+    zext e tb b;
+    emit e (Op.Ibin (op, t, ta, tb));
+    sext32 e d t
+  in
+  match o with
+  | Insn.Mul -> binop Op.Mul
+  | Insn.Div -> binop Op.Div
+  | Insn.Rem -> binop Op.Rem
+  | Insn.Mulh ->
+      (* Both operands sign-extended: the 64-bit product is exact. *)
+      let t = fresh e in
+      emit e (Op.Ibin (Op.Mul, t, a, b));
+      emit e (Op.Ibini (Op.Shr, t, t, 32));
+      sext32 e d t
+  | Insn.Mulhsu -> high true
+  | Insn.Mulhu -> high false
+  | Insn.Divu -> unsigned Op.Div
+  | Insn.Remu -> unsigned Op.Rem
+
+(* --- whole-image translation ------------------------------------------ *)
+
+let run (img : Image.t) =
+  try
+    let decoded, leader_set = decode_reachable img in
+    let leaders =
+      Hashtbl.fold (fun pc () acc -> pc :: acc) leader_set []
+      |> List.filter (Hashtbl.mem decoded)
+      |> List.sort compare
+    in
+    let block_of_pc = Hashtbl.create 64 in
+    List.iteri (fun i pc -> Hashtbl.replace block_of_pc pc i) leaders;
+    let n_code = List.length leaders in
+    let has_jalr =
+      Hashtbl.fold (fun _ i acc -> acc || match i with Insn.Jalr _ -> true | _ -> false)
+        decoded false
+    in
+    let prologue_id = n_code in
+    (* Dispatcher chain ids follow the prologue; the halt block is last. *)
+    let dispatch_id i = prologue_id + 1 + i in
+    let halt_id = prologue_id + 1 + (if has_jalr then n_code else 0) in
+    let block_label pc =
+      match Hashtbl.find_opt block_of_pc pc with
+      | Some b -> b
+      | None -> raise (Reject (Bad_target { pc; target = pc; reason = "is not a block leader" }))
+    in
+    let lower_one e pc (i : Insn.t) =
+      e.origin <- Some (Printf.sprintf "%04x %s" pc (Insn.to_string i));
+      e.temp <- first_temp;
+      let d_of rd = reg_of_x rd in
+      (match i with
+      | Insn.Lui (rd, imm) -> const e (d_of rd) (s32_of (imm lsl 12))
+      | Insn.Auipc (rd, imm) ->
+          const e (d_of rd) (s32_of (Insn.mask32 (pc + (imm lsl 12))))
+      | Insn.Alui (o, rd, rs1, imm) -> lower_alui e o (d_of rd) (reg_of_x rs1) imm
+      | Insn.Alu (o, rd, rs1, rs2) ->
+          lower_alu e o (d_of rd) (reg_of_x rs1) (reg_of_x rs2)
+      | Insn.Muldiv (o, rd, rs1, rs2) ->
+          lower_muldiv e o (d_of rd) (reg_of_x rs1) (reg_of_x rs2)
+      | Insn.Load (w, rd, rs1, imm) -> lower_load e w (d_of rd) (reg_of_x rs1) imm
+      | Insn.Store (w, rs2, rs1, imm) ->
+          lower_store e w (reg_of_x rs2) (reg_of_x rs1) imm
+      | Insn.Branch (c, rs1, rs2, off) -> (
+          let a = reg_of_x rs1 and b = reg_of_x rs2 in
+          let target = block_label (pc + off) in
+          let cmp_branch zext_ops op cond =
+            if zext_ops then begin
+              let ta = fresh e and tb = fresh e and t = fresh e in
+              zext e ta a;
+              zext e tb b;
+              emit e (Op.Ibin (op, t, ta, tb));
+              emit e (Op.Branch (cond, t, target))
+            end
+            else begin
+              let t = fresh e in
+              emit e (Op.Ibin (op, t, a, b));
+              emit e (Op.Branch (cond, t, target))
+            end
+          in
+          match c with
+          | Insn.Beq -> cmp_branch false Op.Sub Op.Eq
+          | Insn.Bne -> cmp_branch false Op.Sub Op.Ne
+          | Insn.Blt -> cmp_branch false Op.Cmplt Op.Ne
+          | Insn.Bge -> cmp_branch false Op.Cmplt Op.Eq
+          | Insn.Bltu -> cmp_branch true Op.Cmplt Op.Ne
+          | Insn.Bgeu -> cmp_branch true Op.Cmplt Op.Eq)
+      | Insn.Jal (rd, off) ->
+          if rd <> 0 then const e (d_of rd) (s32_of (Insn.mask32 (pc + 4)));
+          emit e (Op.Jump (block_label (pc + off)))
+      | Insn.Jalr (rd, rs1, imm) ->
+          let t = fresh e in
+          emit e (Op.Ibini (Op.Add, t, reg_of_x rs1, imm));
+          emit e (Op.Ibini (Op.Andnot, t, t, 1));
+          zext e jt_reg t;
+          if rd <> 0 then const e (d_of rd) (s32_of (Insn.mask32 (pc + 4)));
+          emit e (Op.Jump (dispatch_id 0))
+      | Insn.Fence -> emit e Op.Nop
+      | Insn.Ecall | Insn.Ebreak -> emit e Op.Halt)
+    in
+    let is_terminator (i : Insn.t) =
+      match i with
+      | Insn.Branch _ | Insn.Jal _ | Insn.Jalr _ | Insn.Ecall | Insn.Ebreak ->
+          true
+      | _ -> false
+    in
+    let rv_count = ref 0 in
+    let code_block leader =
+      let e = { buf = ref []; temp = first_temp; origin = None } in
+      let pc = ref leader in
+      let stop = ref false in
+      while not !stop do
+        let i = Hashtbl.find decoded !pc in
+        incr rv_count;
+        lower_one e !pc i;
+        if is_terminator i then stop := true
+        else begin
+          pc := !pc + 4;
+          if Hashtbl.mem block_of_pc !pc then stop := true
+        end
+      done;
+      Array.of_list (List.rev !(e.buf))
+    in
+    let code_blocks = List.map code_block leaders in
+    let prologue =
+      let e = { buf = ref []; temp = first_temp; origin = Some "prologue" } in
+      emit e (Op.Movi (sign_reg, 1L));
+      emit e (Op.Ibini (Op.Shl, sign_reg, sign_reg, 31));
+      emit e (Op.Jump (block_label img.Image.entry));
+      Array.of_list (List.rev !(e.buf))
+    in
+    let dispatcher =
+      if not has_jalr then []
+      else
+        List.map
+          (fun pc ->
+            let e =
+              { buf = ref []; temp = first_temp;
+                origin = Some (Printf.sprintf "dispatch 0x%04x" pc) }
+            in
+            let t = fresh e in
+            emit e (Op.Ibini (Op.Sub, t, jt_reg, pc));
+            emit e (Op.Branch (Op.Eq, t, block_label pc));
+            Array.of_list (List.rev !(e.buf)))
+          leaders
+    in
+    let halt_block =
+      let halt = Instr.with_origin (Instr.make Op.Halt) "indirect target missed" in
+      [| halt |]
+    in
+    let instr_arrays = code_blocks @ [ prologue ] @ dispatcher @ [ halt_block ] in
+    assert (List.length instr_arrays = halt_id + 1);
+    let blocks =
+      List.mapi
+        (fun id instrs ->
+          let fallthrough =
+            match instrs.(Array.length instrs - 1).Instr.op with
+            | Op.Jump _ | Op.Halt -> None
+            | _ -> Some (id + 1)
+          in
+          { Program.id; instrs; fallthrough })
+        instr_arrays
+    in
+    let program = Program.make blocks ~entry:prologue_id in
+    let init_mem = ref [] in
+    Image.iter_words
+      (fun addr w ->
+        if w <> 0 then init_mem := (ir_addr_of addr, Int64.of_int w) :: !init_mem)
+      img;
+    let ir_count =
+      List.fold_left (fun acc b -> acc + Array.length b) 0 instr_arrays
+    in
+    Ok
+      {
+        program;
+        init_mem = List.rev !init_mem;
+        rv_count = Hashtbl.length decoded;
+        ir_count;
+        leaders = List.map (fun pc -> (pc, Hashtbl.find block_of_pc pc)) leaders;
+      }
+  with Reject e -> Error e
+
+(* --- observing translated runs ---------------------------------------- *)
+
+let read_x st n =
+  if n = 0 then 0
+  else
+    Int64.to_int (Int64.logand (Emulator.read_reg st (reg_of_x n)) 0xFFFFFFFFL)
+
+let rv_image_of_state st =
+  List.map
+    (fun (addr, v) -> (addr / 2, Int64.to_int (Int64.logand v 0xFFFFFFFFL)))
+    (Emulator.memory_image st)

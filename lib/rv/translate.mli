@@ -1,0 +1,56 @@
+(** Lowering RV32IM images into the internal IR.
+
+    The translator decodes every reachable instruction from the entry pc
+    (following branches, calls, and the continuation after each call),
+    cuts the code at branch targets and return points into basic blocks,
+    and lowers each RV instruction into a short sequence of IR
+    operations tagged with its originating pc/mnemonic (see
+    {!Instr.annot.origin}).
+
+    Conventions shared with the reference emulator:
+
+    - register xN maps to virtual integer register N (x0 to the IR zero
+      register); after the standard two-pass allocation these become
+      external-file registers like any synthetic workload's;
+    - register values are the sign-extended 64-bit image of the 32-bit
+      value; IR memory words hold zero-extended 32-bit words at IR
+      address = 2x the RV byte address;
+    - [jalr] jumps route through a dispatcher chain over all block
+      leaders; an unmatched target halts;
+    - [ecall]/[ebreak] lower to [Halt], [fence] to [Nop].
+
+    Self-modifying code is unsupported (stores to fetched addresses
+    change memory but not the translated program). *)
+
+type error =
+  | Decode of { pc : int; err : Insn.error }
+  | Bad_target of { pc : int; target : int; reason : string }
+      (** a branch/jump target or call continuation that is misaligned,
+          outside the image, or not a block leader *)
+
+val error_to_string : error -> string
+
+type t = {
+  program : Program.t;  (** virtual-register IR; run it through
+                            {!Emulator}, {!Braid_core.Transform}, or the
+                            cores unchanged *)
+  init_mem : (int * int64) list;  (** the image, in IR address space *)
+  rv_count : int;  (** reachable RV instructions decoded *)
+  ir_count : int;  (** static IR instructions emitted *)
+  leaders : (int * int) list;  (** block-leader pc -> block id *)
+}
+
+val run : Image.t -> (t, error) result
+(** Total: returns a typed error for every untranslatable image, never
+    raises. *)
+
+val reg_of_x : int -> Reg.t
+val ir_addr_of : int -> int
+
+val read_x : Emulator.state -> int -> int
+(** u32 image of xN after a run of the translated program. *)
+
+val rv_image_of_state : Emulator.state -> (int * int) list
+(** Final memory image of a translated run mapped back to RV addresses:
+    sorted (word address, u32) pairs, directly comparable with
+    {!Emu.outcome.image}. *)

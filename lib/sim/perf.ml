@@ -28,8 +28,13 @@ let sim_instrs_per_s e =
 (* Three int + three fp stand-ins spanning the simulator's behaviours:
    pointer chasing with far misses (mcf), hashing (gzip), branchy search
    (crafty), wide stencils (swim), gathers/reductions (art) and the deepest
-   FP chains (mgrid). *)
-let default_benches = [ "gzip"; "mcf"; "crafty"; "swim"; "art"; "mgrid" ]
+   FP chains (mgrid) — plus two RV32IM fixtures through the frontend. *)
+let rv_benches = [ "rv:fib"; "rv:crc32" ]
+
+let default_benches =
+  [ "gzip"; "mcf"; "crafty"; "swim"; "art"; "mgrid" ] @ rv_benches
+
+let is_rv name = String.length name > 3 && String.sub name 0 3 = "rv:"
 
 let cores =
   [
@@ -38,10 +43,77 @@ let cores =
     ("braid", U.Config.braid_8wide, `Braid);
   ]
 
+let timed reps run =
+  (* one untimed warm-up run faults in code and sizes the heap *)
+  let r = run () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (run ())
+  done;
+  (r, Unix.gettimeofday () -. t0)
+
+(* An rv: fixture yields four entries: a "frontend" row timing the
+   decode+lower pass itself (instructions = reachable RV instructions,
+   cycles = static IR emitted, so sim_instrs_per_s is frontend throughput),
+   then the usual three timing-core rows on the translated program. The
+   fixture is fixed-size; [scale] does not apply. *)
+let measure_rv ~reps name =
+  let fixture = String.sub name 3 (String.length name - 3) in
+  let img =
+    match Braid_rv.Fixtures.image fixture with
+    | Some img -> img
+    | None -> raise Not_found
+  in
+  let translate () =
+    match Braid_rv.Translate.run img with
+    | Ok t -> t
+    | Error e -> failwith (name ^ ": " ^ Braid_rv.Translate.error_to_string e)
+  in
+  let t, wall_s = timed reps translate in
+  let frontend =
+    {
+      bench = name;
+      core = "frontend";
+      instructions = t.Braid_rv.Translate.rv_count;
+      cycles = t.Braid_rv.Translate.ir_count;
+      reps;
+      wall_s;
+    }
+  in
+  let program = t.Braid_rv.Translate.program in
+  let init_mem = t.Braid_rv.Translate.init_mem in
+  let conv =
+    (Braid_core.Transform.conventional program).Braid_core.Extalloc.program
+  in
+  let braided = (Braid_core.Transform.run program).Braid_core.Transform.program in
+  let trace_of p = Option.get (Emulator.run ~init_mem p).Emulator.trace in
+  let conv_trace = trace_of conv and braid_trace = trace_of braided in
+  let warm_data = List.map fst init_mem in
+  frontend
+  :: List.map
+       (fun (core, cfg, binary) ->
+         let trace =
+           match binary with `Conv -> conv_trace | `Braid -> braid_trace
+         in
+         let r, wall_s =
+           timed reps (fun () -> U.Pipeline.run ~warm_data cfg trace)
+         in
+         {
+           bench = name;
+           core;
+           instructions = r.U.Pipeline.instructions;
+           cycles = r.U.Pipeline.cycles;
+           reps;
+           wall_s;
+         })
+       cores
+
 let measure ctx ~scale ~reps ~benches =
   if reps <= 0 then invalid_arg "Perf.measure: reps must be positive";
   List.concat_map
     (fun name ->
+      if is_rv name then measure_rv ~reps name
+      else
       let pr = Spec.find name in
       let p = Suite.prepare ctx ~scale pr in
       List.map

@@ -13,7 +13,9 @@
 
 type entry = {
   bench : string;
-  core : string;  (** "in-order" | "ooo" | "braid" *)
+  core : string;
+      (** "in-order" | "ooo" | "braid"; rv: fixtures add a "frontend" row
+          whose timed region is the RV decode+lower pass itself *)
   instructions : int;
   cycles : int;  (** simulated cycles of one run *)
   reps : int;
@@ -23,15 +25,25 @@ type entry = {
 val sim_cycles_per_s : entry -> float
 val sim_instrs_per_s : entry -> float
 
+val rv_benches : string list
+(** The RV32IM fixtures tracked by default: ["rv:fib"; "rv:crc32"]. *)
+
+val is_rv : string -> bool
+(** True for ["rv:NAME"] bench names. *)
+
 val default_benches : string list
-(** Six stand-ins spanning the simulator's behaviours (3 int + 3 fp). *)
+(** Six stand-ins spanning the simulator's behaviours (3 int + 3 fp),
+    plus {!rv_benches}. *)
 
 val measure :
   Suite.ctx -> scale:int -> reps:int -> benches:string list -> entry list
 (** One entry per (benchmark, core model), in benchmark-major order. Each
     measurement performs one untimed warm-up run, then [reps] timed runs.
-    Raises [Not_found] on an unknown benchmark name and [Invalid_argument]
-    when [reps <= 0]. *)
+    An ["rv:NAME"] bench names a {!Braid_rv.Fixtures} program and yields
+    four entries: a "frontend" row timing the decode+translate pass, then
+    the three cores on the translated program ([scale] does not apply —
+    fixtures are fixed-size). Raises [Not_found] on an unknown benchmark
+    or fixture name and [Invalid_argument] when [reps <= 0]. *)
 
 type baseline
 

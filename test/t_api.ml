@@ -68,6 +68,13 @@ let sample_requests =
         f_invariants = true;
         f_shrink = false;
       };
+    Req.Rv
+      {
+        v_hex = "braid-rv/1 fib\n@base 0x0\n@entry 0x0\n00000073\n";
+        v_cores = [ U.Config.In_order; U.Config.Braid_exec ];
+        v_oracle = true;
+      };
+    Req.Rv { v_hex = "braid-rv/1 x\n00000073\n"; v_cores = []; v_oracle = false };
     Req.Status;
     Req.Cancel { request_id = 42 };
     Req.Shutdown;
@@ -135,6 +142,34 @@ let sample_responses =
               failed = 1;
               cancelled = 3;
               counters = [ ("dse.simulations", 8); ("dse.cache_hits", 8) ];
+            };
+      };
+    Resp.Done
+      {
+        id = 12;
+        payload =
+          Resp.Rv_done
+            {
+              text = "fib: ok\n";
+              output = "hello";
+              exit_code = Some 6765;
+              rv_dynamic = 182;
+              ir_dynamic = 811;
+              oracle_ok = Some true;
+            };
+      };
+    Resp.Done
+      {
+        id = 13;
+        payload =
+          Resp.Rv_done
+            {
+              text = "x\n";
+              output = "";
+              exit_code = None;
+              rv_dynamic = 1;
+              ir_dynamic = 3;
+              oracle_ok = None;
             };
       };
     Resp.Done { id = 8; payload = Resp.Cancelled { cancelled_id = 5 } };

@@ -53,6 +53,10 @@ let test_eval_ibin () =
   Alcotest.(check i64) "add" 7L (Op.eval_ibin Op.Add 3L 4L);
   Alcotest.(check i64) "sub" (-1L) (Op.eval_ibin Op.Sub 3L 4L);
   Alcotest.(check i64) "mul" 12L (Op.eval_ibin Op.Mul 3L 4L);
+  Alcotest.(check i64) "div" (-3L) (Op.eval_ibin Op.Div (-7L) 2L);
+  Alcotest.(check i64) "div by zero" (-1L) (Op.eval_ibin Op.Div 7L 0L);
+  Alcotest.(check i64) "rem" (-1L) (Op.eval_ibin Op.Rem (-7L) 2L);
+  Alcotest.(check i64) "rem by zero" 7L (Op.eval_ibin Op.Rem 7L 0L);
   Alcotest.(check i64) "and" 2L (Op.eval_ibin Op.And 6L 3L);
   Alcotest.(check i64) "or" 7L (Op.eval_ibin Op.Or 6L 3L);
   Alcotest.(check i64) "xor" 5L (Op.eval_ibin Op.Xor 6L 3L);
@@ -137,7 +141,7 @@ let arb_instr =
   let open QCheck.Gen in
   let reg_ext = map2 (fun cls i -> Reg.ext (if cls then Reg.Cfp else Reg.Cint) i) bool (int_range 0 31) in
   let reg_src = oneof [ reg_ext; map Reg.intern (int_range 0 7) ] in
-  let ibin = oneofl [ Op.Add; Op.Sub; Op.Mul; Op.And; Op.Or; Op.Xor; Op.Andnot; Op.Shl; Op.Shr; Op.Cmpeq; Op.Cmplt; Op.Cmple ] in
+  let ibin = oneofl [ Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Rem; Op.And; Op.Or; Op.Xor; Op.Andnot; Op.Shl; Op.Shr; Op.Cmpeq; Op.Cmplt; Op.Cmple ] in
   let fbin = oneofl [ Op.Fadd; Op.Fsub; Op.Fmul; Op.Fdiv; Op.Fcmplt ] in
   let funary = oneofl [ Op.Fneg; Op.Fsqrt; Op.Cvt_if ] in
   let cond = oneofl [ Op.Eq; Op.Ne; Op.Lt; Op.Ge; Op.Le; Op.Gt ] in

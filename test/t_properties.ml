@@ -17,6 +17,8 @@ let reference_ibin (o : Op.ibin) a b =
   | Op.Add -> add a b
   | Op.Sub -> sub a b
   | Op.Mul -> mul a b
+  | Op.Div -> if equal b 0L then minus_one else div a b
+  | Op.Rem -> if equal b 0L then a else rem a b
   | Op.And -> logand a b
   | Op.Or -> logor a b
   | Op.Xor -> logxor a b
@@ -28,12 +30,13 @@ let reference_ibin (o : Op.ibin) a b =
   | Op.Cmple -> if compare a b <= 0 then 1L else 0L
 
 let all_ibins =
-  [ Op.Add; Op.Sub; Op.Mul; Op.And; Op.Or; Op.Xor; Op.Andnot; Op.Shl; Op.Shr;
+  [ Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Rem;
+    Op.And; Op.Or; Op.Xor; Op.Andnot; Op.Shl; Op.Shr;
     Op.Cmpeq; Op.Cmplt; Op.Cmple ]
 
 let qcheck_ibin_reference =
   QCheck.Test.make ~name:"integer ALU matches reference semantics" ~count:2000
-    QCheck.(triple (int_range 0 11) int64 int64)
+    QCheck.(triple (int_range 0 13) int64 int64)
     (fun (oi, a, b) ->
       let o = List.nth all_ibins oi in
       Int64.equal (Op.eval_ibin o a b) (reference_ibin o a b))

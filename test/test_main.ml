@@ -24,5 +24,6 @@ let () =
       T_config.suite;
       T_dse.suite;
       T_check.suite;
+      T_rv.suite;
       T_api.suite;
     ]
