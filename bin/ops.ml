@@ -39,10 +39,102 @@ let width_arg =
   Cmdliner.Arg.(
     value & opt int 8 & info [ "width" ] ~docv:"W" ~doc:"Issue width (4, 8 or 16).")
 
+(* --- sampling --- *)
+
+(* Giving any --sample-* detail flag turns sampling on by itself; the
+   bare --sample flag selects the defaults. Absent: full simulation. *)
+let sample_term ~with_verify =
+  let d = Braid_sample.Spec.default in
+  let on_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "sample" ]
+          ~doc:
+            "Sampled simulation: fast-forward through the compiled \
+             emulator, cluster the interval profile and simulate only \
+             weighted representative intervals in detail. Orders of \
+             magnitude faster at large --scale, at a small bounded IPC \
+             error.")
+  in
+  let interval_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some Cli.positive_int) None
+      & info [ "sample-interval" ] ~docv:"N"
+          ~doc:
+            (Printf.sprintf
+               "Instructions per profiling interval (default %d; implies \
+                $(b,--sample))."
+               d.Braid_sample.Spec.interval))
+  in
+  let k_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some Cli.positive_int) None
+      & info [ "sample-k" ] ~docv:"K"
+          ~doc:
+            (Printf.sprintf
+               "Representative (cluster) budget (default %d; implies \
+                $(b,--sample)). Raise it for very long runs."
+               d.Braid_sample.Spec.max_k))
+  in
+  let warmup_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-warmup" ] ~docv:"N"
+          ~doc:
+            (Printf.sprintf
+               "Detailed warm-up instructions simulated (but not counted) \
+                before each interval (default %d; implies $(b,--sample))."
+               d.Braid_sample.Spec.warmup))
+  in
+  let seed_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some int) None
+      & info [ "sample-seed" ] ~docv:"S"
+          ~doc:
+            (Printf.sprintf
+               "Clustering seed (default %d; implies $(b,--sample)). Equal \
+                seeds give identical interval choices."
+               d.Braid_sample.Spec.seed))
+  in
+  let verify_term =
+    if with_verify then
+      Cmdliner.Arg.(
+        value & flag
+        & info [ "sample-verify" ]
+            ~doc:
+              "Also run the full simulation and report the sampled IPC's \
+               relative error against it (implies $(b,--sample)).")
+    else Cmdliner.Term.const false
+  in
+  let make on interval k warmup sseed verify =
+    if
+      not
+        (on || verify || interval <> None || k <> None || warmup <> None
+       || sseed <> None)
+    then None
+    else
+      Some
+        {
+          Api.Request.sm_interval =
+            Option.value interval ~default:d.Braid_sample.Spec.interval;
+          sm_max_k = Option.value k ~default:d.Braid_sample.Spec.max_k;
+          sm_warmup = Option.value warmup ~default:d.Braid_sample.Spec.warmup;
+          sm_seed = Option.value sseed ~default:d.Braid_sample.Spec.seed;
+          sm_verify = verify;
+        }
+  in
+  Cmdliner.Term.(
+    const make $ on_arg $ interval_arg $ k_arg $ warmup_arg $ seed_arg
+    $ verify_term)
+
 (* --- run --- *)
 
 let run_term =
-  let make (profile : W.Spec.profile) seed scale core width =
+  let make (profile : W.Spec.profile) seed scale core width sample =
     Call
       ( Api.Request.Run
           {
@@ -51,12 +143,13 @@ let run_term =
             r_scale = scale;
             r_core = core;
             r_width = width;
+            r_sample = sample;
           },
         no_output )
   in
   Cmdliner.Term.(
     const make $ Cli.bench_arg $ Cli.seed_arg $ scale_arg $ Cli.core_arg
-    $ width_arg)
+    $ width_arg $ sample_term ~with_verify:true)
 
 (* --- trace --- *)
 
@@ -147,19 +240,25 @@ let experiment_term =
              run per benchmark) to the report, and a \"counters\" object to \
              --json output.")
   in
-  let make id only jobs json counters scale =
+  let make id only jobs json counters scale sample =
     if id = Some "list" then
       Immediate (fun () -> List.iter (fun (e : E.t) -> print_endline e.E.id) E.all)
     else
       let ids = (match id with Some i -> [ i ] | None -> []) @ only in
       Call
         ( Api.Request.Experiment
-            { e_ids = ids; e_scale = scale; e_jobs = jobs; e_counters = counters },
+            {
+              e_ids = ids;
+              e_scale = scale;
+              e_jobs = jobs;
+              e_counters = counters;
+              e_sample = sample;
+            },
           { no_output with o_json = json } )
   in
   Cmdliner.Term.(
     const make $ id_arg $ Cli.only_arg $ jobs_arg $ json_arg $ counters_arg
-    $ scale_arg)
+    $ scale_arg $ sample_term ~with_verify:false)
 
 (* --- sweep --- *)
 
@@ -237,7 +336,7 @@ let sweep_term =
       & info [ "list-fields" ] ~doc:"List the sweepable config fields and exit.")
   in
   let make (preset : U.Config.t) axes mode benches cache resume json
-      list_fields seed scale jobs =
+      list_fields seed scale jobs sample =
     if list_fields then
       Immediate (fun () -> List.iter print_endline U.Config.sweepable_fields)
     else if resume && cache = None then
@@ -254,13 +353,14 @@ let sweep_term =
               s_scale = scale;
               s_jobs = jobs;
               s_cache_dir = cache;
+              s_sample = sample;
             },
           { no_output with o_json = json } )
   in
   Cmdliner.Term.(
     const make $ Cli.preset_arg $ axes_arg $ mode_arg $ benches_arg
     $ cache_arg $ resume_arg $ json_arg $ list_fields_arg $ Cli.seed_arg
-    $ scale_arg $ Cli.jobs_arg ~default:1)
+    $ scale_arg $ Cli.jobs_arg ~default:1 $ sample_term ~with_verify:false)
 
 (* --- fuzz --- *)
 
@@ -462,7 +562,7 @@ let render_status (st : Api.Response.status) =
    implementations printed it. [exit 1] on fuzz failures is preserved. *)
 let deliver out (payload : Api.Response.payload) =
   match payload with
-  | Api.Response.Run_done { text } -> print_string text
+  | Api.Response.Run_done { text; _ } -> print_string text
   | Api.Response.Experiment_done { text; doc }
   | Api.Response.Sweep_done { text; doc; _ } ->
       (* --json - claims stdout for the document; keep it valid JSON *)

@@ -36,18 +36,37 @@ let check_width w =
   if List.mem w [ 4; 8; 16 ] then Ok w
   else Error (Printf.sprintf "width must be 4, 8 or 16 (got %d)" w)
 
+let spec_of_sample (s : Request.sample) =
+  Braid_sample.Spec.validate
+    {
+      Braid_sample.Spec.interval = s.Request.sm_interval;
+      max_k = s.Request.sm_max_k;
+      warmup = s.Request.sm_warmup;
+      seed = s.Request.sm_seed;
+    }
+
+(* a sampling request swaps the execution context, nothing else: every
+   downstream consumer sees ordinary (extrapolated) pipeline results *)
+let ctx_for env sample =
+  match sample with
+  | None -> Ok env.ctx
+  | Some sm ->
+      let* spec = spec_of_sample sm in
+      Ok (Sim.Suite.create_ctx ~sample:spec ())
+
+let binary_for core program =
+  match core with
+  | U.Config.Braid_exec -> (C.Transform.run program).C.Transform.program
+  | U.Config.In_order | U.Config.Dep_steer | U.Config.Ooo ->
+      (C.Transform.conventional program).C.Extalloc.program
+
 (* Shared by run and trace: generate, compile for the chosen core, emulate,
    and time the resulting trace on the configured machine. This is the
    computation the one-shot CLI historically ran inline. *)
 let simulate ~(profile : W.Spec.profile) ~seed ~scale ~core ~width ~obs =
   let program, init_mem = W.Spec.generate profile ~seed ~scale in
   let cfg = U.Config.preset_of_kind core in
-  let binary =
-    match core with
-    | U.Config.Braid_exec -> (C.Transform.run program).C.Transform.program
-    | U.Config.In_order | U.Config.Dep_steer | U.Config.Ooo ->
-        (C.Transform.conventional program).C.Extalloc.program
-  in
+  let binary = binary_for core program in
   let cfg = if width = 8 then cfg else U.Config.scale_width cfg width in
   let out = Emulator.run ~max_steps:(50 * scale) ~init_mem binary in
   let trace = Option.get out.Emulator.trace in
@@ -70,17 +89,8 @@ let counted_progress progress ~total =
 
 (* --- run --- *)
 
-let exec_run (r : Request.run) =
-  let* profile = find_bench r.Request.r_bench in
-  let* scale = positive "scale" r.Request.r_scale in
-  let* width = check_width r.Request.r_width in
-  let res, _ =
-    simulate ~profile ~seed:r.Request.r_seed ~scale ~core:r.Request.r_core
-      ~width ~obs:Obs.Sink.disabled
-  in
-  let b = Buffer.create 1024 in
+let pp_result b (res : U.Pipeline.result) =
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  pf "%s on %s\n" profile.W.Spec.name res.U.Pipeline.config_name;
   pf "  instructions        %d\n" res.U.Pipeline.instructions;
   pf "  cycles              %d\n" res.U.Pipeline.cycles;
   pf "  IPC                 %.3f\n" res.U.Pipeline.ipc;
@@ -99,8 +109,68 @@ let exec_run (r : Request.run) =
   pf "  RF accesses         %d external, %d internal; %d bypassed values\n"
     (a.U.Machine.ext_rf_reads + a.U.Machine.ext_rf_writes)
     (a.U.Machine.int_rf_reads + a.U.Machine.int_rf_writes)
-    a.U.Machine.bypass_values;
-  Ok (Response.Run_done { text = Buffer.contents b })
+    a.U.Machine.bypass_values
+
+let exec_run (r : Request.run) =
+  let* profile = find_bench r.Request.r_bench in
+  let* scale = positive "scale" r.Request.r_scale in
+  let* width = check_width r.Request.r_width in
+  let seed = r.Request.r_seed and core = r.Request.r_core in
+  match r.Request.r_sample with
+  | None ->
+      let res, _ =
+        simulate ~profile ~seed ~scale ~core ~width ~obs:Obs.Sink.disabled
+      in
+      let b = Buffer.create 1024 in
+      Printf.ksprintf (Buffer.add_string b) "%s on %s\n" profile.W.Spec.name
+        res.U.Pipeline.config_name;
+      pp_result b res;
+      Ok (Response.Run_done { text = Buffer.contents b; sampled = None })
+  | Some sm ->
+      let* spec = spec_of_sample sm in
+      let program, init_mem = W.Spec.generate profile ~seed ~scale in
+      let cfg = U.Config.preset_of_kind core in
+      let cfg = if width = 8 then cfg else U.Config.scale_width cfg width in
+      let t =
+        Braid_sample.Driver.run ~init_mem
+          ~warm_data:(List.map fst init_mem)
+          ~max_steps:(50 * scale) ~spec cfg (binary_for core program)
+      in
+      let res = t.Braid_sample.Driver.result in
+      let b = Buffer.create 1024 in
+      let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      pf "%s on %s (sampled: %s)\n" profile.W.Spec.name
+        res.U.Pipeline.config_name
+        (Braid_sample.Spec.to_string spec);
+      pp_result b res;
+      let reps = List.length t.Braid_sample.Driver.reps in
+      pf "  sampled             %d of %d intervals simulated\n" reps
+        t.Braid_sample.Driver.num_intervals;
+      let sp_error =
+        if not sm.Request.sm_verify then None
+        else begin
+          let full, _ =
+            simulate ~profile ~seed ~scale ~core ~width ~obs:Obs.Sink.disabled
+          in
+          let e = Braid_sample.Driver.error_vs ~full t in
+          pf "  full-simulation IPC %.3f (sampled error %.2f%%)\n"
+            full.U.Pipeline.ipc (100.0 *. e);
+          Some e
+        end
+      in
+      Ok
+        (Response.Run_done
+           {
+             text = Buffer.contents b;
+             sampled =
+               Some
+                 {
+                   Response.sp_reps = reps;
+                   sp_intervals = t.Braid_sample.Driver.num_intervals;
+                   sp_ipc = t.Braid_sample.Driver.ipc;
+                   sp_error;
+                 };
+           })
 
 (* --- experiment --- *)
 
@@ -119,16 +189,16 @@ let exec_experiment ?progress env (e : Request.experiment) =
     |> Result.map List.rev
   in
   let exps = match exps with [] -> E.all | exps -> exps in
+  let* ctx = ctx_for env e.Request.e_sample in
   let on_done =
     counted_progress progress ~total:(Sim.Runner.experiment_job_count exps)
   in
   let results =
-    Sim.Runner.run_experiments ?on_done ~ctx:env.ctx
-      ~jobs:(effective_jobs env jobs) ~scale exps
+    Sim.Runner.run_experiments ?on_done ~ctx ~jobs:(effective_jobs env jobs)
+      ~scale exps
   in
   let counters =
-    if e.Request.e_counters then Some (E.counters_report env.ctx ~scale)
-    else None
+    if e.Request.e_counters then Some (E.counters_report ctx ~scale) else None
   in
   let b = Buffer.create 4096 in
   List.iter
@@ -186,9 +256,10 @@ let exec_sweep ?progress env (s : Request.sweep) =
       (Printf.sprintf "invalid sweep grid: %s")
       (Dse.Grid.expand ~base:preset ~mode:s.Request.s_mode axes)
   in
+  let* ctx = ctx_for env s.Request.s_sample in
   let on_done = counted_progress progress ~total:(Dse.Sweep.job_count ~benches points) in
   let outcome =
-    Dse.Sweep.run ~obs:env.obs ?cache ?on_done ~ctx:env.ctx
+    Dse.Sweep.run ~obs:env.obs ?cache ?on_done ~ctx
       ~jobs:(effective_jobs env jobs) ~seed:s.Request.s_seed ~scale ~benches
       points
   in
@@ -360,13 +431,7 @@ let exec_rv (v : Request.rv) =
   List.iter
     (fun core ->
       let cfg = U.Config.preset_of_kind core in
-      let binary =
-        match core with
-        | U.Config.Braid_exec -> (C.Transform.run program).C.Transform.program
-        | U.Config.In_order | U.Config.Dep_steer | U.Config.Ooo ->
-            (C.Transform.conventional program).C.Extalloc.program
-      in
-      let out = Emulator.run ~init_mem binary in
+      let out = Emulator.run ~init_mem (binary_for core program) in
       let trace = Option.get out.Emulator.trace in
       let r =
         U.Pipeline.run ~obs:Obs.Sink.disabled

@@ -2,12 +2,21 @@ module Config = Braid_uarch.Config
 
 let schema = "braidsim-api/1"
 
+type sample = {
+  sm_interval : int;
+  sm_max_k : int;
+  sm_warmup : int;
+  sm_seed : int;
+  sm_verify : bool;  (** run-only: also run full simulation and report error *)
+}
+
 type run = {
   r_bench : string;
   r_seed : int;
   r_scale : int;
   r_core : Config.core_kind;
   r_width : int;
+  r_sample : sample option;
 }
 
 type experiment = {
@@ -15,6 +24,7 @@ type experiment = {
   e_scale : int;
   e_jobs : int;
   e_counters : bool;
+  e_sample : sample option;
 }
 
 type sweep = {
@@ -26,6 +36,7 @@ type sweep = {
   s_scale : int;
   s_jobs : int;
   s_cache_dir : string option;  (** server-side path *)
+  s_sample : sample option;
 }
 
 type trace = {
@@ -84,6 +95,21 @@ let num n = Json.Num (float_of_int n)
 let strs xs = Json.Arr (List.map (fun s -> Json.Str s) xs)
 let core k = Json.Str (Config.kind_to_string k)
 
+(* an absent "sample" object means full simulation, so pre-sampling
+   clients produce and parse the same documents as before *)
+let sample_fields = function
+  | None -> []
+  | Some s ->
+      [
+        ( "sample",
+          Json.Obj
+            [
+              ("interval", num s.sm_interval); ("max_k", num s.sm_max_k);
+              ("warmup", num s.sm_warmup); ("seed", num s.sm_seed);
+              ("verify", Json.Bool s.sm_verify);
+            ] );
+      ]
+
 let to_tree t =
   let fields =
     match t with
@@ -93,11 +119,13 @@ let to_tree t =
           ("scale", num r.r_scale); ("core", core r.r_core);
           ("width", num r.r_width);
         ]
+        @ sample_fields r.r_sample
     | Experiment e ->
         [
           ("ids", strs e.e_ids); ("scale", num e.e_scale);
           ("jobs", num e.e_jobs); ("counters", Json.Bool e.e_counters);
         ]
+        @ sample_fields e.e_sample
     | Sweep s ->
         [
           ("preset", core s.s_preset); ("axes", strs s.s_axes);
@@ -108,6 +136,7 @@ let to_tree t =
         @ (match s.s_cache_dir with
           | None -> []
           | Some d -> [ ("cache_dir", Json.Str d) ])
+        @ sample_fields s.s_sample
     | Trace t ->
         [
           ("bench", Json.Str t.t_bench); ("seed", num t.t_seed);
@@ -167,6 +196,18 @@ let core_member name doc =
   | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
   | Some s -> Config.kind_of_string s
 
+(* absent is fine (full simulation); a present "sample" must be complete *)
+let sample_member doc =
+  match Json.member "sample" doc with
+  | None -> Ok None
+  | Some sub ->
+      let* sm_interval = field "interval" Json.int_member sub in
+      let* sm_max_k = field "max_k" Json.int_member sub in
+      let* sm_warmup = field "warmup" Json.int_member sub in
+      let* sm_seed = field "seed" Json.int_member sub in
+      let* sm_verify = field "verify" bool_member sub in
+      Ok (Some { sm_interval; sm_max_k; sm_warmup; sm_seed; sm_verify })
+
 let of_tree doc =
   match Json.str_member "schema" doc with
   | None -> Error "missing \"schema\" field"
@@ -183,13 +224,15 @@ let of_tree doc =
           let* r_scale = field "scale" Json.int_member doc in
           let* r_core = core_member "core" doc in
           let* r_width = field "width" Json.int_member doc in
-          Ok (Run { r_bench; r_seed; r_scale; r_core; r_width })
+          let* r_sample = sample_member doc in
+          Ok (Run { r_bench; r_seed; r_scale; r_core; r_width; r_sample })
       | Some "experiment" ->
           let* e_ids = field "ids" str_list_member doc in
           let* e_scale = field "scale" Json.int_member doc in
           let* e_jobs = field "jobs" Json.int_member doc in
           let* e_counters = field "counters" bool_member doc in
-          Ok (Experiment { e_ids; e_scale; e_jobs; e_counters })
+          let* e_sample = sample_member doc in
+          Ok (Experiment { e_ids; e_scale; e_jobs; e_counters; e_sample })
       | Some "sweep" ->
           let* s_preset = core_member "preset" doc in
           let* s_axes = field "axes" str_list_member doc in
@@ -200,10 +243,11 @@ let of_tree doc =
           let* s_scale = field "scale" Json.int_member doc in
           let* s_jobs = field "jobs" Json.int_member doc in
           let s_cache_dir = Json.str_member "cache_dir" doc in
+          let* s_sample = sample_member doc in
           Ok
             (Sweep
                { s_preset; s_axes; s_mode; s_benches; s_seed; s_scale; s_jobs;
-                 s_cache_dir })
+                 s_cache_dir; s_sample })
       | Some "trace" ->
           let* t_bench = field "bench" Json.str_member doc in
           let* t_seed = field "seed" Json.int_member doc in

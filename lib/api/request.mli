@@ -15,12 +15,28 @@ val schema : string
 (** ["braidsim-api/1"]. The version suffix bumps on any incompatible
     change to the request or response vocabulary. *)
 
+type sample = {
+  sm_interval : int;  (** {!Braid_sample.Spec.interval} *)
+  sm_max_k : int;
+  sm_warmup : int;
+  sm_seed : int;
+  sm_verify : bool;
+      (** [run] only: also run the full simulation and report the sampled
+          IPC's relative error against it; ignored by [experiment] and
+          [sweep] *)
+}
+(** Sampled-simulation settings, mirroring {!Braid_sample.Spec.t}. Carried
+    as an optional ["sample"] object on [run], [experiment] and [sweep];
+    absent means full simulation, so pre-sampling documents keep their
+    exact wire form and meaning (no schema bump). *)
+
 type run = {
   r_bench : string;
   r_seed : int;
   r_scale : int;
   r_core : Config.core_kind;
   r_width : int;
+  r_sample : sample option;
 }
 
 type experiment = {
@@ -28,6 +44,7 @@ type experiment = {
   e_scale : int;
   e_jobs : int;  (** requested parallelism; a server may cap it *)
   e_counters : bool;
+  e_sample : sample option;
 }
 
 type sweep = {
@@ -39,6 +56,7 @@ type sweep = {
   s_scale : int;
   s_jobs : int;
   s_cache_dir : string option;  (** resolved on the server's filesystem *)
+  s_sample : sample option;
 }
 
 type trace = {

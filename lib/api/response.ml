@@ -13,8 +13,15 @@ type status = {
 
 type chrome = { c_doc : string; c_events : int; c_tracks : int }
 
+type sampled = {
+  sp_reps : int;  (** representative intervals actually simulated *)
+  sp_intervals : int;  (** profiling intervals in the whole run *)
+  sp_ipc : float;  (** the sampled IPC estimate *)
+  sp_error : float option;  (** vs the full run, when verify was requested *)
+}
+
 type payload =
-  | Run_done of { text : string }
+  | Run_done of { text : string; sampled : sampled option }
   | Experiment_done of { text : string; doc : string }
   | Sweep_done of {
       text : string;
@@ -50,7 +57,19 @@ type t =
 let num n = Json.Num (float_of_int n)
 
 let payload_fields = function
-  | Run_done { text } -> [ ("result", Json.Str "run"); ("text", Json.Str text) ]
+  | Run_done { text; sampled } ->
+      [ ("result", Json.Str "run"); ("text", Json.Str text) ]
+      @ (match sampled with
+        | None -> []
+        | Some s ->
+            [
+              ("sampled_reps", num s.sp_reps);
+              ("sampled_intervals", num s.sp_intervals);
+              ("sampled_ipc", Json.Num s.sp_ipc);
+            ]
+            @ (match s.sp_error with
+              | None -> []
+              | Some e -> [ ("sampled_error", Json.Num e) ]))
   | Experiment_done { text; doc } ->
       [
         ("result", Json.Str "experiment"); ("text", Json.Str text);
@@ -146,7 +165,20 @@ let payload_of_tree doc =
   | None -> Error "missing \"result\" field"
   | Some "run" ->
       let* text = field "text" Json.str_member doc in
-      Ok (Run_done { text })
+      let float_member name d =
+        match Json.member name d with Some (Json.Num f) -> Some f | _ -> None
+      in
+      (* the summary is all-or-nothing: ipc present pins the rest *)
+      let* sampled =
+        match float_member "sampled_ipc" doc with
+        | None -> Ok None
+        | Some sp_ipc ->
+            let* sp_reps = field "sampled_reps" Json.int_member doc in
+            let* sp_intervals = field "sampled_intervals" Json.int_member doc in
+            let sp_error = float_member "sampled_error" doc in
+            Ok (Some { sp_reps; sp_intervals; sp_ipc; sp_error })
+      in
+      Ok (Run_done { text; sampled })
   | Some "experiment" ->
       let* text = field "text" Json.str_member doc in
       let* doc' = field "doc" Json.str_member doc in

@@ -23,8 +23,19 @@ type status = {
 
 type chrome = { c_doc : string; c_events : int; c_tracks : int }
 
+type sampled = {
+  sp_reps : int;  (** representative intervals actually simulated *)
+  sp_intervals : int;  (** profiling intervals in the whole run *)
+  sp_ipc : float;  (** the sampled IPC estimate *)
+  sp_error : float option;
+      (** relative error vs a full run of the same program; present only
+          when the request asked to verify *)
+}
+(** Machine-readable summary of a sampled [run]; carried as optional
+    fields on the wire, so pre-sampling responses are unchanged. *)
+
 type payload =
-  | Run_done of { text : string }
+  | Run_done of { text : string; sampled : sampled option }
   | Experiment_done of { text : string; doc : string }
   | Sweep_done of {
       text : string;

@@ -11,6 +11,7 @@ type key = {
   scale : int;
   binary : string;
   ext_usable : int;
+  sampling : string;
 }
 
 type entry = { cycles : int; instructions : int }
@@ -36,14 +37,18 @@ let dir t = t.dir
 
 let key_id k =
   (* content address of the whole job identity: the config digest already
-     folds in every machine parameter, the rest pins the trace *)
+     folds in every machine parameter, the rest pins the trace. A sampled
+     job appends its spec digest so full and sampled results of the same
+     point never alias; the full-simulation address is unchanged ([""]
+     appends nothing), keeping caches from before sampling valid. *)
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
-          [
-            schema; k.config_digest; k.bench; string_of_int k.seed;
-            string_of_int k.scale; k.binary; string_of_int k.ext_usable;
-          ]))
+          ([
+             schema; k.config_digest; k.bench; string_of_int k.seed;
+             string_of_int k.scale; k.binary; string_of_int k.ext_usable;
+           ]
+          @ (if k.sampling = "" then [] else [ k.sampling ]))))
 
 (* <dir>/<first two hex chars>/<full id>.json *)
 let path t k =
@@ -52,17 +57,21 @@ let path t k =
 
 let entry_to_json k e =
   Json.obj_lit
-    [
-      ("schema", Json.escape_string schema);
-      ("config_digest", Json.escape_string k.config_digest);
-      ("bench", Json.escape_string k.bench);
-      ("seed", string_of_int k.seed);
-      ("scale", string_of_int k.scale);
-      ("binary", Json.escape_string k.binary);
-      ("ext_usable", string_of_int k.ext_usable);
-      ("cycles", string_of_int e.cycles);
-      ("instructions", string_of_int e.instructions);
-    ]
+    ([
+       ("schema", Json.escape_string schema);
+       ("config_digest", Json.escape_string k.config_digest);
+       ("bench", Json.escape_string k.bench);
+       ("seed", string_of_int k.seed);
+       ("scale", string_of_int k.scale);
+       ("binary", Json.escape_string k.binary);
+       ("ext_usable", string_of_int k.ext_usable);
+     ]
+    @ (if k.sampling = "" then []
+       else [ ("sampling", Json.escape_string k.sampling) ])
+    @ [
+        ("cycles", string_of_int e.cycles);
+        ("instructions", string_of_int e.instructions);
+      ])
   ^ "\n"
 
 let read_file path =
@@ -92,6 +101,9 @@ let find t k =
           && int "scale" = Some k.scale
           && str "binary" = Some k.binary
           && int "ext_usable" = Some k.ext_usable
+          (* absent means "full simulation": files written before the
+             field existed keep matching full-simulation keys *)
+          && Option.value (str "sampling") ~default:"" = k.sampling
         in
         if not matches then None
         else

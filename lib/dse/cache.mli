@@ -21,6 +21,12 @@ type key = {
   scale : int;
   binary : string;  (** ["braid"] or ["conv"] *)
   ext_usable : int;  (** compile-time external register budget *)
+  sampling : string;
+      (** {!Braid_sample.Spec.digest} when the result came from sampled
+          simulation, [""] for full simulation. Folded into the content
+          address, so full and sampled results never alias; [""] leaves
+          the address (and on-disk format) identical to pre-sampling
+          caches, which therefore stay valid. *)
 }
 
 type entry = { cycles : int; instructions : int }

@@ -40,7 +40,7 @@ let binary_of (cfg : Config.t) =
   | Config.Braid_exec -> "braid"
   | Config.In_order | Config.Dep_steer | Config.Ooo -> "conv"
 
-let key_of ~seed ~scale (cfg : Config.t) (pr : Spec.profile) =
+let key_of ~ctx ~seed ~scale (cfg : Config.t) (pr : Spec.profile) =
   {
     Cache.config_digest = Config.digest cfg;
     bench = pr.Spec.name;
@@ -48,6 +48,12 @@ let key_of ~seed ~scale (cfg : Config.t) (pr : Spec.profile) =
     scale;
     binary = binary_of cfg;
     ext_usable = ext_usable_of cfg;
+    (* a sampled sweep answers a different question than a full one:
+       keep their cache entries apart *)
+    sampling =
+      (match Suite.sampling ctx with
+      | None -> ""
+      | Some sp -> Braid_sample.Spec.digest sp);
   }
 
 let simulate ~ctx ~seed ~scale (cfg : Config.t) (pr : Spec.profile) =
@@ -77,7 +83,7 @@ let run ?(obs = Obs.Sink.disabled) ?cache ?on_done ~ctx ~jobs ~seed ~scale
                in
                ( label,
                  fun () ->
-                   let key = key_of ~seed ~scale pt.Grid.config pr in
+                   let key = key_of ~ctx ~seed ~scale pt.Grid.config pr in
                    match Option.bind cache (fun c -> Cache.find c key) with
                    | Some e -> (e, true)
                    | None ->

@@ -316,9 +316,134 @@ out:
     .space 64
 |}
 
+let nbody =
+  {|# Fixed-point 2-D n-body (12 bodies, 400 leapfrog-ish steps): the one
+# long-running fixture (~1.5M dynamic instructions — callers must raise
+# max_steps past the emulator default). All arithmetic is exact integer
+# (mul/div/shifts), so the trajectory is bit-deterministic; physical
+# plausibility is not a goal. Checksum: rotating mix of every position
+# and velocity word in a0.
+    .entry _start
+_start:
+    la   s0, px
+    la   s1, py
+    la   s2, vx
+    la   s3, vy
+    la   s4, ms
+    li   s5, 48
+    li   s6, 400
+step:
+    beqz s6, wrap
+    li   s7, 0
+ibody:
+    bge  s7, s5, integ
+    add  t0, s0, s7
+    lw   a2, 0(t0)
+    add  t0, s1, s7
+    lw   a3, 0(t0)
+    li   a4, 0
+    li   a5, 0
+    li   s8, 0
+jbody:
+    bge  s8, s5, jdone
+    beq  s8, s7, jnext
+    add  t0, s0, s8
+    lw   t1, 0(t0)
+    add  t0, s1, s8
+    lw   t2, 0(t0)
+    sub  t1, t1, a2
+    sub  t2, t2, a3
+    mul  t3, t1, t1
+    mul  t4, t2, t2
+    add  t3, t3, t4
+    addi t3, t3, 16
+    add  t0, s4, s8
+    lw   t4, 0(t0)
+    slli t4, t4, 10
+    div  t4, t4, t3
+    mul  t5, t4, t1
+    srai t5, t5, 5
+    add  a4, a4, t5
+    mul  t5, t4, t2
+    srai t5, t5, 5
+    add  a5, a5, t5
+jnext:
+    addi s8, s8, 4
+    j    jbody
+jdone:
+    add  t0, s2, s7
+    lw   t1, 0(t0)
+    add  t1, t1, a4
+    sw   t1, 0(t0)
+    add  t0, s3, s7
+    lw   t1, 0(t0)
+    add  t1, t1, a5
+    sw   t1, 0(t0)
+    addi s7, s7, 4
+    j    ibody
+integ:
+    li   s7, 0
+pos:
+    bge  s7, s5, snext
+    add  t0, s2, s7
+    lw   t1, 0(t0)
+    srai t2, t1, 4
+    add  t3, s0, s7
+    lw   t4, 0(t3)
+    add  t4, t4, t2
+    sw   t4, 0(t3)
+    add  t0, s3, s7
+    lw   t1, 0(t0)
+    srai t2, t1, 4
+    add  t3, s1, s7
+    lw   t4, 0(t3)
+    add  t4, t4, t2
+    sw   t4, 0(t3)
+    addi s7, s7, 4
+    j    pos
+snext:
+    addi s6, s6, -1
+    j    step
+wrap:
+    li   a0, 0
+    li   s7, 0
+ck:
+    bge  s7, s5, fin
+    add  t0, s0, s7
+    lw   t1, 0(t0)
+    xor  a0, a0, t1
+    add  t0, s1, s7
+    lw   t1, 0(t0)
+    add  a0, a0, t1
+    add  t0, s2, s7
+    lw   t1, 0(t0)
+    xor  a0, a0, t1
+    add  t0, s3, s7
+    lw   t1, 0(t0)
+    add  a0, a0, t1
+    slli t2, a0, 1
+    srli t3, a0, 31
+    or   a0, t2, t3
+    addi s7, s7, 4
+    j    ck
+fin:
+    ecall
+px:
+    .word -900, 450, 120, -64, 800, -333, 27, 610, -415, 75, -1000, 508
+py:
+    .word 310, -720, 44, 903, -188, 260, -555, 12, 670, -90, 401, -264
+vx:
+    .word 3, -2, 0, 5, -4, 1, 2, -3, 4, 0, -1, 2
+vy:
+    .word -1, 4, 2, -3, 0, 5, -2, 1, -4, 3, 0, -5
+ms:
+    .word 9, 14, 5, 20, 11, 7, 16, 3, 12, 18, 6, 10
+|}
+
 let all =
   [ ("fib", fib); ("memcpy", memcpy); ("sieve", sieve); ("dot", dot);
-    ("qsort", qsort); ("crc32", crc32); ("hello", hello); ("divmix", divmix) ]
+    ("qsort", qsort); ("crc32", crc32); ("hello", hello); ("divmix", divmix);
+    ("nbody", nbody) ]
 
 let find name = List.assoc_opt name all
 

@@ -1,0 +1,79 @@
+(* Basic-block-vector interval profiling over the compiled fast-forward
+   engine. The program runs in fixed-size instruction intervals; each
+   interval's per-block execution counts become an L1-normalised vector
+   (random-projected down to [target_dim] when the program has more
+   blocks), which is what k-means clusters to pick representatives. *)
+
+type interval = {
+  index : int;
+  start : int;  (* dynamic instruction index of the interval's first instr *)
+  length : int;  (* instructions executed; only the last may fall short *)
+  vector : float array;
+}
+
+type profile = {
+  intervals : interval array;
+  total : int;  (* total dynamic instruction count of the profiled run *)
+  dim : int;
+}
+
+let target_dim = 64
+
+(* SimPoint-style projection: entries uniform in [-1, 1) from one seeded
+   stream, built in block-major order — a pure function of
+   (num_blocks, seed). *)
+let projector ~seed ~num_blocks =
+  let rng = Prng.create (Int64.of_int seed) in
+  Array.init num_blocks (fun _ ->
+      Array.init target_dim (fun _ -> (2.0 *. Prng.float rng 1.0) -. 1.0))
+
+let profile ?init_mem ?(max_steps = 1_000_000) ~(spec : Spec.t) code =
+  let nb = Emulator.Compiled.num_blocks code in
+  let make_vector =
+    if nb <= target_dim then fun counts ran ->
+      let inv = 1.0 /. float_of_int ran in
+      Array.map (fun c -> float_of_int c *. inv) counts
+    else
+      let proj = projector ~seed:spec.Spec.seed ~num_blocks:nb in
+      fun counts ran ->
+        let v = Array.make target_dim 0.0 in
+        let inv = 1.0 /. float_of_int ran in
+        Array.iteri
+          (fun b c ->
+            if c > 0 then begin
+              let w = float_of_int c *. inv in
+              let row = proj.(b) in
+              for j = 0 to target_dim - 1 do
+                v.(j) <- v.(j) +. (w *. row.(j))
+              done
+            end)
+          counts;
+        v
+  in
+  let run = Emulator.Compiled.start ?init_mem code in
+  let counts = Array.make nb 0 in
+  let intervals = ref [] in
+  let idx = ref 0 and pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let fuel = min spec.Spec.interval (max_steps - !pos) in
+    if fuel <= 0 then continue := false
+    else begin
+      Array.fill counts 0 nb 0;
+      let ran = Emulator.Compiled.advance_bbv run ~fuel ~counts in
+      if ran = 0 then continue := false
+      else begin
+        intervals :=
+          { index = !idx; start = !pos; length = ran; vector = make_vector counts ran }
+          :: !intervals;
+        incr idx;
+        pos := !pos + ran;
+        if Emulator.Compiled.halted run then continue := false
+      end
+    end
+  done;
+  {
+    intervals = Array.of_list (List.rev !intervals);
+    total = !pos;
+    dim = min nb target_dim;
+  }

@@ -1,0 +1,32 @@
+(** Basic-block-vector interval profiling.
+
+    One functional fast-forward pass over the program, chopped into
+    fixed-size instruction intervals; each interval yields an
+    L1-normalised per-block execution-frequency vector for clustering. *)
+
+type interval = {
+  index : int;
+  start : int;  (** dynamic instruction index of the interval's first instr *)
+  length : int;  (** instructions executed; only the last may fall short *)
+  vector : float array;
+}
+
+type profile = {
+  intervals : interval array;
+  total : int;  (** total dynamic instructions — equals the sum of lengths *)
+  dim : int;  (** vector dimensionality after any projection *)
+}
+
+val target_dim : int
+(** Programs with more basic blocks than this (64) get a seeded random
+    projection down to it, SimPoint-style. *)
+
+val profile :
+  ?init_mem:(int * int64) list ->
+  ?max_steps:int ->
+  spec:Spec.t ->
+  Emulator.Compiled.code ->
+  profile
+(** Fast-forward the whole program (bounded by [max_steps], default
+    1_000_000 to match the emulator's own default) collecting one vector
+    per [spec.interval] instructions. Deterministic for fixed inputs. *)

@@ -1,0 +1,20 @@
+(** Deterministic seeded k-means over float vectors (BBVs).
+
+    The result is a pure function of (points, seed, k): one Prng stream,
+    lowest-index tie-breaks, fixed iteration cap. Reruns, different
+    [--jobs] values and warm/cold sweep-cache passes therefore agree on
+    the clustering. *)
+
+type clustering = {
+  k : int;  (** effective cluster count, [min k (Array.length points)] *)
+  assign : int array;  (** cluster index per point *)
+  centroids : float array array;
+}
+
+val cluster : seed:int -> k:int -> float array array -> clustering
+(** kmeans++ seeding then Lloyd iterations until assignments stabilise
+    (capped). Raises [Invalid_argument] on an empty or ragged point set. *)
+
+val representatives : clustering -> float array array -> int list
+(** For each cluster, the index of the member closest to its centroid
+    (lowest index on ties), in ascending cluster order. *)

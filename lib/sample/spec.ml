@@ -1,0 +1,30 @@
+(* The sampling specification: everything that determines which intervals
+   get simulated. Two runs with equal specs (and equal programs) pick the
+   same representatives, so the spec's digest is a sound cache-key
+   component for the DSE sweep cache. *)
+
+type t = {
+  interval : int;
+  max_k : int;
+  warmup : int;
+  seed : int;
+}
+
+let default = { interval = 2_000; max_k = 8; warmup = 2_000; seed = 1 }
+
+let validate t =
+  if t.interval < 100 then
+    Error
+      (Printf.sprintf "sample interval must be at least 100 (got %d)" t.interval)
+  else if t.max_k < 1 then
+    Error (Printf.sprintf "sample cluster budget must be positive (got %d)" t.max_k)
+  else if t.warmup < 0 then
+    Error (Printf.sprintf "sample warmup must be non-negative (got %d)" t.warmup)
+  else Ok t
+
+let digest t =
+  Printf.sprintf "i%d-k%d-w%d-s%d" t.interval t.max_k t.warmup t.seed
+
+let to_string t =
+  Printf.sprintf "interval=%d max_k=%d warmup=%d seed=%d" t.interval t.max_k
+    t.warmup t.seed

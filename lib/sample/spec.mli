@@ -1,0 +1,24 @@
+(** The sampling specification: interval size, cluster budget, warmup
+    length and clustering seed — everything that determines which
+    intervals a sampled run simulates. *)
+
+type t = {
+  interval : int;  (** instructions per profiling interval *)
+  max_k : int;  (** cluster (representative) budget *)
+  warmup : int;  (** pre-interval instructions replayed into caches/predictor *)
+  seed : int;  (** k-means seed *)
+}
+
+val default : t
+(** interval 2000, max_k 8, warmup 2000, seed 1. *)
+
+val validate : t -> (t, string) result
+(** Rejects intervals under 100 instructions, non-positive cluster
+    budgets and negative warmups, with a message naming the offender. *)
+
+val digest : t -> string
+(** A short string over every field, e.g. ["i2000-k8-w2000-s1"]: equal
+    specs have equal digests. Used in memoisation and sweep-cache keys. *)
+
+val to_string : t -> string
+(** Human-readable rendering for report headers. *)

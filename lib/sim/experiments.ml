@@ -119,7 +119,7 @@ let fanout_lifetime =
     ~cols
     (fun ctx ~scale pr ->
       let p = Suite.prepare ctx ~scale pr in
-      let vs = C.Value_stats.of_trace p.Suite.conv_trace in
+      let vs = C.Value_stats.of_trace (p.Suite.conv_trace ()) in
       [|
         C.Value_stats.fanout_exactly vs 1 *. 100.0;
         C.Value_stats.fanout_at_most vs 2 *. 100.0;
@@ -142,7 +142,7 @@ let instruction_mix =
     ~headline:[ ("loads%", "loads%"); ("branches%", "branches%"); ("fp%", "fp%") ]
     (fun ctx ~scale pr ->
       let p = Suite.prepare ctx ~scale pr in
-      let trc = p.Suite.conv_trace in
+      let trc = p.Suite.conv_trace () in
       let n = float_of_int (max 1 (Trace.length trc)) in
       let count f =
         100.0
@@ -970,7 +970,7 @@ let dynamic_braids =
         C.Braid_stats.summarize
           (C.Braid_stats.of_program p.Suite.braid.C.Transform.program)
       in
-      let d = C.Braid_stats.dynamic_of_trace p.Suite.braid_trace in
+      let d = C.Braid_stats.dynamic_of_trace (p.Suite.braid_trace ()) in
       [|
         s.C.Braid_stats.braids_per_block;
         d.C.Braid_stats.dyn_braids_per_block;
@@ -1113,6 +1113,6 @@ let counters_report ctx ~scale =
       let obs = Obs.Sink.create () in
       ignore
         (U.Pipeline.run ~obs ~warm_data:p.Suite.warm_data U.Config.braid_8wide
-           p.Suite.braid_trace);
+           (p.Suite.braid_trace ()));
       (profile.Spec.name, Obs.Counters.snapshot (Obs.Sink.counters obs)))
     Spec.all

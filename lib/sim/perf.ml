@@ -6,15 +6,30 @@ module U = Braid_uarch
    reports simulated cycles per wall-clock second. The trace is prepared
    once (generation, compilation and emulation are excluded from the timed
    region), so the numbers isolate the cycle-level hot path this repo keeps
-   optimising — BENCH_sim.json files are its trajectory across PRs. *)
+   optimising — BENCH_sim.json files are its trajectory across PRs.
+
+   Besides the pipeline rows, the harness times the functional emulators
+   (`emu:NAME` rows: interpreter, interpreter with tracing, compiled
+   fast-forward — the sampled-simulation speedup base), the RV32IM
+   emulators (`rvemu:FIXTURE` rows: interpreter vs threaded-code fast
+   path), and sampled simulation itself (`sample:NAME` rows, carrying
+   the sampled-vs-full IPC error). *)
+
+type sample_info = {
+  ipc_full : float;
+  ipc_sampled : float;
+  ipc_error : float;  (* |sampled - full| / full *)
+}
 
 type entry = {
   bench : string;
   core : string;
+  scale : int;  (* dynamic-length target; 0 = fixed-size fixture *)
   instructions : int;
-  cycles : int;
+  cycles : int;  (* 0 for emulator rows: no timing model ran *)
   reps : int;
   wall_s : float;  (* total for all [reps] runs *)
+  sample : sample_info option;  (* sample: rows only *)
 }
 
 let sim_cycles_per_s e =
@@ -52,11 +67,71 @@ let timed reps run =
   done;
   (r, Unix.gettimeofday () -. t0)
 
-(* An rv: fixture yields four entries: a "frontend" row timing the
+(* Competing engines are timed interleaved (engine A rep 1, engine B rep 1,
+   engine A rep 2, ...) and each keeps its best rep, so a scheduler hiccup
+   penalises one rep of one engine rather than a whole engine's block.
+   The reported wall_s normalises that best rep back to [reps] runs:
+   throughput = instructions / best-rep seconds. *)
+let interleaved_min ~reps fs =
+  let k = List.length fs in
+  let mins = Array.make k infinity in
+  List.iter (fun f -> ignore (f ())) fs;
+  for _ = 1 to reps do
+    List.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        let d = Unix.gettimeofday () -. t0 in
+        if d < mins.(i) then mins.(i) <- d)
+      fs
+  done;
+  mins
+
+(* Functional-emulator rows for one prepared benchmark: the interpreter
+   (untraced), the interpreter building a full trace, and the compiled
+   fast-forward engine — all on the conventional binary. The compiled/
+   interpreted ratio is the sampled-simulation fast-forward speedup. *)
+let measure_emu ~reps (p : Suite.prepared) name =
+  let program = p.Suite.conventional.Braid_core.Extalloc.program in
+  let init_mem = p.Suite.init_mem in
+  let code = Emulator.Compiled.compile program in
+  let interp () = Emulator.run ~trace:false ~init_mem program in
+  let interp_traced () = Emulator.run ~trace:true ~init_mem program in
+  let compiled () =
+    let run = Emulator.Compiled.start ~init_mem code in
+    Emulator.Compiled.advance run ~fuel:max_int
+  in
+  let n = (interp ()).Emulator.dynamic_count in
+  let mins =
+    interleaved_min ~reps
+      [
+        (fun () -> ignore (interp ()));
+        (fun () -> ignore (interp_traced ()));
+        (fun () -> ignore (compiled ()));
+      ]
+  in
+  List.mapi
+    (fun i core ->
+      {
+        bench = "emu:" ^ name;
+        core;
+        scale = p.Suite.scale;
+        instructions = n;
+        cycles = 0;
+        reps;
+        wall_s = mins.(i) *. float_of_int reps;
+        sample = None;
+      })
+    [ "emu-interp"; "emu-interp-traced"; "emu-compiled" ]
+
+(* An rv: fixture yields six entries: a "frontend" row timing the
    decode+lower pass itself (instructions = reachable RV instructions,
    cycles = static IR emitted, so sim_instrs_per_s is frontend throughput),
-   then the usual three timing-core rows on the translated program. The
-   fixture is fixed-size; [scale] does not apply. *)
+   two "rvemu:" rows timing the RV32IM emulators (interpreter vs
+   threaded-code fast path), then the usual three timing-core rows on the
+   translated program. The fixture is fixed-size; entry [scale] is 0. *)
+let rv_emu_max_steps = 4_000_000
+
 let measure_rv ~reps name =
   let fixture = String.sub name 3 (String.length name - 3) in
   let img =
@@ -74,11 +149,42 @@ let measure_rv ~reps name =
     {
       bench = name;
       core = "frontend";
+      scale = 0;
       instructions = t.Braid_rv.Translate.rv_count;
-      cycles = t.Braid_rv.Translate.ir_count;
+      cycles = 0;
       reps;
       wall_s;
+      sample = None;
     }
+  in
+  let steps = (Braid_rv.Emu.run ~max_steps:rv_emu_max_steps img).Braid_rv.Emu.steps in
+  (* rvemu rows only when the fixture runs long enough for per-run setup
+     (decode, memory image) not to drown the per-instruction signal *)
+  let rvemu =
+    if steps < 10_000 then []
+    else begin
+      let mins =
+        interleaved_min ~reps
+          [
+            (fun () -> ignore (Braid_rv.Emu.run ~max_steps:rv_emu_max_steps img));
+            (fun () ->
+              ignore (Braid_rv.Emu.run_fast ~max_steps:rv_emu_max_steps img));
+          ]
+      in
+      List.mapi
+        (fun i core ->
+          {
+            bench = "rvemu:" ^ fixture;
+            core;
+            scale = 0;
+            instructions = steps;
+            cycles = 0;
+            reps;
+            wall_s = mins.(i) *. float_of_int reps;
+            sample = None;
+          })
+        [ "rv-interp"; "rv-compiled" ]
+    end
   in
   let program = t.Braid_rv.Translate.program in
   let init_mem = t.Braid_rv.Translate.init_mem in
@@ -89,24 +195,73 @@ let measure_rv ~reps name =
   let trace_of p = Option.get (Emulator.run ~init_mem p).Emulator.trace in
   let conv_trace = trace_of conv and braid_trace = trace_of braided in
   let warm_data = List.map fst init_mem in
-  frontend
-  :: List.map
-       (fun (core, cfg, binary) ->
-         let trace =
-           match binary with `Conv -> conv_trace | `Braid -> braid_trace
-         in
-         let r, wall_s =
-           timed reps (fun () -> U.Pipeline.run ~warm_data cfg trace)
-         in
-         {
-           bench = name;
-           core;
-           instructions = r.U.Pipeline.instructions;
-           cycles = r.U.Pipeline.cycles;
-           reps;
-           wall_s;
-         })
-       cores
+  (frontend :: rvemu)
+  @ List.map
+      (fun (core, cfg, binary) ->
+        let trace =
+          match binary with `Conv -> conv_trace | `Braid -> braid_trace
+        in
+        let r, wall_s =
+          timed reps (fun () -> U.Pipeline.run ~warm_data cfg trace)
+        in
+        {
+          bench = name;
+          core;
+          scale = 0;
+          instructions = r.U.Pipeline.instructions;
+          cycles = r.U.Pipeline.cycles;
+          reps;
+          wall_s;
+          sample = None;
+        })
+      cores
+
+(* Sampled-simulation rows for one prepared benchmark: the plan (BBV
+   profile + clustering) is core-independent and excluded from the timed
+   region like trace preparation; each core's row times the per-core
+   measurement (fast-forward, functional warm-up, representative windows)
+   and carries the IPC error against the full simulation just timed. *)
+let measure_sampled ~reps (p : Suite.prepared) name fulls =
+  let spec = Braid_sample.Spec.default in
+  let plan_of program =
+    Braid_sample.Driver.plan ~init_mem:p.Suite.init_mem
+      ~max_steps:(50 * p.Suite.scale) ~spec
+      (Emulator.Compiled.compile program)
+  in
+  let conv_plan =
+    plan_of p.Suite.conventional.Braid_core.Extalloc.program
+  in
+  let braid_plan =
+    plan_of p.Suite.braid.Braid_core.Transform.program
+  in
+  List.map
+    (fun (core, cfg, binary) ->
+      let plan =
+        match binary with `Conv -> conv_plan | `Braid -> braid_plan
+      in
+      let s, wall_s =
+        timed reps (fun () ->
+            Braid_sample.Driver.measure ~warm_data:p.Suite.warm_data plan cfg)
+      in
+      let full : U.Pipeline.result = List.assoc core fulls in
+      let r = s.Braid_sample.Driver.result in
+      {
+        bench = "sample:" ^ name;
+        core;
+        scale = p.Suite.scale;
+        instructions = r.U.Pipeline.instructions;
+        cycles = r.U.Pipeline.cycles;
+        reps;
+        wall_s;
+        sample =
+          Some
+            {
+              ipc_full = full.U.Pipeline.ipc;
+              ipc_sampled = s.Braid_sample.Driver.ipc;
+              ipc_error = Braid_sample.Driver.error_vs ~full s;
+            };
+      })
+    cores
 
 let measure ctx ~scale ~reps ~benches =
   if reps <= 0 then invalid_arg "Perf.measure: reps must be positive";
@@ -114,42 +269,50 @@ let measure ctx ~scale ~reps ~benches =
     (fun name ->
       if is_rv name then measure_rv ~reps name
       else
-      let pr = Spec.find name in
-      let p = Suite.prepare ctx ~scale pr in
-      List.map
-        (fun (core, cfg, binary) ->
-          let trace =
-            match binary with
-            | `Conv -> p.Suite.conv_trace
-            | `Braid -> p.Suite.braid_trace
-          in
-          let run () =
-            U.Pipeline.run ~warm_data:p.Suite.warm_data cfg trace
-          in
-          (* one untimed warm-up run faults in code and sizes the heap *)
-          let r = run () in
-          let t0 = Unix.gettimeofday () in
-          for _ = 1 to reps do
-            ignore (run ())
-          done;
-          let wall_s = Unix.gettimeofday () -. t0 in
-          {
-            bench = name;
-            core;
-            instructions = r.U.Pipeline.instructions;
-            cycles = r.U.Pipeline.cycles;
-            reps;
-            wall_s;
-          })
-        cores)
+        let pr = Spec.find name in
+        let p = Suite.prepare ctx ~scale pr in
+        let fulls = ref [] in
+        let pipeline_entries =
+          List.map
+            (fun (core, cfg, binary) ->
+              let trace =
+                (match binary with
+                | `Conv -> p.Suite.conv_trace
+                | `Braid -> p.Suite.braid_trace)
+                  ()
+              in
+              let run () =
+                U.Pipeline.run ~warm_data:p.Suite.warm_data cfg trace
+              in
+              let r, wall_s = timed reps run in
+              fulls := (core, r) :: !fulls;
+              {
+                bench = name;
+                core;
+                scale = p.Suite.scale;
+                instructions = r.U.Pipeline.instructions;
+                cycles = r.U.Pipeline.cycles;
+                reps;
+                wall_s;
+                sample = None;
+              })
+            cores
+        in
+        pipeline_entries
+        @ measure_emu ~reps p name
+        @ measure_sampled ~reps p name !fulls)
     benches
 
 (* --- BENCH_*.json --- *)
 
-let schema = "braidsim-perf/1"
+let schema = "braidsim-perf/2"
+
+let accepted_schemas = [ "braidsim-perf/1"; schema ]
 
 (* Baseline lookup from a previous BENCH_*.json, parsed with the in-tree
-   minimal JSON parser: (bench, core) -> sim_cycles_per_s. *)
+   minimal JSON parser: (bench, core) -> sim_cycles_per_s. Accepts both
+   the current schema and /1 (whose entries simply lack the per-entry
+   scale and sampling fields). *)
 type baseline = (string * string, float) Hashtbl.t
 
 let load_baseline file : baseline =
@@ -170,6 +333,12 @@ let load_baseline file : baseline =
       in
       let str = function Some (J.Str s) -> Some s | _ -> None in
       let num = function Some (J.Num x) -> Some x | _ -> None in
+      (match str (field "schema" j) with
+      | Some s when not (List.mem s accepted_schemas) ->
+          failwith
+            (Printf.sprintf "%s: unsupported schema %S (accepted: %s)" file s
+               (String.concat ", " accepted_schemas))
+      | _ -> ());
       match field "entries" j with
       | Some (J.Arr entries) ->
           List.iter
@@ -195,10 +364,21 @@ let json_of_entry ?baseline e =
             [ ("speedup_vs_baseline", Json.float_lit (sim_cycles_per_s e /. prev)) ]
         | Some _ | None -> [])
   in
+  let sample =
+    match e.sample with
+    | None -> []
+    | Some s ->
+        [
+          ("ipc_full", Json.float_lit s.ipc_full);
+          ("ipc_sampled", Json.float_lit s.ipc_sampled);
+          ("ipc_error", Json.float_lit s.ipc_error);
+        ]
+  in
   Json.obj_lit
     ([
        ("bench", Json.escape_string e.bench);
        ("core", Json.escape_string e.core);
+       ("scale", string_of_int e.scale);
        ("instructions", string_of_int e.instructions);
        ("cycles", string_of_int e.cycles);
        ("reps", string_of_int e.reps);
@@ -206,7 +386,7 @@ let json_of_entry ?baseline e =
        ("sim_cycles_per_s", Json.float_lit (sim_cycles_per_s e));
        ("sim_instrs_per_s", Json.float_lit (sim_instrs_per_s e));
      ]
-    @ speedup)
+    @ sample @ speedup)
 
 let to_json ?baseline ~scale ~reps entries =
   let total_wall =
@@ -246,12 +426,17 @@ let write_json ?baseline ~file ~scale ~reps entries =
 let render entries =
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    (Printf.sprintf "%-10s %-9s %11s %9s %9s %14s\n" "bench" "core" "cycles"
-       "reps" "wall_s" "sim-cycles/s");
+    (Printf.sprintf "%-14s %-17s %11s %9s %9s %14s %9s\n" "bench" "core"
+       "cycles" "reps" "wall_s" "sim-cycles/s" "ipc-err");
   List.iter
     (fun e ->
+      let err =
+        match e.sample with
+        | None -> ""
+        | Some s -> Printf.sprintf "%8.2f%%" (100.0 *. s.ipc_error)
+      in
       Buffer.add_string b
-        (Printf.sprintf "%-10s %-9s %11d %9d %9.3f %14.0f\n" e.bench e.core
-           e.cycles e.reps e.wall_s (sim_cycles_per_s e)))
+        (Printf.sprintf "%-14s %-17s %11d %9d %9.3f %14.0f %9s\n" e.bench
+           e.core e.cycles e.reps e.wall_s (sim_cycles_per_s e) err))
     entries;
   Buffer.contents b

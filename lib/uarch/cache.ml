@@ -111,6 +111,10 @@ let warm_instr h addr =
 
 let warm_l2 h addr = ignore (access_gen ~count:false h.l2 addr)
 
+let warm_data h addr =
+  ignore (access_gen ~count:false h.l1d addr);
+  ignore (access_gen ~count:false h.l2 addr)
+
 let stats c = (c.hits, c.misses)
 let l1i_stats h = stats h.l1i
 let l1d_stats h = stats h.l1d

@@ -39,6 +39,10 @@ val warm_instr : hierarchy -> int -> unit
 val warm_l2 : hierarchy -> int -> unit
 (** Pre-fills the L2 with a data line, without touching statistics. *)
 
+val warm_data : hierarchy -> int -> unit
+(** Pre-fills the L1D and L2 with a data line, without touching
+    statistics (sampled-simulation warm-up replay). *)
+
 val l1i_stats : hierarchy -> int * int
 val l1d_stats : hierarchy -> int * int
 val l2_stats : hierarchy -> int * int

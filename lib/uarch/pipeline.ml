@@ -32,10 +32,40 @@ type redirect = {
   wrong_path : (int * int) option;  (** (block, offset) fetch runs down *)
 }
 
-let run ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) ?(warm_data = [])
-    (cfg : Config.t) (trace : Trace.t) =
+(* Counter snapshot at the measurement boundary of a [measure_from] run:
+   everything the result reports, captured the cycle the last warm-up
+   instruction commits so the prefix can be subtracted out. Commit-to-
+   commit deltas telescope — summed over contiguous intervals they equal
+   the full run's cycle count — so windowed measurement has no systematic
+   drain bias (a fetch-time boundary would charge every window the full
+   end-of-trace pipeline drain that a real run overlaps with younger
+   instructions). *)
+type boundary = {
+  b_cycle : int;
+  b_lookups : int;
+  b_mispredicts : int;
+  b_l1i : int;
+  b_l1d : int;
+  b_l2 : int;
+  b_stall_regs : int;
+  b_faults : int;
+  b_activity : Machine.activity;
+  b_s_redirect : int;
+  b_s_icache : int;
+  b_s_core : int;
+  b_s_frontend : int;
+  b_occupancy_sum : int;
+}
+
+let run ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) ?(warm_data = []) ?prewarm
+    ?measure_from (cfg : Config.t) (trace : Trace.t) =
   let n = Array.length trace.Trace.events in
   if n = 0 then invalid_arg "Pipeline.run: empty trace";
+  (match measure_from with
+  | Some mf when mf < 0 || mf >= n ->
+      invalid_arg
+        (Printf.sprintf "Pipeline.run: measure_from %d outside trace [0, %d)" mf n)
+  | _ -> ());
   let m = Machine.create ~obs ~dbg cfg trace in
   (* Warm-up: the measured window is a steady-state snapshot of a much
      longer run (MinneSPEC), so code lines are warm in L1I/L2 and the
@@ -52,12 +82,54 @@ let run ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) ?(warm_data = [])
   let faults = ref 0 in
   let hier = Machine.hierarchy m in
   let pred = Machine.predictor m in
+  (* Sampled simulation: replay the warm-up window preceding the measured
+     interval into caches and predictor (no statistics, no timing), so the
+     interval starts from the microarchitectural state its position in the
+     full run implies rather than from the steady-state approximation
+     above alone. *)
+  (match prewarm with
+  | None -> ()
+  | Some (w : Trace.t) ->
+      let last = ref min_int in
+      Array.iter
+        (fun (e : Trace.event) ->
+          let line = e.Trace.pc / 64 in
+          if line <> !last then begin
+            Cache.warm_instr hier e.Trace.pc;
+            last := line
+          end;
+          if e.Trace.is_load || e.Trace.is_store then
+            Cache.warm_data hier e.Trace.addr;
+          if e.Trace.is_cond_branch then
+            Predictor.warm pred ~pc:e.Trace.pc ~taken:e.Trace.taken)
+        w.Trace.events);
   let guard = (200 * n) + 100_000 in
   let last_progress = ref 0 in
   let last_committed = ref 0 in
   let stall_redirect = ref 0 and stall_icache = ref 0 in
   let stall_core = ref 0 and stall_frontend = ref 0 in
   let occupancy_sum = ref 0 in
+  let boundary = ref None in
+  let capture_boundary () =
+    boundary :=
+      Some
+        {
+          b_cycle = Machine.now m;
+          b_lookups = Predictor.lookups pred;
+          b_mispredicts = Predictor.mispredicts pred;
+          b_l1i = snd (Cache.l1i_stats hier);
+          b_l1d = snd (Cache.l1d_stats hier);
+          b_l2 = snd (Cache.l2_stats hier);
+          b_stall_regs = Machine.stall_dispatch_regs m;
+          b_faults = !faults;
+          b_activity = Machine.activity m;
+          b_s_redirect = !stall_redirect;
+          b_s_icache = !stall_icache;
+          b_s_core = !stall_core;
+          b_s_frontend = !stall_frontend;
+          b_occupancy_sum = !occupancy_sum;
+        }
+  in
   (* observability: registered handles on a live sink, dummies otherwise;
      the tracer (if any) is attached before the run starts *)
   let c_fetch = Obs.Sink.counter obs "fetch.instrs" in
@@ -141,6 +213,10 @@ let run ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) ?(warm_data = [])
            (Printf.sprintf "%s: no completion after %d cycles (%d/%d committed)"
               cfg.Config.name now (Machine.committed_count m) n));
     Machine.commit_stage m;
+    (match measure_from with
+    | Some mf when !boundary = None && Machine.committed_count m >= mf ->
+        capture_boundary ()
+    | _ -> ());
     core.Exec_core.cycle ();
     let occupancy = core.Exec_core.occupancy () in
     occupancy_sum := !occupancy_sum + occupancy;
@@ -281,28 +357,76 @@ let run ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) ?(warm_data = [])
            (Printf.sprintf "%s: stuck at %d/%d committed (cycle %d)"
               cfg.Config.name (Machine.committed_count m) n now))
   done;
-  let cycles = Machine.now m in
+  (* With [measure_from], report only the measured suffix: every counter
+     minus its value the cycle the last warm-up instruction committed.
+     (Every event commits before the run can complete, so the boundary is
+     always captured.) *)
+  let b =
+    match !boundary with
+    | Some b -> b
+    | None ->
+        {
+          b_cycle = 0;
+          b_lookups = 0;
+          b_mispredicts = 0;
+          b_l1i = 0;
+          b_l1d = 0;
+          b_l2 = 0;
+          b_stall_regs = 0;
+          b_faults = 0;
+          b_activity =
+            {
+              Machine.ext_rf_reads = 0;
+              ext_rf_writes = 0;
+              int_rf_reads = 0;
+              int_rf_writes = 0;
+              bypass_values = 0;
+            };
+          b_s_redirect = 0;
+          b_s_icache = 0;
+          b_s_core = 0;
+          b_s_frontend = 0;
+          b_occupancy_sum = 0;
+        }
+  in
+  let instructions = n - Option.value measure_from ~default:0 in
+  let cycles = Machine.now m - b.b_cycle in
+  let act = Machine.activity m in
   {
     config_name = cfg.Config.name;
-    instructions = n;
+    instructions;
     cycles;
-    ipc = float_of_int n /. float_of_int (max 1 cycles);
-    branch_lookups = Predictor.lookups pred;
-    branch_mispredicts = Predictor.mispredicts pred;
-    l1i_misses = snd (Cache.l1i_stats hier);
-    l1d_misses = snd (Cache.l1d_stats hier);
-    l2_misses = snd (Cache.l2_stats hier);
-    dispatch_stall_regs = Machine.stall_dispatch_regs m;
-    faults = !faults;
-    activity = Machine.activity m;
+    ipc = float_of_int instructions /. float_of_int (max 1 cycles);
+    branch_lookups = Predictor.lookups pred - b.b_lookups;
+    branch_mispredicts = Predictor.mispredicts pred - b.b_mispredicts;
+    l1i_misses = snd (Cache.l1i_stats hier) - b.b_l1i;
+    l1d_misses = snd (Cache.l1d_stats hier) - b.b_l1d;
+    l2_misses = snd (Cache.l2_stats hier) - b.b_l2;
+    dispatch_stall_regs = Machine.stall_dispatch_regs m - b.b_stall_regs;
+    faults = !faults - b.b_faults;
+    activity =
+      {
+        Machine.ext_rf_reads =
+          act.Machine.ext_rf_reads - b.b_activity.Machine.ext_rf_reads;
+        ext_rf_writes =
+          act.Machine.ext_rf_writes - b.b_activity.Machine.ext_rf_writes;
+        int_rf_reads =
+          act.Machine.int_rf_reads - b.b_activity.Machine.int_rf_reads;
+        int_rf_writes =
+          act.Machine.int_rf_writes - b.b_activity.Machine.int_rf_writes;
+        bypass_values =
+          act.Machine.bypass_values - b.b_activity.Machine.bypass_values;
+      };
     stalls =
       {
-        fetch_redirect = !stall_redirect;
-        fetch_icache = !stall_icache;
-        dispatch_core = !stall_core;
-        dispatch_frontend = !stall_frontend;
+        fetch_redirect = !stall_redirect - b.b_s_redirect;
+        fetch_icache = !stall_icache - b.b_s_icache;
+        dispatch_core = !stall_core - b.b_s_core;
+        dispatch_frontend = !stall_frontend - b.b_s_frontend;
       };
-    avg_occupancy = float_of_int !occupancy_sum /. float_of_int (max 1 cycles);
+    avg_occupancy =
+      float_of_int (!occupancy_sum - b.b_occupancy_sum)
+      /. float_of_int (max 1 cycles);
   }
 
 let speedup base other =

@@ -41,6 +41,8 @@ val run :
   ?obs:Braid_obs.Sink.t ->
   ?dbg:Debug.t ->
   ?warm_data:int list ->
+  ?prewarm:Trace.t ->
+  ?measure_from:int ->
   Config.t ->
   Trace.t ->
   result
@@ -52,6 +54,22 @@ val run :
     their lines are pre-filled into the L2 (and all code lines into
     L1I/L2) so the measured window behaves like a steady-state snapshot
     rather than a cold start.
+
+    [prewarm] is a sampled-simulation warm-up window: its events are
+    replayed into the caches (code and data lines) and the branch
+    predictor before timing starts, without touching any statistics.
+    Absent (the default), results are byte-identical to before the
+    parameter existed.
+
+    [measure_from] is detailed warm-up for sampled simulation: the whole
+    trace is simulated, but the result reports only the suffix starting
+    at that uid — [instructions] is the suffix length and [cycles] and
+    every counter subtract their values at the cycle the last warm-up
+    instruction committed. Commit-to-commit deltas telescope to the full
+    run's cycle count over contiguous intervals, so windowed measurement
+    carries no systematic pipeline-fill or drain bias, and the suffix
+    executes under real pipeline, cache, predictor and register-lifetime
+    state. Raises [Invalid_argument] when outside [0, length).
 
     With a live [obs] sink the run registers fetch/stall counters and a
     core-occupancy histogram on top of the machine's own counters

@@ -40,12 +40,12 @@ let create ?(obs = Obs.Sink.disabled) (cfg : Config.t) =
     c_mispredicts = Obs.Sink.counter obs "predictor.mispredicts";
   }
 
-let gshare_predict_and_train t ~pc ~taken =
+let gshare_step ~stats t ~pc ~taken =
   let idx = ((pc lsr 2) lxor t.ghist) land (gshare_entries - 1) in
   let c = t.counters.(idx) in
   let predicted = c >= 2 in
   let correct = predicted = taken in
-  if not correct then begin
+  if stats && not correct then begin
     t.mispredicts <- t.mispredicts + 1;
     Obs.Counters.incr t.c_mispredicts
   end;
@@ -53,11 +53,13 @@ let gshare_predict_and_train t ~pc ~taken =
   t.ghist <- ((t.ghist lsl 1) lor (if taken then 1 else 0)) land ((1 lsl gshare_history_bits) - 1);
   correct
 
-let predict_and_train t ~pc ~taken =
-  t.lookups <- t.lookups + 1;
-  Obs.Counters.incr t.c_lookups;
+let step ~stats t ~pc ~taken =
+  if stats then begin
+    t.lookups <- t.lookups + 1;
+    Obs.Counters.incr t.c_lookups
+  end;
   if t.kind = Config.Perfect_prediction then true
-  else if t.kind = Config.Gshare then gshare_predict_and_train t ~pc ~taken
+  else if t.kind = Config.Gshare then gshare_step ~stats t ~pc ~taken
   else begin
     let idx = (pc lsr 2) land (table_entries - 1) in
     let w = t.weights.(idx) in
@@ -68,7 +70,7 @@ let predict_and_train t ~pc ~taken =
     done;
     let predicted = !sum >= 0 in
     let correct = predicted = taken in
-    if not correct then begin
+    if stats && not correct then begin
       t.mispredicts <- t.mispredicts + 1;
       Obs.Counters.incr t.c_mispredicts
     end;
@@ -87,6 +89,9 @@ let predict_and_train t ~pc ~taken =
     t.history.(t.head) <- taken;
     correct
   end
+
+let predict_and_train t ~pc ~taken = step ~stats:true t ~pc ~taken
+let warm t ~pc ~taken = ignore (step ~stats:false t ~pc ~taken)
 
 let lookups t = t.lookups
 let mispredicts t = t.mispredicts

@@ -17,6 +17,10 @@ val predict_and_train : t -> pc:int -> taken:bool -> bool
 (** Returns whether the prediction matched the actual outcome, and trains
     the predictor. Perfect predictors always match. *)
 
+val warm : t -> pc:int -> taken:bool -> unit
+(** Trains on a branch outcome without touching lookup/mispredict
+    statistics (sampled-simulation warm-up replay). *)
+
 val lookups : t -> int
 val mispredicts : t -> int
 

@@ -16,6 +16,78 @@ val load : t -> int -> int64
 val store : t -> int -> int64 -> unit
 (** Write the word at a byte address, materialising its page. *)
 
+val load_validated : t -> int -> int64
+val store_validated : t -> int -> int64 -> unit
+(** [load]/[store] without re-validating the address: for hot paths whose
+    caller has already checked it is non-negative and 8-byte aligned (the
+    compiled emulator validates once per access and must not pay twice).
+    An unchecked misaligned address silently aliases the containing
+    word. *)
+
+(** {2 Unboxed page access}
+
+    The compiled emulator's inner loop must read and write memory without
+    boxing the [int64]. Pages are int64 bigarrays; [page_get]/[page_set]
+    are the bigarray intrinsics (no bounds check — word indices come from
+    {!word_index}, which masks into range), and the page handles returned
+    by [page_for_load]/[page_for_store] are existing blocks, so a
+    load/store compiled against this interface allocates nothing.
+    Addresses must already be validated as in {!load_validated}. *)
+
+type page = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Concrete (not abstract) so the [page_get]/[page_set] primitives can
+    see the element kind and compile to unboxed accesses at call sites. *)
+
+external page_get : page -> int -> int64 = "%caml_ba_unsafe_ref_1"
+external page_set : page -> int -> int64 -> unit = "%caml_ba_unsafe_set_1"
+
+val page_for_load : t -> int -> page
+(** Page holding the given byte address, for reading: a shared all-zero
+    page when the address' page was never stored to. Never write through
+    it. *)
+
+val page_for_store : t -> int -> page
+(** Page holding the given byte address, materialised if absent. *)
+
+val word_index : int -> int
+(** Index of a byte address' word within its page. *)
+
+val words_per_page : int
+(** Words per page; a power of two, so [word_index addr] is
+    [(addr lsr 3) land (words_per_page - 1)]. *)
+
+val cache_slots : int
+(** Slots in the direct-mapped page cache; a power of two. A page number
+    [idx] maps to slot [idx land (cache_slots - 1)]. *)
+
+val zero_page : page
+(** The shared all-zero page standing in for absent pages in the cache and
+    on the load path. Never write to it. *)
+
+val cache_arrays : t -> int array * page array
+(** The live (page number, page) arrays of the direct-mapped cache, for
+    callers that inline the cache-hit test (without cross-module inlining
+    a call per memory access costs more than the access). Treat both as
+    read-only: slot [s] holds a valid pairing whenever [idx land
+    (cache_slots - 1) = s] and the idx entry is non-negative; a cached
+    {!zero_page} means the page was absent when probed. On a miss, fall
+    back to {!page_for_load}/{!page_for_store}, which refill the cache. *)
+
+type snapshot
+(** An immutable deep copy of a memory's materialised pages. *)
+
+val snapshot : t -> snapshot
+(** Capture the current contents. Later stores to [t] do not affect the
+    snapshot. *)
+
+val restore : t -> snapshot -> unit
+(** Replace the contents of [t] with the snapshot's (pages materialised at
+    capture time stay materialised, everything else reads 0). Stores after
+    a restore do not affect the snapshot. *)
+
+val of_snapshot : snapshot -> t
+(** A fresh memory holding the snapshot's contents. *)
+
 val iter_nonzero : (int -> int64 -> unit) -> t -> unit
 (** Apply to every word with a non-zero value, in no particular order. *)
 

@@ -20,10 +20,49 @@ let sample_requests =
         r_scale = 1000;
         r_core = U.Config.Braid_exec;
         r_width = 8;
+        r_sample = None;
+      };
+    Req.Run
+      {
+        r_bench = "mcf";
+        r_seed = 1;
+        r_scale = 100_000;
+        r_core = U.Config.Ooo;
+        r_width = 8;
+        r_sample =
+          Some
+            {
+              sm_interval = 2000;
+              sm_max_k = 16;
+              sm_warmup = 2000;
+              sm_seed = 1;
+              sm_verify = true;
+            };
       };
     Req.Experiment
-      { e_ids = [ "table2"; "fig5" ]; e_scale = 2000; e_jobs = 4; e_counters = true };
-    Req.Experiment { e_ids = []; e_scale = 12_000; e_jobs = 1; e_counters = false };
+      {
+        e_ids = [ "table2"; "fig5" ];
+        e_scale = 2000;
+        e_jobs = 4;
+        e_counters = true;
+        e_sample = None;
+      };
+    Req.Experiment
+      {
+        e_ids = [];
+        e_scale = 12_000;
+        e_jobs = 1;
+        e_counters = false;
+        e_sample =
+          Some
+            {
+              sm_interval = 1000;
+              sm_max_k = 8;
+              sm_warmup = 0;
+              sm_seed = 7;
+              sm_verify = false;
+            };
+      };
     Req.Sweep
       {
         s_preset = U.Config.Ooo;
@@ -34,6 +73,15 @@ let sample_requests =
         s_scale = 2000;
         s_jobs = 2;
         s_cache_dir = Some "/tmp/cache";
+        s_sample =
+          Some
+            {
+              sm_interval = 2000;
+              sm_max_k = 8;
+              sm_warmup = 2000;
+              sm_seed = 1;
+              sm_verify = false;
+            };
       };
     Req.Sweep
       {
@@ -45,6 +93,7 @@ let sample_requests =
         s_scale = 500;
         s_jobs = 1;
         s_cache_dir = None;
+        s_sample = None;
       };
     Req.Trace
       {
@@ -95,7 +144,45 @@ let test_request_roundtrip () =
 
 let sample_responses =
   [
-    Resp.Done { id = 1; payload = Resp.Run_done { text = "gzip on braid\n" } };
+    Resp.Done
+      {
+        id = 1;
+        payload = Resp.Run_done { text = "gzip on braid\n"; sampled = None };
+      };
+    Resp.Done
+      {
+        id = 12;
+        payload =
+          Resp.Run_done
+            {
+              text = "mcf on ooo (sampled)\n";
+              sampled =
+                Some
+                  {
+                    Resp.sp_reps = 8;
+                    sp_intervals = 50;
+                    sp_ipc = 1.875;
+                    sp_error = Some 0.0042;
+                  };
+            };
+      };
+    Resp.Done
+      {
+        id = 13;
+        payload =
+          Resp.Run_done
+            {
+              text = "mcf on ooo (sampled)\n";
+              sampled =
+                Some
+                  {
+                    Resp.sp_reps = 5;
+                    sp_intervals = 6;
+                    sp_ipc = 0.5;
+                    sp_error = None;
+                  };
+            };
+      };
     Resp.Done
       {
         id = 2;
@@ -314,7 +401,13 @@ let rpc ?on_progress addr req =
 
 let experiment_req =
   Req.Experiment
-    { e_ids = [ "table2" ]; e_scale = 1200; e_jobs = 2; e_counters = false }
+    {
+      e_ids = [ "table2" ];
+      e_scale = 1200;
+      e_jobs = 2;
+      e_counters = false;
+      e_sample = None;
+    }
 
 (* The tentpole acceptance criterion: the served document is byte-for-byte
    the one-shot CLI's document, because both are the same Exec payload. *)
@@ -375,6 +468,7 @@ let test_concurrent_clients () =
                       r_scale = 800;
                       r_core = U.Config.Braid_exec;
                       r_width = 8;
+                      r_sample = None;
                     }
                 in
                 results.(i) <- rpc addr req)
@@ -384,7 +478,7 @@ let test_concurrent_clients () =
       Array.iteri
         (fun i r ->
           match r with
-          | Ok (Resp.Run_done { text }) ->
+          | Ok (Resp.Run_done { text; _ }) ->
               Alcotest.(check bool)
                 (Printf.sprintf "client %d got a run report" i)
                 true
@@ -410,6 +504,7 @@ let test_warm_sweep_zero_simulation () =
         s_scale = 1000;
         s_jobs = 2;
         s_cache_dir = Some cache_dir;
+        s_sample = None;
       }
   in
   Fun.protect
@@ -464,6 +559,7 @@ let test_bad_request_isolated () =
                         r_scale = 100;
                         r_core = U.Config.Braid_exec;
                         r_width = 8;
+                        r_sample = None;
                       })
                with
               | Error m ->

@@ -101,6 +101,45 @@ let test_paged_overwrite_and_zero () =
   Alcotest.(check int) "zeroed word not iterated" 0 count;
   Alcotest.(check int64) "reads back zero" 0L (Paged_mem.load m 64)
 
+(* Snapshot/restore is what lets the sampled driver rewind the compiled
+   emulator to an earlier window without replaying from the start. *)
+let test_paged_snapshot_restore () =
+  let m = Paged_mem.create () in
+  Paged_mem.store m 0 1L;
+  Paged_mem.store m 4096 2L;
+  Paged_mem.store m (1 lsl 30) 3L;
+  let snap = Paged_mem.snapshot m in
+  (* mutate every captured page, zero one word, and touch a new page *)
+  Paged_mem.store m 0 99L;
+  Paged_mem.store m 4096 0L;
+  Paged_mem.store m 8192 4L;
+  Paged_mem.restore m snap;
+  Alcotest.(check int64) "first page restored" 1L (Paged_mem.load m 0);
+  Alcotest.(check int64) "second page restored" 2L (Paged_mem.load m 4096);
+  Alcotest.(check int64) "sparse page restored" 3L (Paged_mem.load m (1 lsl 30));
+  Alcotest.(check int64) "page created after capture reads zero" 0L
+    (Paged_mem.load m 8192)
+
+let test_paged_snapshot_isolated () =
+  let m = Paged_mem.create () in
+  Paged_mem.store m 64 5L;
+  let snap = Paged_mem.snapshot m in
+  (* stores to the source after capture must not leak into the snapshot *)
+  Paged_mem.store m 64 6L;
+  let fresh = Paged_mem.of_snapshot snap in
+  Alcotest.(check int64) "snapshot kept the captured value" 5L
+    (Paged_mem.load fresh 64);
+  (* ... nor stores after a restore *)
+  Paged_mem.restore m snap;
+  Paged_mem.store m 64 7L;
+  let again = Paged_mem.of_snapshot snap in
+  Alcotest.(check int64) "snapshot unaffected by post-restore stores" 5L
+    (Paged_mem.load again 64);
+  (* and two memories restored from one snapshot do not alias *)
+  Paged_mem.store fresh 64 8L;
+  Alcotest.(check int64) "of_snapshot copies are independent" 7L
+    (Paged_mem.load m 64)
+
 let test_paged_invalid_addr () =
   let m = Paged_mem.create () in
   Alcotest.check_raises "unaligned"
@@ -152,6 +191,10 @@ let suite =
       Alcotest.test_case "paged sparse addresses" `Quick test_paged_sparse;
       Alcotest.test_case "paged overwrite to zero" `Quick
         test_paged_overwrite_and_zero;
+      Alcotest.test_case "paged snapshot restore" `Quick
+        test_paged_snapshot_restore;
+      Alcotest.test_case "paged snapshot isolation" `Quick
+        test_paged_snapshot_isolated;
       Alcotest.test_case "paged invalid addresses" `Quick
         test_paged_invalid_addr;
       Alcotest.test_case "rc take_first_free" `Quick test_rc_take_first_free;

@@ -286,7 +286,7 @@ let test_btb_misses_cost () =
 let test_dynamic_stats () =
   let ctx = Braid_sim.Suite.create_ctx () in
   let p = Braid_sim.Suite.prepare ctx ~scale:1500 (Spec.find "gcc") in
-  let d = C.Braid_stats.dynamic_of_trace p.Braid_sim.Suite.braid_trace in
+  let d = C.Braid_stats.dynamic_of_trace (p.Braid_sim.Suite.braid_trace ()) in
   Alcotest.(check bool) "instances positive" true (d.C.Braid_stats.instances > 0);
   Alcotest.(check bool) "size >= 1" true (d.C.Braid_stats.dyn_avg_size >= 1.0);
   Alcotest.(check bool) "multi size >= 2" true (d.C.Braid_stats.dyn_avg_size_multi >= 2.0);
@@ -297,7 +297,7 @@ let test_dynamic_stats () =
     float_of_int d.C.Braid_stats.instances *. d.C.Braid_stats.dyn_avg_size
   in
   Alcotest.(check bool) "sizes sum to trace length" true
-    (abs_float (total -. float_of_int (Trace.length p.Braid_sim.Suite.braid_trace)) < 1.0)
+    (abs_float (total -. float_of_int (Trace.length (p.Braid_sim.Suite.braid_trace ()))) < 1.0)
 
 let suite =
   ( "extensions",

@@ -23,6 +23,7 @@ let () =
       T_golden.suite;
       T_config.suite;
       T_dse.suite;
+      T_sample.suite;
       T_check.suite;
       T_rv.suite;
       T_api.suite;
