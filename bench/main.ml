@@ -104,6 +104,18 @@ let run_bechamel () =
                Braid_util.Calq.add q (c + 400) c;
                Braid_util.Calq.drain q c ignore
              done));
+      (* the CMP hot loop: two pipelines lock-stepped over the shared,
+         coherent L2 — directory lookups ride the L1-miss path, so this
+         tracks the coherence machinery's overhead across PRs *)
+      Test.make ~name:"cmp/2-core-rate"
+        (Staged.stage (fun () ->
+             let ctx = Braid_sim.Suite.create_ctx () in
+             let cfg = Braid_uarch.Config.braid_8wide in
+             let cmp =
+               Braid_uarch.Config.Cmp.make ~cores:2
+                 ~workloads:[ "gzip"; "crafty" ] ()
+             in
+             ignore (Braid_cmp.Cmp_bench.run ctx ~seed:1 ~scale:2000 ~cfg cmp)));
       Test.make ~name:"util/paged-mem"
         (Staged.stage (fun () ->
              let m = Braid_util.Paged_mem.create () in

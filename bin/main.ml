@@ -184,6 +184,16 @@ let rv_cmd =
           optionally check the frontend differential oracle.")
     Cmdliner.Term.(const one_shot $ Ops.rv_term)
 
+let cmp_cmd =
+  Cmdliner.Cmd.v
+    (Cmdliner.Cmd.info "cmp"
+       ~doc:
+         "Multicore (CMP) rate-mode simulation: N copies of one machine \
+          over private L1s and a shared, MSI-coherent L2, reporting \
+          per-core slowdown vs solo, aggregate IPC, weighted speedup and \
+          coherence traffic.")
+    Cmdliner.Term.(const one_shot $ Ops.cmp_term)
+
 let fuzz_cmd =
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "fuzz"
@@ -284,6 +294,8 @@ let client_group =
         Ops.sweep_term;
       op "fuzz" ~doc:"Differential fuzzing on the server." Ops.fuzz_term;
       op "rv" ~doc:"Run an RV32IM program on the server." Ops.rv_term;
+      op "cmp" ~doc:"Multicore rate-mode CMP simulation on the server."
+        Ops.cmp_term;
       control "status" ~doc:"Print daemon status and counters."
         Api.Request.Status;
       control "shutdown"
@@ -348,5 +360,5 @@ let () =
     (Cmdliner.Cmd.eval
        (Cmdliner.Cmd.group info
           [ list_cmd; stats_cmd; inspect_cmd; run_cmd; trace_cmd;
-            experiment_cmd; sweep_cmd; disasm_cmd; complexity_cmd; fuzz_cmd;
-            rv_cmd; serve_cmd; client_group ]))
+            experiment_cmd; sweep_cmd; cmp_cmd; disasm_cmd; complexity_cmd;
+            fuzz_cmd; rv_cmd; serve_cmd; client_group ]))

@@ -418,6 +418,68 @@ let fuzz_term =
     const make $ count_arg $ Cli.seed_arg $ index_arg $ core_opt_arg
     $ shrink_arg $ invariants_arg)
 
+(* --- cmp --- *)
+
+let cmp_term =
+  let benches_arg =
+    Cmdliner.Arg.(
+      non_empty
+      & pos_all Cli.bench_name_conv []
+      & info [] ~docv:"BENCH"
+          ~doc:
+            "Benchmark(s) to run, assigned to cores round-robin: one name \
+             runs the same program on every core (homogeneous rate mode), \
+             several make a multi-programmed mix.")
+  in
+  let cores_arg =
+    Cmdliner.Arg.(
+      value
+      & opt Cli.positive_int 2
+      & info [ "cores" ] ~docv:"N"
+          ~doc:"Core count (1-64). Every core runs the same --core machine.")
+  in
+  let l2_kb_arg =
+    Cmdliner.Arg.(
+      value
+      & opt (some Cli.positive_int) None
+      & info [ "l2-kb" ] ~docv:"KB"
+          ~doc:
+            "Shared L2 capacity in KB (solo geometry otherwise scaled by \
+             the core count).")
+  in
+  let counters_arg =
+    Cmdliner.Arg.(
+      value & flag
+      & info [ "counters" ]
+          ~doc:
+            "Dump the observability counter registry after the summary; \
+             each core's counters are namespaced core0., core1., ... and \
+             the shared hierarchy's l2.*/coh.* are unprefixed.")
+  in
+  let make benches cores core width seed scale l2_kb counters =
+    Call
+      ( Api.Request.Cmp
+          {
+            c_benches = benches;
+            c_cores = cores;
+            c_seed = seed;
+            c_scale = scale;
+            c_core = core;
+            c_width = width;
+            c_l2 =
+              Option.map
+                (fun kb ->
+                  let g = U.Config.default_memory.U.Config.l2 in
+                  { g with U.Config.size_bytes = kb * 1024 })
+                l2_kb;
+            c_counters = counters;
+          },
+        no_output )
+  in
+  Cmdliner.Term.(
+    const make $ benches_arg $ cores_arg $ Cli.core_arg $ width_arg
+    $ Cli.seed_arg $ scale_arg $ l2_kb_arg $ counters_arg)
+
 (* --- payload delivery --- *)
 
 let write_file_or_stdout file doc =
@@ -583,6 +645,9 @@ let deliver out (payload : Api.Response.payload) =
   | Api.Response.Fuzz_done { text; failures; _ } ->
       print_string text;
       if failures > 0 then exit 1
+  | Api.Response.Cmp_done { text; counters_text; _ } ->
+      print_string text;
+      Option.iter print_string counters_text
   | Api.Response.Rv_done { text; oracle_ok; _ } ->
       print_string text;
       if oracle_ok = Some false then exit 1

@@ -74,18 +74,24 @@ let simulate ~(profile : W.Spec.profile) ~seed ~scale ~core ~width ~obs =
   (r, trace)
 
 (* Wire a Runner/Sweep on_done hook to the caller's progress stream. The
-   hook fires on worker domains, so the completion count is atomic; the
-   caller's callback must be domain-safe (the daemon serializes frame
-   writes under a mutex). *)
+   hook fires on worker domains: count and emission happen under one
+   mutex so the stream of completion counts a client observes is strictly
+   monotonic — an atomic counter alone lets two domains reorder between
+   taking their count and emitting their frame. *)
 let counted_progress progress ~total =
   match progress with
   | None -> None
   | Some f ->
-      let completed = Atomic.make 0 in
+      let completed = ref 0 in
+      let m = Mutex.create () in
       Some
         (fun _i label ->
-          let c = Atomic.fetch_and_add completed 1 + 1 in
-          f ~completed:c ~total ~label)
+          Mutex.lock m;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock m)
+            (fun () ->
+              incr completed;
+              f ~completed:!completed ~total ~label))
 
 (* --- run --- *)
 
@@ -277,6 +283,26 @@ let exec_sweep ?progress env (s : Request.sweep) =
          cache_hits = outcome.Dse.Sweep.stats.Dse.Sweep.cache_hits;
        })
 
+(* Dump a live sink's counter registry, one name per line — shared by
+   trace --counters and cmp --counters (where the per-core "core<i>."
+   prefixes keep the cores apart). *)
+let render_counter_registry obs =
+  let cb = Buffer.create 1024 in
+  Buffer.add_char cb '\n';
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Obs.Counters.Count n ->
+          Buffer.add_string cb (Printf.sprintf "%-26s %d\n" name n)
+      | Obs.Counters.Hist { counts; observations; sum; _ } ->
+          Buffer.add_string cb
+            (Printf.sprintf "%-26s n=%d sum=%d buckets=[%s]\n" name
+               observations sum
+               (String.concat ";"
+                  (Array.to_list (Array.map string_of_int counts)))))
+    (Obs.Counters.snapshot (Obs.Sink.counters obs));
+  Buffer.contents cb
+
 (* --- trace --- *)
 
 let exec_trace (t : Request.trace) =
@@ -334,24 +360,7 @@ let exec_trace (t : Request.trace) =
                })
   in
   let counters_text =
-    if not t.Request.t_counters then None
-    else begin
-      let cb = Buffer.create 1024 in
-      Buffer.add_char cb '\n';
-      List.iter
-        (fun (name, v) ->
-          match v with
-          | Obs.Counters.Count n ->
-              Buffer.add_string cb (Printf.sprintf "%-26s %d\n" name n)
-          | Obs.Counters.Hist { counts; observations; sum; _ } ->
-              Buffer.add_string cb
-                (Printf.sprintf "%-26s n=%d sum=%d buckets=[%s]\n" name
-                   observations sum
-                   (String.concat ";"
-                      (Array.to_list (Array.map string_of_int counts)))))
-        (Obs.Counters.snapshot (Obs.Sink.counters obs));
-      Some (Buffer.contents cb)
-    end
+    if not t.Request.t_counters then None else Some (render_counter_registry obs)
   in
   Ok (Response.Trace_done { text = Buffer.contents b; counters_text; chrome })
 
@@ -366,7 +375,7 @@ let exec_fuzz (f : Request.fuzz) =
     Ck.Fuzz.run ~invariants:f.Request.f_invariants ~shrink:f.Request.f_shrink
       ~cores ~first_index:f.Request.f_index ~count ~seed:f.Request.f_seed ()
   in
-  let core_names = String.concat "," (List.map U.Config.kind_to_string cores) in
+  let core_names = String.concat "," (List.map U.Config.Core_kind.to_string cores) in
   let b = Buffer.create 1024 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let failures = List.length outcome.Ck.Fuzz.failures in
@@ -464,6 +473,84 @@ let exec_rv (v : Request.rv) =
          oracle_ok;
        })
 
+(* --- cmp --- *)
+
+let exec_cmp env (c : Request.cmp) =
+  let* scale = positive "scale" c.Request.c_scale in
+  let* width = check_width c.Request.c_width in
+  let* () =
+    if c.Request.c_benches = [] then Error "at least one benchmark is required"
+    else Ok ()
+  in
+  let* (_ : W.Spec.profile list) =
+    List.fold_left
+      (fun acc n ->
+        let* acc = acc in
+        let* p = find_bench n in
+        Ok (p :: acc))
+      (Ok []) c.Request.c_benches
+  in
+  let cfg = U.Config.preset_of_kind c.Request.c_core in
+  let cfg = if width = 8 then cfg else U.Config.scale_width cfg width in
+  let* cmp =
+    U.Config.Cmp.validate
+      (U.Config.Cmp.make ~l2:c.Request.c_l2 ~cores:c.Request.c_cores
+         ~workloads:c.Request.c_benches ())
+  in
+  let obs = if c.Request.c_counters then Obs.Sink.create () else Obs.Sink.disabled in
+  (* the env's suite ctx memoises preparations, so a daemon serves
+     repeats from warm traces while producing the one-shot bytes *)
+  let r =
+    Braid_cmp.Cmp_bench.run ~obs env.ctx ~seed:c.Request.c_seed ~scale ~cfg cmp
+  in
+  let* () =
+    match r.Braid_cmp.Cmp.violations with
+    | [] -> Ok ()
+    | vs ->
+        Error
+          (Printf.sprintf "internal error: coherence violation: %s"
+             (String.concat "; " vs))
+  in
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "cmp: %d cores of %s, shared %dKB L2 (rate mode)\n"
+    cmp.U.Config.Cmp.cores cfg.U.Config.name
+    (cmp.U.Config.Cmp.l2.U.Config.size_bytes / 1024);
+  pf "  %-4s %-10s %10s %13s %6s %8s\n" "core" "bench" "cycles" "instructions"
+    "IPC" "slowdown";
+  List.iter
+    (fun (cr : Braid_cmp.Cmp.core_result) ->
+      pf "  %-4d %-10s %10d %13d %6.3f %8.3f\n" cr.Braid_cmp.Cmp.core_id
+        cr.Braid_cmp.Cmp.bench cr.Braid_cmp.Cmp.result.U.Core.cycles
+        cr.Braid_cmp.Cmp.result.U.Core.instructions
+        cr.Braid_cmp.Cmp.result.U.Core.ipc cr.Braid_cmp.Cmp.slowdown)
+    r.Braid_cmp.Cmp.cores;
+  pf "  aggregate IPC       %.3f\n" r.Braid_cmp.Cmp.aggregate_ipc;
+  pf "  weighted speedup    %.3f\n" r.Braid_cmp.Cmp.weighted_speedup;
+  pf "  global cycles       %d\n" r.Braid_cmp.Cmp.cycles;
+  pf "  shared L2           %d hits, %d misses\n" r.Braid_cmp.Cmp.l2_hits
+    r.Braid_cmp.Cmp.l2_misses;
+  let coh = r.Braid_cmp.Cmp.coherence in
+  pf "  coherence           %d invalidations, %d downgrades, %d writebacks, %d remote hits\n"
+    coh.U.Mem_hier.invalidations coh.U.Mem_hier.downgrades
+    coh.U.Mem_hier.writebacks coh.U.Mem_hier.remote_hits;
+  let counters_text =
+    if not c.Request.c_counters then None else Some (render_counter_registry obs)
+  in
+  Ok
+    (Response.Cmp_done
+       {
+         text = Buffer.contents b;
+         aggregate_ipc = r.Braid_cmp.Cmp.aggregate_ipc;
+         weighted_speedup = r.Braid_cmp.Cmp.weighted_speedup;
+         cycles = r.Braid_cmp.Cmp.cycles;
+         invalidations = coh.U.Mem_hier.invalidations;
+         downgrades = coh.U.Mem_hier.downgrades;
+         writebacks = coh.U.Mem_hier.writebacks;
+         remote_hits = coh.U.Mem_hier.remote_hits;
+         counters_text;
+       })
+
 (* --- dispatch --- *)
 
 let exec ?progress env request =
@@ -477,6 +564,7 @@ let exec ?progress env request =
     | Request.Trace t -> exec_trace t
     | Request.Fuzz f -> exec_fuzz f
     | Request.Rv v -> exec_rv v
+    | Request.Cmp c -> exec_cmp env c
     | Request.Status | Request.Cancel _ | Request.Shutdown ->
         Error
           (Printf.sprintf "op %S is only served by a running daemon"

@@ -67,6 +67,17 @@ type rv = {
   v_oracle : bool;
 }
 
+type cmp = {
+  c_benches : string list;  (* assigned to cores round-robin; non-empty *)
+  c_cores : int;
+  c_seed : int;
+  c_scale : int;
+  c_core : Config.core_kind;
+  c_width : int;
+  c_l2 : Config.cache_geometry option;  (* shared L2; None: scaled default *)
+  c_counters : bool;
+}
+
 type t =
   | Run of run
   | Experiment of experiment
@@ -74,6 +85,7 @@ type t =
   | Trace of trace
   | Fuzz of fuzz
   | Rv of rv
+  | Cmp of cmp
   | Status
   | Cancel of { request_id : int }
   | Shutdown
@@ -85,6 +97,7 @@ let op_name = function
   | Trace _ -> "trace"
   | Fuzz _ -> "fuzz"
   | Rv _ -> "rv"
+  | Cmp _ -> "cmp"
   | Status -> "status"
   | Cancel _ -> "cancel"
   | Shutdown -> "shutdown"
@@ -93,7 +106,7 @@ let op_name = function
 
 let num n = Json.Num (float_of_int n)
 let strs xs = Json.Arr (List.map (fun s -> Json.Str s) xs)
-let core k = Json.Str (Config.kind_to_string k)
+let core k = Json.Str (Config.Core_kind.to_string k)
 
 (* an absent "sample" object means full simulation, so pre-sampling
    clients produce and parse the same documents as before *)
@@ -160,6 +173,26 @@ let to_tree t =
           ("cores", Json.Arr (List.map (fun k -> core k) v.v_cores));
           ("oracle", Json.Bool v.v_oracle);
         ]
+    | Cmp c ->
+        [
+          ("benches", strs c.c_benches); ("cores", num c.c_cores);
+          ("seed", num c.c_seed); ("scale", num c.c_scale);
+          ("core", core c.c_core); ("width", num c.c_width);
+        ]
+        @ (match c.c_l2 with
+          | None -> []
+          | Some g ->
+              [
+                ( "l2",
+                  Json.Obj
+                    [
+                      ("size_bytes", num g.Config.size_bytes);
+                      ("ways", num g.Config.ways);
+                      ("line_bytes", num g.Config.line_bytes);
+                      ("latency", num g.Config.latency);
+                    ] );
+              ])
+        @ [ ("counters", Json.Bool c.c_counters) ]
     | Status | Shutdown -> []
     | Cancel { request_id } -> [ ("id", num request_id) ]
   in
@@ -194,7 +227,7 @@ let str_list_member name doc =
 let core_member name doc =
   match Json.str_member name doc with
   | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
-  | Some s -> Config.kind_of_string s
+  | Some s -> Config.Core_kind.of_string s
 
 (* absent is fine (full simulation); a present "sample" must be complete *)
 let sample_member doc =
@@ -272,7 +305,7 @@ let of_tree doc =
             List.fold_left
               (fun acc n ->
                 let* acc = acc in
-                let* k = Config.kind_of_string n in
+                let* k = Config.Core_kind.of_string n in
                 Ok (k :: acc))
               (Ok []) names
             |> Result.map List.rev
@@ -287,13 +320,39 @@ let of_tree doc =
             List.fold_left
               (fun acc n ->
                 let* acc = acc in
-                let* k = Config.kind_of_string n in
+                let* k = Config.Core_kind.of_string n in
                 Ok (k :: acc))
               (Ok []) names
             |> Result.map List.rev
           in
           let* v_oracle = field "oracle" bool_member doc in
           Ok (Rv { v_hex; v_cores; v_oracle })
+      | Some "cmp" ->
+          let* c_benches = field "benches" str_list_member doc in
+          let* c_cores = field "cores" Json.int_member doc in
+          let* c_seed = field "seed" Json.int_member doc in
+          let* c_scale = field "scale" Json.int_member doc in
+          let* c_core = core_member "core" doc in
+          let* c_width = field "width" Json.int_member doc in
+          (* absent is fine (the scaled default geometry); a present "l2"
+             must be complete *)
+          let* c_l2 =
+            match Json.member "l2" doc with
+            | None -> Ok None
+            | Some sub ->
+                let* size_bytes = field "size_bytes" Json.int_member sub in
+                let* ways = field "ways" Json.int_member sub in
+                let* line_bytes = field "line_bytes" Json.int_member sub in
+                let* latency = field "latency" Json.int_member sub in
+                Ok
+                  (Some
+                     { Config.size_bytes; ways; line_bytes; latency })
+          in
+          let* c_counters = field "counters" bool_member doc in
+          Ok
+            (Cmp
+               { c_benches; c_cores; c_seed; c_scale; c_core; c_width; c_l2;
+                 c_counters })
       | Some "status" -> Ok Status
       | Some "cancel" ->
           let* request_id = field "id" Json.int_member doc in

@@ -90,6 +90,21 @@ type rv = {
   v_oracle : bool;  (** also run the frontend differential oracle *)
 }
 
+type cmp = {
+  c_benches : string list;
+      (** assigned to cores round-robin
+          ({!Braid_uarch.Config.Cmp.workload_of}); must be non-empty *)
+  c_cores : int;  (** 1-64 *)
+  c_seed : int;
+  c_scale : int;
+  c_core : Config.core_kind;  (** every core runs this machine *)
+  c_width : int;
+  c_l2 : Config.cache_geometry option;
+      (** shared L2 geometry; [None]: the solo L2 with capacity scaled by
+          the core count ({!Braid_uarch.Config.Cmp.default_l2}) *)
+  c_counters : bool;  (** also return the namespaced counter registry *)
+}
+
 type t =
   | Run of run
   | Experiment of experiment
@@ -97,6 +112,8 @@ type t =
   | Trace of trace
   | Fuzz of fuzz
   | Rv of rv
+  | Cmp of cmp
+      (** multi-programmed rate-mode CMP over a shared coherent L2 *)
   | Status  (** daemon introspection; answered without queueing *)
   | Cancel of { request_id : int }  (** withdraw a still-queued request *)
   | Shutdown  (** drain admitted work, then exit *)

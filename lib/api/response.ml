@@ -35,6 +35,17 @@ type payload =
       chrome : chrome option;
     }
   | Fuzz_done of { text : string; tested : int; failures : int }
+  | Cmp_done of {
+      text : string;
+      aggregate_ipc : float;
+      weighted_speedup : float;
+      cycles : int;
+      invalidations : int;
+      downgrades : int;
+      writebacks : int;
+      remote_hits : int;
+      counters_text : string option;
+    }
   | Rv_done of {
       text : string;
       output : string;
@@ -98,6 +109,22 @@ let payload_fields = function
         ("result", Json.Str "fuzz"); ("text", Json.Str text);
         ("tested", num tested); ("failures", num failures);
       ]
+  | Cmp_done
+      {
+        text; aggregate_ipc; weighted_speedup; cycles; invalidations;
+        downgrades; writebacks; remote_hits; counters_text;
+      } ->
+      [
+        ("result", Json.Str "cmp"); ("text", Json.Str text);
+        ("aggregate_ipc", Json.Num aggregate_ipc);
+        ("weighted_speedup", Json.Num weighted_speedup);
+        ("cycles", num cycles); ("invalidations", num invalidations);
+        ("downgrades", num downgrades); ("writebacks", num writebacks);
+        ("remote_hits", num remote_hits);
+      ]
+      @ (match counters_text with
+        | None -> []
+        | Some c -> [ ("counters_text", Json.Str c) ])
   | Rv_done { text; output; exit_code; rv_dynamic; ir_dynamic; oracle_ok } ->
       [
         ("result", Json.Str "rv"); ("text", Json.Str text);
@@ -208,6 +235,25 @@ let payload_of_tree doc =
       let* tested = field "tested" Json.int_member doc in
       let* failures = field "failures" Json.int_member doc in
       Ok (Fuzz_done { text; tested; failures })
+  | Some "cmp" ->
+      let* text = field "text" Json.str_member doc in
+      let float_member name d =
+        match Json.member name d with Some (Json.Num f) -> Some f | _ -> None
+      in
+      let* aggregate_ipc = field "aggregate_ipc" float_member doc in
+      let* weighted_speedup = field "weighted_speedup" float_member doc in
+      let* cycles = field "cycles" Json.int_member doc in
+      let* invalidations = field "invalidations" Json.int_member doc in
+      let* downgrades = field "downgrades" Json.int_member doc in
+      let* writebacks = field "writebacks" Json.int_member doc in
+      let* remote_hits = field "remote_hits" Json.int_member doc in
+      let counters_text = Json.str_member "counters_text" doc in
+      Ok
+        (Cmp_done
+           {
+             text; aggregate_ipc; weighted_speedup; cycles; invalidations;
+             downgrades; writebacks; remote_hits; counters_text;
+           })
   | Some "rv" ->
       let* text = field "text" Json.str_member doc in
       let* output = field "output" Json.str_member doc in

@@ -49,6 +49,18 @@ type payload =
       chrome : chrome option;
     }
   | Fuzz_done of { text : string; tested : int; failures : int }
+  | Cmp_done of {
+      text : string;
+      aggregate_ipc : float;  (** sum of per-core rate-mode IPCs *)
+      weighted_speedup : float;  (** mean of per-core IPC_cmp / IPC_solo *)
+      cycles : int;  (** global cycles until the last core finished *)
+      invalidations : int;  (** coherence traffic (see {!Braid_uarch.Mem_hier}) *)
+      downgrades : int;
+      writebacks : int;
+      remote_hits : int;
+      counters_text : string option;
+          (** the per-core-namespaced counter registry, when requested *)
+    }
   | Rv_done of {
       text : string;
       output : string;  (** the reference run's HTIF putchar stream *)

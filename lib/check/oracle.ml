@@ -81,7 +81,7 @@ let check ?(invariants = true) ?(cores = default_cores) ?inject_commit program
     let braid_out, braid_mem = emulate "braid-binary" braid in
     let warm_data = List.map fst init_mem in
     let run_core kind =
-      let name = Config.kind_to_string kind in
+      let name = Config.Core_kind.to_string kind in
       let cfg = Config.preset_of_kind kind in
       let out, bin_mem =
         match kind with

@@ -2,13 +2,11 @@ module Config = Braid_uarch.Config
 module Spec = Braid_workload.Spec
 
 let core_kind_conv : Config.core_kind Cmdliner.Arg.conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Config.kind_of_string s) in
-  let print fmt k = Format.pp_print_string fmt (Config.kind_to_string k) in
+  let parse s = Result.map_error (fun m -> `Msg m) (Config.Core_kind.of_string s) in
+  let print fmt k = Format.pp_print_string fmt (Config.Core_kind.to_string k) in
   Cmdliner.Arg.conv ~docv:"CORE" (parse, print)
 
-let core_names =
-  String.concat ", "
-    (List.map (fun c -> Config.kind_to_string c.Config.kind) Config.presets)
+let core_names = String.concat ", " Config.Core_kind.names
 
 let core_arg =
   Cmdliner.Arg.(
@@ -20,10 +18,10 @@ let core_arg =
 let preset_conv : Config.t Cmdliner.Arg.conv =
   let parse s =
     Result.map Config.preset_of_kind
-      (Result.map_error (fun m -> `Msg m) (Config.kind_of_string s))
+      (Result.map_error (fun m -> `Msg m) (Config.Core_kind.of_string s))
   in
   let print fmt (c : Config.t) =
-    Format.pp_print_string fmt (Config.kind_to_string c.Config.kind)
+    Format.pp_print_string fmt (Config.Core_kind.to_string c.Config.kind)
   in
   Cmdliner.Arg.conv ~docv:"PRESET" (parse, print)
 

@@ -3,8 +3,8 @@
     Both executables historically hand-rolled their own core selection,
     benchmark-name validation and [--seed]/[--scale]/[--jobs] terms; this
     module is the single copy, built on
-    {!Braid_uarch.Config.kind_of_string} / [kind_to_string] so the two
-    CLIs cannot drift. *)
+    {!Braid_uarch.Config.Core_kind} so the two CLIs cannot drift from
+    each other or from the api/DSE/fuzz spellings. *)
 
 val core_kind_conv : Braid_uarch.Config.core_kind Cmdliner.Arg.conv
 (** Parses ["in-order"], ["dep-steer"], ["ooo"], ["braid"]; a typo is a

@@ -1,0 +1,71 @@
+(** Multi-programmed (rate-mode) CMP over a shared, coherent L2.
+
+    N identical cores — each a full {!Braid_uarch.Core} pipeline running
+    its own program over private L1s — share one L2 behind the MSI
+    directory of {!Braid_uarch.Mem_hier}. One global clock steps every
+    unfinished core once per cycle (core 0 first, so runs are
+    deterministic); a core that commits its whole trace goes quiet while
+    the rest keep contending for the shared L2.
+
+    Metrics follow the rate-mode convention: each core's IPC is taken at
+    its {e own} finish cycle; [aggregate_ipc] sums them (throughput);
+    [weighted_speedup] is the mean of per-core [IPC_cmp / IPC_solo] —
+    1.0 means the shared hierarchy cost nothing, lower means
+    interference. *)
+
+type workload = {
+  w_bench : string;  (** label only *)
+  w_trace : Braid_isa.Trace.t;
+  w_warm_data : int list;  (** initial data image (see [Pipeline.run]) *)
+}
+
+type core_result = {
+  core_id : int;
+  bench : string;
+  result : Braid_uarch.Core.result;
+      (** per-core counters, at this core's own finish cycle *)
+  solo_cycles : int;  (** same workload, same config, private hierarchy *)
+  slowdown : float;  (** cycles / solo_cycles; 1.0 = no interference *)
+}
+
+type t = {
+  cores : core_result list;  (** in core order *)
+  cycles : int;  (** global cycles until the last core finished *)
+  instructions : int;  (** summed over cores *)
+  aggregate_ipc : float;  (** sum of per-core IPCs (rate metric) *)
+  weighted_speedup : float;  (** (1/N) × sum of IPC_cmp / IPC_solo *)
+  l2_hits : int;  (** shared L2 *)
+  l2_misses : int;
+  coherence : Braid_uarch.Mem_hier.coh_stats;
+  violations : string list;
+      (** directory-legality scan after the run; must be empty *)
+}
+
+val run :
+  ?obs:Braid_obs.Sink.t ->
+  ?dbgs:Braid_uarch.Debug.t array ->
+  ?solo_cycles:int array ->
+  cfg:Braid_uarch.Config.t ->
+  cmp:Braid_uarch.Config.Cmp.t ->
+  workload array ->
+  t
+(** [run ~cfg ~cmp workloads] needs exactly [cmp.cores] workloads (the
+    caller resolves [cmp.workloads] names to traces, round-robin —
+    {!Braid_uarch.Config.Cmp.workload_of}).
+
+    Solo baselines are simulated first over private hierarchies unless
+    [solo_cycles] supplies them (e.g. memoised); they never touch the
+    shared state. A 1-core run over the solo L2 geometry is
+    cycle-identical to [Pipeline.run] — the passthrough proof the golden
+    suite pins.
+
+    With a live [obs] sink, core [i]'s counters are namespaced
+    ["core<i>."] ({!Braid_obs.Sink.scoped}) while the shared backside
+    registers ["l2.*"] and ["coh.*"] unprefixed; attach a tracer before
+    calling to also capture coherence events.
+
+    [dbgs] attaches one invariant monitor per core (commit-stream
+    recording for the differential fuzzer).
+
+    Raises [Invalid_argument] on a workload/core count mismatch or
+    mis-sized [dbgs]/[solo_cycles]. *)

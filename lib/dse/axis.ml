@@ -2,11 +2,20 @@ module Config = Braid_uarch.Config
 
 type t = { field : string; values : string list }
 
+(* "cores" is a pseudo-axis: not a Config field (adding one there would
+   change every config digest and invalidate every sweep cache) but a
+   grid-level binding that tiles the point's machine over N cores sharing
+   a coherent L2 (Braid_cmp). Grid.expand parses and bounds its values. *)
+let pseudo_fields = [ "cores" ]
+
 let make ~field values =
-  if not (List.mem field Config.sweepable_fields) then
+  if
+    not
+      (List.mem field Config.sweepable_fields || List.mem field pseudo_fields)
+  then
     Error
       (Printf.sprintf "unknown sweep axis field %S; sweepable fields: %s" field
-         (String.concat ", " Config.sweepable_fields))
+         (String.concat ", " (Config.sweepable_fields @ pseudo_fields)))
   else if values = [] then
     Error (Printf.sprintf "axis %s: at least one value is required" field)
   else if

@@ -6,10 +6,16 @@
 
 type t = private { field : string; values : string list }
 
+val pseudo_fields : string list
+(** Grid-level axes that are not {!Braid_uarch.Config} fields. Currently
+    only ["cores"]: the CMP core count, carried on {!Grid.point} beside
+    the per-core config (a Config field would change every digest). *)
+
 val make : field:string -> string list -> (t, string) result
-(** Rejects unknown fields (listing the sweepable ones), empty value
-    lists and duplicate values. Value parseability is checked per grid
-    point at expansion time ({!Grid.expand}). *)
+(** Rejects unknown fields (listing the sweepable ones plus
+    {!pseudo_fields}), empty value lists and duplicate values. Value
+    parseability is checked per grid point at expansion time
+    ({!Grid.expand}). *)
 
 val ints : field:string -> int list -> (t, string) result
 val bools : field:string -> bool list -> (t, string) result

@@ -12,9 +12,21 @@ type key = {
   binary : string;
   ext_usable : int;
   sampling : string;
+  cores : int;
 }
 
-type entry = { cycles : int; instructions : int }
+type cmp_extra = {
+  per_core : (int * int) list;
+  solo : int list;
+  invalidations : int;
+  downgrades : int;
+  writebacks : int;
+  remote_hits : int;
+  l2_hits : int;
+  l2_misses : int;
+}
+
+type entry = { cycles : int; instructions : int; cmp : cmp_extra option }
 
 let rec mkdir_p dir =
   if dir = "" || dir = "/" || dir = "." || Sys.file_exists dir then ()
@@ -40,7 +52,9 @@ let key_id k =
      folds in every machine parameter, the rest pins the trace. A sampled
      job appends its spec digest so full and sampled results of the same
      point never alias; the full-simulation address is unchanged ([""]
-     appends nothing), keeping caches from before sampling valid. *)
+     appends nothing), keeping caches from before sampling valid. A CMP
+     job (cores > 1) appends its core count the same way, so solo
+     addresses written before the cores axis existed stay valid too. *)
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
@@ -48,12 +62,43 @@ let key_id k =
              schema; k.config_digest; k.bench; string_of_int k.seed;
              string_of_int k.scale; k.binary; string_of_int k.ext_usable;
            ]
-          @ (if k.sampling = "" then [] else [ k.sampling ]))))
+          @ (if k.sampling = "" then [] else [ k.sampling ])
+          @ (if k.cores = 1 then [] else [ "cores=" ^ string_of_int k.cores ]))))
 
 (* <dir>/<first two hex chars>/<full id>.json *)
 let path t k =
   let id = key_id k in
   Filename.concat (Filename.concat t.dir (String.sub id 0 2)) (id ^ ".json")
+
+(* CMP payloads ride in flat comma-joined strings so the entry stays one
+   shallow JSON object the line parser already handles. *)
+let ints_to_string xs = String.concat "," (List.map string_of_int xs)
+
+let ints_of_string s =
+  let parts = String.split_on_char ',' s in
+  List.fold_left
+    (fun acc p ->
+      match (acc, int_of_string_opt p) with
+      | Some acc, Some n -> Some (n :: acc)
+      | _ -> None)
+    (Some []) parts
+  |> Option.map List.rev
+
+let pairs_to_string xs =
+  String.concat "," (List.map (fun (c, i) -> Printf.sprintf "%d:%d" c i) xs)
+
+let pairs_of_string s =
+  let parts = String.split_on_char ',' s in
+  List.fold_left
+    (fun acc p ->
+      match (acc, String.split_on_char ':' p) with
+      | Some acc, [ c; i ] -> (
+          match (int_of_string_opt c, int_of_string_opt i) with
+          | Some c, Some i -> Some ((c, i) :: acc)
+          | _ -> None)
+      | _ -> None)
+    (Some []) parts
+  |> Option.map List.rev
 
 let entry_to_json k e =
   Json.obj_lit
@@ -68,10 +113,24 @@ let entry_to_json k e =
      ]
     @ (if k.sampling = "" then []
        else [ ("sampling", Json.escape_string k.sampling) ])
+    @ (if k.cores = 1 then [] else [ ("cores", string_of_int k.cores) ])
     @ [
         ("cycles", string_of_int e.cycles);
         ("instructions", string_of_int e.instructions);
-      ])
+      ]
+    @ (match e.cmp with
+      | None -> []
+      | Some x ->
+          [
+            ("per_core", Json.escape_string (pairs_to_string x.per_core));
+            ("solo", Json.escape_string (ints_to_string x.solo));
+            ( "coherence",
+              Json.escape_string
+                (ints_to_string
+                   [ x.invalidations; x.downgrades; x.writebacks; x.remote_hits ])
+            );
+            ("l2", Json.escape_string (ints_to_string [ x.l2_hits; x.l2_misses ]));
+          ]))
   ^ "\n"
 
 let read_file path =
@@ -104,12 +163,39 @@ let find t k =
           (* absent means "full simulation": files written before the
              field existed keep matching full-simulation keys *)
           && Option.value (str "sampling") ~default:"" = k.sampling
+          (* likewise, absent means "solo" (one core) *)
+          && Option.value (int "cores") ~default:1 = k.cores
         in
         if not matches then None
         else
-          match (int "cycles", int "instructions") with
-          | Some cycles, Some instructions when cycles > 0 ->
-              Some { cycles; instructions }
+          let cmp =
+            if k.cores = 1 then Ok None
+            else
+              (* a CMP hit must carry its whole payload; anything short
+                 or malformed degrades to a miss *)
+              match
+                ( Option.bind (str "per_core") pairs_of_string,
+                  Option.bind (str "solo") ints_of_string,
+                  Option.bind (str "coherence") ints_of_string,
+                  Option.bind (str "l2") ints_of_string )
+              with
+              | ( Some per_core,
+                  Some solo,
+                  Some [ invalidations; downgrades; writebacks; remote_hits ],
+                  Some [ l2_hits; l2_misses ] )
+                when List.length per_core = k.cores
+                     && List.length solo = k.cores ->
+                  Ok
+                    (Some
+                       {
+                         per_core; solo; invalidations; downgrades; writebacks;
+                         remote_hits; l2_hits; l2_misses;
+                       })
+              | _ -> Error ()
+          in
+          match (cmp, int "cycles", int "instructions") with
+          | Ok cmp, Some cycles, Some instructions when cycles > 0 ->
+              Some { cycles; instructions; cmp }
           | _ -> None
 
 let store t k e =

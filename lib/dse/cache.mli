@@ -27,9 +27,30 @@ type key = {
           address, so full and sampled results never alias; [""] leaves
           the address (and on-disk format) identical to pre-sampling
           caches, which therefore stay valid. *)
+  cores : int;
+      (** CMP core count; 1 (solo) leaves the content address and on-disk
+          format identical to pre-CMP caches, which therefore stay
+          valid. *)
 }
 
-type entry = { cycles : int; instructions : int }
+type cmp_extra = {
+  per_core : (int * int) list;  (** (cycles, instructions), core order *)
+  solo : int list;  (** solo-baseline cycles, core order *)
+  invalidations : int;  (** coherence traffic of the whole run *)
+  downgrades : int;
+  writebacks : int;
+  remote_hits : int;
+  l2_hits : int;  (** shared L2 *)
+  l2_misses : int;
+}
+(** The extra payload of a CMP entry, enough to rebuild per-core IPCs,
+    slowdowns and coherence counters from cached integers alone. *)
+
+type entry = {
+  cycles : int;  (** solo: run cycles; CMP: global cycles (last finisher) *)
+  instructions : int;  (** summed over cores for CMP *)
+  cmp : cmp_extra option;  (** present exactly when [key.cores > 1] *)
+}
 
 val open_dir : string -> (t, string) result
 (** Creates the directory (and parents) if needed. *)

@@ -43,13 +43,44 @@ let render (o : Sweep.outcome) =
 
 let json_of_run (r : Sweep.run) =
   Json.obj_lit
-    [
-      ("bench", Json.escape_string r.Sweep.bench);
-      ("cycles", string_of_int r.Sweep.cycles);
-      ("instructions", string_of_int r.Sweep.instructions);
-      ("ipc", Json.float_lit r.Sweep.ipc);
-      ("cached", if r.Sweep.from_cache then "true" else "false");
-    ]
+    ([
+       ("bench", Json.escape_string r.Sweep.bench);
+       ("cycles", string_of_int r.Sweep.cycles);
+       ("instructions", string_of_int r.Sweep.instructions);
+       ("ipc", Json.float_lit r.Sweep.ipc);
+       ("cached", if r.Sweep.from_cache then "true" else "false");
+     ]
+    (* CMP points append their per-core and coherence detail; solo runs
+       keep the exact pre-CMP document shape *)
+    @
+    match r.Sweep.cmp with
+    | None -> []
+    | Some x ->
+        [
+          ( "per_core",
+            Json.list_lit
+              (fun (c, i) ->
+                Json.obj_lit
+                  [
+                    ("cycles", string_of_int c);
+                    ("instructions", string_of_int i);
+                    ( "ipc",
+                      Json.float_lit
+                        (float_of_int i /. float_of_int (max 1 c)) );
+                  ])
+              x.Cache.per_core );
+          ("solo_cycles", Json.list_lit string_of_int x.Cache.solo);
+          ( "coherence",
+            Json.obj_lit
+              [
+                ("invalidations", string_of_int x.Cache.invalidations);
+                ("downgrades", string_of_int x.Cache.downgrades);
+                ("writebacks", string_of_int x.Cache.writebacks);
+                ("remote_hits", string_of_int x.Cache.remote_hits);
+              ] );
+          ("l2_hits", string_of_int x.Cache.l2_hits);
+          ("l2_misses", string_of_int x.Cache.l2_misses);
+        ])
 
 let json_of_point ((p : Sweep.point_result), optimal) =
   Json.obj_lit

@@ -15,6 +15,7 @@ type point = {
   label : string;
   bindings : (string * string) list;
   config : Config.t;
+  cores : int;
 }
 
 let max_points = 100_000
@@ -27,20 +28,41 @@ let label_of = function
 
 (* Override then validate: a point that parses but describes a nonsense
    machine (zero clusters, window wider than its queue, ...) fails the
-   whole expansion before any simulation is scheduled. *)
+   whole expansion before any simulation is scheduled. The "cores"
+   pseudo-axis never reaches Config.override — it rides on the point. *)
 let point_of ~(base : Config.t) bindings =
   let label = label_of bindings in
+  let core_bindings, overrides =
+    List.partition (fun (f, _) -> f = "cores") bindings
+  in
+  let cores =
+    match core_bindings with
+    | [] -> Ok 1
+    | [ (_, v) ] -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 && n <= 64 -> Ok n
+        | _ ->
+            Error
+              (Printf.sprintf
+                 "point %s: cores must be an integer in [1, 64] (got %S)" label
+                 v))
+    | _ :: _ :: _ -> assert false (* duplicate fields rejected by expand *)
+  in
   let name =
     match bindings with
     | [] -> base.Config.name
     | _ -> Printf.sprintf "%s+%s" base.Config.name label
   in
-  match Config.override base bindings with
-  | Error msg -> Error (Printf.sprintf "point %s: %s" label msg)
-  | Ok c -> (
-      match Config.validate { c with Config.name } with
-      | Error msg -> Error (Printf.sprintf "point %s: invalid config: %s" label msg)
-      | Ok config -> Ok { label; bindings; config })
+  match cores with
+  | Error msg -> Error msg
+  | Ok cores -> (
+      match Config.override base overrides with
+      | Error msg -> Error (Printf.sprintf "point %s: %s" label msg)
+      | Ok c -> (
+          match Config.validate { c with Config.name } with
+          | Error msg ->
+              Error (Printf.sprintf "point %s: invalid config: %s" label msg)
+          | Ok config -> Ok { label; bindings; config; cores }))
 
 let cartesian axes =
   List.fold_left

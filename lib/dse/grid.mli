@@ -18,6 +18,10 @@ type point = {
   config : Braid_uarch.Config.t;
       (** base overridden by [bindings], renamed ["<base>+<label>"] so the
           simulation memoiser distinguishes points *)
+  cores : int;
+      (** the ["cores"] pseudo-axis value (1 when absent): > 1 makes this
+          a rate-mode CMP point — [cores] copies of [config] over a shared
+          coherent L2 ({!Braid_cmp}). Bounded to [1, 64]. *)
 }
 
 val expand :

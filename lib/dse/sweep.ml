@@ -10,6 +10,7 @@ type run = {
   instructions : int;
   ipc : float;
   from_cache : bool;
+  cmp : Cache.cmp_extra option;
 }
 
 type point_result = {
@@ -40,7 +41,7 @@ let binary_of (cfg : Config.t) =
   | Config.Braid_exec -> "braid"
   | Config.In_order | Config.Dep_steer | Config.Ooo -> "conv"
 
-let key_of ~ctx ~seed ~scale (cfg : Config.t) (pr : Spec.profile) =
+let key_of ~ctx ~seed ~scale ~cores (cfg : Config.t) (pr : Spec.profile) =
   {
     Cache.config_digest = Config.digest cfg;
     bench = pr.Spec.name;
@@ -54,6 +55,7 @@ let key_of ~ctx ~seed ~scale (cfg : Config.t) (pr : Spec.profile) =
       (match Suite.sampling ctx with
       | None -> ""
       | Some sp -> Braid_sample.Spec.digest sp);
+    cores;
   }
 
 let simulate ~ctx ~seed ~scale (cfg : Config.t) (pr : Spec.profile) =
@@ -66,6 +68,45 @@ let simulate ~ctx ~seed ~scale (cfg : Config.t) (pr : Spec.profile) =
   {
     Cache.cycles = r.Braid_uarch.Pipeline.cycles;
     instructions = r.Braid_uarch.Pipeline.instructions;
+    cmp = None;
+  }
+
+(* A cores > 1 point is a rate-mode CMP run: [cores] copies of the
+   benchmark over a shared coherent L2 (capacity scaled with the core
+   count, Config.Cmp.default_l2). Always full simulation — sampling does
+   not compose with a shared hierarchy. *)
+let simulate_cmp ~ctx ~seed ~scale ~cores (cfg : Config.t) (pr : Spec.profile) =
+  if Suite.sampling ctx <> None then
+    invalid_arg "Sweep: sampled simulation does not support the cores axis";
+  let cmp =
+    Braid_uarch.Config.Cmp.make ~cores ~workloads:[ pr.Spec.name ] ()
+  in
+  let r =
+    Braid_cmp.Cmp_bench.run ~ext_usable:(ext_usable_of cfg) ctx ~seed ~scale
+      ~cfg cmp
+  in
+  let open Braid_cmp in
+  let coh = r.Cmp.coherence in
+  {
+    Cache.cycles = r.Cmp.cycles;
+    instructions = r.Cmp.instructions;
+    cmp =
+      Some
+        {
+          Cache.per_core =
+            List.map
+              (fun (c : Cmp.core_result) ->
+                ( c.Cmp.result.Braid_uarch.Core.cycles,
+                  c.Cmp.result.Braid_uarch.Core.instructions ))
+              r.Cmp.cores;
+          solo = List.map (fun (c : Cmp.core_result) -> c.Cmp.solo_cycles) r.Cmp.cores;
+          invalidations = coh.Braid_uarch.Mem_hier.invalidations;
+          downgrades = coh.Braid_uarch.Mem_hier.downgrades;
+          writebacks = coh.Braid_uarch.Mem_hier.writebacks;
+          remote_hits = coh.Braid_uarch.Mem_hier.remote_hits;
+          l2_hits = r.Cmp.l2_hits;
+          l2_misses = r.Cmp.l2_misses;
+        };
   }
 
 let job_count ~benches points = List.length points * List.length benches
@@ -83,11 +124,18 @@ let run ?(obs = Obs.Sink.disabled) ?cache ?on_done ~ctx ~jobs ~seed ~scale
                in
                ( label,
                  fun () ->
-                   let key = key_of ~ctx ~seed ~scale pt.Grid.config pr in
+                   let cores = pt.Grid.cores in
+                   let key = key_of ~ctx ~seed ~scale ~cores pt.Grid.config pr in
                    match Option.bind cache (fun c -> Cache.find c key) with
                    | Some e -> (e, true)
                    | None ->
-                       let e = simulate ~ctx ~seed ~scale pt.Grid.config pr in
+                       let e =
+                         if cores = 1 then
+                           simulate ~ctx ~seed ~scale pt.Grid.config pr
+                         else
+                           simulate_cmp ~ctx ~seed ~scale ~cores pt.Grid.config
+                             pr
+                       in
                        Option.iter (fun c -> Cache.store c key e) cache;
                        (e, false) ))
              benches)
@@ -107,11 +155,21 @@ let run ?(obs = Obs.Sink.disabled) ?cache ?on_done ~ctx ~jobs ~seed ~scale
                 cycles = e.Cache.cycles;
                 instructions = e.Cache.instructions;
                 (* recomputed from the integers so a cached and a fresh
-                   result are bit-identical (same formula as Pipeline) *)
+                   result are bit-identical. Solo: same formula as
+                   Pipeline. CMP: the rate metric — each core's IPC at
+                   its own finish cycle, summed. *)
                 ipc =
-                  float_of_int e.Cache.instructions
-                  /. float_of_int (max 1 e.Cache.cycles);
+                  (match e.Cache.cmp with
+                  | None ->
+                      float_of_int e.Cache.instructions
+                      /. float_of_int (max 1 e.Cache.cycles)
+                  | Some x ->
+                      List.fold_left
+                        (fun acc (c, i) ->
+                          acc +. (float_of_int i /. float_of_int (max 1 c)))
+                        0.0 x.Cache.per_core);
                 from_cache;
+                cmp = e.Cache.cmp;
               })
             benches
         in
@@ -122,7 +180,12 @@ let run ?(obs = Obs.Sink.disabled) ?cache ?on_done ~ctx ~jobs ~seed ~scale
         {
           point = pt;
           digest = Config.digest pt.Grid.config;
-          complexity = (Braid_uarch.Complexity.of_config pt.Grid.config).Braid_uarch.Complexity.total;
+          (* a CMP point spends its per-core complexity once per core, so
+             the Pareto trade-off is throughput vs total silicon *)
+          complexity =
+            (Braid_uarch.Complexity.of_config pt.Grid.config)
+              .Braid_uarch.Complexity.total
+            *. float_of_int pt.Grid.cores;
           mean_ipc;
           runs;
         })

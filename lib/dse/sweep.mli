@@ -9,16 +9,23 @@ type run = {
   cycles : int;
   instructions : int;
   ipc : float;
-      (** recomputed as instructions / cycles, so cached and fresh
-          results are bit-identical *)
+      (** recomputed from cached integers, so cached and fresh results
+          are bit-identical. Solo: instructions / cycles. CMP points
+          (cores pseudo-axis > 1): the rate-mode aggregate — each core's
+          IPC at its own finish cycle, summed. *)
   from_cache : bool;
+  cmp : Cache.cmp_extra option;
+      (** per-core cycles/instructions, solo baselines and coherence
+          traffic of a CMP run; [None] on solo points *)
 }
 
 type point_result = {
   point : Grid.point;
   digest : string;  (** {!Braid_uarch.Config.digest} of the point *)
   complexity : float;
-      (** {!Braid_uarch.Complexity} total static index of the point *)
+      (** {!Braid_uarch.Complexity} total static index of the point,
+          multiplied by its core count: the Pareto trade-off is
+          throughput vs total silicon *)
   mean_ipc : float;  (** plain mean over the swept benchmarks *)
   runs : run list;  (** one per benchmark, in the order given *)
 }

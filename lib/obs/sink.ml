@@ -1,22 +1,29 @@
 type t = {
   is_enabled : bool;
   registry : Counters.t;
+  prefix : string;  (* prepended to every counter/histogram name *)
   mutable attached : Tracer.t option;
 }
 
-let disabled = { is_enabled = false; registry = Counters.create (); attached = None }
+let disabled =
+  { is_enabled = false; registry = Counters.create (); prefix = ""; attached = None }
 
-let create () = { is_enabled = true; registry = Counters.create (); attached = None }
+let create () =
+  { is_enabled = true; registry = Counters.create (); prefix = ""; attached = None }
 
 let enabled t = t.is_enabled
 let counters t = t.registry
 
 let counter t name =
-  if t.is_enabled then Counters.counter t.registry name else Counters.dummy_counter name
+  if t.is_enabled then Counters.counter t.registry (t.prefix ^ name)
+  else Counters.dummy_counter name
 
 let histogram t name ~bounds =
-  if t.is_enabled then Counters.histogram t.registry name ~bounds
+  if t.is_enabled then Counters.histogram t.registry (t.prefix ^ name) ~bounds
   else Counters.dummy_histogram name ~bounds
+
+let scoped t prefix =
+  if t.is_enabled then { t with prefix = t.prefix ^ prefix } else t
 
 let attach_tracer t tr = if t.is_enabled then t.attached <- Some tr
 let detach_tracer t = t.attached <- None

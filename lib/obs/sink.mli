@@ -27,6 +27,14 @@ val counter : t -> string -> Counters.counter
 
 val histogram : t -> string -> bounds:int array -> Counters.histogram
 
+val scoped : t -> string -> t
+(** [scoped t prefix] shares [t]'s registry (and its currently attached
+    tracer) but prepends [prefix] to every counter and histogram name it
+    hands out — e.g. ["core0."] namespaces one CMP core's counters
+    inside the common registry. Prefixes compose. Attach any tracer
+    before scoping: the scope snapshots the attachment. [disabled]
+    scopes to itself. *)
+
 val attach_tracer : t -> Tracer.t -> unit
 (** No-op on [disabled]. *)
 

@@ -71,51 +71,37 @@ let access_gen ~count t addr =
 
 let access t addr = access_gen ~count:true t addr
 
+let warm t addr = ignore (access_gen ~count:false t addr)
+
+let latency t = t.latency
+let line_bytes t = 1 lsl t.line_bits
+let line_of t addr = addr lsr t.line_bits
+
+(* Coherence probes never touch LRU state or hit/miss statistics: a
+   back-invalidation or a legality scan must be invisible to the timing
+   of the probed core beyond the invalidation itself. *)
+let find_way t addr =
+  let line = addr lsr t.line_bits in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let base = set * t.ways in
+  let way = ref (-1) in
+  for w = base to base + t.ways - 1 do
+    if t.tags.(w) = tag then way := w
+  done;
+  !way
+
+let probe t addr = find_way t addr >= 0
+
+let invalidate_line t addr =
+  let w = find_way t addr in
+  if w >= 0 then begin
+    t.tags.(w) <- -1;
+    t.stamps.(w) <- 0;
+    true
+  end
+  else false
+
 let hits t = t.hits
 let misses t = t.misses
-
-type hierarchy = {
-  l1i : t;
-  l1d : t;
-  l2 : t;
-  memory_latency : int;
-  perfect_icache : bool;
-  perfect_dcache : bool;
-}
-
-let create_hierarchy ?(obs = Obs.Sink.disabled) (m : Config.memory) =
-  {
-    l1i = create ~obs ~name:"l1i" m.Config.l1i;
-    l1d = create ~obs ~name:"l1d" m.Config.l1d;
-    l2 = create ~obs ~name:"l2" m.Config.l2;
-    memory_latency = m.Config.memory_latency;
-    perfect_icache = m.Config.perfect_icache;
-    perfect_dcache = m.Config.perfect_dcache;
-  }
-
-let through h l1 addr =
-  let lat = ref l1.latency in
-  if not (access l1 addr) then begin
-    lat := !lat + h.l2.latency;
-    if not (access h.l2 addr) then lat := !lat + h.memory_latency
-  end;
-  !lat
-
-let instr_latency h addr = if h.perfect_icache then 1 else through h h.l1i addr
-
-let data_latency h addr = if h.perfect_dcache then h.l1d.latency else through h h.l1d addr
-
-let warm_instr h addr =
-  ignore (access_gen ~count:false h.l1i addr);
-  ignore (access_gen ~count:false h.l2 addr)
-
-let warm_l2 h addr = ignore (access_gen ~count:false h.l2 addr)
-
-let warm_data h addr =
-  ignore (access_gen ~count:false h.l1d addr);
-  ignore (access_gen ~count:false h.l2 addr)
-
 let stats c = (c.hits, c.misses)
-let l1i_stats h = stats h.l1i
-let l1d_stats h = stats h.l1d
-let l2_stats h = stats h.l2

@@ -1,10 +1,10 @@
-(** Set-associative caches with true LRU, and the two-level hierarchy plus
-    main memory of Table 4.
+(** Set-associative caches with true LRU.
 
     The timing model charges the full latency chain at access time and
     fills all levels (non-blocking, unlimited MSHRs — adequate for
     relative comparisons across execution cores, which all share this
-    model). *)
+    model). The two-level hierarchy built from these caches lives in
+    {!Mem_hier}. *)
 
 type t
 
@@ -16,33 +16,27 @@ val create : ?obs:Braid_obs.Sink.t -> ?name:string -> Config.cache_geometry -> t
 val access : t -> int -> bool
 (** [access t addr] probes and updates state; returns hit. Fills on miss. *)
 
+val warm : t -> int -> unit
+(** Like {!access} but counts nothing: warm-up pre-fill. *)
+
+val latency : t -> int
+(** Access latency of this level (from the creating geometry). *)
+
+val line_bytes : t -> int
+val line_of : t -> int -> int
+(** The line index of a byte address under this cache's line size. *)
+
+val probe : t -> int -> bool
+(** Presence check that touches neither LRU state nor statistics
+    (coherence-legality scans). *)
+
+val invalidate_line : t -> int -> bool
+(** [invalidate_line t addr] drops the line holding [addr] if present
+    (directory back-invalidation); returns whether a line was dropped.
+    Touches no statistics and no LRU state of other lines. *)
+
 val hits : t -> int
 val misses : t -> int
 
-type hierarchy
-
-val create_hierarchy : ?obs:Braid_obs.Sink.t -> Config.memory -> hierarchy
-(** Level counters are registered as ["l1i.*"], ["l1d.*"], ["l2.*"]. *)
-
-val instr_latency : hierarchy -> int -> int
-(** Fetch latency for the line containing a byte address: the L1I latency
-    on a hit, plus L2/memory on misses. 1 when the configuration has a
-    perfect I-cache. *)
-
-val data_latency : hierarchy -> int -> int
-(** Load-to-use latency for a data access, analogous. *)
-
-val warm_instr : hierarchy -> int -> unit
-(** Pre-fills the L1I and L2 with the line of a code address, without
-    touching hit/miss statistics (steady-state warm-up). *)
-
-val warm_l2 : hierarchy -> int -> unit
-(** Pre-fills the L2 with a data line, without touching statistics. *)
-
-val warm_data : hierarchy -> int -> unit
-(** Pre-fills the L1D and L2 with a data line, without touching
-    statistics (sampled-simulation warm-up replay). *)
-
-val l1i_stats : hierarchy -> int * int
-val l1d_stats : hierarchy -> int * int
-val l2_stats : hierarchy -> int * int
+val stats : t -> int * int
+(** [(hits, misses)]. *)

@@ -195,22 +195,34 @@ let perfect_frontend cfg =
 
 
 
-let kind_to_string = function
-  | In_order -> "in-order"
-  | Dep_steer -> "dep-steer"
-  | Ooo -> "ooo"
-  | Braid_exec -> "braid"
+(* The one place core-kind names live: every front end (CLI, api, DSE
+   axes, fuzz) converts through this module, so an unknown kind produces
+   the same typed error, listing the same valid names, everywhere. *)
+module Core_kind = struct
+  type t = core_kind = In_order | Dep_steer | Ooo | Braid_exec
 
-let kind_of_string s =
-  match String.lowercase_ascii (String.trim s) with
-  | "in-order" -> Ok In_order
-  | "dep-steer" -> Ok Dep_steer
-  | "ooo" -> Ok Ooo
-  | "braid" -> Ok Braid_exec
-  | _ ->
-      Error
-        (Printf.sprintf
-           "unknown core kind %S (expected in-order, dep-steer, ooo or braid)" s)
+  let all = [ In_order; Dep_steer; Ooo; Braid_exec ]
+
+  let to_string = function
+    | In_order -> "in-order"
+    | Dep_steer -> "dep-steer"
+    | Ooo -> "ooo"
+    | Braid_exec -> "braid"
+
+  let names = List.map to_string all
+
+  let of_string s =
+    let needle = String.lowercase_ascii (String.trim s) in
+    match List.find_opt (fun k -> String.equal (to_string k) needle) all with
+    | Some k -> Ok k
+    | None ->
+        Error
+          (Printf.sprintf "unknown core kind %S (expected %s)" s
+             (String.concat ", " names))
+end
+
+let kind_to_string = Core_kind.to_string
+let kind_of_string = Core_kind.of_string
 
 let predictor_to_string = function
   | Perceptron -> "perceptron"
@@ -294,8 +306,8 @@ let fields : field_spec list =
     {
       f_name = "kind";
       f_class = Jstr;
-      get = (fun c -> kind_to_string c.kind);
-      set = (fun c s -> Result.map (fun kind -> { c with kind }) (kind_of_string s));
+      get = (fun c -> Core_kind.to_string c.kind);
+      set = (fun c s -> Result.map (fun kind -> { c with kind }) (Core_kind.of_string s));
     };
     int_field "fetch_width" (fun c -> c.fetch_width) (fun c v -> { c with fetch_width = v });
     int_field "max_branches_per_cycle"
@@ -501,3 +513,54 @@ let validate c =
   match List.rev !problems with
   | [] -> Ok c
   | ps -> Error (String.concat "; " ps)
+
+(* ------------------------------------------------------------------ *)
+(* CMP section. Deliberately *not* part of the per-core field table:   *)
+(* adding fields there would change every config digest and invalidate *)
+(* every sweep cache. A CMP point is a per-core config plus this       *)
+(* record; the sweep cache keys the pair separately.                   *)
+(* ------------------------------------------------------------------ *)
+
+module Cmp = struct
+  type t = {
+    cores : int;  (* cores tiled over the shared L2 *)
+    workloads : string list;  (* benchmark names, assigned round-robin *)
+    l2 : cache_geometry;  (* the shared L2 *)
+  }
+
+  let default_l2 cores =
+    (* scale the solo L2 capacity with the core count so per-core
+       capacity pressure stays comparable across the sweep axis *)
+    let solo = default_memory.l2 in
+    { solo with size_bytes = solo.size_bytes * max 1 cores }
+
+  let make ?(l2 = None) ~cores ~workloads () =
+    {
+      cores;
+      workloads;
+      l2 = (match l2 with Some g -> g | None -> default_l2 cores);
+    }
+
+  let validate t =
+    let problems = ref [] in
+    let check ok msg = if not ok then problems := msg :: !problems in
+    check (t.cores >= 1)
+      (Printf.sprintf "cmp.cores must be positive (got %d)" t.cores);
+    check (t.cores <= 64)
+      (Printf.sprintf "cmp.cores must be at most 64 (got %d): the directory \
+                       tracks sharers in one word" t.cores);
+    check (t.workloads <> []) "cmp.workloads must name at least one benchmark";
+    check (t.l2.size_bytes >= t.l2.ways * t.l2.line_bytes)
+      (Printf.sprintf
+         "cmp.l2.size_bytes (%d) must hold at least one line per way (%d x %d)"
+         t.l2.size_bytes t.l2.ways t.l2.line_bytes);
+    check (t.l2.ways >= 1 && t.l2.line_bytes >= 1 && t.l2.latency >= 1
+           && t.l2.size_bytes >= 1)
+      "cmp.l2 geometry fields must be positive";
+    match List.rev !problems with
+    | [] -> Ok t
+    | ps -> Error (String.concat "; " ps)
+
+  (* workload of core [i]: round-robin over the named benchmarks *)
+  let workload_of t i = List.nth t.workloads (i mod List.length t.workloads)
+end

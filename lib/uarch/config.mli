@@ -112,12 +112,32 @@ val perfect_frontend : t -> t
     and string-level overrides, so the vocabulary the sweep engine exposes
     ([--axis ext_regs=4,8,...]) can never drift from the record. *)
 
+(** The one place core-kind names live. Every front end — CLI [--core],
+    api requests, DSE axes, fuzz — converts through this module, so an
+    unknown kind yields the same typed error listing the same valid
+    names everywhere. *)
+module Core_kind : sig
+  type t = core_kind = In_order | Dep_steer | Ooo | Braid_exec
+
+  val all : t list
+  (** In complexity order: in-order, dep-steer, ooo, braid-exec. *)
+
+  val names : string list
+  (** [List.map to_string all]. *)
+
+  val to_string : t -> string
+  (** ["in-order"], ["dep-steer"], ["ooo"] or ["braid"]. *)
+
+  val of_string : string -> (t, string) result
+  (** Inverse of {!to_string} (case-insensitive, trimmed); the error
+      lists every valid name. *)
+end
+
 val kind_to_string : core_kind -> string
-(** ["in-order"], ["dep-steer"], ["ooo"] or ["braid"] — the one spelling
-    shared by every front end. *)
+(** [Core_kind.to_string]. *)
 
 val kind_of_string : string -> (core_kind, string) result
-(** Inverse of {!kind_to_string} (case-insensitive, trimmed). *)
+(** [Core_kind.of_string]. *)
 
 val predictor_to_string : predictor_kind -> string
 val predictor_of_string : string -> (predictor_kind, string) result
@@ -167,3 +187,32 @@ val validate : t -> (t, string) result
     non-positive widths/ports/window sizes, zero clusters,
     [sched_window > cluster_entries], degenerate cache geometries. The
     error aggregates every violated rule. All {!presets} validate. *)
+
+(** The typed CMP section: core count, workload assignment and shared-L2
+    geometry for a multicore rate-mode run.
+
+    Deliberately {e not} part of the per-core field table — adding fields
+    there would change every config {!digest} and invalidate every sweep
+    cache. A CMP point is a per-core config plus this record. *)
+module Cmp : sig
+  type nonrec t = {
+    cores : int;  (** cores tiled over the shared L2 *)
+    workloads : string list;  (** benchmark names, assigned round-robin *)
+    l2 : cache_geometry;  (** the shared L2 *)
+  }
+
+  val default_l2 : int -> cache_geometry
+  (** The solo L2 geometry with capacity scaled by the core count, so
+      per-core capacity pressure stays comparable across a cores sweep. *)
+
+  val make :
+    ?l2:cache_geometry option -> cores:int -> workloads:string list -> unit -> t
+  (** [l2] defaults to [default_l2 cores]. *)
+
+  val validate : t -> (t, string) result
+  (** Positive core count (≤ 64: one-word sharer masks), at least one
+      workload, sane L2 geometry. Aggregates every violated rule. *)
+
+  val workload_of : t -> int -> string
+  (** The benchmark assigned to core [i] (round-robin). *)
+end

@@ -1,0 +1,459 @@
+module Obs = Braid_obs
+
+(* One core's whole pipeline — fetch, dispatch, execution core, commit —
+   as a stepable value: [create] builds the machine and warms its
+   caches, [step] advances exactly one cycle, [result] reads the
+   counters off a finished run. [Pipeline.run] is [create] + a
+   step-until-finished loop; a CMP interleaves [step]s of many cores
+   under one global clock. *)
+
+type stalls = {
+  fetch_redirect : int;  (** cycles fetch waited on a mispredicted branch *)
+  fetch_icache : int;  (** cycles fetch waited on an I-cache fill *)
+  dispatch_core : int;  (** cycles the execution core refused dispatch *)
+  dispatch_frontend : int;  (** cycles a front-end resource refused it *)
+}
+
+type result = {
+  config_name : string;
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  branch_lookups : int;
+  branch_mispredicts : int;
+  l1i_misses : int;
+  l1d_misses : int;
+  l2_misses : int;
+  dispatch_stall_regs : int;
+  faults : int;
+  activity : Machine.activity;
+  stalls : stalls;
+  avg_occupancy : float;  (** mean instructions resident in the core *)
+}
+
+exception Deadlock of string
+
+type redirect = {
+  uid : int;  (** instruction whose resolution restarts fetch *)
+  penalty : int;
+  wrong_path : (int * int) option;  (** (block, offset) fetch runs down *)
+}
+
+(* Counter snapshot at the measurement boundary of a [measure_from] run:
+   everything the result reports, captured the cycle the last warm-up
+   instruction commits so the prefix can be subtracted out. Commit-to-
+   commit deltas telescope — summed over contiguous intervals they equal
+   the full run's cycle count — so windowed measurement has no systematic
+   drain bias (a fetch-time boundary would charge every window the full
+   end-of-trace pipeline drain that a real run overlaps with younger
+   instructions). *)
+type boundary = {
+  b_cycle : int;
+  b_lookups : int;
+  b_mispredicts : int;
+  b_l1i : int;
+  b_l1d : int;
+  b_l2 : int;
+  b_stall_regs : int;
+  b_faults : int;
+  b_activity : Machine.activity;
+  b_s_redirect : int;
+  b_s_icache : int;
+  b_s_core : int;
+  b_s_frontend : int;
+  b_occupancy_sum : int;
+}
+
+type t = {
+  machine : Machine.t;
+  step_fn : unit -> unit;
+  result_fn : unit -> result;
+}
+
+let create ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) ?(warm_data = [])
+    ?prewarm ?measure_from ?hier (cfg : Config.t) (trace : Trace.t) =
+  let n = Array.length trace.Trace.events in
+  if n = 0 then invalid_arg "Core.create: empty trace";
+  (match measure_from with
+  | Some mf when mf < 0 || mf >= n ->
+      invalid_arg
+        (Printf.sprintf "Core.create: measure_from %d outside trace [0, %d)" mf n)
+  | _ -> ());
+  let m = Machine.create ~obs ~dbg ?hier cfg trace in
+  (* Warm-up: the measured window is a steady-state snapshot of a much
+     longer run (MinneSPEC), so code lines are warm in L1I/L2 and the
+     initial data image is warm in L2. *)
+  let h = Machine.hierarchy m in
+  Array.iter (fun line -> Mem_hier.warm_instr h line) (Trace.warm_lines trace);
+  List.iter (fun addr -> Mem_hier.warm_l2 h addr) warm_data;
+  let core = Exec_core.create m in
+  let fetchq : int Ring.t = Ring.create ~dummy:(-1) ~capacity:cfg.Config.fetch_buffer in
+  let fetch_idx = ref 0 in
+  let blocked : redirect option ref = ref None in
+  let icache_ready = ref 0 in
+  let last_line = ref min_int in
+  let faults = ref 0 in
+  let hier = Machine.hierarchy m in
+  let pred = Machine.predictor m in
+  (* Sampled simulation: replay the warm-up window preceding the measured
+     interval into caches and predictor (no statistics, no timing), so the
+     interval starts from the microarchitectural state its position in the
+     full run implies rather than from the steady-state approximation
+     above alone. *)
+  (match prewarm with
+  | None -> ()
+  | Some (w : Trace.t) ->
+      let last = ref min_int in
+      Array.iter
+        (fun (e : Trace.event) ->
+          let line = e.Trace.pc / 64 in
+          if line <> !last then begin
+            Mem_hier.warm_instr hier e.Trace.pc;
+            last := line
+          end;
+          if e.Trace.is_load || e.Trace.is_store then
+            Mem_hier.warm_data hier e.Trace.addr;
+          if e.Trace.is_cond_branch then
+            Predictor.warm pred ~pc:e.Trace.pc ~taken:e.Trace.taken)
+        w.Trace.events);
+  let guard = (200 * n) + 100_000 in
+  let last_progress = ref 0 in
+  let last_committed = ref 0 in
+  let stall_redirect = ref 0 and stall_icache = ref 0 in
+  let stall_core = ref 0 and stall_frontend = ref 0 in
+  let occupancy_sum = ref 0 in
+  let boundary = ref None in
+  let capture_boundary () =
+    boundary :=
+      Some
+        {
+          b_cycle = Machine.now m;
+          b_lookups = Predictor.lookups pred;
+          b_mispredicts = Predictor.mispredicts pred;
+          b_l1i = snd (Mem_hier.l1i_stats hier);
+          b_l1d = snd (Mem_hier.l1d_stats hier);
+          b_l2 = snd (Mem_hier.l2_stats hier);
+          b_stall_regs = Machine.stall_dispatch_regs m;
+          b_faults = !faults;
+          b_activity = Machine.activity m;
+          b_s_redirect = !stall_redirect;
+          b_s_icache = !stall_icache;
+          b_s_core = !stall_core;
+          b_s_frontend = !stall_frontend;
+          b_occupancy_sum = !occupancy_sum;
+        }
+  in
+  (* observability: registered handles on a live sink, dummies otherwise;
+     the tracer (if any) is attached before the run starts *)
+  let c_fetch = Obs.Sink.counter obs "fetch.instrs" in
+  let c_stall_redirect = Obs.Sink.counter obs "stall.fetch_redirect" in
+  let c_stall_icache = Obs.Sink.counter obs "stall.fetch_icache" in
+  let c_stall_core = Obs.Sink.counter obs "stall.dispatch_core" in
+  let c_stall_frontend = Obs.Sink.counter obs "stall.dispatch_frontend" in
+  let h_occupancy =
+    Obs.Sink.histogram obs "core.occupancy"
+      ~bounds:[| 0; 2; 4; 8; 16; 32; 64; 128; 256 |]
+  in
+  let tracer = Obs.Sink.tracer obs in
+  let record_stall reason =
+    match tracer with
+    | None -> ()
+    | Some tr ->
+        Obs.Tracer.record tr
+          (Obs.Tracer.Stall { cycle = Machine.now m; track = -1; reason })
+  in
+  (* finite BTB: direct-mapped table of transfer pcs *)
+  let btb =
+    if cfg.Config.btb_entries > 0 then Some (Array.make cfg.Config.btb_entries (-1))
+    else None
+  in
+  let btb_hit pc =
+    match btb with
+    | None -> true
+    | Some table ->
+        let idx = (pc lsr 2) mod Array.length table in
+        let hit = table.(idx) = pc in
+        table.(idx) <- pc;
+        hit
+  in
+  (* Wrong-path fetch: while a redirect is pending, walk the static
+     program down the mispredicted direction, touching I-cache lines
+     (polluting them) at fetch width per cycle. *)
+  let program = trace.Trace.program in
+  let wrong_path_of (e : Trace.event) =
+    let b = program.Program.blocks.(e.Trace.block_id) in
+    if e.Trace.taken then
+      (* predicted not-taken: the wrong path falls through *)
+      if e.Trace.offset + 1 < Array.length b.Program.instrs then
+        Some (e.Trace.block_id, e.Trace.offset + 1)
+      else Option.map (fun ft -> (ft, 0)) b.Program.fallthrough
+    else
+      (* predicted taken: the wrong path is the branch target *)
+      match b.Program.instrs.(e.Trace.offset).Instr.op with
+      | Op.Branch (_, _, target) -> Some (target, 0)
+      | _ -> None
+  in
+  let advance_wrong_path loc =
+    (* touch this cycle's wrong-path lines; return the next location *)
+    let rec go (blk, off) k last_line =
+      if k = 0 then Some (blk, off)
+      else
+        let b = program.Program.blocks.(blk) in
+        if off >= Array.length b.Program.instrs then
+          match b.Program.fallthrough with
+          | Some ft -> go (ft, 0) k last_line
+          | None -> None
+        else begin
+          let pc = Program.pc_of program ~block_id:blk ~offset:off in
+          let line = pc / 64 in
+          if line <> last_line then ignore (Mem_hier.instr_latency hier pc);
+          (* wrong-path fetch assumes not-taken on conditionals and
+             follows jumps *)
+          match b.Program.instrs.(off).Instr.op with
+          | Op.Jump target -> go (target, 0) (k - 1) line
+          | Op.Halt -> None
+          | _ -> go (blk, off + 1) (k - 1) line
+        end
+    in
+    go loc cfg.Config.fetch_width (-1)
+  in
+  let step () =
+    Machine.begin_cycle m;
+    let now = Machine.now m in
+    if now > guard then
+      raise
+        (Deadlock
+           (Printf.sprintf "%s: no completion after %d cycles (%d/%d committed)"
+              cfg.Config.name now (Machine.committed_count m) n));
+    Machine.commit_stage m;
+    (match measure_from with
+    | Some mf when !boundary = None && Machine.committed_count m >= mf ->
+        capture_boundary ()
+    | _ -> ());
+    Exec_core.cycle core;
+    let occupancy = Exec_core.occupancy core in
+    occupancy_sum := !occupancy_sum + occupancy;
+    if Obs.Sink.enabled obs then Obs.Counters.observe h_occupancy occupancy;
+    (* dispatch *)
+    let continue_dispatch = ref true in
+    while !continue_dispatch && not (Ring.is_empty fetchq) do
+      let u = Ring.peek fetchq in
+      if Machine.can_dispatch m u then
+        if Exec_core.try_dispatch core u then begin
+          Machine.note_dispatch m u;
+          ignore (Ring.pop fetchq)
+        end
+        else begin
+          incr stall_core;
+          Obs.Counters.incr c_stall_core;
+          record_stall "core-full";
+          continue_dispatch := false
+        end
+      else begin
+        incr stall_frontend;
+        Obs.Counters.incr c_stall_frontend;
+        if tracer <> None then
+          record_stall (Machine.dispatch_block_name (Machine.dispatch_block_reason m u));
+        continue_dispatch := false
+      end
+    done;
+    (* resolve fetch redirects *)
+    (match !blocked with
+    | Some r ->
+        incr stall_redirect;
+        Obs.Counters.incr c_stall_redirect;
+        record_stall "redirect";
+        (if cfg.Config.model_wrong_path_fetch then
+           match r.wrong_path with
+           | Some loc ->
+               blocked := Some { r with wrong_path = advance_wrong_path loc }
+           | None -> ());
+        if
+          Machine.issued m r.uid
+          && now >= Machine.complete_cycle m r.uid + r.penalty
+        then blocked := None
+    | None ->
+        if now < !icache_ready then begin
+          incr stall_icache;
+          Obs.Counters.incr c_stall_icache;
+          record_stall "icache"
+        end);
+    (* fetch *)
+    if !blocked = None && now >= !icache_ready then begin
+      let fetched = ref 0 and branches = ref 0 in
+      let stop = ref false in
+      while
+        (not !stop)
+        && !fetched < cfg.Config.fetch_width
+        && !fetch_idx < n
+        && not (Ring.is_full fetchq)
+      do
+        let e = trace.Trace.events.(!fetch_idx) in
+        (* I-cache: charge per new line; a miss stalls fetch *)
+        let line = e.Trace.pc / 64 in
+        if line <> !last_line then begin
+          let lat = Mem_hier.instr_latency hier e.Trace.pc in
+          last_line := line;
+          if lat > cfg.Config.mem.Config.l1i.Config.latency then begin
+            icache_ready := now + lat;
+            (match tracer with
+            | None -> ()
+            | Some tr ->
+                Obs.Tracer.record tr
+                  (Obs.Tracer.Span
+                     { name = "L1I miss"; cat = "cache"; track = -1; start = now; dur = lat }));
+            stop := true
+          end
+        end;
+        if not !stop then begin
+          let is_branch = Trace.branch_of e in
+          if is_branch && !branches >= cfg.Config.max_branches_per_cycle then
+            stop := true
+          else begin
+            Ring.push fetchq e.Trace.uid;
+            incr fetched;
+            Obs.Counters.incr c_fetch;
+            Debug.on_fetch dbg ~cycle:now e;
+            (match tracer with
+            | None -> ()
+            | Some tr ->
+                Obs.Tracer.record tr
+                  (Obs.Tracer.Stage
+                     { cycle = now; uid = e.Trace.uid; stage = Obs.Tracer.Fetch; track = -1 }));
+            if is_branch then incr branches;
+            (* a taken transfer missing in the BTB costs a fetch bubble *)
+            if is_branch && e.Trace.taken && not (btb_hit e.Trace.pc) then
+              icache_ready := max !icache_ready (now + 2);
+            if e.Trace.is_cond_branch then begin
+              let correct =
+                Predictor.predict_and_train pred ~pc:e.Trace.pc ~taken:e.Trace.taken
+              in
+              if not correct then begin
+                blocked :=
+                  Some
+                    {
+                      uid = e.Trace.uid;
+                      penalty = cfg.Config.misprediction_penalty;
+                      wrong_path =
+                        (if cfg.Config.model_wrong_path_fetch then wrong_path_of e
+                         else None);
+                    };
+                stop := true
+              end
+            end;
+            (* arithmetic faults serialize: drain, handle, resume (§3.4) *)
+            if e.Trace.faulting then begin
+              incr faults;
+              blocked :=
+                Some
+                  {
+                    uid = e.Trace.uid;
+                    penalty = 2 * cfg.Config.misprediction_penalty;
+                    wrong_path = None;
+                  };
+              stop := true
+            end;
+            incr fetch_idx
+          end
+        end
+      done
+    end;
+    (* coarse progress check to catch modeling deadlocks *)
+    if Machine.committed_count m > !last_committed then begin
+      last_committed := Machine.committed_count m;
+      last_progress := now
+    end
+    else if now - !last_progress > 4 * cfg.Config.mem.Config.memory_latency + 4096
+    then
+      raise
+        (Deadlock
+           (Printf.sprintf "%s: stuck at %d/%d committed (cycle %d)"
+              cfg.Config.name (Machine.committed_count m) n now))
+  in
+  let result () =
+    (* With [measure_from], report only the measured suffix: every counter
+       minus its value the cycle the last warm-up instruction committed.
+       (Every event commits before the run can complete, so the boundary is
+       always captured.) *)
+    let b =
+      match !boundary with
+      | Some b -> b
+      | None ->
+          {
+            b_cycle = 0;
+            b_lookups = 0;
+            b_mispredicts = 0;
+            b_l1i = 0;
+            b_l1d = 0;
+            b_l2 = 0;
+            b_stall_regs = 0;
+            b_faults = 0;
+            b_activity =
+              {
+                Machine.ext_rf_reads = 0;
+                ext_rf_writes = 0;
+                int_rf_reads = 0;
+                int_rf_writes = 0;
+                bypass_values = 0;
+              };
+            b_s_redirect = 0;
+            b_s_icache = 0;
+            b_s_core = 0;
+            b_s_frontend = 0;
+            b_occupancy_sum = 0;
+          }
+    in
+    let instructions = n - Option.value measure_from ~default:0 in
+    let cycles = Machine.now m - b.b_cycle in
+    let act = Machine.activity m in
+    {
+      config_name = cfg.Config.name;
+      instructions;
+      cycles;
+      ipc = float_of_int instructions /. float_of_int (max 1 cycles);
+      branch_lookups = Predictor.lookups pred - b.b_lookups;
+      branch_mispredicts = Predictor.mispredicts pred - b.b_mispredicts;
+      l1i_misses = snd (Mem_hier.l1i_stats hier) - b.b_l1i;
+      l1d_misses = snd (Mem_hier.l1d_stats hier) - b.b_l1d;
+      l2_misses = snd (Mem_hier.l2_stats hier) - b.b_l2;
+      dispatch_stall_regs = Machine.stall_dispatch_regs m - b.b_stall_regs;
+      faults = !faults - b.b_faults;
+      activity =
+        {
+          Machine.ext_rf_reads =
+            act.Machine.ext_rf_reads - b.b_activity.Machine.ext_rf_reads;
+          ext_rf_writes =
+            act.Machine.ext_rf_writes - b.b_activity.Machine.ext_rf_writes;
+          int_rf_reads =
+            act.Machine.int_rf_reads - b.b_activity.Machine.int_rf_reads;
+          int_rf_writes =
+            act.Machine.int_rf_writes - b.b_activity.Machine.int_rf_writes;
+          bypass_values =
+            act.Machine.bypass_values - b.b_activity.Machine.bypass_values;
+        };
+      stalls =
+        {
+          fetch_redirect = !stall_redirect - b.b_s_redirect;
+          fetch_icache = !stall_icache - b.b_s_icache;
+          dispatch_core = !stall_core - b.b_s_core;
+          dispatch_frontend = !stall_frontend - b.b_s_frontend;
+        };
+      avg_occupancy =
+        float_of_int (!occupancy_sum - b.b_occupancy_sum)
+        /. float_of_int (max 1 cycles);
+    }
+  in
+  { machine = m; step_fn = step; result_fn = result }
+
+let machine t = t.machine
+let finished t = Machine.all_committed t.machine
+let now t = Machine.now t.machine
+let step t = t.step_fn ()
+
+let result t =
+  if not (finished t) then
+    invalid_arg "Core.result: the core has not committed its whole trace";
+  t.result_fn ()
+
+let speedup base other =
+  float_of_int base.cycles /. float_of_int (max 1 other.cycles)

@@ -1,0 +1,83 @@
+(** One core's whole pipeline as a stepable value.
+
+    {!create} builds the machine (over a private or a caller-supplied
+    shared memory hierarchy) and warms its caches; {!step} advances
+    exactly one cycle — fetch (I-cache + branch prediction), dispatch,
+    the execution core ({!Exec_core}), in-order commit; {!result} reads
+    the counters off a finished run.
+
+    [Pipeline.run] is [create] followed by stepping until {!finished} —
+    its semantics, including every counter, are defined here. A CMP
+    ({!Braid_cmp.Cmp}) interleaves [step]s of many cores under one
+    global clock, each over a hierarchy attached to a shared backside
+    ({!Mem_hier}). *)
+
+type stalls = {
+  fetch_redirect : int;  (** cycles fetch waited on a mispredicted branch *)
+  fetch_icache : int;  (** cycles fetch waited on an I-cache fill *)
+  dispatch_core : int;  (** cycles the execution core refused dispatch *)
+  dispatch_frontend : int;  (** cycles a front-end resource refused it *)
+}
+
+type result = {
+  config_name : string;
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  branch_lookups : int;
+  branch_mispredicts : int;
+  l1i_misses : int;
+  l1d_misses : int;
+  l2_misses : int;
+  dispatch_stall_regs : int;
+  faults : int;
+  activity : Machine.activity;  (** structure-access counts (§5.1) *)
+  stalls : stalls;
+  avg_occupancy : float;  (** mean instructions resident in the core *)
+}
+
+exception Deadlock of string
+(** Raised by {!step} when no forward progress happens for an implausibly
+    long time — a simulator bug, surfaced loudly rather than silently
+    looping. *)
+
+type t
+
+val create :
+  ?obs:Braid_obs.Sink.t ->
+  ?dbg:Debug.t ->
+  ?warm_data:int list ->
+  ?prewarm:Trace.t ->
+  ?measure_from:int ->
+  ?hier:Mem_hier.hierarchy ->
+  Config.t ->
+  Trace.t ->
+  t
+(** Parameters are those of [Pipeline.run] (see its documentation for
+    [warm_data]/[prewarm]/[measure_from]/[obs]/[dbg]), plus [hier]: the
+    memory hierarchy this core loads, stores and fetches through.
+    Absent, a private one is built from the config (solo semantics,
+    byte-identical to the pre-split pipeline); a CMP passes a hierarchy
+    attached to a shared backside. Creation warms the trace's code lines
+    and [warm_data] into the hierarchy. Raises [Invalid_argument] on an
+    empty trace or an out-of-range [measure_from]. *)
+
+val step : t -> unit
+(** Advance one cycle. Call only while [not (finished t)]. *)
+
+val finished : t -> bool
+(** Every trace event has committed. *)
+
+val now : t -> int
+(** The core's clock: cycles stepped so far minus one (-1 before the
+    first step). In a CMP every live core is stepped once per global
+    cycle, so this equals the global clock. *)
+
+val machine : t -> Machine.t
+
+val result : t -> result
+(** Counters of the finished run; raises [Invalid_argument] while
+    [not (finished t)]. *)
+
+val speedup : result -> result -> float
+(** [speedup base other] = cycles(base) / cycles(other). *)

@@ -293,3 +293,7 @@ let create m =
   | Config.Dep_steer -> dep_steer m
   | Config.Ooo -> ooo m
   | Config.Braid_exec -> braid m
+
+let try_dispatch t u = t.try_dispatch u
+let cycle t = t.cycle ()
+let occupancy t = t.occupancy ()

@@ -1,9 +1,15 @@
-(** The four execution-core paradigms of Fig 13.
+(** The pluggable execution core: scheduling structure and selection
+    policy, and nothing else.
 
-    A core owns only its scheduling structure and selection policy; issue
-    side-effects (ports, latencies, wakeups) are delegated to
-    {!Machine.do_issue}, so the paradigms differ exactly where the paper
-    says they do:
+    A core owns only its queues/windows and its per-cycle selection; all
+    issue side-effects (ports, latencies, wakeups, memory) are delegated
+    to {!Machine.do_issue}, so every paradigm shares identical port,
+    bypass and memory semantics and differs exactly where the paper says
+    it does. This interface is the full contract {!Core} (and any future
+    paradigm, e.g. CG-OoO) depends on — nothing about a core's internals
+    leaks past it.
+
+    The four built-in paradigms of Fig 13:
 
     - {b In-order}: one queue; up to the issue width of consecutive ready
       instructions leave from the head; the first stalled instruction
@@ -16,16 +22,47 @@
     - {b Braid}: whole braids are distributed to a free BEU (one braid per
       BEU at a time, per §3.3); each BEU issues from a small window at the
       head of its FIFO onto its private FUs; internal values live entirely
-      inside the BEU. *)
+      inside the BEU.
 
-type t = {
-  try_dispatch : int -> bool;
-      (** Space/steering check for an instruction uid; inserts on
-          success. The pipeline calls this only after
-          {!Machine.can_dispatch} passed. *)
-  cycle : unit -> unit;  (** Select and issue for the current cycle. *)
-  occupancy : unit -> int;  (** Instructions resident in the core. *)
-}
+    {2 Contract}
+
+    The driving pipeline must, each machine cycle and in this order: call
+    {!Machine.begin_cycle} (wakeups land), commit, call {!cycle} exactly
+    once, then dispatch. The invariants each side relies on:
+
+    - {!create} may allocate structures and register observability
+      handles but performs no machine mutation.
+    - {!try_dispatch} is called only for the uid at the head of the fetch
+      queue, only after {!Machine.can_dispatch} passed this cycle, and in
+      trace (uid) order. On [true] the core has accepted residency of the
+      uid (the caller then consumes front-end resources via
+      {!Machine.note_dispatch}); on [false] the core is full or cannot
+      steer the uid this cycle, nothing was inserted, and the caller must
+      stop dispatching this cycle. Every refusal increments the core's
+      ["core.dispatch_rejects"] counter.
+    - {!cycle} selects and issues for the current cycle; every issued uid
+      goes through {!Machine.do_issue} after the core checked
+      {!Machine.reg_ready}, [mem_ready <> Mem_blocked] and
+      {!Machine.can_issue_ports}. Within one cycle nothing becomes newly
+      issuable (wakeups land only at [begin_cycle]), which is what makes
+      single-pass window scans legal.
+    - {!occupancy} is the number of instructions resident in the core:
+      dispatched and not yet issued, plus (for cores that track them)
+      issued-but-incomplete. It is read after {!cycle} each cycle for the
+      occupancy histogram and must not mutate anything. *)
+
+type t
 
 val create : Machine.t -> t
-(** Builds the core selected by the machine's configuration. *)
+(** Builds the core selected by the machine's configuration
+    ([cfg.kind]). *)
+
+val try_dispatch : t -> int -> bool
+(** Space/steering check for an instruction uid; inserts on success. *)
+
+val cycle : t -> unit
+(** Select and issue for the current cycle. Call exactly once per
+    machine cycle, after {!Machine.begin_cycle} and commit. *)
+
+val occupancy : t -> int
+(** Instructions resident in the core (pure). *)

@@ -141,7 +141,7 @@ type t = {
      clusters (and window tails) with no register-ready work. *)
   home : int array;
   ready_in : int array;
-  hier : Cache.hierarchy;
+  hier : Mem_hier.hierarchy;
   pred : Predictor.t;
   (* config scalars lifted out of the nested record for the hot paths *)
   alloc_width : int;
@@ -202,9 +202,14 @@ type t = {
   oc_bypass_ovf : Obs.Counters.counter;
 }
 
-let create ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) cfg trace =
+let create ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) ?hier cfg trace =
   let events = trace.Trace.events in
   let n = Array.length events in
+  let hier =
+    match hier with
+    | Some h -> h
+    | None -> Mem_hier.create_hierarchy ~obs cfg.Config.mem
+  in
   (* the static dependence structure (CSR children, last external
      readers, store disambiguation) is memoised on the trace: repeated
      runs — the perf harness — share one copy; only the per-run mutable
@@ -227,7 +232,7 @@ let create ?(obs = Obs.Sink.disabled) ?(dbg = Debug.off) cfg trace =
     last_ext_reader = tb.Trace.last_ext_reader;
     home = Array.make n (-1);
     ready_in = Array.make (max 1 cfg.Config.clusters) 0;
-    hier = Cache.create_hierarchy ~obs cfg.Config.mem;
+    hier;
     pred = Predictor.create ~obs cfg;
     alloc_width = cfg.Config.alloc_width;
     src_width = cfg.Config.rename_src_width;
@@ -408,7 +413,7 @@ let do_issue t u =
     if e.Trace.is_load then
       match mem_ready t u with
       | Mem_forward -> 1
-      | Mem_cache -> Cache.data_latency t.hier e.Trace.addr
+      | Mem_cache -> Mem_hier.data_latency t.hier e.Trace.addr
       | Mem_blocked ->
           invalid_arg
             (Printf.sprintf
@@ -563,9 +568,9 @@ let commit_stage t =
           Obs.Tracer.record tr
             (Obs.Tracer.Stage
                { cycle = t.now; uid = u; stage = Obs.Tracer.Commit; track = t.beu.(u) }));
-      (* stores drain to the data cache at commit *)
-      if e.Trace.is_store && not t.cfg.Config.mem.Config.perfect_dcache then
-        ignore (Cache.data_latency t.hier e.Trace.addr);
+      (* stores drain to the data cache at commit (and, on a shared
+         backside, through the coherence directory) *)
+      if e.Trace.is_store then Mem_hier.drain_store t.hier e.Trace.addr;
       (* release the rename/in-flight entry at commit unless the braid
          dead-value path already released it *)
       if e.Trace.writes_ext && Bytes.get t.ext_entry_freed u = '\000' then begin

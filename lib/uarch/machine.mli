@@ -58,8 +58,19 @@ end
 
 type t
 
-val create : ?obs:Braid_obs.Sink.t -> ?dbg:Debug.t -> Config.t -> Trace.t -> t
-(** With a live [obs] sink, the machine registers counters for dispatch /
+val create :
+  ?obs:Braid_obs.Sink.t ->
+  ?dbg:Debug.t ->
+  ?hier:Mem_hier.hierarchy ->
+  Config.t ->
+  Trace.t ->
+  t
+(** [hier] is the memory hierarchy the machine loads and stores through;
+    absent, a private ({!Mem_hier.create_hierarchy}) one is built from
+    the config — byte-identical to the pre-split behaviour. A CMP passes
+    a hierarchy attached to a shared backside instead.
+
+    With a live [obs] sink, the machine registers counters for dispatch /
     issue / commit instruction flow, external-file allocations,
     early (dead-value) and commit releases, register-shortage dispatch
     stalls, bypass uses and overflows, and the cache and predictor
@@ -156,7 +167,7 @@ val commit_stage : t -> unit
 val all_committed : t -> bool
 val committed_count : t -> int
 
-val hierarchy : t -> Cache.hierarchy
+val hierarchy : t -> Mem_hier.hierarchy
 val predictor : t -> Predictor.t
 
 val stall_dispatch_regs : t -> int

@@ -9,14 +9,14 @@
     work is modeled as this bubble. Arithmetic faults serialize the
     pipeline (drain to the checkpoint, handle, resume), per §3.4. *)
 
-type stalls = {
+type stalls = Core.stalls = {
   fetch_redirect : int;  (** cycles fetch waited on a mispredicted branch *)
   fetch_icache : int;  (** cycles fetch waited on an I-cache fill *)
   dispatch_core : int;  (** cycles the execution core refused dispatch *)
   dispatch_frontend : int;  (** cycles a front-end resource refused it *)
 }
 
-type result = {
+type result = Core.result = {
   config_name : string;
   instructions : int;
   cycles : int;
@@ -34,7 +34,8 @@ type result = {
 }
 
 exception Deadlock of string
-(** Raised when no forward progress happens for an implausibly long time —
+(** The same exception as {!Core.Deadlock} (rebound, not redeclared).
+    Raised when no forward progress happens for an implausibly long time —
     a simulator bug, surfaced loudly rather than silently looping. *)
 
 val run :

@@ -124,6 +124,35 @@ let sample_requests =
         v_oracle = true;
       };
     Req.Rv { v_hex = "braid-rv/1 x\n00000073\n"; v_cores = []; v_oracle = false };
+    Req.Cmp
+      {
+        c_benches = [ "gzip"; "crafty" ];
+        c_cores = 2;
+        c_seed = 1;
+        c_scale = 600;
+        c_core = U.Config.Braid_exec;
+        c_width = 8;
+        c_l2 =
+          Some
+            {
+              U.Config.size_bytes = 524288;
+              ways = 8;
+              line_bytes = 64;
+              latency = 12;
+            };
+        c_counters = true;
+      };
+    Req.Cmp
+      {
+        c_benches = [ "mcf" ];
+        c_cores = 4;
+        c_seed = 0;
+        c_scale = 1200;
+        c_core = U.Config.Ooo;
+        c_width = 8;
+        c_l2 = None;
+        c_counters = false;
+      };
     Req.Status;
     Req.Cancel { request_id = 42 };
     Req.Shutdown;
@@ -257,6 +286,40 @@ let sample_responses =
               rv_dynamic = 1;
               ir_dynamic = 3;
               oracle_ok = None;
+            };
+      };
+    Resp.Done
+      {
+        id = 14;
+        payload =
+          Resp.Cmp_done
+            {
+              text = "cmp: 2 cores\n";
+              aggregate_ipc = 2.5;
+              weighted_speedup = 0.9375;
+              cycles = 2818;
+              invalidations = 50;
+              downgrades = 50;
+              writebacks = 55;
+              remote_hits = 72;
+              counters_text = Some "\ncore0.commit.instrs 3122\n";
+            };
+      };
+    Resp.Done
+      {
+        id = 15;
+        payload =
+          Resp.Cmp_done
+            {
+              text = "cmp: 1 core\n";
+              aggregate_ipc = 1.25;
+              weighted_speedup = 1.0;
+              cycles = 2402;
+              invalidations = 0;
+              downgrades = 0;
+              writebacks = 0;
+              remote_hits = 0;
+              counters_text = None;
             };
       };
     Resp.Done { id = 8; payload = Resp.Cancelled { cancelled_id = 5 } };

@@ -280,6 +280,7 @@ let mk_point i (complexity, mean_ipc) =
         Dse.Grid.label = Printf.sprintf "p%d" i;
         bindings = [];
         config = Config.braid_8wide;
+        cores = 1;
       };
     digest = Printf.sprintf "d%d" i;
     complexity;

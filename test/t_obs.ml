@@ -188,7 +188,7 @@ let mem_cfg =
 
 let test_cache_reconcile () =
   let obs = Obs.Sink.create () in
-  let h = U.Cache.create_hierarchy ~obs mem_cfg in
+  let h = U.Mem_hier.create_hierarchy ~obs mem_cfg in
   (* 2-way, 64B lines, 2 sets: 0, 128 and 256 all map to set 0.
      0 M, 0 H, 128 M, 0 H, 256 M (evicts LRU 128), 128 M (evicts LRU 0),
      0 M — true LRU gives exactly 2 hits / 5 misses; FIFO would differ. *)
@@ -196,20 +196,20 @@ let test_cache_reconcile () =
   let hits = ref 0 and misses = ref 0 in
   List.iter
     (fun addr ->
-      let lat = U.Cache.instr_latency h addr in
+      let lat = U.Mem_hier.instr_latency h addr in
       if lat = small_l1.U.Config.latency then incr hits else incr misses)
     seq;
   Alcotest.(check (pair int int)) "latency-derived L1I hit/miss" (2, 5)
     (!hits, !misses);
   Alcotest.(check (pair int int)) "Cache.l1i_stats agrees" (2, 5)
-    (U.Cache.l1i_stats h);
+    (U.Mem_hier.l1i_stats h);
   Alcotest.(check int) "l1i.hits counter agrees" 2 (count obs "l1i.hits");
   Alcotest.(check int) "l1i.misses counter agrees" 5 (count obs "l1i.misses");
   (* same reconciliation on the data side *)
   let d_hits = ref 0 and d_misses = ref 0 in
   List.iter
     (fun addr ->
-      let lat = U.Cache.data_latency h addr in
+      let lat = U.Mem_hier.data_latency h addr in
       if lat = small_l1.U.Config.latency then incr d_hits else incr d_misses)
     [ 64; 64; 192; 64 ];
   Alcotest.(check (pair int int)) "latency-derived L1D hit/miss" (2, 2)
@@ -218,7 +218,7 @@ let test_cache_reconcile () =
   Alcotest.(check int) "l1d.misses counter agrees" !d_misses
     (count obs "l1d.misses");
   (* warm-up fills stay uncounted *)
-  U.Cache.warm_instr h 512;
+  U.Mem_hier.warm_instr h 512;
   Alcotest.(check int) "warm_instr uncounted" 5 (count obs "l1i.misses")
 
 let suite =

@@ -33,33 +33,33 @@ let test_cache_lru () =
   Alcotest.(check bool) "lru evicted" false (U.Cache.access c 256)
 
 let test_hierarchy_latencies () =
-  let h = U.Cache.create_hierarchy U.Config.default_memory in
+  let h = U.Mem_hier.create_hierarchy U.Config.default_memory in
   let l1 = U.Config.default_memory.U.Config.l1d.U.Config.latency in
   let l2 = U.Config.default_memory.U.Config.l2.U.Config.latency in
   let mem = U.Config.default_memory.U.Config.memory_latency in
-  Alcotest.(check int) "cold: full chain" (l1 + l2 + mem) (U.Cache.data_latency h 0x4000);
-  Alcotest.(check int) "warm: l1 hit" l1 (U.Cache.data_latency h 0x4000);
+  Alcotest.(check int) "cold: full chain" (l1 + l2 + mem) (U.Mem_hier.data_latency h 0x4000);
+  Alcotest.(check int) "warm: l1 hit" l1 (U.Mem_hier.data_latency h 0x4000);
   (* instruction side behaves likewise *)
-  Alcotest.(check int) "icache cold" (3 + l2 + mem) (U.Cache.instr_latency h 0x8000);
-  Alcotest.(check int) "icache warm" 3 (U.Cache.instr_latency h 0x8000)
+  Alcotest.(check int) "icache cold" (3 + l2 + mem) (U.Mem_hier.instr_latency h 0x8000);
+  Alcotest.(check int) "icache warm" 3 (U.Mem_hier.instr_latency h 0x8000)
 
 let test_perfect_caches () =
   let m =
     { U.Config.default_memory with U.Config.perfect_icache = true; perfect_dcache = true }
   in
-  let h = U.Cache.create_hierarchy m in
-  Alcotest.(check int) "perfect icache" 1 (U.Cache.instr_latency h 0x123440);
-  Alcotest.(check int) "perfect dcache is l1 latency" 3 (U.Cache.data_latency h 0x998800)
+  let h = U.Mem_hier.create_hierarchy m in
+  Alcotest.(check int) "perfect icache" 1 (U.Mem_hier.instr_latency h 0x123440);
+  Alcotest.(check int) "perfect dcache is l1 latency" 3 (U.Mem_hier.data_latency h 0x998800)
 
 let test_warm_does_not_count () =
-  let h = U.Cache.create_hierarchy U.Config.default_memory in
-  U.Cache.warm_instr h 0x1000;
-  U.Cache.warm_l2 h 0x2000;
-  Alcotest.(check (pair int int)) "l1i stats untouched" (0, 0) (U.Cache.l1i_stats h);
-  Alcotest.(check (pair int int)) "l2 stats untouched" (0, 0) (U.Cache.l2_stats h);
+  let h = U.Mem_hier.create_hierarchy U.Config.default_memory in
+  U.Mem_hier.warm_instr h 0x1000;
+  U.Mem_hier.warm_l2 h 0x2000;
+  Alcotest.(check (pair int int)) "l1i stats untouched" (0, 0) (U.Mem_hier.l1i_stats h);
+  Alcotest.(check (pair int int)) "l2 stats untouched" (0, 0) (U.Mem_hier.l2_stats h);
   (* but the state is warm *)
-  Alcotest.(check int) "warm line hits l1i" 3 (U.Cache.instr_latency h 0x1000);
-  Alcotest.(check int) "warm data hits l2" (3 + 6) (U.Cache.data_latency h 0x2000)
+  Alcotest.(check int) "warm line hits l1i" 3 (U.Mem_hier.instr_latency h 0x1000);
+  Alcotest.(check int) "warm data hits l2" (3 + 6) (U.Mem_hier.data_latency h 0x2000)
 
 (* --- Predictor --- *)
 

@@ -25,6 +25,7 @@ let () =
       T_dse.suite;
       T_sample.suite;
       T_check.suite;
+      T_cmp.suite;
       T_rv.suite;
       T_api.suite;
     ]
