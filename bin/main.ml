@@ -118,8 +118,7 @@ let complexity_cmd =
   let run () =
     List.iter
       (fun cfg -> print_endline (U.Complexity.describe cfg))
-      [ U.Config.in_order_8wide; U.Config.dep_steer_8wide; U.Config.braid_8wide;
-        U.Config.ooo_8wide ];
+      U.Config.presets;
     let ooo = U.Complexity.of_config U.Config.ooo_8wide in
     let braid = U.Complexity.of_config U.Config.braid_8wide in
     let io = U.Complexity.of_config U.Config.in_order_8wide in
@@ -131,7 +130,7 @@ let complexity_cmd =
   in
   Cmdliner.Cmd.v
     (Cmdliner.Cmd.info "complexity"
-       ~doc:"Static complexity indices of the four machines (§5.1).")
+       ~doc:"Static complexity indices of the five machines (§5.1).")
     Cmdliner.Term.(const run $ const ())
 
 (* --- the one-shot simulation subcommands --- *)

@@ -56,7 +56,8 @@ let ctx_for env sample =
 
 let binary_for core program =
   match core with
-  | U.Config.Braid_exec -> (C.Transform.run program).C.Transform.program
+  | U.Config.Braid_exec | U.Config.Cgooo ->
+      (C.Transform.run program).C.Transform.program
   | U.Config.In_order | U.Config.Dep_steer | U.Config.Ooo ->
       (C.Transform.conventional program).C.Extalloc.program
 

@@ -32,7 +32,8 @@ let check ?(cores = 2) ?(kind = Config.Braid_exec) ~seed ~index () =
         let program, init_mem = Gen.build case in
         let binary =
           match kind with
-          | Config.Braid_exec -> (Transform.run program).Transform.program
+          | Config.Braid_exec | Config.Cgooo ->
+              (Transform.run program).Transform.program
           | _ -> (Transform.conventional program).Extalloc.program
         in
         let out = Emulator.run ~max_steps ~trace:true ~init_mem binary in

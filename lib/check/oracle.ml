@@ -23,7 +23,8 @@ type report = {
 let ok r =
   r.divergences = [] && List.for_all (fun c -> c.violation_count = 0) r.cores
 
-let default_cores = [ Config.In_order; Config.Ooo; Config.Braid_exec ]
+let default_cores =
+  [ Config.In_order; Config.Ooo; Config.Braid_exec; Config.Cgooo ]
 
 (* Fuzz cases are a few thousand dynamic instructions; a case that runs
    this long is a generator bug worth reporting, not waiting out. *)
@@ -85,7 +86,7 @@ let check ?(invariants = true) ?(cores = default_cores) ?inject_commit program
       let cfg = Config.preset_of_kind kind in
       let out, bin_mem =
         match kind with
-        | Config.Braid_exec -> (braid_out, braid_mem)
+        | Config.Braid_exec | Config.Cgooo -> (braid_out, braid_mem)
         | _ -> (conv_out, conv_mem)
       in
       let trace =

@@ -20,7 +20,7 @@ let resolve ?(ext_usable = Braid_core.Extalloc.usable_per_class) ctx ~seed
       let p = Suite.prepare ctx ~seed ~scale ~ext_usable pr in
       let trace =
         match cfg.U.Config.kind with
-        | U.Config.Braid_exec -> p.Suite.braid_trace ()
+        | U.Config.Braid_exec | U.Config.Cgooo -> p.Suite.braid_trace ()
         | U.Config.In_order | U.Config.Dep_steer | U.Config.Ooo ->
             p.Suite.conv_trace ()
       in

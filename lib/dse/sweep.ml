@@ -31,14 +31,14 @@ type outcome = { results : point_result list; stats : stats }
    are always allocated against the full architectural budget. *)
 let ext_usable_of (cfg : Config.t) =
   match cfg.Config.kind with
-  | Config.Braid_exec ->
+  | Config.Braid_exec | Config.Cgooo ->
       min cfg.Config.ext_regs Braid_core.Extalloc.usable_per_class
   | Config.In_order | Config.Dep_steer | Config.Ooo ->
       Braid_core.Extalloc.usable_per_class
 
 let binary_of (cfg : Config.t) =
   match cfg.Config.kind with
-  | Config.Braid_exec -> "braid"
+  | Config.Braid_exec | Config.Cgooo -> "braid"
   | Config.In_order | Config.Dep_steer | Config.Ooo -> "conv"
 
 let key_of ~ctx ~seed ~scale ~cores (cfg : Config.t) (pr : Spec.profile) =
@@ -62,7 +62,7 @@ let simulate ~ctx ~seed ~scale (cfg : Config.t) (pr : Spec.profile) =
   let p = Suite.prepare ctx ~seed ~scale ~ext_usable:(ext_usable_of cfg) pr in
   let r =
     match cfg.Config.kind with
-    | Config.Braid_exec -> Suite.run_braid ctx p cfg
+    | Config.Braid_exec | Config.Cgooo -> Suite.run_braid ctx p cfg
     | Config.In_order | Config.Dep_steer | Config.Ooo -> Suite.run_conv ctx p cfg
   in
   {

@@ -56,6 +56,7 @@ let cores =
     ("in-order", U.Config.in_order_8wide, `Conv);
     ("ooo", U.Config.ooo_8wide, `Conv);
     ("braid", U.Config.braid_8wide, `Braid);
+    ("cgooo", U.Config.cgooo_8wide, `Braid);
   ]
 
 let timed reps run =

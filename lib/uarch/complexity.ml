@@ -20,11 +20,15 @@ let of_config (cfg : Config.t) =
     rf_area_of ~entries:cfg.Config.ext_regs ~read_ports:cfg.Config.rf_read_ports
       ~write_ports:cfg.Config.rf_write_ports
   in
-  (* braid internal register files: 8 entries, 4r/2w, one per BEU *)
+  (* local (internal) register files: 8 entries, 4r/2w, one per BEU or
+     per CG-OoO block window *)
   let int_rf =
     match cfg.Config.kind with
     | Config.Braid_exec ->
         f cfg.Config.clusters *. rf_area_of ~entries:8 ~read_ports:4 ~write_ports:2
+    | Config.Cgooo ->
+        f cfg.Config.block_windows
+        *. rf_area_of ~entries:8 ~read_ports:4 ~write_ports:2
     | Config.In_order | Config.Dep_steer | Config.Ooo -> 0.0
   in
   let window = cfg.Config.clusters * cfg.Config.cluster_entries in
@@ -47,9 +51,21 @@ let of_config (cfg : Config.t) =
         let heads = cfg.Config.clusters * cfg.Config.sched_window in
         ( f window +. (tag_bits *. f heads) +. (8.0 *. f cfg.Config.clusters),
           f heads )
+    | Config.Cgooo ->
+        (* per-window FIFO storage; only the in-order head entries hold
+           comparators and only they are woken — block-level selection is
+           an age pick over [block_windows] windows (8 bits each) *)
+        let bw_window = cfg.Config.block_windows * cfg.Config.cluster_entries in
+        let heads = cfg.Config.block_windows * cfg.Config.block_head_window in
+        ( f bw_window +. (tag_bits *. f heads)
+          +. (8.0 *. f cfg.Config.block_windows),
+          f heads )
   in
   let bypass_levels =
-    match cfg.Config.kind with Config.Braid_exec -> 1.0 | _ -> 3.0
+    match cfg.Config.kind with
+    | Config.Braid_exec -> 1.0
+    | Config.Cgooo -> 2.0
+    | _ -> 3.0
   in
   let bypass_area =
     bypass_levels *. f cfg.Config.bypass_per_cycle *. f cfg.Config.bypass_per_cycle

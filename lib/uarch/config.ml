@@ -1,4 +1,4 @@
-type core_kind = In_order | Dep_steer | Ooo | Braid_exec
+type core_kind = In_order | Dep_steer | Ooo | Braid_exec | Cgooo
 
 type predictor_kind = Perceptron | Gshare | Perfect_prediction
 
@@ -49,6 +49,9 @@ type t = {
   (* front-end fidelity options *)
   model_wrong_path_fetch : bool;  (* pollute the I-cache down the wrong path *)
   btb_entries : int;  (* 0 = perfect target prediction *)
+  (* CG-OoO core axes *)
+  block_windows : int;  (* block windows competing for selection *)
+  block_head_window : int;  (* in-order issue window at each block head *)
 }
 
 let default_memory =
@@ -91,6 +94,8 @@ let ooo_8wide =
     max_unresolved_branches = 0;
     model_wrong_path_fetch = false;
     btb_entries = 0;
+    block_windows = 8;
+    block_head_window = 3;
   }
 
 let braid_8wide =
@@ -126,6 +131,36 @@ let braid_8wide =
     max_unresolved_branches = 0;
     model_wrong_path_fetch = false;
     btb_entries = 0;
+    block_windows = 8;
+    block_head_window = 3;
+  }
+
+(* CG-OoO (arXiv 1606.01607): whole basic blocks steered to block windows
+   that are selected out of order relative to each other while each window
+   issues strictly in order from a small head. The paper's global/local
+   register split maps onto the external/internal files, so the core runs
+   the braid binary; the global file is a conventional commit-released
+   file, mid-sized between the braid machine's 8 entries and the
+   out-of-order machine's 256-entry rename file. *)
+let cgooo_8wide =
+  {
+    braid_8wide with
+    name = "cgooo-8";
+    kind = Cgooo;
+    (* block windows replace the BEUs; the FU pool is shared *)
+    block_windows = 8;
+    block_head_window = 3;
+    clusters = 4;
+    fus_per_cluster = 2;
+    (* global register file: 64 entries, ported between the braid and
+       out-of-order extremes; local values stay inside the windows *)
+    ext_regs = 64;
+    rf_read_ports = 8;
+    rf_write_ports = 4;
+    bypass_per_cycle = 4;
+    (* block-level scheduling keeps rename narrow but the pipeline is a
+       little deeper than the braid machine's *)
+    misprediction_penalty = 21;
   }
 
 let in_order_8wide =
@@ -170,6 +205,7 @@ let scale_width cfg w =
     rename_dst_width = scale cfg.rename_dst_width;
     commit_width = w;
     clusters = scale cfg.clusters;
+    block_windows = scale cfg.block_windows;
     fus_per_cluster = cfg.fus_per_cluster;
     rf_read_ports = scale cfg.rf_read_ports;
     rf_write_ports = scale cfg.rf_write_ports;
@@ -199,15 +235,16 @@ let perfect_frontend cfg =
    axes, fuzz) converts through this module, so an unknown kind produces
    the same typed error, listing the same valid names, everywhere. *)
 module Core_kind = struct
-  type t = core_kind = In_order | Dep_steer | Ooo | Braid_exec
+  type t = core_kind = In_order | Dep_steer | Ooo | Braid_exec | Cgooo
 
-  let all = [ In_order; Dep_steer; Ooo; Braid_exec ]
+  let all = [ In_order; Dep_steer; Ooo; Braid_exec; Cgooo ]
 
   let to_string = function
     | In_order -> "in-order"
     | Dep_steer -> "dep-steer"
     | Ooo -> "ooo"
     | Braid_exec -> "braid"
+    | Cgooo -> "cgooo"
 
   let names = List.map to_string all
 
@@ -244,8 +281,10 @@ let preset_of_kind = function
   | Dep_steer -> dep_steer_8wide
   | Ooo -> ooo_8wide
   | Braid_exec -> braid_8wide
+  | Cgooo -> cgooo_8wide
 
-let presets = [ in_order_8wide; dep_steer_8wide; braid_8wide; ooo_8wide ]
+let presets =
+  [ in_order_8wide; dep_steer_8wide; braid_8wide; cgooo_8wide; ooo_8wide ]
 
 (* Every field serializes to (and parses from) a canonical string; the
    class only decides how the value is rendered inside JSON. *)
@@ -369,6 +408,12 @@ let fields : field_spec list =
       (fun c -> c.model_wrong_path_fetch)
       (fun c v -> { c with model_wrong_path_fetch = v });
     int_field "btb_entries" (fun c -> c.btb_entries) (fun c v -> { c with btb_entries = v });
+    int_field "block_windows"
+      (fun c -> c.block_windows)
+      (fun c v -> { c with block_windows = v });
+    int_field "block_head_window"
+      (fun c -> c.block_head_window)
+      (fun c v -> { c with block_head_window = v });
   ]
   @ geometry_fields "l1i" (fun c -> c.mem.l1i) (fun c g -> { c with mem = { c.mem with l1i = g } })
   @ geometry_fields "l1d" (fun c -> c.mem.l1d) (fun c g -> { c with mem = { c.mem with l1d = g } })
@@ -496,6 +541,12 @@ let validate c =
   non_negative "inter_cluster_latency" c.inter_cluster_latency;
   non_negative "max_unresolved_branches" c.max_unresolved_branches;
   non_negative "btb_entries" c.btb_entries;
+  positive "block_windows" c.block_windows;
+  positive "block_head_window" c.block_head_window;
+  check (c.block_head_window <= c.cluster_entries)
+    (Printf.sprintf
+       "block_head_window (%d) must not exceed cluster_entries (%d)"
+       c.block_head_window c.cluster_entries);
   let geometry prefix (g : cache_geometry) =
     positive (prefix ^ ".size_bytes") g.size_bytes;
     positive (prefix ^ ".ways") g.ways;

@@ -10,6 +10,9 @@ type core_kind =
   | Dep_steer  (** Palacharla-style dependence-steered FIFOs *)
   | Ooo  (** distributed out-of-order schedulers *)
   | Braid_exec  (** braid execution units *)
+  | Cgooo
+      (** CG-OoO (arXiv 1606.01607): basic blocks steered whole to block
+          windows scheduled out of order, in-order issue within a block *)
 
 type predictor_kind =
   | Perceptron  (** Table 4: 512-entry weight table, 64-bit history *)
@@ -81,6 +84,13 @@ type t = {
   btb_entries : int;
       (** finite branch-target buffer; a taken transfer missing in the BTB
           costs a one-cycle fetch bubble. 0 = perfect targets. *)
+  block_windows : int;
+      (** CG-OoO: block windows competing for out-of-order block-level
+          selection (each holds one basic block, capacity
+          [cluster_entries]) *)
+  block_head_window : int;
+      (** CG-OoO: instructions issuable per cycle from the strictly
+          in-order head of each block window *)
 }
 
 val default_memory : memory
@@ -96,6 +106,13 @@ val braid_8wide : t
 
 val in_order_8wide : t
 val dep_steer_8wide : t
+
+val cgooo_8wide : t
+(** CG-OoO: 8 block windows over a shared 8-FU pool, 3-entry in-order
+    block heads, a 64-entry commit-released global file (8r/4w) with the
+    local (internal) files inside the windows. Runs the braid binary —
+    the paper's global/local register split is the external/internal
+    split. *)
 
 val scale_width : t -> int -> t
 (** [scale_width cfg w] rescales a preset to issue width [w] (4, 8 or 16):
@@ -117,16 +134,16 @@ val perfect_frontend : t -> t
     unknown kind yields the same typed error listing the same valid
     names everywhere. *)
 module Core_kind : sig
-  type t = core_kind = In_order | Dep_steer | Ooo | Braid_exec
+  type t = core_kind = In_order | Dep_steer | Ooo | Braid_exec | Cgooo
 
   val all : t list
-  (** In complexity order: in-order, dep-steer, ooo, braid-exec. *)
+  (** Every registered kind: in-order, dep-steer, ooo, braid, cgooo. *)
 
   val names : string list
   (** [List.map to_string all]. *)
 
   val to_string : t -> string
-  (** ["in-order"], ["dep-steer"], ["ooo"] or ["braid"]. *)
+  (** ["in-order"], ["dep-steer"], ["ooo"], ["braid"] or ["cgooo"]. *)
 
   val of_string : string -> (t, string) result
   (** Inverse of {!to_string} (case-insensitive, trimmed); the error
@@ -147,8 +164,8 @@ val preset_of_kind : core_kind -> t
     …). *)
 
 val presets : t list
-(** The four presets, in complexity order (in-order, dep-steer, braid,
-    ooo). *)
+(** The five presets, in complexity order (in-order, dep-steer, braid,
+    cgooo, ooo). *)
 
 val sweepable_fields : string list
 (** Every field {!override} (and hence a sweep axis) can address, in

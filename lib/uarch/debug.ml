@@ -20,8 +20,11 @@ type state = {
   mutable violations_rev : violation list;
   mutable violation_count : int;
   live_internal : (int, unit) Hashtbl.t array;
-      (* per-BEU live internal-register indices; empty array for
-         conventional cores (no internal file to track) *)
+      (* per-BEU (or per-block-window) live internal-register indices;
+         empty array for conventional cores (no internal file to track) *)
+  last_issue_uid : int array;
+      (* cgooo: last uid issued from each block window (-1 = none); issue
+         within a window must be strictly in dispatch order *)
 }
 
 type t = state option
@@ -33,6 +36,12 @@ let create ?(invariants = true) (cfg : Config.t) =
   let beus =
     match cfg.Config.kind with
     | Config.Braid_exec -> max 1 cfg.Config.clusters
+    | Config.Cgooo -> max 1 cfg.Config.block_windows
+    | _ -> 0
+  in
+  let windows =
+    match cfg.Config.kind with
+    | Config.Cgooo -> max 1 cfg.Config.block_windows
     | _ -> 0
   in
   Some
@@ -47,6 +56,7 @@ let create ?(invariants = true) (cfg : Config.t) =
       violations_rev = [];
       violation_count = 0;
       live_internal = Array.init beus (fun _ -> Hashtbl.create 16);
+      last_issue_uid = Array.make windows (-1);
     }
 
 let enabled = function None -> false | Some _ -> true
@@ -98,7 +108,7 @@ let on_fetch t ~cycle (e : Trace.event) =
       if e.Trace.int_src_reads <> int_reads then
         bad "bits.T" "internal source count disagrees with the T bits";
       (match s.cfg.Config.kind with
-      | Config.Braid_exec ->
+      | Config.Braid_exec | Config.Cgooo ->
           if e.Trace.braid_start && e.Trace.braid_id < 0 then
             bad "bits.S" "S bit set on an instruction outside any braid"
       | _ ->
@@ -119,9 +129,15 @@ let on_dispatch t ~cycle ~beu (e : Trace.event) =
                s.ext_alloc s.cfg.Config.ext_regs)
       end;
       (* An S-bit instruction opens a fresh braid on its BEU: every internal
-         value of the previous braid is architecturally dead here. *)
+         value of the previous braid is architecturally dead here. (Braid
+         core only: a BEU holds one braid at a time, so the previous braid
+         has fully issued by dispatch. A cgooo block window can still hold
+         unissued instructions of the previous braid, so the live set is
+         cleared at issue instead — see [on_issue].) *)
       if
-        e.Trace.braid_start && beu >= 0
+        e.Trace.braid_start
+        && s.cfg.Config.kind = Config.Braid_exec
+        && beu >= 0
         && beu < Array.length s.live_internal
       then Hashtbl.reset s.live_internal.(beu)
 
@@ -146,6 +162,24 @@ let on_issue t ~cycle ~beu ~bypassed (e : Trace.event) =
       if bypassed && not e.Trace.writes_ext then
         report t ~invariant:"bypass.internal" ~cycle ~uid
           "a value without the E bit rode the bypass network";
+      (* cgooo in-block order: a block window issues strictly from its
+         in-order head, so uids leaving one window only ever increase
+         (blocks occupy a window one at a time, in dispatch order) *)
+      if beu >= 0 && beu < Array.length s.last_issue_uid then begin
+        if uid <= s.last_issue_uid.(beu) then
+          report t ~invariant:"cgooo.block-order" ~cycle ~uid
+            (Printf.sprintf
+               "issued from block window %d after uid %d: in-block issue \
+                must be in order"
+               beu
+               s.last_issue_uid.(beu));
+        s.last_issue_uid.(beu) <- uid;
+        (* a braid opening at issue: the previous braid in this window has
+           fully issued, its internal values are architecturally dead *)
+        if
+          e.Trace.braid_start && beu < Array.length s.live_internal
+        then Hashtbl.reset s.live_internal.(beu)
+      end;
       if e.Trace.writes_int && beu >= 0 && beu < Array.length s.live_internal
       then
         match internal_def e.Trace.instr with

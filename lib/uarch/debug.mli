@@ -28,7 +28,9 @@
     - ["wakeup.premature"]: no instruction issues before all producers
       have issued and their values are visible;
     - ["beu.window"]: an in-order BEU never issues from beyond the
-      [sched_window]-entry head of its FIFO. *)
+      [sched_window]-entry head of its FIFO;
+    - ["cgooo.block-order"]: a CG-OoO block window issues strictly in
+      dispatch order — uids leaving one window only ever increase. *)
 
 type violation = {
   invariant : string;  (** dotted invariant name, e.g. ["commit.order"] *)

@@ -287,12 +287,122 @@ let braid m =
   in
   { try_dispatch; cycle; occupancy }
 
+(* ------------------------------------------------------------------ *)
+
+(* CG-OoO (arXiv 1606.01607): dispatch steers whole basic blocks — the
+   braid pass's block leaders (offset 0) mark the boundaries — to a free
+   block window. Windows are selected out of order relative to each other,
+   oldest allocated block first, while instructions inside a window issue
+   strictly in order from a [block_head_window]-entry head over a shared
+   FU pool. Local (internal) values live inside the window; global
+   (external) values go through the commit-released global file. *)
+type block_window = {
+  bw_fifo : int Ring.t;
+  mutable bw_age : int;  (* allocation order of the resident block *)
+}
+
+let cgooo m =
+  let cfg = Machine.cfg m in
+  let rejects = reject_counter m in
+  let windows =
+    Array.init cfg.Config.block_windows (fun _ ->
+        {
+          bw_fifo = Ring.create ~dummy:(-1) ~capacity:cfg.Config.cluster_entries;
+          bw_age = -1;
+        })
+  in
+  let next_age = ref 0 in
+  (* window receiving the block currently in dispatch *)
+  let target = ref None in
+  (* A window is free once its block has fully issued: like a drained BEU
+     FIFO, issued instructions keep flowing through the FUs and files. *)
+  let free w = Ring.is_empty w.bw_fifo in
+  let try_dispatch u =
+    (* A sampled trace window may open mid-block (offset <> 0 with no
+       block in dispatch yet): the tail of the cut-off block is timed as
+       a (short) block of its own, matching the braid-start promotion
+       [Emulator.Compiled.trace_window] performs for the braid core. *)
+    if (Machine.event m u).Trace.offset = 0 || !target = None then begin
+      (* block leader: close the previous block; claim a free window *)
+      let chosen = ref None in
+      Array.iteri
+        (fun i w -> if !chosen = None && free w then chosen := Some i)
+        windows;
+      match !chosen with
+      | Some i ->
+          windows.(i).bw_age <- !next_age;
+          incr next_age;
+          target := Some i;
+          Machine.set_beu m u i;
+          Ring.push windows.(i).bw_fifo u;
+          true
+      | None ->
+          Obs.Counters.incr rejects;
+          false
+    end
+    else
+      match !target with
+      | Some i when not (Ring.is_full windows.(i).bw_fifo) ->
+          Machine.set_beu m u i;
+          Ring.push windows.(i).bw_fifo u;
+          true
+      | Some _ | None ->
+          Obs.Counters.incr rejects;
+          false
+  in
+  let nwin = Array.length windows in
+  let order = Array.init nwin Fun.id in
+  let fus = cfg.Config.clusters * cfg.Config.fus_per_cluster in
+  let cycle () =
+    (* Oldest-block-first selection: rank the windows by allocation age
+       (nwin is small; insertion sort on the reused index array allocates
+       nothing), then let each window drain its strictly in-order head
+       under the shared FU budget. Nothing becomes newly issuable within
+       a cycle, so one pass per window suffices. *)
+    for i = 1 to nwin - 1 do
+      let v = order.(i) in
+      let j = ref i in
+      while !j > 0 && windows.(order.(!j - 1)).bw_age > windows.(v).bw_age do
+        order.(!j) <- order.(!j - 1);
+        decr j
+      done;
+      order.(!j) <- v
+    done;
+    let budget = ref fus in
+    Array.iter
+      (fun wi ->
+        let w = windows.(wi) in
+        let issued_here = ref 0 in
+        let blocked = ref false in
+        while
+          (not !blocked)
+          && !budget > 0
+          && !issued_here < cfg.Config.block_head_window
+          && not (Ring.is_empty w.bw_fifo)
+        do
+          let u = Ring.peek w.bw_fifo in
+          if issuable m u then begin
+            ignore (Ring.pop w.bw_fifo);
+            Machine.do_issue m u;
+            incr issued_here;
+            decr budget
+          end
+          else blocked := true
+        done)
+      order
+  in
+  let occupancy () =
+    Array.fold_left (fun acc w -> acc + Ring.length w.bw_fifo) 0 windows
+  in
+  { try_dispatch; cycle; occupancy }
+
 let create m =
   match (Machine.cfg m).Config.kind with
   | Config.In_order -> in_order m
   | Config.Dep_steer -> dep_steer m
   | Config.Ooo -> ooo m
   | Config.Braid_exec -> braid m
+  | Config.Cgooo -> cgooo m
 
 let try_dispatch t u = t.try_dispatch u
 let cycle t = t.cycle ()

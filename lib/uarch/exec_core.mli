@@ -6,10 +6,10 @@
     to {!Machine.do_issue}, so every paradigm shares identical port,
     bypass and memory semantics and differs exactly where the paper says
     it does. This interface is the full contract {!Core} (and any future
-    paradigm, e.g. CG-OoO) depends on — nothing about a core's internals
+    paradigm, e.g. EDGE) depends on — nothing about a core's internals
     leaks past it.
 
-    The four built-in paradigms of Fig 13:
+    The four paradigms of Fig 13, plus CG-OoO:
 
     - {b In-order}: one queue; up to the issue width of consecutive ready
       instructions leave from the head; the first stalled instruction
@@ -23,6 +23,14 @@
       BEU at a time, per §3.3); each BEU issues from a small window at the
       head of its FIFO onto its private FUs; internal values live entirely
       inside the BEU.
+    - {b CG-OoO} (arXiv 1606.01607): whole basic blocks (the braid pass's
+      block leaders mark the boundaries) are steered to a free block
+      window; windows are selected out of order, oldest block first, while
+      each window issues strictly in order from a
+      [block_head_window]-entry head over a shared FU pool. Runs the braid
+      binary: the paper's global/local register split is the
+      external/internal file split, with the global file released at
+      commit.
 
     {2 Contract}
 

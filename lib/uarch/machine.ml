@@ -374,7 +374,9 @@ let debug_check_issue t u (e : Trace.event) =
             (Printf.sprintf
                "reads producer %d before its value is visible (cycle %d)" p
                visible);
-        if via && t.is_braid then begin
+        (* internal (local) values are confined to the producing braid and
+           its BEU / block window on both cores that carry them *)
+        if via && (t.is_braid || t.cfg.Config.kind = Config.Cgooo) then begin
           if t.beu.(p) <> t.beu.(u) then
             Debug.report t.dbg ~invariant:"internal.cross-beu" ~cycle:t.now
               ~uid:u
@@ -609,7 +611,7 @@ let dispatch_block_reason t u =
     e.Trace.writes_ext && t.free_regs < 1
     &&
     match t.cfg.Config.kind with
-    | Config.In_order | Config.Dep_steer | Config.Ooo -> true
+    | Config.In_order | Config.Dep_steer | Config.Ooo | Config.Cgooo -> true
     | Config.Braid_exec -> true
   then Block_regs
   else if

@@ -17,6 +17,7 @@ let kind_of_golden = function
   | T_golden.In_order -> Config.In_order
   | T_golden.Ooo -> Config.Ooo
   | T_golden.Braid -> Config.Braid_exec
+  | T_golden.Cgooo -> Config.Cgooo
 
 (* --- Core_kind: the typed core-name vocabulary --- *)
 

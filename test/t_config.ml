@@ -168,7 +168,13 @@ let test_kind_strings () =
       match Config.kind_of_string (Config.kind_to_string k) with
       | Ok k' -> Alcotest.(check bool) "kind round-trips" true (k = k')
       | Error msg -> Alcotest.fail msg)
-    [ Config.In_order; Config.Dep_steer; Config.Ooo; Config.Braid_exec ];
+    [
+      Config.In_order;
+      Config.Dep_steer;
+      Config.Ooo;
+      Config.Braid_exec;
+      Config.Cgooo;
+    ];
   List.iter
     (fun p ->
       match Config.predictor_of_string (Config.predictor_to_string p) with

@@ -161,7 +161,8 @@ let activity_run name cfg =
   let prog, init_mem = Spec.generate (Spec.find name) ~seed:1 ~scale:1500 in
   let binary =
     match cfg.U.Config.kind with
-    | U.Config.Braid_exec -> (C.Transform.run prog).C.Transform.program
+    | U.Config.Braid_exec | U.Config.Cgooo ->
+        (C.Transform.run prog).C.Transform.program
     | _ -> (C.Transform.conventional prog).C.Extalloc.program
   in
   let out = Emulator.run ~max_steps:100_000 ~init_mem binary in

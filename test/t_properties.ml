@@ -153,6 +153,36 @@ let qcheck_predictor_robust =
       let a = U.Predictor.accuracy pred in
       a >= 0.0 && a <= 1.0)
 
+(* --- Core-kind vocabulary ----------------------------------------------- *)
+
+(* Every registered kind survives of_string ∘ to_string — including any
+   future kind, since the generator indexes Core_kind.all. *)
+let qcheck_core_kind_roundtrip =
+  QCheck.Test.make ~name:"every core kind round-trips of_string∘to_string"
+    ~count:200
+    QCheck.(int_range 0 (List.length U.Config.Core_kind.all - 1))
+    (fun i ->
+      let k = List.nth U.Config.Core_kind.all i in
+      match U.Config.Core_kind.of_string (U.Config.Core_kind.to_string k) with
+      | Ok k' -> k = k'
+      | Error _ -> false)
+
+(* The CLI's unknown-kind error is the discoverability surface for the
+   core vocabulary: whatever the input, a rejection must list every name
+   in Core_kind.names (so registering a kind can never leave the message
+   stale), and an acceptance must land on a registered kind. *)
+let qcheck_core_kind_error_in_sync =
+  QCheck.Test.make ~name:"unknown-kind error lists every registered name"
+    ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 12) Gen.printable)
+    (fun s ->
+      match U.Config.Core_kind.of_string s with
+      | Ok k -> List.mem k U.Config.Core_kind.all
+      | Error msg ->
+          List.for_all
+            (fun name -> Astring_contains.contains msg name)
+            U.Config.Core_kind.names)
+
 (* --- Value_stats conservation ------------------------------------------ *)
 
 let qcheck_value_stats_conservation =
@@ -275,6 +305,8 @@ let suite =
       Alcotest.test_case "encode program length" `Quick test_encode_program_length;
       QCheck_alcotest.to_alcotest qcheck_cache_model;
       QCheck_alcotest.to_alcotest qcheck_predictor_robust;
+      QCheck_alcotest.to_alcotest qcheck_core_kind_roundtrip;
+      QCheck_alcotest.to_alcotest qcheck_core_kind_error_in_sync;
       QCheck_alcotest.to_alcotest qcheck_value_stats_conservation;
       QCheck_alcotest.to_alcotest qcheck_cycles_lower_bounds;
       QCheck_alcotest.to_alcotest qcheck_allocator_respects_budget;

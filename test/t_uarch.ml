@@ -1,9 +1,10 @@
 (* Tests for the microarchitecture substrate: caches, predictor, and the
-   four execution cores through the pipeline. *)
+   five execution cores through the pipeline. *)
 
 module C = Braid_core
 module U = Braid_uarch
 module Spec = Braid_workload.Spec
+module Obs = Braid_obs
 
 (* --- Cache --- *)
 
@@ -339,6 +340,111 @@ let test_do_issue_guards () =
   U.Machine.begin_cycle m;
   expect_invalid "memory-blocked load" (fun () -> U.Machine.do_issue m 1) "blocked"
 
+(* --- Exec_core across every kind: drain and refusal accounting --- *)
+
+(* A short single-braid / single-block dependence chain every core kind
+   accepts: event 0 carries the S bit (braid steering) and offset 0
+   (block steering); the rest ride the same braid/block. *)
+let chain_events n =
+  Array.init n (fun uid ->
+      let dst = Reg.ext Reg.Cint (1 + (uid mod 4)) in
+      let instr =
+        if uid = 0 then Instr.make (Op.Movi (dst, 1L))
+        else Instr.make (Op.Ibin (Op.Add, dst, Reg.ext Reg.Cint (uid mod 4), Reg.zero))
+      in
+      let deps = if uid = 0 then [||] else [| (uid - 1, false) |] in
+      let e = mk_event ~deps ~uid instr in
+      if uid = 0 then { e with Trace.braid_id = 0; braid_start = true }
+      else { e with Trace.braid_id = 0 })
+
+(* The Core drive loop, reduced to its contract: begin_cycle, commit,
+   core cycle, then in-order dispatch — no fetch front-end. *)
+let drive_to_drain cfg events =
+  let t = trace_of_events events in
+  let obs = Obs.Sink.create () in
+  let m = U.Machine.create ~obs cfg t in
+  let core = U.Exec_core.create m in
+  let n = Array.length events in
+  let next = ref 0 in
+  let guard = ref 0 in
+  while (not (U.Machine.all_committed m)) && !guard < 10_000 do
+    incr guard;
+    U.Machine.begin_cycle m;
+    U.Machine.commit_stage m;
+    U.Exec_core.cycle core;
+    let continue = ref true in
+    while !continue && !next < n do
+      let u = !next in
+      if U.Machine.can_dispatch m u && U.Exec_core.try_dispatch core u then begin
+        U.Machine.note_dispatch m u;
+        incr next
+      end
+      else continue := false
+    done
+  done;
+  Alcotest.(check bool) "drained within the cycle guard" true
+    (U.Machine.all_committed m);
+  (core, obs)
+
+let count_of obs name =
+  match Obs.Counters.find (Obs.Sink.counters obs) name with
+  | Some (Obs.Counters.Count n) -> n
+  | _ -> 0
+
+let test_occupancy_drains_all_kinds () =
+  List.iter
+    (fun kind ->
+      let name = U.Config.Core_kind.to_string kind in
+      let core, obs =
+        drive_to_drain (U.Config.preset_of_kind kind) (chain_events 12)
+      in
+      Alcotest.(check int)
+        (name ^ ": occupancy back to 0 after drain")
+        0 (U.Exec_core.occupancy core);
+      List.iter
+        (fun counter ->
+          Alcotest.(check int) (name ^ ": " ^ counter) 12 (count_of obs counter))
+        [ "dispatch.instrs"; "issue.instrs"; "commit.instrs" ])
+    U.Config.Core_kind.all
+
+(* Shrink every kind's steering structure to a single one-entry queue /
+   window so the second dispatch must be refused, and count the refusals:
+   exactly one core.dispatch_rejects tick per [try_dispatch] returning
+   [false]. *)
+let test_dispatch_rejects_exactly_once () =
+  List.iter
+    (fun kind ->
+      let name = U.Config.Core_kind.to_string kind in
+      let cfg =
+        {
+          (U.Config.preset_of_kind kind) with
+          U.Config.clusters = 1;
+          fus_per_cluster = 1;
+          cluster_entries = 1;
+          sched_window = 1;
+          block_windows = 1;
+          block_head_window = 1;
+        }
+      in
+      let t = trace_of_events (chain_events 3) in
+      let obs = Obs.Sink.create () in
+      let m = U.Machine.create ~obs cfg t in
+      let core = U.Exec_core.create m in
+      U.Machine.begin_cycle m;
+      Alcotest.(check bool) (name ^ ": first dispatch accepted") true
+        (U.Exec_core.try_dispatch core 0);
+      Alcotest.(check int) (name ^ ": no refusal yet") 0
+        (count_of obs "core.dispatch_rejects");
+      Alcotest.(check bool) (name ^ ": full core refuses") false
+        (U.Exec_core.try_dispatch core 1);
+      Alcotest.(check int) (name ^ ": one refusal, one tick") 1
+        (count_of obs "core.dispatch_rejects");
+      Alcotest.(check bool) (name ^ ": still refuses") false
+        (U.Exec_core.try_dispatch core 1);
+      Alcotest.(check int) (name ^ ": second refusal, second tick") 2
+        (count_of obs "core.dispatch_rejects"))
+    U.Config.Core_kind.all
+
 let suite =
   ( "uarch",
     [
@@ -362,5 +468,9 @@ let suite =
       Alcotest.test_case "fault serialises" `Quick test_fault_serializes;
       Alcotest.test_case "speedup helper" `Quick test_speedup_helper;
       Alcotest.test_case "do_issue guards" `Quick test_do_issue_guards;
+      Alcotest.test_case "occupancy drains on every kind" `Quick
+        test_occupancy_drains_all_kinds;
+      Alcotest.test_case "dispatch refusals counted exactly once" `Quick
+        test_dispatch_rejects_exactly_once;
       QCheck_alcotest.to_alcotest qcheck_all_cores_all_benchmarks;
     ] )

@@ -28,4 +28,5 @@ let () =
       T_cmp.suite;
       T_rv.suite;
       T_api.suite;
+      T_conformance.suite;
     ]
